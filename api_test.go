@@ -1,0 +1,138 @@
+package shieldsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests for the public facade: everything a downstream user touches must
+// be reachable through the root package.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := RedHawk14(2, 1.4)
+	sys := NewSystem(cfg, 1, SystemOptions{
+		RCIMPeriod: Millisecond,
+		Loads:      []string{LoadDiskNoise},
+	})
+	var wakes int
+	phase := 0
+	rt := sys.K.NewTask("rt", SchedFIFO, 90, MaskOf(1), BehaviorFunc(func(tk *Task) Action {
+		phase++
+		if phase%2 == 1 {
+			act := Syscall(sys.RCIM.WaitCall())
+			act.OnComplete = func(Time) { wakes++ }
+			return act
+		}
+		return Compute(10 * Microsecond)
+	}))
+	rt.MemLocked = true
+	sys.Start()
+	if err := sys.ShieldCPU(1); err != nil {
+		t.Fatal(err)
+	}
+	sys.K.Eng.Run(Time(200 * Millisecond))
+	if wakes < 150 {
+		t.Fatalf("rt task woke %d times in 200ms at 1kHz", wakes)
+	}
+	if got, _ := sys.K.FS.Read("/proc/shield/all"); got != "2\n" {
+		t.Fatalf("/proc/shield/all = %q", got)
+	}
+}
+
+func TestPublicKernelPresets(t *testing.T) {
+	stock := StandardLinux24(2, 1.4, true)
+	if stock.Preemptible || stock.ShieldSupport || !stock.HyperThreading {
+		t.Fatalf("stock preset wrong: %+v", stock)
+	}
+	rh := RedHawk14(2, 1.4)
+	if !rh.Preemptible || !rh.ShieldSupport || rh.HyperThreading {
+		t.Fatalf("redhawk preset wrong: %+v", rh)
+	}
+	patched := PatchedLinux24(2, 0.933)
+	if !patched.Preemptible || patched.ShieldSupport {
+		t.Fatalf("patched preset wrong: %+v", patched)
+	}
+}
+
+func TestPublicMaskHelpers(t *testing.T) {
+	m := MaskOf(0, 2)
+	if m.String() != "5" {
+		t.Fatalf("MaskOf(0,2) = %s", m)
+	}
+	if MaskAll(3) != MaskOf(0, 1, 2) {
+		t.Fatal("MaskAll wrong")
+	}
+	p, err := ParseMask("5")
+	if err != nil || p != m {
+		t.Fatal("ParseMask wrong")
+	}
+	eff := EffectiveAffinity(MaskOf(0, 1), MaskOf(1), MaskAll(2))
+	if eff != MaskOf(0) {
+		t.Fatalf("EffectiveAffinity = %s", eff)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig7", "ablate-posix-timers", "future-rtc-api"} {
+		if !ids[want] {
+			t.Fatalf("registry missing %s", want)
+		}
+	}
+	e, ok := ExperimentByID("ablate-posix-timers")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	out := e.Run(0.2, 1)
+	if !strings.Contains(out, "RedHawk") {
+		t.Fatalf("experiment output:\n%s", out)
+	}
+}
+
+func TestPublicHistogram(t *testing.T) {
+	h := NewHistogram(Millisecond, 10)
+	h.Add(500 * Microsecond)
+	h.Add(5 * Millisecond)
+	if h.Count() != 2 || h.FractionBelow(Millisecond) != 0.5 {
+		t.Fatal("histogram via facade broken")
+	}
+}
+
+func TestPublicDeterminismRunner(t *testing.T) {
+	d := DefaultDeterminism(RedHawk14(2, 1.4))
+	d.Runs = 6
+	d.LoopWork = Duration(0.05 * 1e9)
+	d.Shield = true
+	r := RunDeterminism(d)
+	if r.Report.Runs == 0 {
+		t.Fatal("no runs recorded")
+	}
+	if r.Report.JitterPercent() > 5 {
+		t.Fatalf("shielded jitter = %.2f%%", r.Report.JitterPercent())
+	}
+}
+
+func TestPublicDeviceConstructors(t *testing.T) {
+	cfg := RedHawk14(2, 1.4)
+	k := NewKernel(cfg, 1)
+	rtc := NewRTC(k, 1024)
+	rcim := NewRCIM(k, Millisecond)
+	nic := NewNIC(k, "eth0")
+	disk := NewDisk(k, "sda")
+	gpu := NewGPU(k, "nv0")
+	if rtc.IRQ() == nil || rcim.IRQ() == nil || nic.IRQ() == nil || disk.IRQ() == nil || gpu.IRQ() == nil {
+		t.Fatal("device irq lines missing")
+	}
+	in := rcim.NewExternalInput("probe")
+	rtc.Start()
+	rcim.Start()
+	k.Start()
+	k.Eng.Schedule(Time(5*Millisecond), func() { in.Signal() })
+	k.Eng.Run(Time(20 * Millisecond))
+	if rtc.Fires() == 0 || rcim.Fires() == 0 || in.Edges != 1 {
+		t.Fatalf("devices inert: rtc=%d rcim=%d edges=%d", rtc.Fires(), rcim.Fires(), in.Edges)
+	}
+}

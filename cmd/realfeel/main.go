@@ -1,0 +1,64 @@
+// Command realfeel is a clone of Andrew Morton's realfeel benchmark
+// running against the simulated systems: it measures response to the RTC
+// periodic interrupt under the stress-kernel load and prints the same
+// kind of histogram the paper's Figures 5 and 6 summarise.
+//
+// Usage:
+//
+//	realfeel -kernel stock|patched|redhawk [-shield] [-hz 2048] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shieldsim "repro"
+)
+
+func main() {
+	kern := flag.String("kernel", "stock", "kernel: stock, patched or redhawk")
+	shield := flag.Bool("shield", false, "run on a fully shielded CPU (RTC affined)")
+	hz := flag.Int("hz", 2048, "RTC periodic rate")
+	samples := flag.Int("samples", 200_000, "interrupt responses to measure")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var cfg shieldsim.Config
+	switch *kern {
+	case "stock":
+		cfg = shieldsim.StandardLinux24(2, 0.933, false)
+	case "patched":
+		cfg = shieldsim.PatchedLinux24(2, 0.933)
+	case "redhawk":
+		cfg = shieldsim.RedHawk14(2, 0.933)
+	default:
+		fmt.Fprintf(os.Stderr, "realfeel: unknown kernel %q\n", *kern)
+		os.Exit(2)
+	}
+	if *shield && !cfg.ShieldSupport {
+		fmt.Fprintln(os.Stderr, "realfeel: this kernel has no /proc/shield support")
+		os.Exit(2)
+	}
+
+	rf := shieldsim.DefaultRealfeel(cfg)
+	rf.Hz = *hz
+	rf.Samples = *samples
+	rf.Shield = *shield
+	rf.Seed = *seed
+
+	r := shieldsim.RunRealfeel(rf)
+	fmt.Println(r.Name)
+	fmt.Printf("%d measured rtc interrupts\n", r.Samples)
+	fmt.Printf("min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean)
+
+	// realfeel-style cumulative rows.
+	var rows []shieldsim.Duration
+	for _, us := range []int{100, 200, 300, 400, 500, 600, 800} {
+		rows = append(rows, shieldsim.Duration(us)*shieldsim.Microsecond)
+	}
+	for _, ms := range []int{1, 2, 5, 10, 20, 50, 100} {
+		rows = append(rows, shieldsim.Duration(ms)*shieldsim.Millisecond)
+	}
+	fmt.Print(r.Hist.Legend(rows))
+}

@@ -1,0 +1,43 @@
+// Command reprocheck runs a conformance pass over the paper's
+// quantitative claims: scaled-down versions of every experiment, with the
+// paper-shape assertions (orderings, bounds, crossovers) evaluated and
+// reported PASS/FAIL. Exit status is non-zero if any claim fails.
+//
+// Usage:
+//
+//	reprocheck [-scale 1.0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "sample-count scale factor")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	start := time.Now()
+	results := core.RunChecks(*scale, *seed)
+	failed := 0
+	fmt.Println("reproduction conformance checks (Brosky & Rotolo, IPPS 2003):")
+	fmt.Println()
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("[%s] %-13s %s\n", status, r.ID, r.Claim)
+		fmt.Printf("       %-13s %s\n", "", r.Detail)
+	}
+	fmt.Printf("\n%d/%d claims hold (%.1fs)\n", len(results)-failed, len(results), time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command rtsim regenerates the paper's figures on the simulated systems.
+//
+// Usage:
+//
+//	rtsim -list
+//	rtsim -exp fig5 [-scale 1.0] [-seed 1]
+//	rtsim -exp all
+//
+// -scale multiplies the default sample counts; the paper's full-size runs
+// (60,000,000 samples, ~8 hours of virtual time) correspond to roughly
+// -scale 150 on fig5/fig6/fig7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	scale := flag.Float64("scale", 1.0, "sample-count scale factor (1.0 = default, paper-size ≈ 150)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit the figure's plotted data series as CSV (fig1..fig7)")
+	sweep := flag.String("sweep", "", "run a sensitivity sweep by id, or 'list'")
+	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
+	flag.Parse()
+
+	if *outdir != "" {
+		if err := writeAll(*outdir, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sweep != "" {
+		if *sweep == "list" {
+			for _, s := range core.Sweeps() {
+				fmt.Printf("  %-20s %s\n", s.ID, s.Title)
+			}
+			return
+		}
+		s, ok := core.SweepByID(*sweep)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rtsim: unknown sweep %q; try -sweep list\n", *sweep)
+			os.Exit(2)
+		}
+		fmt.Print(core.RunSweep(s, *scale, *seed))
+		return
+	}
+
+	if *csv {
+		if *exp == "" || *exp == "all" {
+			fmt.Fprintln(os.Stderr, "rtsim: -csv needs a single figure id (fig1..fig7)")
+			os.Exit(2)
+		}
+		out, err := core.FigureCSV(*exp, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsim:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range core.Experiments() {
+			fmt.Printf("  %-24s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-24s paper: %s\n", "", e.Paper)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	run := func(e core.Experiment) {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n", e.Paper)
+		start := time.Now()
+		out := e.Run(*scale, *seed)
+		fmt.Println(out)
+		fmt.Printf("    (simulated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range core.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := core.ExperimentByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rtsim: unknown experiment %q; try -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}
+
+// writeAll regenerates every experiment report, figure CSV series and
+// sensitivity sweep into dir, one file each — the full evaluation as an
+// artifact directory.
+func writeAll(dir string, scale float64, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	for _, e := range core.Experiments() {
+		fmt.Printf("running %s...\n", e.ID)
+		header := fmt.Sprintf("%s\npaper: %s\n\n", e.Title, e.Paper)
+		if err := write(e.ID+".txt", header+e.Run(scale, seed)); err != nil {
+			return err
+		}
+		if csvData, err := core.FigureCSV(e.ID, scale, seed); err == nil {
+			if err := write(e.ID+".csv", csvData); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range core.Sweeps() {
+		fmt.Printf("running sweep %s...\n", s.ID)
+		if err := write("sweep-"+s.ID+".txt", core.RunSweep(s, scale, seed)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s\n", dir)
+	return nil
+}

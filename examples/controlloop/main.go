@@ -1,0 +1,129 @@
+// Controlloop: the class of application the paper's introduction is
+// about — a hard real-time control loop (think servo control or hardware-
+// in-the-loop simulation) that must respond to a periodic device
+// interrupt, compute, and actuate before a deadline, on a machine that is
+// simultaneously doing networking, disk I/O and graphics.
+//
+// The program runs a 1 kHz control loop with a 250µs deadline on a busy
+// RedHawk box three ways: no shielding, shielding without the device
+// interrupt affined, and the full recipe. It reports deadline misses.
+//
+// Run with: go run ./examples/controlloop [-cycles 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	shieldsim "repro"
+)
+
+const deadline = 250 * shieldsim.Microsecond
+
+type result struct {
+	cycles    int
+	misses    int
+	worst     shieldsim.Duration
+	worstComp shieldsim.Duration
+}
+
+// runLoop executes the control loop on a loaded system.
+func runLoop(cycles int, shield bool, affineIRQ bool) result {
+	cfg := shieldsim.RedHawk14(2, 1.4)
+	sys := shieldsim.NewSystem(cfg, 99, shieldsim.SystemOptions{
+		RCIMPeriod: shieldsim.Millisecond, // 1 kHz control interrupt
+		WithGPU:    true,
+		Loads: []string{
+			shieldsim.LoadStressKernel,
+			shieldsim.LoadX11Perf,
+			shieldsim.LoadTTCPNet,
+		},
+	})
+	k := sys.K
+
+	affinity := shieldsim.CPUMask(0)
+	if shield || affineIRQ {
+		affinity = shieldsim.MaskOf(1)
+	}
+
+	var res result
+	var cycleStart shieldsim.Time
+	phase := 0
+	behavior := shieldsim.BehaviorFunc(func(t *shieldsim.Task) shieldsim.Action {
+		if res.cycles >= cycles {
+			k.Eng.Stop()
+			return shieldsim.Exit()
+		}
+		phase++
+		if phase%2 == 1 {
+			// Wait for the next control interrupt.
+			act := shieldsim.Syscall(sys.RCIM.WaitCall())
+			act.OnComplete = func(now shieldsim.Time) {
+				cycleStart = now
+			}
+			return act
+		}
+		// Control computation: 80µs of work, then "actuate" (the
+		// deadline check happens when the computation finishes).
+		act := shieldsim.Compute(80 * shieldsim.Microsecond)
+		act.OnComplete = func(now shieldsim.Time) {
+			res.cycles++
+			elapsed := sys.RCIM.CountElapsed(now)
+			if elapsed > res.worst {
+				res.worst = elapsed
+			}
+			if comp := now.Sub(cycleStart); comp > res.worstComp {
+				res.worstComp = comp
+			}
+			if elapsed > deadline {
+				res.misses++
+			}
+		}
+		return act
+	})
+	ct := k.NewTask("control-loop", shieldsim.SchedFIFO, 95, affinity, behavior)
+	ct.MemLocked = true
+
+	sys.Start()
+	if shield {
+		if err := sys.ShieldCPU(1); err != nil {
+			panic(err)
+		}
+	}
+	if affineIRQ {
+		if err := k.SetIRQAffinity(sys.RCIM.IRQ(), shieldsim.MaskOf(1)); err != nil {
+			panic(err)
+		}
+	}
+	k.Eng.Run(shieldsim.Time(cycles+cycles/2) * shieldsim.Time(shieldsim.Millisecond))
+	return res
+}
+
+func main() {
+	cycles := flag.Int("cycles", 30000, "control cycles to run (1 kHz)")
+	flag.Parse()
+
+	fmt.Printf("1 kHz control loop, %v deadline from interrupt to actuation,\n", deadline)
+	fmt.Println("on a dual-CPU RedHawk box running stress-kernel + x11perf + ttcp")
+	fmt.Println()
+	fmt.Printf("%-44s %10s %12s %12s\n", "configuration", "misses", "worst irq→act", "worst compute")
+
+	configs := []struct {
+		name           string
+		shield, affine bool
+	}{
+		{"pinned to CPU 1, no shielding", false, true},
+		{"shielded CPU 1, IRQ not affined", true, false},
+		{"shielded CPU 1 + IRQ affined (paper recipe)", true, true},
+	}
+	for _, c := range configs {
+		r := runLoop(*cycles, c.shield, c.affine)
+		fmt.Printf("%-44s %6d/%d %12v %12v\n", c.name, r.misses, r.cycles, r.worst, r.worstComp)
+	}
+	fmt.Println()
+	fmt.Println("Pinning alone leaves the loop exposed to interrupts, bottom")
+	fmt.Println("halves and kernel residency: it misses deadlines. Shielding")
+	fmt.Println("removes those jitter sources; affining the device interrupt")
+	fmt.Println("to the shielded CPU tightens the worst case further (no")
+	fmt.Println("cross-CPU wakeup).")
+}

@@ -1,0 +1,46 @@
+// Determinism: reproduce the paper's §5.1 experiment at reduced scale —
+// time a CPU-bound loop under scp + disknoise load on four system
+// configurations and print Figures 1-4 style legends.
+//
+// Run with: go run ./examples/determinism [-runs 18] [-loop 0.4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	shieldsim "repro"
+)
+
+func main() {
+	runs := flag.Int("runs", 18, "timed loop executions per configuration")
+	loop := flag.Float64("loop", 0.4, "loop length in seconds of pure compute")
+	flag.Parse()
+
+	type setup struct {
+		name   string
+		cfg    shieldsim.Config
+		shield bool
+	}
+	setups := []setup{
+		{"Figure 1: kernel.org 2.4.18, hyperthreading on", shieldsim.StandardLinux24(2, 1.4, true), false},
+		{"Figure 2: RedHawk 1.4, shielded CPU", shieldsim.RedHawk14(2, 1.4), true},
+		{"Figure 3: RedHawk 1.4, unshielded", shieldsim.RedHawk14(2, 1.4), false},
+		{"Figure 4: kernel.org 2.4.18, no hyperthreading", shieldsim.StandardLinux24(2, 1.4, false), false},
+	}
+
+	fmt.Printf("CPU-bound loop (%.2fs of work), SCHED_FIFO, mlocked;\n", *loop)
+	fmt.Println("load: scp flood over Ethernet + disknoise script")
+	fmt.Println()
+	for _, s := range setups {
+		d := shieldsim.DefaultDeterminism(s.cfg)
+		d.Runs = *runs
+		d.LoopWork = shieldsim.Duration(*loop * 1e9)
+		d.Shield = s.shield
+		d.Seed = 7
+		r := shieldsim.RunDeterminism(d)
+		fmt.Println(s.name)
+		fmt.Print(r.Legend())
+		fmt.Println()
+	}
+}

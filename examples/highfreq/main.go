@@ -1,0 +1,86 @@
+// Highfreq: one of the paper's §2 example use cases — "tasks that must
+// be run at very high frequencies". A 10 kHz sampler driven by the RCIM
+// timer must wake, grab a sample (1 µs of work) and be back asleep before
+// the next 100 µs cycle — leaving headroom for the actual signal
+// processing. The program reports achieved cycles, overruns (cycles where
+// the previous sample was still being handled when the next interrupt
+// fired) and worst wake latency, shielded vs unshielded.
+//
+// Run with: go run ./examples/highfreq [-seconds 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	shieldsim "repro"
+)
+
+func run(seconds int, shield bool) (cycles, overruns uint64, worst shieldsim.Duration) {
+	cfg := shieldsim.RedHawk14(2, 1.4)
+	sys := shieldsim.NewSystem(cfg, 17, shieldsim.SystemOptions{
+		RCIMPeriod: 100 * shieldsim.Microsecond, // 10 kHz
+		Loads:      []string{shieldsim.LoadStressKernel},
+	})
+	k := sys.K
+
+	affinity := shieldsim.CPUMask(0)
+	if shield {
+		affinity = shieldsim.MaskOf(1)
+	}
+	var lastFires uint64
+	phase := 0
+	behavior := shieldsim.BehaviorFunc(func(t *shieldsim.Task) shieldsim.Action {
+		phase++
+		if phase%2 == 1 {
+			act := shieldsim.Syscall(sys.RCIM.WaitCall())
+			act.OnComplete = func(now shieldsim.Time) {
+				lat := sys.RCIM.CountElapsed(now)
+				if lat > worst {
+					worst = lat
+				}
+				fires := sys.RCIM.Fires()
+				if lastFires != 0 && fires > lastFires+1 {
+					overruns += fires - lastFires - 1
+				}
+				lastFires = fires
+				cycles++
+			}
+			return act
+		}
+		return shieldsim.Compute(1 * shieldsim.Microsecond) // grab the sample
+	})
+	st := k.NewTask("sampler", shieldsim.SchedFIFO, 95, affinity, behavior)
+	st.MemLocked = true
+
+	sys.Start()
+	if shield {
+		if err := sys.ShieldCPU(1); err != nil {
+			panic(err)
+		}
+		if err := k.SetIRQAffinity(sys.RCIM.IRQ(), shieldsim.MaskOf(1)); err != nil {
+			panic(err)
+		}
+	}
+	k.Eng.Run(shieldsim.Time(seconds) * shieldsim.Time(shieldsim.Second))
+	return
+}
+
+func main() {
+	seconds := flag.Int("seconds", 5, "virtual seconds to sample at 10 kHz")
+	flag.Parse()
+
+	fmt.Printf("10 kHz sampler on a loaded dual-CPU RedHawk machine, %d virtual seconds\n\n", *seconds)
+	for _, shield := range []bool{false, true} {
+		cycles, overruns, worst := run(*seconds, shield)
+		mode := "unshielded (floats)"
+		if shield {
+			mode = "shielded CPU 1"
+		}
+		fmt.Printf("%-20s cycles %d   missed cycles %d   worst wake latency %v\n",
+			mode, cycles, overruns, worst)
+	}
+	fmt.Println("\nA missed cycle means the sampler was still catching up when the")
+	fmt.Println("next 100µs interrupt fired — data loss for a real sampler. On the")
+	fmt.Println("shielded CPU the wake latency stays far below the period.")
+}

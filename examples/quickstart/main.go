@@ -1,0 +1,45 @@
+// Quickstart: build a dual-CPU RedHawk machine under heavy load, measure
+// interrupt response to a periodic device with and without CPU shielding,
+// and print the two latency profiles side by side.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	shieldsim "repro"
+)
+
+func measure(shielded bool) shieldsim.ResponseResult {
+	cfg := shieldsim.RedHawk14(2, 1.4) // dual 1.4 GHz Xeon, RedHawk 1.4
+	rc := shieldsim.DefaultRCIM(cfg)
+	rc.Samples = 20000
+	rc.Shield = shielded
+	rc.Seed = 42
+	return shieldsim.RunRCIM(rc)
+}
+
+func main() {
+	fmt.Println("shieldsim quickstart: RCIM interrupt response under stress-kernel load")
+	fmt.Println()
+
+	for _, shielded := range []bool{false, true} {
+		r := measure(shielded)
+		mode := "unshielded"
+		if shielded {
+			mode = "shielded CPU 1 (procs+irqs+local timer via /proc/shield)"
+		}
+		fmt.Printf("%s:\n", mode)
+		fmt.Printf("  samples %d   min %v   avg %v   max %v\n",
+			r.Samples, r.Min, r.Mean, r.Max)
+		fmt.Printf("  < 30µs: %.3f%%   < 100µs: %.3f%%   < 1ms: %.3f%%\n\n",
+			100*r.Hist.FractionBelow(30*shieldsim.Microsecond),
+			100*r.Hist.FractionBelow(100*shieldsim.Microsecond),
+			100*r.Hist.FractionBelow(shieldsim.Millisecond))
+	}
+
+	fmt.Println("The shielded run reproduces the paper's §6.3 result: a hard")
+	fmt.Println("sub-30µs worst case on a commodity-kernel API, under heavy")
+	fmt.Println("networking, disk and graphics load.")
+}

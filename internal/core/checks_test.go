@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+func TestRunChecksAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	results := RunChecks(0.3, 1)
+	if len(results) < 9 {
+		t.Fatalf("only %d checks", len(results))
+	}
+	for _, r := range results {
+		if r.ID == "" || r.Claim == "" || r.Detail == "" {
+			t.Errorf("incomplete check %+v", r)
+		}
+		if !r.Pass {
+			t.Errorf("claim %s failed: %s", r.ID, r.Detail)
+		}
+	}
+}

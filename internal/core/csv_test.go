@@ -1,0 +1,53 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigureCSVAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} {
+		out, err := FigureCSV(id, 0.05, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) < 2 {
+			t.Fatalf("%s: no data rows:\n%s", id, out)
+		}
+		if !strings.HasPrefix(lines[0], "bin_upper_") {
+			t.Fatalf("%s: bad header %q", id, lines[0])
+		}
+		var total uint64
+		for _, line := range lines[1:] {
+			parts := strings.Split(line, ",")
+			if len(parts) != 2 {
+				t.Fatalf("%s: bad row %q", id, line)
+			}
+			if _, err := strconv.ParseFloat(parts[0], 64); err != nil {
+				t.Fatalf("%s: bad bin %q", id, parts[0])
+			}
+			n, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad count %q", id, parts[1])
+			}
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: all-zero series", id)
+		}
+	}
+}
+
+func TestFigureCSVUnknownID(t *testing.T) {
+	if _, err := FigureCSV("fig99", 1, 1); err == nil {
+		t.Fatal("unknown figure id should error")
+	}
+	if _, err := FigureCSV("ablate-bkl-ioctl", 1, 1); err == nil {
+		t.Fatal("non-figure experiments have no CSV series")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RCIMConfig parameterises the §6.3 interrupt response test: the RCIM
+// card's periodic timer interrupts a shielded CPU; the test blocks in an
+// ioctl (no BKL, multithreaded driver) and timestamps its wakeup by
+// reading the card's memory-mapped count register. The load is the
+// stress-kernel suite plus x11perf on the console and ttcp over a
+// 10BaseT Ethernet.
+type RCIMConfig struct {
+	Kernel kernel.Config
+	// Period is the RCIM periodic cycle.
+	Period sim.Duration
+	// Samples to measure (paper: 60,000,000 over ~8 hours).
+	Samples int
+	// Shield runs the measurement on a fully shielded CPU (the paper's
+	// configuration). Disable for ablations.
+	Shield    bool
+	ShieldCPU int
+	Seed      uint64
+	// ForceBKL makes the RCIM driver claim it needs the BKL, the §6.3
+	// ablation showing why the per-driver flag matters.
+	ForceBKL bool
+}
+
+// DefaultRCIM fills the paper's parameters.
+func DefaultRCIM(cfg kernel.Config) RCIMConfig {
+	return RCIMConfig{
+		Kernel:    cfg,
+		Period:    sim.Millisecond,
+		Samples:   400_000,
+		Shield:    true,
+		ShieldCPU: cfg.NumCPUs() - 1,
+		Seed:      1,
+	}
+}
+
+// RunRCIM executes the RCIM interrupt response test. Latency is the
+// count-register reading at the moment the woken test task is back in
+// user space — time since the interrupt fired, measured by the device
+// itself, exactly as the paper does.
+func RunRCIM(cfg RCIMConfig) ResponseResult {
+	if cfg.Period <= 0 {
+		cfg.Period = sim.Millisecond
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 400_000
+	}
+	s := NewSystem(cfg.Kernel, cfg.Seed, SystemOptions{
+		RCIMPeriod: cfg.Period,
+		WithGPU:    true,
+		Loads:      []string{LoadStressKernel, LoadX11Perf, LoadTTCPNet},
+	})
+	k := s.K
+
+	affinity := kernel.CPUMask(0)
+	if cfg.Shield {
+		affinity = kernel.MaskOf(cfg.ShieldCPU)
+	}
+
+	// 1 µs bins out to 10 ms: Figure 7 is a thin-bar histogram in
+	// microseconds.
+	hist := metrics.NewHistogram(sim.Microsecond, 10000)
+	samples := 0
+	var minL, maxL sim.Duration = 1 << 62, 0
+	var sumL float64
+
+	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		if samples >= cfg.Samples {
+			k.Eng.Stop()
+			return kernel.Exit()
+		}
+		call := s.RCIM.WaitCall()
+		if cfg.ForceBKL {
+			call.DriverNoBKL = false
+		}
+		act := kernel.Syscall(call)
+		act.OnComplete = func(now sim.Time) {
+			// Immediately read the mapped count register.
+			lat := s.RCIM.CountElapsed(now)
+			hist.Add(lat)
+			samples++
+			if lat < minL {
+				minL = lat
+			}
+			if lat > maxL {
+				maxL = lat
+			}
+			sumL += float64(lat)
+		}
+		return act
+	})
+	mt := k.NewTask("rcim-response", kernel.SchedFIFO, 90, affinity, behavior)
+	mt.MemLocked = true
+
+	s.Start()
+	if cfg.Shield {
+		if err := s.ShieldCPU(cfg.ShieldCPU); err != nil {
+			panic(err)
+		}
+		if err := k.SetIRQAffinity(s.RCIM.IRQ(), kernel.MaskOf(cfg.ShieldCPU)); err != nil {
+			panic(err)
+		}
+	}
+	horizon := sim.Time(cfg.Samples+cfg.Samples/4+1000) * sim.Time(cfg.Period)
+	k.Eng.Run(horizon)
+
+	if samples == 0 {
+		minL = 0
+	}
+	name := fmt.Sprintf("%s RCIM response", cfg.Kernel.Name)
+	if cfg.Shield {
+		name += " (shielded CPU)"
+	}
+	if cfg.ForceBKL {
+		name += " [BKL forced]"
+	}
+	return ResponseResult{
+		Name:    name,
+		Hist:    hist,
+		Samples: uint64(samples),
+		Min:     minL,
+		Max:     maxL,
+		Mean:    sim.Duration(sumL / float64(maxInt(samples, 1))),
+	}
+}
+
+// PaperThresholdsFig7 are the cumulative rows under Figure 7.
+func PaperThresholdsFig7() []sim.Duration {
+	return []sim.Duration{10 * sim.Microsecond, 20 * sim.Microsecond, 30 * sim.Microsecond, 50 * sim.Microsecond, 100 * sim.Microsecond}
+}

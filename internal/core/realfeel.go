@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// RealfeelConfig parameterises the §6.1 interrupt response test: the
+// realfeel benchmark reads /dev/rtc at 2048 Hz while the stress-kernel
+// suite loads the machine.
+type RealfeelConfig struct {
+	Kernel kernel.Config
+	// Hz is the RTC periodic rate.
+	Hz int
+	// Samples is how many interrupt responses to measure. The paper ran
+	// 60,000,000 (~8 hours); the default here is scaled down and the
+	// cmd/rtsim flag can restore the full run.
+	Samples int
+	// Shield runs the measurement on a fully shielded CPU with the RTC
+	// interrupt affined to it (Figure 6).
+	Shield    bool
+	ShieldCPU int
+	Seed      uint64
+	// ExtraLoads adds workloads on top of the stress-kernel suite
+	// (e.g. LoadScpFlood for heavy wire-interrupt traffic in the §6.2
+	// ablation).
+	ExtraLoads []string
+	// FixedAPI uses the multithreaded RTC wait path (ReadCallFixed)
+	// instead of read(2) through the generic fs layers — the paper's
+	// conclusion says fixing those "remaining multithreading issues" is
+	// what it takes for other standard APIs to reach RCIM-class
+	// response.
+	FixedAPI bool
+}
+
+// DefaultRealfeel fills the paper's parameters.
+func DefaultRealfeel(cfg kernel.Config) RealfeelConfig {
+	return RealfeelConfig{
+		Kernel:    cfg,
+		Hz:        2048,
+		Samples:   400_000,
+		ShieldCPU: cfg.NumCPUs() - 1,
+		Seed:      1,
+	}
+}
+
+// ResponseResult is an interrupt-response figure: the latency histogram
+// and its extremes.
+type ResponseResult struct {
+	Name    string
+	Hist    *metrics.Histogram
+	Samples uint64
+	Min     sim.Duration
+	Max     sim.Duration
+	Mean    sim.Duration
+	// WorstFSHold is the longest observed hold of any contended fs
+	// spinlock during the run — the quantity the §6.2 fix bounds
+	// (bottom halves preempting lock holders stretch it to
+	// milliseconds on unfixed kernels).
+	WorstFSHold sim.Duration
+}
+
+// Legend renders the cumulative table the paper prints under Figures 5–6.
+func (r ResponseResult) Legend(thresholds []sim.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d measured interrupts\n", r.Samples)
+	fmt.Fprintf(&b, "min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean)
+	b.WriteString(r.Hist.Legend(thresholds))
+	return b.String()
+}
+
+// Chart renders the latency histogram with log-count bars, the shape of
+// the paper's Figures 5–7, plus the cumulative legend.
+func (r ResponseResult) Chart(thresholds []sim.Duration, unit sim.Duration, unitName string) string {
+	var b strings.Builder
+	b.WriteString(report.Chart{
+		Title:    r.Name,
+		Width:    40,
+		LogScale: true,
+		Unit:     unit,
+		UnitName: unitName,
+		MaxRows:  25,
+	}.Render(r.Hist))
+	b.WriteString(r.Legend(thresholds))
+	return b.String()
+}
+
+// PaperThresholdsFig5 are the cumulative rows under Figure 5.
+func PaperThresholdsFig5() []sim.Duration {
+	out := []sim.Duration{100 * sim.Microsecond, 200 * sim.Microsecond}
+	for _, ms := range []int{1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		out = append(out, sim.Duration(ms)*sim.Millisecond)
+	}
+	return out
+}
+
+// PaperThresholdsFig6 are the cumulative rows under Figure 6.
+func PaperThresholdsFig6() []sim.Duration {
+	var out []sim.Duration
+	for i := 1; i <= 6; i++ {
+		out = append(out, sim.Duration(i)*100*sim.Microsecond)
+	}
+	return out
+}
+
+// RunRealfeel executes the realfeel test and returns the latency
+// histogram. Latency is measured the way realfeel measures it: the gap
+// between consecutive returns from read(/dev/rtc) minus the expected
+// period; anything beyond the period is response latency.
+func RunRealfeel(cfg RealfeelConfig) ResponseResult {
+	return RunRealfeelModes(cfg, cfg.Shield, cfg.Shield, cfg.Shield, cfg.Shield)
+}
+
+// RunRealfeelModes is RunRealfeel with each shielding dimension
+// controlled independently (the §3 shield-mode ablation): shield the CPU
+// from processes, from interrupts, from the local timer, and whether the
+// RTC interrupt is affined to the measurement CPU.
+func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer, affineRTC bool) ResponseResult {
+	if cfg.Hz <= 0 {
+		cfg.Hz = 2048
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 400_000
+	}
+	pinned := shieldProcs || shieldIRQs || shieldLTimer || affineRTC
+	s := NewSystem(cfg.Kernel, cfg.Seed, SystemOptions{
+		RTCHz:            cfg.Hz,
+		Loads:            append([]string{LoadStressKernel}, cfg.ExtraLoads...),
+		BroadcastTraffic: true,
+	})
+	k := s.K
+
+	affinity := kernel.CPUMask(0)
+	if pinned {
+		affinity = kernel.MaskOf(cfg.ShieldCPU)
+	}
+
+	// 0.1 ms bins out to 100 ms, the Figure 5 axis.
+	hist := metrics.NewHistogram(100*sim.Microsecond, 1000)
+	period := s.RTC.Period()
+	var prev sim.Time = -1
+	samples := 0
+	var minL, maxL sim.Duration = 1 << 62, 0
+	var sumL float64
+
+	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		if samples >= cfg.Samples {
+			k.Eng.Stop()
+			return kernel.Exit()
+		}
+		call := s.RTC.ReadCall()
+		if cfg.FixedAPI {
+			call = s.RTC.ReadCallFixed()
+		}
+		act := kernel.Syscall(call)
+		act.OnComplete = func(now sim.Time) {
+			if prev >= 0 {
+				lat := now.Sub(prev) - period
+				if lat < 0 {
+					lat = 0
+				}
+				hist.Add(lat)
+				samples++
+				if lat < minL {
+					minL = lat
+				}
+				if lat > maxL {
+					maxL = lat
+				}
+				sumL += float64(lat)
+			}
+			prev = now
+		}
+		return act
+	})
+	mt := k.NewTask("realfeel", kernel.SchedFIFO, 90, affinity, behavior)
+	mt.MemLocked = true
+
+	s.Start()
+	mask := kernel.MaskOf(cfg.ShieldCPU)
+	if shieldProcs {
+		mustDo(k.SetShieldProcs(mask))
+	}
+	if shieldIRQs {
+		mustDo(k.SetShieldIRQs(mask))
+	}
+	if shieldLTimer {
+		mustDo(k.SetShieldLTimer(mask))
+	}
+	if affineRTC {
+		// The RTC interrupt must follow the measurement task onto the
+		// shielded CPU (the paper affines both).
+		mustDo(k.SetIRQAffinity(s.RTC.IRQ(), mask))
+	}
+	// Horizon: samples at Hz, generously padded for tail latencies.
+	horizon := sim.Time(cfg.Samples+cfg.Samples/4+2048) * sim.Time(period)
+	k.Eng.Run(horizon)
+
+	if samples == 0 {
+		minL = 0
+	}
+	name := fmt.Sprintf("%s realfeel @%dHz", cfg.Kernel.Name, cfg.Hz)
+	if shieldProcs && shieldIRQs && shieldLTimer {
+		name += " (shielded CPU)"
+	} else if pinned {
+		name += " (partial shield)"
+	}
+	var worstHold sim.Duration
+	for _, lockName := range []string{"dcache", "inode", "pagecache"} {
+		if h := k.NamedLock(lockName).MaxHold; h > worstHold {
+			worstHold = h
+		}
+	}
+	return ResponseResult{
+		Name:        name,
+		Hist:        hist,
+		Samples:     uint64(samples),
+		Min:         minL,
+		Max:         maxL,
+		Mean:        sim.Duration(sumL / float64(maxInt(samples, 1))),
+		WorstFSHold: worstHold,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mustDo(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

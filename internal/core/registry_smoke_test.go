@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes each registry entry at tiny scale and
+// sanity-checks its rendered output, so a broken Run closure can't hide
+// until someone invokes rtsim.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	markers := map[string][]string{
+		"fig1":                    {"ideal:", "jitter:"},
+		"fig2":                    {"ideal:", "jitter:", "shielded"},
+		"fig3":                    {"ideal:", "jitter:"},
+		"fig4":                    {"ideal:", "jitter:"},
+		"fig5":                    {"max latency", "samples <"},
+		"fig6":                    {"max latency", "shielded"},
+		"fig7":                    {"max latency", "RCIM"},
+		"ablate-spinlock-bh":      {"fix ON", "fix OFF", "worst fs-lock hold"},
+		"future-rtc-api":          {"multithreaded driver", "max"},
+		"ablate-bkl-ioctl":        {"BKL", "max latency"},
+		"ablate-shield-modes":     {"no shielding", "procs+irqs+ltmr"},
+		"ablate-patches-noshield": {"max latency"},
+		"ablate-posix-timers":     {"achieved", "Hz"},
+		"ablate-hyperthreading":   {"with HT", "without HT"},
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Run(0.05, 3)
+			if len(out) < 20 {
+				t.Fatalf("output suspiciously short:\n%s", out)
+			}
+			for _, m := range markers[e.ID] {
+				if !strings.Contains(out, m) {
+					t.Errorf("output missing %q:\n%s", m, out)
+				}
+			}
+			if _, ok := markers[e.ID]; !ok {
+				t.Errorf("experiment %s has no smoke markers — add them", e.ID)
+			}
+		})
+	}
+}

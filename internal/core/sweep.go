@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Sweep is a sensitivity analysis: vary one design parameter across a
+// range and report how a headline metric responds. DESIGN.md calls these
+// out as the ablation benches for the design choices; they also show how
+// robust the reproduction is to the calibration constants.
+type Sweep struct {
+	ID    string
+	Title string
+	// Points are the parameter values to evaluate.
+	Points []float64
+	// Run evaluates the metric at one parameter value.
+	Run func(value float64, scale float64, seed uint64) (metric float64, unit string)
+}
+
+// Sweeps returns the built-in sensitivity analyses.
+func Sweeps() []Sweep {
+	return []Sweep{
+		{
+			ID:     "crit-section-cap",
+			Title:  "Shielded worst-case response vs critical-section cap (low-latency work depth)",
+			Points: []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2}, // ms
+			Run: func(v, scale float64, seed uint64) (float64, string) {
+				cfg := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
+				cfg.Kernel.CritSectionCap = sim.Duration(v * 1e6)
+				cfg.Samples = scaleSamples(40_000, scale)
+				cfg.Shield = true
+				cfg.Seed = seed
+				r := RunRealfeel(cfg)
+				return r.Max.Millis(), "max_ms"
+			},
+		},
+		{
+			ID:     "ht-slowdown",
+			Title:  "Standard-kernel loop jitter vs hyperthread contention factor",
+			Points: []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5},
+			Run: func(v, scale float64, seed uint64) (float64, string) {
+				d := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
+				d.Kernel.Timing.HTSlowdown = v
+				d.Runs = scaleRuns(12, scale)
+				d.LoopWork = sim.DurationOf(0.3)
+				d.Seed = seed
+				return RunDeterminism(d).Report.JitterPercent(), "jitter_pct"
+			},
+		},
+		{
+			ID:     "bus-contention",
+			Title:  "Shielded loop jitter vs memory-bus contention ceiling",
+			Points: []float64{0, 0.02, 0.055, 0.1, 0.2},
+			Run: func(v, scale float64, seed uint64) (float64, string) {
+				d := DefaultDeterminism(kernel.RedHawk14(2, 1.4))
+				d.Kernel.Timing.BusContention = v
+				d.Runs = scaleRuns(12, scale)
+				d.LoopWork = sim.DurationOf(0.3)
+				d.Shield = true
+				d.Seed = seed
+				return RunDeterminism(d).Report.JitterPercent(), "jitter_pct"
+			},
+		},
+		{
+			ID:     "softirq-netcost",
+			Title:  "Unshielded loop jitter vs per-KB network bottom-half cost",
+			Points: []float64{5, 10, 15, 25, 40}, // µs/KB
+			Run: func(v, scale float64, seed uint64) (float64, string) {
+				d := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, false))
+				d.Kernel.Timing.SoftirqNetPerKB = sim.Duration(v * 1e3)
+				d.Runs = scaleRuns(12, scale)
+				d.LoopWork = sim.DurationOf(0.3)
+				d.Seed = seed
+				return RunDeterminism(d).Report.JitterPercent(), "jitter_pct"
+			},
+		},
+		{
+			ID:     "residency-cap",
+			Title:  "Stock worst-case response vs heaviest kernel residency",
+			Points: []float64{10, 30, 60, 90, 150}, // ms
+			Run: func(v, scale float64, seed uint64) (float64, string) {
+				cfg := DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
+				cfg.Samples = scaleSamples(40_000, scale)
+				cfg.Seed = seed
+				r := runRealfeelWithResidencyCap(cfg, sim.Duration(v*1e6))
+				return r.Max.Millis(), "max_ms"
+			},
+		},
+	}
+}
+
+// SweepByID finds one sweep.
+func SweepByID(id string) (Sweep, bool) {
+	for _, s := range Sweeps() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Sweep{}, false
+}
+
+// RunSweep evaluates the sweep and renders a table.
+func RunSweep(s Sweep, scale float64, seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	var unit string
+	for _, p := range s.Points {
+		m, u := s.Run(p, scale, seed)
+		unit = u
+		fmt.Fprintf(&b, "  %10.3f -> %10.3f %s\n", p, m, u)
+	}
+	_ = unit
+	return b.String()
+}
+
+// runRealfeelWithResidencyCap is RunRealfeel with the stress-kernel's
+// heaviest-residency knob overridden (used by the residency-cap sweep).
+func runRealfeelWithResidencyCap(cfg RealfeelConfig, cap sim.Duration) ResponseResult {
+	old := stressResidencyCap
+	stressResidencyCap = cap
+	defer func() { stressResidencyCap = old }()
+	return RunRealfeel(cfg)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepRegistry(t *testing.T) {
+	sweeps := Sweeps()
+	if len(sweeps) < 5 {
+		t.Fatalf("only %d sweeps", len(sweeps))
+	}
+	ids := map[string]bool{}
+	for _, s := range sweeps {
+		if s.ID == "" || s.Title == "" || len(s.Points) < 3 || s.Run == nil {
+			t.Errorf("incomplete sweep %q", s.ID)
+		}
+		if ids[s.ID] {
+			t.Errorf("duplicate sweep %q", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	if _, ok := SweepByID("crit-section-cap"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := SweepByID("nope"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestCritSectionCapSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// The §6 mechanism in one curve: the shielded worst case tracks the
+	// critical-section cap.
+	s, _ := SweepByID("crit-section-cap")
+	var prev float64 = -1
+	for _, p := range []float64{0.1, 0.4, 1.6} {
+		m, unit := s.Run(p, 0.3, 1)
+		if unit != "max_ms" {
+			t.Fatalf("unit = %q", unit)
+		}
+		if m <= prev {
+			t.Fatalf("max response did not grow with the cap: %v then %v", prev, m)
+		}
+		// The residual tail is roughly the cap itself.
+		if m < p*0.5 || m > p*3+0.2 {
+			t.Fatalf("cap %.1fms gave max %.3fms — not tracking", p, m)
+		}
+		prev = m
+	}
+}
+
+func TestHTSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	s, _ := SweepByID("ht-slowdown")
+	noHT, _ := s.Run(1.0, 0.3, 1)
+	heavy, _ := s.Run(0.5, 0.3, 1)
+	if heavy <= noHT+5 {
+		t.Fatalf("HT factor 0.5 jitter %.1f%% vs none %.1f%% — no sensitivity", heavy, noHT)
+	}
+}
+
+func TestResidencyCapSweepRestoresState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	s, _ := SweepByID("residency-cap")
+	small, _ := s.Run(10, 0.2, 1)
+	if stressResidencyCap != 0 {
+		t.Fatal("sweep leaked the residency override")
+	}
+	big, _ := s.Run(150, 0.2, 1)
+	if big <= small {
+		t.Fatalf("residency cap sweep flat: %.2f vs %.2f", small, big)
+	}
+}
+
+func TestRunSweepRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	s, _ := SweepByID("bus-contention")
+	s.Points = []float64{0, 0.1} // trim for test speed
+	out := RunSweep(s, 0.2, 1)
+	if !strings.Contains(out, "jitter_pct") || strings.Count(out, "->") != 2 {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+}

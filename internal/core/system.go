@@ -1,0 +1,134 @@
+// Package core builds the paper's test systems and runs its experiments:
+// the execution determinism test (§5.1, Figures 1–4), the realfeel
+// interrupt response test (§6.1, Figures 5–6) and the RCIM interrupt
+// response test (§6.3, Figure 7), plus the ablations DESIGN.md lists.
+package core
+
+import (
+	"repro/internal/dev"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// System is one assembled machine: a kernel plus the devices the
+// experiments and workloads need.
+type System struct {
+	K    *kernel.Kernel
+	NIC  *dev.NIC
+	Disk *dev.Disk
+	GPU  *dev.GPU
+	RTC  *dev.RTC
+	RCIM *dev.RCIM
+
+	workloads []workload.Workload
+}
+
+// SystemOptions selects the devices and background load.
+type SystemOptions struct {
+	// RTCHz creates the RTC at this rate when > 0.
+	RTCHz int
+	// RCIMPeriod creates the RCIM timer when > 0.
+	RCIMPeriod sim.Duration
+	// WithGPU adds the graphics controller.
+	WithGPU bool
+	// Loads are installed before the kernel starts.
+	Loads []string
+	// BroadcastTraffic delivers the light background broadcast frames
+	// the paper notes the system kept receiving during §6.1 runs.
+	BroadcastTraffic bool
+}
+
+// Load names accepted by SystemOptions.Loads.
+const (
+	LoadScpFlood     = "scp-flood"
+	LoadDiskNoise    = "disknoise"
+	LoadStressKernel = "stress-kernel"
+	LoadX11Perf      = "x11perf"
+	LoadTTCPNet      = "ttcp-net"
+	// LoadScpBurst is the scp flood with heavy interrupt mitigation:
+	// one receive interrupt delivers a whole rx ring of frames, so each
+	// bottom-half run is large — the §6.2 pre-fix pathology trigger.
+	LoadScpBurst = "scp-burst"
+)
+
+// stressResidencyCap, when non-zero, overrides the stress-kernel's
+// heaviest-residency knob; the residency-cap sensitivity sweep sets it.
+var stressResidencyCap sim.Duration
+
+// NewSystem assembles a machine. The kernel is not started; callers add
+// their measurement tasks first, then call Start.
+func NewSystem(cfg kernel.Config, seed uint64, opts SystemOptions) *System {
+	k := kernel.New(cfg, seed)
+	s := &System{K: k}
+	s.NIC = dev.NewNIC(k, "eth0")
+	s.Disk = dev.NewDisk(k, "sda")
+	if opts.WithGPU {
+		s.GPU = dev.NewGPU(k, "nv0")
+	}
+	if opts.RTCHz > 0 {
+		s.RTC = dev.NewRTC(k, opts.RTCHz)
+	}
+	if opts.RCIMPeriod > 0 {
+		s.RCIM = dev.NewRCIM(k, opts.RCIMPeriod)
+	}
+	for _, name := range opts.Loads {
+		switch name {
+		case LoadScpFlood:
+			s.workloads = append(s.workloads, workload.NewScpFlood(s.NIC, s.Disk))
+		case LoadScpBurst:
+			scp := workload.NewScpFlood(s.NIC, s.Disk)
+			scp.BatchBytes = 64 << 10
+			s.workloads = append(s.workloads, scp)
+		case LoadDiskNoise:
+			s.workloads = append(s.workloads, workload.NewDiskNoise(s.Disk))
+		case LoadStressKernel:
+			sk := workload.NewStressKernel(s.Disk)
+			if stressResidencyCap > 0 {
+				sk.ResidencyCap = stressResidencyCap
+			}
+			s.workloads = append(s.workloads, sk)
+		case LoadX11Perf:
+			if s.GPU == nil {
+				s.GPU = dev.NewGPU(k, "nv0")
+			}
+			s.workloads = append(s.workloads, workload.NewX11Perf(s.GPU))
+		case LoadTTCPNet:
+			s.workloads = append(s.workloads, workload.NewTTCPNet(s.NIC))
+		default:
+			panic("core: unknown load " + name)
+		}
+	}
+	if opts.BroadcastTraffic {
+		rng := k.Eng.RNG().Fork()
+		var drip func()
+		drip = func() {
+			s.NIC.Receive(200 + rng.Intn(400))
+			k.Eng.After(rng.Uniform(20*sim.Millisecond, 120*sim.Millisecond), drip)
+		}
+		k.Eng.After(rng.Uniform(0, 50*sim.Millisecond), drip)
+	}
+	return s
+}
+
+// Start installs the workloads, starts the devices and the kernel.
+func (s *System) Start() {
+	for _, w := range s.workloads {
+		w.Start(s.K)
+	}
+	if s.RTC != nil {
+		s.RTC.Start()
+	}
+	if s.RCIM != nil {
+		s.RCIM.Start()
+	}
+	s.K.Start()
+}
+
+// ShieldCPU applies the paper's full shielding recipe to one CPU:
+// processes, interrupts and local timer (§3), via the /proc interface so
+// the same code path a system administrator uses is exercised.
+func (s *System) ShieldCPU(cpu int) error {
+	mask := kernel.MaskOf(cpu)
+	return s.K.FS.Write("/proc/shield/all", mask.String())
+}

@@ -1,0 +1,239 @@
+package dev
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func newKernel() *kernel.Kernel {
+	return kernel.New(kernel.RedHawk14(2, 1.0), 42)
+}
+
+// waiter drives a loop of wait-syscalls against a device and records each
+// user-space arrival time.
+type waiter struct {
+	mk      func() *kernel.SyscallCall
+	arrived []sim.Time
+	limit   int
+}
+
+func (w *waiter) Next(t *kernel.Task) kernel.Action {
+	if w.limit > 0 && len(w.arrived) >= w.limit {
+		return kernel.Exit()
+	}
+	act := kernel.Syscall(w.mk())
+	act.OnComplete = func(now sim.Time) { w.arrived = append(w.arrived, now) }
+	return act
+}
+
+func TestRTCPeriodicFires(t *testing.T) {
+	k := newKernel()
+	rtc := NewRTC(k, 1024)
+	rtc.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(sim.Second))
+	// 1024 Hz for 1s.
+	if rtc.Fires() < 1020 || rtc.Fires() > 1025 {
+		t.Fatalf("fires = %d, want ~1024", rtc.Fires())
+	}
+	if rtc.Period() != sim.Duration(int64(sim.Second)/1024) {
+		t.Fatalf("period = %v", rtc.Period())
+	}
+	rtc.Stop()
+	before := rtc.Fires()
+	k.Eng.Run(k.Now() + sim.Time(100*sim.Millisecond))
+	if rtc.Fires() != before {
+		t.Fatal("RTC fired after Stop")
+	}
+}
+
+func TestRTCReadWakesOnInterrupt(t *testing.T) {
+	k := newKernel()
+	rtc := NewRTC(k, 2048)
+	w := &waiter{mk: rtc.ReadCall, limit: 100}
+	k.NewTask("realfeel", kernel.SchedFIFO, 90, 0, w)
+	rtc.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(200 * sim.Millisecond))
+	if len(w.arrived) != 100 {
+		t.Fatalf("reads completed = %d, want 100", len(w.arrived))
+	}
+	// Consecutive arrivals must be ~one period apart on a quiet machine.
+	period := rtc.Period()
+	for i := 1; i < len(w.arrived); i++ {
+		gap := w.arrived[i].Sub(w.arrived[i-1])
+		if gap < period-50*sim.Microsecond || gap > period+50*sim.Microsecond {
+			t.Fatalf("gap %d = %v, want ~%v", i, gap, period)
+		}
+	}
+}
+
+func TestRCIMCountRegister(t *testing.T) {
+	k := newKernel()
+	rcim := NewRCIM(k, 500*sim.Microsecond)
+	rcim.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(10 * sim.Millisecond))
+	if rcim.Fires() < 19 || rcim.Fires() > 21 {
+		t.Fatalf("fires = %d, want ~20", rcim.Fires())
+	}
+	// The count register measures time since the last expiry.
+	now := k.Now()
+	if got := rcim.CountElapsed(now); got != now.Sub(rcim.LastFire()) {
+		t.Fatalf("CountElapsed = %v", got)
+	}
+}
+
+func TestRCIMWaitLatencyTiny(t *testing.T) {
+	// On an idle RedHawk CPU, RCIM wait latency must be in the tens of
+	// microseconds — the paper's Figure 7 regime.
+	k := newKernel()
+	rcim := NewRCIM(k, sim.Millisecond)
+	var lats []sim.Duration
+	w := &waiter{mk: rcim.WaitCall, limit: 50}
+	k.NewTask("rcimtest", kernel.SchedFIFO, 90, kernel.MaskOf(1), w)
+	rcim.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	for _, at := range w.arrived {
+		// Latency via the count register, as the real test does.
+		_ = at
+	}
+	// Recompute: each arrival happened CountElapsed after the fire; use
+	// the arrival gap instead to bound the response.
+	if len(w.arrived) != 50 {
+		t.Fatalf("waits completed = %d, want 50", len(w.arrived))
+	}
+	for i := 1; i < len(w.arrived); i++ {
+		gap := w.arrived[i].Sub(w.arrived[i-1])
+		if gap < sim.Millisecond-40*sim.Microsecond || gap > sim.Millisecond+40*sim.Microsecond {
+			t.Fatalf("gap %d = %v, want ~1ms ±40µs", i, gap)
+		}
+	}
+	_ = lats
+	if k.BKL.Acquisitions != 0 {
+		t.Fatalf("RCIM ioctl took the BKL %d times on RedHawk", k.BKL.Acquisitions)
+	}
+}
+
+func TestRCIMTakesBKLOnStockKernel(t *testing.T) {
+	cfg := kernel.StandardLinux24(1, 1.0, false)
+	k := kernel.New(cfg, 42)
+	rcim := NewRCIM(k, sim.Millisecond)
+	w := &waiter{mk: rcim.WaitCall, limit: 5}
+	k.NewTask("rcimtest", kernel.SchedFIFO, 90, 0, w)
+	rcim.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+	if k.BKL.Acquisitions == 0 {
+		t.Fatal("stock kernel ioctl path must take the BKL")
+	}
+}
+
+func TestNICReceiveRaisesSoftirqWork(t *testing.T) {
+	k := newKernel()
+	nic := NewNIC(k, "eth0")
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() { nic.Receive(64 * 1024) })
+	k.Eng.Run(sim.Time(50 * sim.Millisecond))
+	if nic.RxIRQs != 1 || nic.RxBytes != 64*1024 {
+		t.Fatalf("rx stats: irqs=%d bytes=%d", nic.RxIRQs, nic.RxBytes)
+	}
+	// 64KB × 9µs/KB ≈ 576µs of NET_RX work must have run somewhere.
+	total := k.CPU(0).SoftirqTime + k.CPU(1).SoftirqTime
+	if total < 400*sim.Microsecond {
+		t.Fatalf("softirq time = %v, want ≥ ~0.5ms", total)
+	}
+}
+
+func TestNICTransmit(t *testing.T) {
+	k := newKernel()
+	nic := NewNIC(k, "eth0")
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() { nic.Transmit(32 * 1024) })
+	k.Eng.Run(sim.Time(50 * sim.Millisecond))
+	if nic.TxIRQs != 1 || nic.TxBytes != 32*1024 {
+		t.Fatalf("tx stats: irqs=%d bytes=%d", nic.TxIRQs, nic.TxBytes)
+	}
+	if nic.Receive(0); nic.RxIRQs != 0 {
+		t.Fatal("zero-byte receive should be ignored")
+	}
+}
+
+func TestDiskCompletionWakesSubmitter(t *testing.T) {
+	k := newKernel()
+	disk := NewDisk(k, "sda")
+	wq := kernel.NewWaitQueue("io-done")
+	var done sim.Time
+	call := &kernel.SyscallCall{
+		Name: "read(file)",
+		Segments: []kernel.Segment{
+			{Kind: kernel.SegWork, D: 2 * sim.Microsecond,
+				OnDone: func() { disk.Submit(4096, wq) }},
+			{Kind: kernel.SegBlock, Wait: wq},
+			{Kind: kernel.SegWork, D: sim.Microsecond},
+		},
+	}
+	act := kernel.Syscall(call)
+	act.OnComplete = func(now sim.Time) { done = now }
+	k.NewTask("reader", kernel.SchedOther, 0, 0, &onceB{[]kernel.Action{act}, 0})
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	if done == 0 {
+		t.Fatal("synchronous read never completed")
+	}
+	// Seek is 2-9ms.
+	if done < sim.Time(2*sim.Millisecond) || done > sim.Time(12*sim.Millisecond) {
+		t.Fatalf("read completed at %v, want within seek+transfer bounds", done)
+	}
+	if disk.Requests != 1 {
+		t.Fatalf("requests = %d", disk.Requests)
+	}
+}
+
+func TestDiskSerializesRequests(t *testing.T) {
+	k := newKernel()
+	disk := NewDisk(k, "sda")
+	k.Start()
+	k.Eng.Schedule(1, func() {
+		for i := 0; i < 10; i++ {
+			disk.Submit(1<<20, nil) // 1MB each: ≥25ms transfer+seek
+		}
+	})
+	k.Eng.Run(sim.Time(10))
+	// All ten must be queued behind each other: drain time ≥ 10 × 27ms.
+	if got := disk.QueueDepthTime(); got < sim.Time(200*sim.Millisecond) {
+		t.Fatalf("queue drain at %v, requests did not serialize", got)
+	}
+}
+
+func TestGPUBatchInterrupt(t *testing.T) {
+	k := newKernel()
+	gpu := NewGPU(k, "nv")
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() { gpu.SubmitBatch(5 * sim.Millisecond) })
+	k.Eng.Run(sim.Time(50 * sim.Millisecond))
+	if gpu.Batches != 1 {
+		t.Fatalf("batches = %d", gpu.Batches)
+	}
+	if gpu.IRQ().Handled != 1 {
+		t.Fatalf("gpu irq handled = %d, want 1", gpu.IRQ().Handled)
+	}
+}
+
+// onceB is a minimal one-shot behavior for tests.
+type onceB struct {
+	actions []kernel.Action
+	i       int
+}
+
+func (b *onceB) Next(*kernel.Task) kernel.Action {
+	if b.i >= len(b.actions) {
+		return kernel.Exit()
+	}
+	a := b.actions[b.i]
+	b.i++
+	return a
+}

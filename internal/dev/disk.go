@@ -1,0 +1,87 @@
+package dev
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Disk models a SCSI drive: requests queue at the device, complete after
+// a seek+transfer delay, and each completion raises an interrupt whose
+// handler runs the block-device bottom half and optionally wakes the
+// submitting task (synchronous I/O). The disknoise script and the FS
+// stress test drive this device.
+type Disk struct {
+	k   *kernel.Kernel
+	irq *kernel.IRQLine
+	rng *sim.RNG
+
+	// seekMin/seekMax bound the per-request positioning latency.
+	seekMin, seekMax sim.Duration
+	// bytesPerSec is the media transfer rate.
+	bytesPerSec float64
+
+	// busyUntil serializes the device: a request starts service when the
+	// previous one finishes.
+	busyUntil sim.Time
+
+	// completion wakeups pending for the next interrupt.
+	completions []*kernel.WaitQueue
+
+	// Statistics.
+	Requests  uint64
+	BytesDone uint64
+}
+
+// NewDisk creates the drive and registers its interrupt line.
+func NewDisk(k *kernel.Kernel, name string) *Disk {
+	d := &Disk{
+		k:           k,
+		rng:         k.Eng.RNG().Fork(),
+		seekMin:     2 * sim.Millisecond,
+		seekMax:     9 * sim.Millisecond,
+		bytesPerSec: 40e6, // 40 MB/s, a 2002-era SCSI drive
+	}
+	handler := func(rng *sim.RNG) sim.Duration {
+		return rng.Jitter(7*sim.Microsecond, 0.4)
+	}
+	d.irq = k.RegisterIRQ(name, 0, handler, func(c *kernel.CPU) {
+		c.RaiseSoftirq(kernel.SoftirqBlock, k.Cfg.Timing.SoftirqBlockPerOp)
+		for _, wq := range d.completions {
+			k.WakeAll(wq, c)
+		}
+		d.completions = nil
+	})
+	return d
+}
+
+// IRQ returns the drive's interrupt line.
+func (d *Disk) IRQ() *kernel.IRQLine { return d.irq }
+
+// Submit queues a request of the given size. If wake is non-nil, every
+// task blocked on it is woken by the completion interrupt (synchronous
+// I/O); pass nil for writeback-style fire-and-forget.
+func (d *Disk) Submit(bytes int, wake *kernel.WaitQueue) {
+	if bytes <= 0 {
+		bytes = 512
+	}
+	d.Requests++
+	d.BytesDone += uint64(bytes)
+	now := d.k.Now()
+	start := now
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	service := d.rng.Uniform(d.seekMin, d.seekMax) +
+		sim.Duration(float64(bytes)/d.bytesPerSec*1e9)
+	done := start.Add(service)
+	d.busyUntil = done
+	d.k.Eng.Schedule(done, func() {
+		if wake != nil {
+			d.completions = append(d.completions, wake)
+		}
+		d.k.Raise(d.irq)
+	})
+}
+
+// QueueDepthTime reports how far in the future the device will drain.
+func (d *Disk) QueueDepthTime() sim.Time { return d.busyUntil }

@@ -1,0 +1,74 @@
+package dev
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// NIC models a 3c905C-class Ethernet controller. Traffic generators feed
+// it frames; each delivery batch raises a receive interrupt whose handler
+// queues NET_RX softirq work proportional to the bytes received — the
+// protocol processing that made networking load the dominant jitter source
+// in the paper's determinism tests. Transmits symmetrically raise NET_TX
+// work and a completion interrupt.
+type NIC struct {
+	k   *kernel.Kernel
+	irq *kernel.IRQLine
+
+	perKB sim.Duration
+
+	// pending bytes to be accounted by the next interrupt's handler.
+	pendingRxKB float64
+	pendingTxKB float64
+
+	// Statistics.
+	RxBytes, TxBytes uint64
+	RxIRQs, TxIRQs   uint64
+}
+
+// NewNIC creates the controller and registers its interrupt line.
+func NewNIC(k *kernel.Kernel, name string) *NIC {
+	n := &NIC{k: k, perKB: k.Cfg.Timing.SoftirqNetPerKB}
+	handler := func(rng *sim.RNG) sim.Duration {
+		// Ring buffer service: acknowledge, refill descriptors.
+		return rng.Jitter(5*sim.Microsecond, 0.4)
+	}
+	n.irq = k.RegisterIRQ(name, 0, handler, func(c *kernel.CPU) {
+		if n.pendingRxKB > 0 {
+			c.RaiseSoftirq(kernel.SoftirqNetRx, n.perKB.Scale(n.pendingRxKB))
+			n.pendingRxKB = 0
+		}
+		if n.pendingTxKB > 0 {
+			c.RaiseSoftirq(kernel.SoftirqNetTx, n.perKB.Scale(n.pendingTxKB*0.6))
+			n.pendingTxKB = 0
+		}
+	})
+	return n
+}
+
+// IRQ returns the controller's interrupt line.
+func (n *NIC) IRQ() *kernel.IRQLine { return n.irq }
+
+// Receive delivers bytes arriving from the wire: the hardware batches
+// them into one interrupt whose bottom half does the protocol work.
+func (n *NIC) Receive(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	n.RxBytes += uint64(bytes)
+	n.RxIRQs++
+	n.pendingRxKB += float64(bytes) / 1024
+	n.k.Raise(n.irq)
+}
+
+// Transmit queues bytes for sending; completion raises an interrupt with
+// NET_TX bottom-half work.
+func (n *NIC) Transmit(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	n.TxBytes += uint64(bytes)
+	n.TxIRQs++
+	n.pendingTxKB += float64(bytes) / 1024
+	n.k.Raise(n.irq)
+}

@@ -1,0 +1,159 @@
+package dev
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func TestExternalInputDeliversEdges(t *testing.T) {
+	k := newKernel()
+	rcim := NewRCIM(k, sim.Millisecond)
+	in := rcim.NewExternalInput("encoder")
+	var seen []sim.Time
+	w := &waiter{mk: in.WaitCall, limit: 10}
+	k.NewTask("edge-waiter", kernel.SchedFIFO, 90, 0, w)
+	k.Start()
+	for i := 1; i <= 10; i++ {
+		k.Eng.Schedule(sim.Time(i)*sim.Time(2*sim.Millisecond), func() { in.Signal() })
+	}
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	seen = w.arrived
+	if len(seen) != 10 {
+		t.Fatalf("woke %d of 10 edges", len(seen))
+	}
+	if in.Edges != 10 {
+		t.Fatalf("Edges = %d", in.Edges)
+	}
+	// Each wake lands shortly after its edge.
+	for i, at := range seen {
+		edge := sim.Time(i+1) * sim.Time(2*sim.Millisecond)
+		lat := at.Sub(edge)
+		if lat < 0 || lat > 60*sim.Microsecond {
+			t.Fatalf("edge %d latency = %v", i, lat)
+		}
+	}
+}
+
+func TestExternalInputOnShieldedCPU(t *testing.T) {
+	// The paper's whole point: an external real-world signal affined to
+	// a shielded CPU gets a deterministic response even under load.
+	k := newKernel()
+	rcim := NewRCIM(k, sim.Millisecond)
+	in := rcim.NewExternalInput("trigger")
+	var worst sim.Duration
+	count := 0
+	phase := 0
+	k.NewTask("responder", kernel.SchedFIFO, 95, kernel.MaskOf(1),
+		kernel.BehaviorFunc(func(tk *kernel.Task) kernel.Action {
+			phase++
+			if phase%2 == 1 {
+				act := kernel.Syscall(in.WaitCall())
+				act.OnComplete = func(now sim.Time) {
+					if lat := in.SinceEdge(now); lat > worst {
+						worst = lat
+					}
+					count++
+				}
+				return act
+			}
+			return kernel.Compute(5 * sim.Microsecond)
+		}))
+	// A CPU hog keeps CPU0 saturated.
+	k.NewTask("hog", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(*kernel.Task) kernel.Action {
+		return kernel.Compute(sim.Second)
+	}))
+	k.Start()
+	if err := k.SetShieldAll(kernel.MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetIRQAffinity(in.IRQ(), kernel.MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	rng := k.Eng.RNG().Fork()
+	var fire func()
+	fire = func() {
+		in.Signal()
+		k.Eng.After(rng.Uniform(500*sim.Microsecond, 3*sim.Millisecond), fire)
+	}
+	k.Eng.After(sim.Millisecond, fire)
+	k.Eng.Run(sim.Time(sim.Second))
+	if count < 300 {
+		t.Fatalf("responded to %d edges, want hundreds", count)
+	}
+	if worst > 30*sim.Microsecond {
+		t.Fatalf("worst edge response = %v, want <30µs on shielded CPU", worst)
+	}
+}
+
+func TestRTCFixedAPISkipsFSLocks(t *testing.T) {
+	// The future-work path: no dcache traffic from the wait loop.
+	k := newKernel()
+	rtc := NewRTC(k, 1024)
+	w := &waiter{mk: rtc.ReadCallFixed, limit: 50}
+	k.NewTask("waiter", kernel.SchedFIFO, 90, 0, w)
+	rtc.Start()
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	if len(w.arrived) != 50 {
+		t.Fatalf("completed %d of 50", len(w.arrived))
+	}
+	if got := k.NamedLock("dcache").Acquisitions; got != 0 {
+		t.Fatalf("fixed API still took the dcache lock %d times", got)
+	}
+	if k.BKL.Acquisitions != 0 {
+		t.Fatal("fixed API took the BKL on RedHawk")
+	}
+}
+
+func TestRCIMHandlerSpread(t *testing.T) {
+	// The PCI-contention model must give Figure 7's band: a tight
+	// cluster with occasional excursions, all bounded.
+	k := newKernel()
+	rcim := NewRCIM(k, 500*sim.Microsecond)
+	var lats []sim.Duration
+	phase := 0
+	k.NewTask("meas", kernel.SchedFIFO, 90, kernel.MaskOf(1),
+		kernel.BehaviorFunc(func(tk *kernel.Task) kernel.Action {
+			phase++
+			if phase%2 == 1 {
+				act := kernel.Syscall(rcim.WaitCall())
+				act.OnComplete = func(now sim.Time) {
+					lats = append(lats, rcim.CountElapsed(now))
+				}
+				return act
+			}
+			return kernel.Compute(sim.Microsecond)
+		}))
+	rcim.Start()
+	k.Start()
+	if err := k.SetShieldAll(kernel.MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetIRQAffinity(rcim.IRQ(), kernel.MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	k.Eng.Run(sim.Time(5 * sim.Second))
+	if len(lats) < 9000 {
+		t.Fatalf("only %d samples", len(lats))
+	}
+	var min, max sim.Duration = 1 << 62, 0
+	for _, l := range lats {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min < 5*sim.Microsecond || min > 15*sim.Microsecond {
+		t.Fatalf("min = %v, want ~8-12µs", min)
+	}
+	if max >= 30*sim.Microsecond {
+		t.Fatalf("max = %v, must stay under the paper's 30µs bound", max)
+	}
+	if max < min+3*sim.Microsecond {
+		t.Fatalf("band too tight (min %v, max %v): PCI contention not modelled", min, max)
+	}
+}

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAccountingBalances(t *testing.T) {
+	// Run a mixed workload and verify every class is populated and the
+	// busy total is close to wall time on a saturated CPU.
+	cfg := testConfig(1)
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	line := k.RegisterIRQ("dev", 0, constWork(10*sim.Microsecond), func(c *CPU) {
+		c.RaiseSoftirq(SoftirqNetRx, 30*sim.Microsecond)
+	})
+	k.NewTask("hog", SchedOther, 0, 0, BehaviorFunc(func(tk *Task) Action {
+		if tk.RNG().Bool(0.5) {
+			return Compute(300 * sim.Microsecond)
+		}
+		return Syscall(&SyscallCall{
+			Name:     "sys",
+			Segments: []Segment{{Kind: SegWork, D: 200 * sim.Microsecond}},
+		})
+	}))
+	k.Start()
+	var pump func()
+	pump = func() { k.Raise(line); k.Eng.After(sim.Millisecond, pump) }
+	k.Eng.After(0, pump)
+
+	const span = 500 * sim.Millisecond
+	k.Eng.Run(sim.Time(span))
+	tm := k.CPU(0).Times()
+	if tm.User == 0 || tm.System == 0 || tm.IRQ == 0 || tm.Softirq == 0 {
+		t.Fatalf("classes missing: %+v", tm)
+	}
+	// A single always-runnable hog: the CPU is busy nearly all the time.
+	if tm.Busy() < span.Scale(0.97) || tm.Busy() > span {
+		t.Fatalf("busy = %v of %v wall", tm.Busy(), span)
+	}
+}
+
+func TestAccountingSpinTime(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.CritSectionCap = 0
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	l := k.NamedLock("dcache")
+	k.NewTask("holder", SchedFIFO, 50, MaskOf(0), &onceBehavior{actions: []Action{
+		Syscall(lockedCall("hold", l, 10*sim.Millisecond, nil)),
+	}})
+	k.NewTask("spinner", SchedFIFO, 50, MaskOf(1), &onceBehavior{actions: []Action{
+		Sleep(sim.Millisecond),
+		Syscall(lockedCall("want", l, 10*sim.Microsecond, nil)),
+	}})
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	spin := k.CPU(1).Times().Spin
+	if spin < 8*sim.Millisecond || spin > 11*sim.Millisecond {
+		t.Fatalf("spin time = %v, want ~9ms", spin)
+	}
+}
+
+func TestSampledAccountingTracksGroundTruth(t *testing.T) {
+	// With the tick running, the sampled user time converges on the
+	// ground truth for a pure CPU hog.
+	cfg := testConfig(1)
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	k.NewTask("hog", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+		return Compute(10 * sim.Millisecond)
+	}))
+	k.Start()
+	k.Eng.Run(sim.Time(2 * sim.Second))
+	truth := k.CPU(0).Times().User
+	sampled := k.CPU(0).SampledTimes().User
+	ratio := float64(sampled) / float64(truth)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("sampled/truth = %.3f (sampled %v, truth %v)", ratio, sampled, truth)
+	}
+}
+
+func TestLTimerShieldLosesSampledAccounting(t *testing.T) {
+	// The paper's §3 trade-off: disable the local timer on a shielded
+	// CPU and the tick-sampled accounting stops, while ground truth
+	// keeps counting.
+	cfg := testConfig(2)
+	k := New(cfg, 42)
+	k.NewTask("rt", SchedFIFO, 90, MaskOf(1), BehaviorFunc(func(*Task) Action {
+		return Compute(10 * sim.Millisecond)
+	}))
+	k.Start()
+	k.Eng.Run(sim.Time(500 * sim.Millisecond))
+	preSampled := k.CPU(1).SampledTimes().User
+	preTruth := k.CPU(1).Times().User
+	if preSampled == 0 {
+		t.Fatal("sampling not working before shielding")
+	}
+	if err := k.SetShieldLTimer(MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	k.Eng.Run(k.Now() + sim.Time(500*sim.Millisecond))
+	postSampled := k.CPU(1).SampledTimes().User
+	postTruth := k.CPU(1).Times().User
+	if postSampled != preSampled {
+		t.Fatalf("sampled accounting still moving under ltmr shielding: %v -> %v", preSampled, postSampled)
+	}
+	if postTruth < preTruth+450*sim.Millisecond {
+		t.Fatalf("ground truth stopped: %v -> %v", preTruth, postTruth)
+	}
+}
+
+func TestProcStatFile(t *testing.T) {
+	k := New(testConfig(2), 42)
+	k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+		return Compute(sim.Millisecond)
+	}))
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	out, err := k.FS.Read("/proc/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cpu0", "cpu1", "ground truth", "tick-sampled"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/proc/stat missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCPUTimesAdd(t *testing.T) {
+	a := CPUTimes{User: 1, System: 2, IRQ: 3, Softirq: 4, Spin: 5}
+	b := CPUTimes{User: 10, System: 20, IRQ: 30, Softirq: 40, Spin: 50}
+	a.Add(b)
+	if a.User != 11 || a.Spin != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.Busy() != 11+22+33+44+55 {
+		t.Fatalf("Busy = %v", a.Busy())
+	}
+}

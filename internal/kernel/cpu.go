@@ -1,0 +1,1099 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// frameKind classifies what a CPU is executing.
+type frameKind uint8
+
+const (
+	// frameTask is a task executing user code (seg == nil) or a kernel
+	// syscall region (seg != nil).
+	frameTask frameKind = iota
+	// frameISR is a hardware interrupt handler.
+	frameISR
+	// frameSoftirq is bottom-half processing.
+	frameSoftirq
+	// frameSpin is a CPU busy-waiting on a spinlock.
+	frameSpin
+	// frameSwitch is scheduler + context switch overhead.
+	frameSwitch
+)
+
+func (k frameKind) String() string {
+	switch k {
+	case frameTask:
+		return "task"
+	case frameISR:
+		return "isr"
+	case frameSoftirq:
+		return "softirq"
+	case frameSpin:
+		return "spin"
+	default:
+		return "switch"
+	}
+}
+
+// frame is one level of a CPU's execution stack. Only the top frame makes
+// progress; frames below are frozen where they were interrupted. Work is
+// accounted in nanoseconds-at-full-speed and accrues at the CPU's current
+// rate (hyperthread and bus contention slow it down).
+type frame struct {
+	kind frameKind
+	task *Task    // frameTask: the task executing
+	seg  *Segment // frameTask: current kernel region, nil in user mode
+
+	workLeft   float64 // remaining work at rate 1.0, in ns
+	lastAccrue sim.Time
+	done       *sim.Event // completion event while armed
+
+	locks   []*SpinLock // spinlocks held by this frame
+	irqsOff bool        // local interrupts disabled
+
+	irq *IRQLine // frameISR: the line being serviced
+
+	spin      *SpinLock // frameSpin: the lock being waited for
+	acquired  bool      // frameSpin: lock granted, convert when on top
+	spinSince sim.Time  // frameSpin: when the spin began
+	suspended bool      // frameSpin: buried under interrupt frames
+
+	// onDone runs when the frame's work completes (after it is popped).
+	onDone func()
+}
+
+// CPU is one logical processor.
+type CPU struct {
+	ID   int
+	Phys int // physical package; HT siblings share one
+	// Sibling is the hyperthread sharing this CPU's execution unit.
+	Sibling *CPU
+
+	kern  *Kernel
+	stack []*frame
+
+	// cur is the task whose context is on this CPU (running or mid-
+	// switch); nil when idle or when only interrupt frames are stacked.
+	cur     *Task
+	lastRan *Task
+
+	pendingIRQ  []*IRQLine
+	softirqPend [numSoftirq]float64
+
+	needResched  bool
+	sliceExpired bool
+	forceResched bool
+
+	// ksoftirqd state (SoftirqDaemon kernels): when a bottom-half pass
+	// overflows its budget, remaining work is handed to the per-CPU
+	// daemon task instead of being retried in interrupt context.
+	ksoftirqd     *Task
+	softirqWq     *WaitQueue
+	daemonBacklog float64
+	softirqHanded uint64
+
+	busFactor float64
+
+	tickEv     *sim.Event
+	dispatchEv *sim.Event
+	localTimer *IRQLine
+
+	// Statistics.
+	IRQsHandled  uint64
+	SoftirqRuns  uint64
+	SoftirqTime  sim.Duration
+	Preemptions  uint64
+	TicksHandled uint64
+
+	// Execution time accounting (see accounting.go).
+	times   CPUTimes
+	sampled CPUTimes
+}
+
+func newCPU(k *Kernel, id int) *CPU {
+	c := &CPU{ID: id, kern: k, busFactor: 1.0}
+	c.localTimer = &IRQLine{
+		Num:      -1,
+		Name:     fmt.Sprintf("local-timer-%d", id),
+		kern:     k,
+		affinity: MaskOf(id),
+		Fast:     true,
+		rng:      k.rng.Fork(),
+	}
+	tick := k.Cfg.scale(k.Cfg.Timing.TickHandler)
+	c.localTimer.HandlerWork = func(r *sim.RNG) sim.Duration { return r.Jitter(tick, 0.25) }
+	c.localTimer.OnHandle = func(cpu *CPU) { cpu.timerTick() }
+	return c
+}
+
+// Cur returns the task currently owning the CPU (possibly preempted by
+// interrupt frames), or nil.
+func (c *CPU) Cur() *Task { return c.cur }
+
+// Idle reports whether the CPU has nothing stacked and no current task.
+func (c *CPU) Idle() bool { return c.cur == nil && len(c.stack) == 0 }
+
+func (c *CPU) top() *frame {
+	if len(c.stack) == 0 {
+		return nil
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+func (c *CPU) busy() bool { return len(c.stack) > 0 }
+
+// rate is the execution speed of the top frame: 1.0 nominal, scaled down
+// by bus contention and by hyperthread sibling activity (§5 of the paper).
+func (c *CPU) rate() float64 {
+	r := c.busFactor
+	if c.Sibling != nil && c.Sibling.busy() {
+		r *= c.kern.Cfg.Timing.HTSlowdown
+	}
+	return r
+}
+
+// --- frame stack mechanics ---
+
+// armTop schedules the completion event for the top frame at the current
+// rate. Spin frames are never armed: they make no progress by themselves,
+// but a buried spin that surfaces resumes its wall-clock accounting.
+func (c *CPU) armTop() {
+	f := c.top()
+	if f == nil {
+		return
+	}
+	if f.kind == frameSpin {
+		if f.suspended {
+			f.lastAccrue = c.kern.Now()
+			f.suspended = false
+		}
+		return
+	}
+	if f.done != nil {
+		return
+	}
+	if f.workLeft < 0 {
+		f.workLeft = 0
+	}
+	d := sim.Duration(f.workLeft / c.rate())
+	if float64(d)*c.rate() < f.workLeft {
+		d++ // ceil so work is never under-charged
+	}
+	f.lastAccrue = c.kern.Now()
+	f.done = c.kern.Eng.After(d, func() {
+		f.done = nil
+		f.workLeft = 0
+		c.account(f, c.kern.Now().Sub(f.lastAccrue))
+		c.finishTop(f)
+	})
+}
+
+// suspendTop pauses the top frame: accrue progress, cancel its event.
+// Spin frames have no work to accrue but their wall time is accounted.
+func (c *CPU) suspendTop() {
+	f := c.top()
+	if f == nil {
+		return
+	}
+	now := c.kern.Now()
+	if f.kind == frameSpin {
+		if !f.suspended {
+			c.account(f, now.Sub(f.lastAccrue))
+			f.suspended = true
+		}
+		return
+	}
+	if f.done == nil {
+		return
+	}
+	elapsed := float64(now.Sub(f.lastAccrue))
+	f.workLeft -= elapsed * c.rate()
+	if f.workLeft < 0 {
+		f.workLeft = 0
+	}
+	c.account(f, now.Sub(f.lastAccrue))
+	f.lastAccrue = now
+	c.kern.Eng.Cancel(f.done)
+	f.done = nil
+}
+
+// rateChangedFrom re-accrues the top frame's progress at the rate that was
+// in effect until now (oldRate) and re-arms it at the current rate. Every
+// rate transition must go through this so elapsed time is never charged at
+// the wrong speed.
+func (c *CPU) rateChangedFrom(oldRate float64) {
+	f := c.top()
+	if f == nil || f.done == nil {
+		return
+	}
+	now := c.kern.Now()
+	f.workLeft -= float64(now.Sub(f.lastAccrue)) * oldRate
+	if f.workLeft < 0 {
+		f.workLeft = 0
+	}
+	c.account(f, now.Sub(f.lastAccrue))
+	f.lastAccrue = now
+	c.kern.Eng.Cancel(f.done)
+	f.done = nil
+	c.armTop()
+}
+
+// push pauses the current top and stacks a new frame.
+func (c *CPU) push(f *frame) {
+	var sibOld float64
+	notify := !c.busy() && c.Sibling != nil
+	if notify {
+		sibOld = c.Sibling.rate()
+	}
+	c.suspendTop()
+	if f.kind == frameSpin {
+		f.lastAccrue = c.kern.Now()
+	}
+	c.stack = append(c.stack, f)
+	c.armTop()
+	if notify {
+		c.Sibling.rateChangedFrom(sibOld)
+	}
+}
+
+// pop removes the top frame (must be f).
+func (c *CPU) pop(f *frame) {
+	if c.top() != f {
+		panic("kernel: pop of non-top frame on cpu " + fmt.Sprint(c.ID))
+	}
+	var sibOld float64
+	notify := len(c.stack) == 1 && c.Sibling != nil
+	if notify {
+		sibOld = c.Sibling.rate()
+	}
+	if f.done != nil {
+		c.kern.Eng.Cancel(f.done)
+		f.done = nil
+	}
+	if f.kind == frameSpin && !f.suspended {
+		c.account(f, c.kern.Now().Sub(f.lastAccrue))
+		f.suspended = true
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+	if notify {
+		c.Sibling.rateChangedFrom(sibOld)
+	}
+}
+
+// finishTop handles a frame's work completing.
+func (c *CPU) finishTop(f *frame) {
+	c.pop(f)
+	if f.onDone != nil {
+		f.onDone()
+	}
+	c.settle()
+}
+
+// addWorkTop charges extra work to the currently executing context (e.g.
+// try_to_wake_up cost on the waker's CPU). No-op when idle.
+func (c *CPU) addWorkTop(d sim.Duration) {
+	f := c.top()
+	if f == nil || d <= 0 {
+		return
+	}
+	if f.done != nil {
+		c.suspendTop()
+		f.workLeft += float64(d)
+		c.armTop()
+		return
+	}
+	f.workLeft += float64(d)
+}
+
+// settle drives the CPU to its next stable state. It is called after any
+// frame pop or state change and implements the kernel's priority order:
+// pending hardware interrupts, then softirqs (irq_exit), then preemption,
+// then resuming whatever was interrupted, then the scheduler.
+func (c *CPU) settle() {
+	for {
+		if c.deliverPendingIRQ() {
+			return
+		}
+		if c.maybeRunSoftirq() {
+			return
+		}
+		f := c.top()
+		if f != nil && f.kind == frameSpin && f.acquired {
+			// A spinlock we were waiting for was granted while this
+			// frame was buried (or just now): convert to execution.
+			c.pop(f)
+			if f.onDone != nil {
+				f.onDone()
+			}
+			continue
+		}
+		if f != nil && f.kind == frameSpin && !f.acquired &&
+			f.spin.retryAcquire(c, c.kern.Now(), f.spinSince) {
+			// The spin was preempted by interrupt work and the lock was
+			// freed meanwhile; the surfacing test-and-set wins it.
+			c.pop(f)
+			if f.onDone != nil {
+				f.onDone()
+			}
+			continue
+		}
+		if c.shouldPreempt() && c.canPreemptTop() {
+			c.preemptTop()
+			return
+		}
+		if f != nil {
+			c.armTop()
+			return
+		}
+		c.dispatch()
+		return
+	}
+}
+
+// maxISRNest caps interrupt nesting depth (stack exhaustion guard, as
+// real kernels effectively have via masked sources).
+const maxISRNest = 3
+
+// isrDepth counts ISR frames on the stack.
+func (c *CPU) isrDepth() int {
+	n := 0
+	for _, f := range c.stack {
+		if f.kind == frameISR {
+			n++
+		}
+	}
+	return n
+}
+
+// lineActive reports whether an occurrence of l is being serviced on
+// this CPU (the line is masked until its handler completes).
+func (c *CPU) lineActive(l *IRQLine) bool {
+	for _, f := range c.stack {
+		if f.kind == frameISR && f.irq == l {
+			return true
+		}
+	}
+	return false
+}
+
+// irqsDisabled reports whether a hardware interrupt can be taken now.
+// Fast (SA_INTERRUPT) handlers and explicit irqs-off regions disable
+// interrupts; slow handlers run with interrupts enabled and can be
+// nested by other lines, 2.4 semantics.
+func (c *CPU) irqsDisabled() bool {
+	f := c.top()
+	if f == nil {
+		return false
+	}
+	if f.kind == frameISR {
+		return f.irq.Fast || c.isrDepth() >= maxISRNest
+	}
+	return f.irqsOff
+}
+
+// raiseIRQ delivers (or pends) a hardware interrupt on this CPU.
+func (c *CPU) raiseIRQ(l *IRQLine) {
+	if c.irqsDisabled() || c.lineActive(l) {
+		c.pendingIRQ = append(c.pendingIRQ, l)
+		return
+	}
+	c.pushISR(l)
+}
+
+func (c *CPU) deliverPendingIRQ() bool {
+	if len(c.pendingIRQ) == 0 || c.irqsDisabled() {
+		return false
+	}
+	for i, l := range c.pendingIRQ {
+		if c.lineActive(l) {
+			continue // line still masked; try the next pended one
+		}
+		c.pendingIRQ = append(c.pendingIRQ[:i], c.pendingIRQ[i+1:]...)
+		c.pushISR(l)
+		return true
+	}
+	return false
+}
+
+func (c *CPU) pushISR(l *IRQLine) {
+	t := &c.kern.Cfg.Timing
+	work := c.kern.Cfg.scale(t.IRQEntry+t.IRQExit) + l.HandlerWork(l.rng)
+	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindIRQEnter, "%s", l.Name)
+	f := &frame{kind: frameISR, irq: l, workLeft: float64(work)}
+	f.onDone = func() {
+		l.Handled++
+		if c.ID < len(l.PerCPU) {
+			l.PerCPU[c.ID]++
+		}
+		c.IRQsHandled++
+		if l.OnHandle != nil {
+			l.OnHandle(c)
+		}
+		// Cache pollution: the interrupted context re-fetches lines the
+		// handler evicted.
+		if b := c.top(); b != nil {
+			b.workLeft += float64(l.rng.Jitter(c.kern.Cfg.scale(t.ISRCachePenalty), 0.5))
+		}
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindIRQExit, "%s", l.Name)
+	}
+	c.push(f)
+}
+
+// --- softirqs (bottom halves) ---
+
+// RaiseSoftirq queues bottom-half work on this CPU; it runs at the next
+// interrupt exit (or later, if deferred by the §6.2 fix).
+func (c *CPU) RaiseSoftirq(vec SoftirqVec, work sim.Duration) {
+	if work <= 0 {
+		return
+	}
+	c.softirqPend[vec] += float64(work)
+}
+
+// SoftirqPending returns the total queued bottom-half work.
+func (c *CPU) SoftirqPending() sim.Duration {
+	var total float64
+	for _, w := range c.softirqPend {
+		total += w
+	}
+	return sim.Duration(total)
+}
+
+// holdsAnyLock reports whether any context on this CPU's stack holds a
+// spinlock (including the BKL via the current syscall, and a spin frame
+// that has been granted its lock but not yet surfaced — from the lock's
+// point of view that CPU already owns it).
+func (c *CPU) holdsAnyLock() bool {
+	for _, f := range c.stack {
+		if len(f.locks) > 0 {
+			return true
+		}
+		if f.kind == frameSpin && f.acquired {
+			return true
+		}
+	}
+	if c.cur != nil && c.cur.call != nil && c.cur.call.heldBKL {
+		return true
+	}
+	return false
+}
+
+func (c *CPU) maybeRunSoftirq() bool {
+	total := c.SoftirqPending()
+	if total == 0 {
+		return false
+	}
+	// Softirqs do not nest, and never run over an ISR (they run at its
+	// exit, which is a settle after the pop).
+	for _, f := range c.stack {
+		if f.kind == frameSoftirq {
+			return false
+		}
+	}
+	if f := c.top(); f != nil && f.kind == frameISR {
+		return false
+	}
+	// §6.2: the RedHawk fix forbids bottom halves from preempting a
+	// context that holds a spinlock; stock kernels allow it, which is
+	// how several-millisecond lock holds happen.
+	if c.kern.Cfg.FixSpinlockBH && c.holdsAnyLock() {
+		return false
+	}
+	budget := float64(c.kern.Cfg.scale(c.kern.Cfg.Timing.SoftirqMax))
+	take := total
+	if float64(take) > budget {
+		take = sim.Duration(budget)
+	}
+	// Drain vectors in order up to the budget.
+	left := float64(take)
+	for v := range c.softirqPend {
+		if left <= 0 {
+			break
+		}
+		d := c.softirqPend[v]
+		if d > left {
+			d = left
+		}
+		c.softirqPend[v] -= d
+		left -= d
+	}
+	start := c.kern.Now()
+	f := &frame{kind: frameSoftirq, workLeft: float64(take)}
+	f.onDone = func() {
+		c.SoftirqRuns++
+		c.SoftirqTime += c.kern.Now().Sub(start)
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSoftirq, "ran %v", take)
+		// Budget exhausted with work left over: stock kernels retry in
+		// interrupt context (the next settle runs another pass);
+		// SoftirqDaemon kernels hand the REMAINDER to ksoftirqd, which
+		// competes as an ordinary task (§1's softirq changes). New
+		// raises still run at interrupt exit as usual.
+		if c.kern.Cfg.SoftirqDaemon && c.ksoftirqd != nil {
+			var rest float64
+			for v := range c.softirqPend {
+				rest += c.softirqPend[v]
+				c.softirqPend[v] = 0
+			}
+			if rest > 0 {
+				c.daemonBacklog += rest
+				c.softirqHanded++
+				c.kern.WakeAll(c.softirqWq, nil)
+			}
+		}
+	}
+	c.push(f)
+	return true
+}
+
+// ksoftirqdBehavior drains this CPU's deferred softirq backlog in task
+// context in bounded, preemptible chunks, then sleeps until the next
+// overflow.
+func (c *CPU) ksoftirqdBehavior() Behavior {
+	return BehaviorFunc(func(t *Task) Action {
+		if c.daemonBacklog <= 0 {
+			c.daemonBacklog = 0
+			return Syscall(&SyscallCall{
+				Name:     "ksoftirqd-wait",
+				Segments: []Segment{{Kind: SegBlock, Wait: c.softirqWq}},
+			})
+		}
+		chunk := sim.Duration(c.daemonBacklog)
+		if max := c.kern.Cfg.scale(500 * sim.Microsecond); chunk > max {
+			chunk = max
+		}
+		// Consume the work up front; the segment performs it.
+		c.daemonBacklog -= float64(chunk)
+		start := c.kern.Now()
+		call := &SyscallCall{
+			Name:     "ksoftirqd-run",
+			Segments: []Segment{{Kind: SegWork, D: chunk}},
+		}
+		act := Syscall(call)
+		act.OnComplete = func(now sim.Time) {
+			c.SoftirqRuns++
+			c.SoftirqTime += now.Sub(start)
+		}
+		return act
+	})
+}
+
+// --- preemption and dispatch ---
+
+// shouldPreempt decides whether the current task must yield the CPU.
+func (c *CPU) shouldPreempt() bool {
+	t := c.cur
+	if t == nil {
+		return false
+	}
+	if c.forceResched {
+		return true
+	}
+	if !c.needResched {
+		return false
+	}
+	next := c.kern.sched.Peek(c)
+	if next == nil {
+		c.needResched = false
+		c.sliceExpired = false
+		return false
+	}
+	if next.rtEffective() > t.rtEffective() {
+		return true
+	}
+	if c.sliceExpired && t.Policy != SchedFIFO && next.rtEffective() >= t.rtEffective() {
+		return true
+	}
+	return false
+}
+
+// canPreemptTop reports whether the top frame may be preempted right now.
+// User mode is always preemptible; kernel mode only with the preemption
+// patch and only outside critical sections (§6 of the paper).
+func (c *CPU) canPreemptTop() bool {
+	f := c.top()
+	if f == nil || f.kind != frameTask {
+		return false
+	}
+	if f.seg == nil {
+		return true // user mode
+	}
+	if !c.kern.Cfg.Preemptible {
+		return false
+	}
+	if len(f.locks) > 0 || f.seg.NonPreempt || f.irqsOff {
+		return false
+	}
+	if f.task.call != nil && f.task.call.heldBKL {
+		return false
+	}
+	return true
+}
+
+// preemptTop removes the running task's frame and reschedules.
+func (c *CPU) preemptTop() {
+	f := c.top()
+	if f == nil || f.kind != frameTask {
+		panic("kernel: preemptTop on non-task frame")
+	}
+	c.suspendTop()
+	c.pop(f)
+	t := f.task
+	// Save the frame even at workLeft == 0 (preemption tying with
+	// completion): resuming arms a zero-length remainder whose onDone
+	// still runs, so the action is never silently dropped or redone.
+	t.saved = f
+	c.Preemptions++
+	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "preempt %s", t)
+	c.requeuePreempted(t)
+	c.dispatch()
+}
+
+// preemptBetween reschedules the current task at an action or segment
+// boundary (no active frame).
+func (c *CPU) preemptBetween(t *Task) {
+	c.Preemptions++
+	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "boundary preempt %s", t)
+	c.requeuePreempted(t)
+	c.dispatch()
+}
+
+// requeuePreempted puts a preempted task back on a runqueue, migrating it
+// if this CPU is no longer in its effective affinity (shield enable).
+func (c *CPU) requeuePreempted(t *Task) {
+	t.state = TaskRunnable
+	t.lastQueue = c.kern.Now()
+	c.cur = nil
+	c.lastRan = t
+	c.forceResched = false
+	eff := t.EffectiveAffinity()
+	if eff != 0 && !eff.Has(c.ID) {
+		t.Migrated++
+		t.cpu = nil
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindMigrate, "%s off cpu%d", t, c.ID)
+		c.kern.makeRunnable(t, nil)
+		return
+	}
+	c.kern.sched.Enqueue(t, c)
+}
+
+// requestMigration asks a CPU to shed its running task at the next legal
+// preemption point (shield enable, affinity change).
+func (c *CPU) requestMigration(t *Task) {
+	if c.cur != t {
+		return
+	}
+	c.forceResched = true
+	if c.canPreemptTop() {
+		c.suspendTop()
+		c.settle()
+	}
+}
+
+// kick responds to a task becoming runnable on this CPU.
+func (c *CPU) kick(t *Task) {
+	if c.Idle() {
+		if c.dispatchEv == nil {
+			c.dispatchEv = c.kern.Eng.After(c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit), func() {
+				c.dispatchEv = nil
+				c.settle()
+			})
+		}
+		return
+	}
+	if c.cur == nil || (t != nil && t.higherPrioThan(c.cur)) {
+		c.needResched = true
+	}
+	if c.shouldPreempt() && c.canPreemptTop() {
+		c.suspendTop()
+		c.settle()
+	}
+}
+
+// dispatch picks the next task when the CPU has nothing stacked.
+func (c *CPU) dispatch() {
+	if c.busy() || c.cur != nil {
+		return
+	}
+	next := c.kern.sched.Pick(c)
+	c.needResched = false
+	c.sliceExpired = false
+	c.forceResched = false
+	if next == nil {
+		return // idle
+	}
+	cfg := &c.kern.Cfg
+	cost := c.kern.sched.PickCost(c)
+	if next != c.lastRan {
+		cost += cfg.scale(cfg.Timing.CtxSwitch)
+		cost += next.rng.Uniform(0, cfg.scale(cfg.Timing.CtxSwitchCachePenalty))
+	} else {
+		cost += cfg.scale(cfg.Timing.CtxSwitch) / 4
+	}
+	if next.cpu != c {
+		next.Migrated++
+	}
+	next.cpu = c
+	next.state = TaskRunning
+	next.Switches++
+	c.cur = next
+	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "switch to %s", next)
+	f := &frame{kind: frameSwitch, workLeft: float64(cost)}
+	f.onDone = func() { c.beginTask(next) }
+	c.push(f)
+}
+
+// beginTask resumes or starts the current task's execution.
+func (c *CPU) beginTask(t *Task) {
+	c.lastRan = t
+	if t.saved != nil {
+		f := t.saved
+		t.saved = nil
+		c.push(f)
+		return
+	}
+	if t.call != nil {
+		c.execSyscall(t)
+		return
+	}
+	c.nextAction(t)
+}
+
+// --- task actions ---
+
+// nextAction asks the behavior for the task's next step and executes it.
+func (c *CPU) nextAction(t *Task) {
+	if c.shouldPreempt() {
+		c.preemptBetween(t)
+		return
+	}
+	act := t.behavior.Next(t)
+	switch act.Kind {
+	case ActCompute:
+		work := act.D
+		if !t.MemLocked && work > 0 {
+			// Un-locked pages fault occasionally; each fault costs real
+			// time at unpredictable points. Coarse model: ~0.3% of the
+			// compute time, exponentially distributed.
+			work += t.rng.Exp(work.Scale(0.003))
+		}
+		f := &frame{kind: frameTask, task: t, workLeft: float64(work)}
+		f.onDone = func() {
+			// The frame may have been preempted and resumed on another
+			// CPU; continue on wherever the task is NOW.
+			cur := t.cpu
+			if act.OnComplete != nil {
+				act.OnComplete(cur.kern.Now())
+			}
+			cur.nextAction(t)
+		}
+		c.push(f)
+	case ActSyscall:
+		if act.Call == nil {
+			panic("kernel: ActSyscall without call definition")
+		}
+		t.call = newSyscallState(act, &c.kern.Cfg)
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSyscallEnter, "%s %s", t, act.Call.Name)
+		c.execSyscall(t)
+	case ActSleep:
+		t.state = TaskBlocked
+		c.cur = nil
+		c.lastRan = t
+		k := c.kern
+		wake := func() {
+			if act.OnComplete != nil {
+				act.OnComplete(k.Now())
+			}
+			k.WakeTask(t, nil)
+		}
+		if k.Cfg.HighResTimers {
+			// POSIX timers patch: nanosecond-precision expiry.
+			k.Eng.After(act.D, wake)
+		} else {
+			// Stock 2.4: through the jiffy timer wheel.
+			k.AddTimer(act.D, wake)
+		}
+		c.dispatch()
+	case ActYield:
+		t.state = TaskRunnable
+		t.lastQueue = c.kern.Now()
+		c.cur = nil
+		c.lastRan = t
+		c.kern.sched.Enqueue(t, c)
+		if act.OnComplete != nil {
+			act.OnComplete(c.kern.Now())
+		}
+		c.dispatch()
+	case ActExit:
+		t.state = TaskExited
+		c.cur = nil
+		c.lastRan = t
+		if act.OnComplete != nil {
+			act.OnComplete(c.kern.Now())
+		}
+		c.dispatch()
+	default:
+		panic(fmt.Sprintf("kernel: unknown action kind %d", act.Kind))
+	}
+}
+
+// --- syscall execution engine ---
+
+// newSyscallState prepares the in-flight state for a syscall, applying the
+// kernel's critical-section splitting (low-latency patches rewrite long
+// critical sections into shorter ones with scheduling points; §6).
+func newSyscallState(act Action, cfg *Config) *syscallCall {
+	def := act.Call
+	segs := def.Segments
+	if max := cfg.MaxCritSection(); max > 0 {
+		segs = splitSegments(segs, max)
+	}
+	return &syscallCall{def: def, segs: segs, onComplete: act.OnComplete}
+}
+
+// splitSegments caps SegWork regions at max, inserting scheduling points
+// at the split boundaries. Lock-held regions become several shorter
+// lock-held regions (release/reacquire between chunks), exactly the shape
+// the low-latency patches gave the rewritten algorithms.
+func splitSegments(segs []Segment, max sim.Duration) []Segment {
+	out := make([]Segment, 0, len(segs))
+	for _, s := range segs {
+		if s.Kind != SegWork || s.D <= max {
+			out = append(out, s)
+			continue
+		}
+		remaining := s.D
+		for remaining > 0 {
+			chunk := s
+			if remaining > max {
+				chunk.D = max
+				chunk.SchedPoint = true
+				chunk.OnDone = nil
+			} else {
+				chunk.D = remaining
+			}
+			remaining -= chunk.D
+			out = append(out, chunk)
+		}
+	}
+	return out
+}
+
+// execSyscall advances the current syscall to its next segment.
+func (c *CPU) execSyscall(t *Task) {
+	call := t.call
+	cfg := &c.kern.Cfg
+
+	// Acquire (or reacquire after a block) the Big Kernel Lock if this
+	// call's path needs it (§6.3).
+	if call.needsBKL(cfg) && !call.heldBKL {
+		c.acquireLock(t, c.kern.BKL, false, func() {
+			call.heldBKL = true
+			c.execSyscall(t)
+		})
+		return
+	}
+
+	if call.idx >= len(call.segs) {
+		// Syscall exit: back to user mode.
+		if call.heldBKL {
+			c.kern.BKL.release(c.kern.Now())
+			call.heldBKL = false
+		}
+		onComplete := call.onComplete
+		t.call = nil
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSyscallExit, "%s %s", t, call.def.Name)
+		if onComplete != nil {
+			onComplete(c.kern.Now())
+		}
+		// Kernel exit is a preemption point on every kernel.
+		c.nextAction(t)
+		return
+	}
+
+	seg := &call.segs[call.idx]
+	if seg.Kind == SegBlock {
+		call.idx++
+		if call.heldBKL {
+			// 2.4 semantics: the BKL is dropped across a sleep and
+			// reacquired on wakeup.
+			c.kern.BKL.release(c.kern.Now())
+			call.heldBKL = false
+		}
+		t.state = TaskBlocked
+		t.waitOn = seg.Wait
+		seg.Wait.enqueue(t)
+		c.cur = nil
+		c.lastRan = t
+		if seg.OnDone != nil {
+			seg.OnDone()
+		}
+		c.dispatch()
+		return
+	}
+
+	start := func() {
+		f := &frame{kind: frameTask, task: t, seg: seg, workLeft: float64(seg.D), irqsOff: seg.IRQsOff}
+		if seg.Lock != nil {
+			f.locks = append(f.locks, seg.Lock)
+		}
+		// Resolve the CPU at completion time: a preemptible-kernel frame
+		// can be preempted and resumed on a different CPU.
+		f.onDone = func() { t.cpu.segDone(t, call, seg, f) }
+		c.push(f)
+	}
+	if seg.Lock != nil {
+		c.acquireLock(t, seg.Lock, seg.IRQsOff, start)
+		return
+	}
+	start()
+}
+
+// segDone completes a kernel work region: releases its locks, runs its
+// side effect, and checks the legal preemption points.
+func (c *CPU) segDone(t *Task, call *syscallCall, seg *Segment, f *frame) {
+	now := c.kern.Now()
+	for _, l := range f.locks {
+		l.release(now)
+	}
+	if seg.OnDone != nil {
+		seg.OnDone()
+	}
+	call.idx++
+	// The low-latency patches' scheduling points drop and reacquire the
+	// BKL around the schedule check (the rewritten long paths release it
+	// periodically); execSyscall reacquires it before the next region.
+	if seg.SchedPoint && call.heldBKL {
+		c.kern.BKL.release(now)
+		call.heldBKL = false
+	}
+	// A boundary is a legal preemption point on a preemptible kernel, or
+	// where the low-latency patches inserted a scheduling point — but
+	// never while the BKL is held: the real kernel only drops it inside
+	// the syscall exit path (which execSyscall handles) or in schedule()
+	// itself. Preempting a BKL holder here would park the lock on the
+	// runqueue and livelock every spinner.
+	boundaryOK := !call.heldBKL && (c.kern.Cfg.Preemptible || seg.SchedPoint)
+	if boundaryOK && c.shouldPreempt() {
+		c.preemptBetween(t)
+		return
+	}
+	c.execSyscall(t)
+}
+
+// acquireLock takes l for the task's context, spinning if contended.
+// then runs once the lock is held.
+func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, then func()) {
+	now := c.kern.Now()
+	if l.tryAcquire(c, now) {
+		then()
+		return
+	}
+	c.kern.Trace.Emitf(now, c.ID, trace.KindLockContend, "%s spins on %s (holder cpu%d)", t, l.Name, l.holder.ID)
+	f := &frame{kind: frameSpin, task: t, spin: l, irqsOff: irqsOff, spinSince: now, onDone: then}
+	l.addWaiter(c, now, func() bool { return c.top() == f }, func() {
+		f.acquired = true
+		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindLockAcquire, "%s granted %s", t, l.Name)
+		if c.top() == f {
+			c.pop(f)
+			if f.onDone != nil {
+				f.onDone()
+			}
+			c.settle()
+		}
+		// Otherwise the spin frame is buried under interrupt frames;
+		// settle converts it when it surfaces.
+	})
+	c.push(f)
+}
+
+// --- local timer ---
+
+// startLocalTimer begins the periodic tick, staggered per CPU the way
+// real SMP local APIC timers are.
+func (c *CPU) startLocalTimer() {
+	period := c.tickPeriod()
+	offset := sim.Duration(int64(period) * int64(c.ID) / int64(len(c.kern.cpus)))
+	c.tickEv = c.kern.Eng.After(offset, c.tick)
+}
+
+func (c *CPU) tickPeriod() sim.Duration {
+	return sim.Duration(int64(sim.Second) / int64(c.kern.Cfg.LocalTimerHz))
+}
+
+func (c *CPU) tick() {
+	c.tickEv = nil
+	if c.kern.shieldLTimer.Has(c.ID) {
+		// Local timer shielding: the tick is simply not scheduled again
+		// until the CPU is unshielded (§3: "the shielded processor
+		// mechanism allows this interrupt to be disabled").
+		return
+	}
+	c.tickEv = c.kern.Eng.After(c.tickPeriod(), c.tick)
+	c.raiseIRQ(c.localTimer)
+}
+
+// timerTick is the local timer handler body: time accounting and
+// timeslice management.
+func (c *CPU) timerTick() {
+	c.TicksHandled++
+	c.sampleTick()
+	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindTimerTick, "tick")
+	t := c.cur
+	if t == nil || t.Policy == SchedFIFO {
+		return
+	}
+	t.sliceLeft -= c.tickPeriod()
+	if t.sliceLeft <= 0 {
+		t.sliceLeft = timesliceFor(t)
+		c.sliceExpired = true
+		c.needResched = true
+	}
+}
+
+// --- bus contention sampling ---
+
+// startBusSampling begins the periodic resampling of this CPU's memory
+// bus slowdown factor (§5: even a shielded CPU sees ~2% jitter from
+// memory contention in an SMP system).
+func (c *CPU) startBusSampling() {
+	period := c.kern.Cfg.Timing.BusResample
+	if period <= 0 || c.kern.Cfg.Timing.BusContention <= 0 {
+		return
+	}
+	var resample func()
+	resample = func() {
+		c.kern.Eng.After(c.kern.rng.Jitter(period, 0.2), resample)
+		c.resampleBus()
+	}
+	c.kern.Eng.After(sim.Duration(int64(period)*int64(c.ID)/int64(len(c.kern.cpus))), resample)
+}
+
+func (c *CPU) resampleBus() {
+	otherBusy := 0
+	otherPhys := 0
+	seen := map[int]bool{}
+	for _, o := range c.kern.cpus {
+		if o.Phys == c.Phys || seen[o.Phys] {
+			continue
+		}
+		seen[o.Phys] = true
+		otherPhys++
+		if o.busy() || (o.Sibling != nil && o.Sibling.busy()) {
+			otherBusy++
+		}
+	}
+	factor := 1.0
+	if otherPhys > 0 && otherBusy > 0 {
+		load := float64(otherBusy) / float64(otherPhys)
+		factor = 1.0 / (1.0 + c.kern.Cfg.Timing.BusContention*load*c.kern.rng.Float64())
+	}
+	if factor != c.busFactor {
+		old := c.rate()
+		c.busFactor = factor
+		c.rateChangedFrom(old)
+	}
+}

@@ -1,0 +1,88 @@
+// Package kernel simulates a 2.4-era SMP Linux kernel at the level of
+// detail the shielded-processor paper's experiments depend on. It is a
+// deterministic discrete-event model, not an emulator: kernel code paths
+// are represented by timed regions with the locking and preemption
+// properties of the real paths, and every latency mechanism the paper
+// discusses is reproduced structurally.
+//
+// # Execution model
+//
+// Each CPU owns a stack of frames; exactly the top frame makes progress.
+// Frame kinds mirror kernel execution contexts:
+//
+//   - task (user mode, or a kernel syscall region)
+//   - isr (hardware interrupt handler)
+//   - softirq (bottom-half processing)
+//   - spin (busy-waiting on a contended spinlock)
+//   - switch (scheduler decision + context switch overhead)
+//
+// A frame carries work measured in nanoseconds-at-full-speed and accrues
+// it at the CPU's current rate. The rate drops while the hyperthread
+// sibling is busy (§5 of the paper) or while other packages contend for
+// the memory bus. Every rate transition re-accrues at the old rate
+// before re-arming at the new one, so time is never charged at the wrong
+// speed; the accrue-and-rescale pattern keeps the event count
+// proportional to activity rather than to simulated time.
+//
+// # Interrupts
+//
+// IRQ lines carry a /proc-settable smp_affinity; delivery is static
+// first-allowed-CPU (the stock 2.4 behaviour that piles device load onto
+// CPU 0) or round-robin. Fast (SA_INTERRUPT) handlers run with local
+// interrupts disabled; slow handlers can be nested by other lines, while
+// their own line stays masked. At interrupt exit, pending softirqs run —
+// preempting whatever was interrupted, which is how bottom halves hurt
+// real-time response. On SoftirqDaemon kernels a pass that overflows its
+// budget hands the backlog to the per-CPU ksoftirqd task. The per-CPU
+// local timer tick drives timeslice accounting and tick-sampled CPU
+// statistics (the accounting that §3 notes is lost under local timer
+// shielding); the global timer interrupt (IRQ 0) advances jiffies and
+// the cascading timer wheel.
+//
+// # Syscalls, locks and preemption
+//
+// A syscall is a list of segments — work regions that may hold a
+// spinlock, disable interrupts, or mark a low-latency scheduling point —
+// plus block points on wait queues. A non-preemptible kernel schedules
+// only at syscall exit; the preemption patch allows it whenever no lock
+// is held and preemption is not disabled; the low-latency work is
+// modelled by splitting long regions at Config.CritSectionCap. The Big
+// Kernel Lock is taken by the 2.4 generic ioctl path (unless the RedHawk
+// per-driver flag exempts a multithreaded driver, §6.3) and by a
+// fraction of fs paths (unless BKLHoldReduction); it is dropped across
+// sleeps and at scheduling points, as the real kernel drops it in
+// schedule(). Contended spinlocks spin on the CPU; a spinner preempted
+// by interrupt work cannot take a handover — the lock stays free until
+// an actively spinning CPU's test-and-set wins, as on real hardware.
+// The §6.2 fix (FixSpinlockBH) forbids bottom halves from preempting a
+// context that holds a spinlock.
+//
+// # Scheduling
+//
+// Two schedulers implement the Scheduler interface: the O(1) scheduler
+// (per-CPU priority arrays, constant-time pick, idle stealing) and the
+// legacy global-runqueue goodness() scheduler with O(n) decision cost.
+// Both give strict POSIX semantics: SCHED_FIFO/SCHED_RR above
+// SCHED_OTHER, FIFO never timesliced, RR and OTHER rotated on quantum
+// expiry (scaled by niceness).
+//
+// # Shielded processors (the paper's contribution)
+//
+// shield.go implements §3: bitmasks shield CPUs from processes, from
+// assignable interrupts, and from the local timer, each independently,
+// controlled through /proc/shield/{procs,irqs,ltmr,all}. The affinity
+// semantics are inverted via EffectiveAffinity: a shielded CPU is
+// removed from every mask unless the mask contains only shielded CPUs —
+// the opt-in that lets a real-time task and its device interrupt own the
+// CPU. Shield changes are dynamic: running tasks are migrated off at
+// the next legal preemption point, queued tasks are re-placed, new
+// interrupt deliveries are rerouted, and the local timer tick stops and
+// restarts.
+//
+// # Determinism
+//
+// The whole machine is single-threaded on a seeded event heap; identical
+// seeds give bit-identical runs, which the experiments and the
+// failure-injection tests rely on. CheckInvariants walks every
+// cross-cutting consistency property for use in tests.
+package kernel

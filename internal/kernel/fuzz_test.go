@@ -1,0 +1,40 @@
+package kernel
+
+import "testing"
+
+// FuzzParseMask exercises the /proc affinity-mask parser with arbitrary
+// input: it must never panic, and accepted inputs must round-trip.
+func FuzzParseMask(f *testing.F) {
+	for _, seed := range []string{"0", "3", "ff", "0x2\n", " 10 ", "zz", "-1", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMask(s)
+		if err != nil {
+			return
+		}
+		back, err2 := ParseMask(m.String())
+		if err2 != nil || back != m {
+			t.Fatalf("round-trip failed for %q: %v -> %v (%v)", s, m, back, err2)
+		}
+	})
+}
+
+// FuzzEffectiveAffinity checks the shielding-semantics invariants for
+// arbitrary masks.
+func FuzzEffectiveAffinity(f *testing.F) {
+	f.Add(uint64(3), uint64(2), uint64(15))
+	f.Fuzz(func(t *testing.T, aff, sh, on uint64) {
+		a, s, o := CPUMask(aff), CPUMask(sh), CPUMask(on)
+		eff := EffectiveAffinity(a, s, o)
+		if !eff.SubsetOf(a & o) {
+			t.Fatalf("eff %v escapes affinity∩online", eff)
+		}
+		if a&o != 0 && eff == 0 {
+			t.Fatal("task with online CPUs was stranded")
+		}
+		if a&o != 0 && !(a & o).SubsetOf(s) && eff.Intersect(s) != 0 {
+			t.Fatal("non-opted-in mask kept a shielded CPU")
+		}
+	})
+}

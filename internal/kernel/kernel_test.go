@@ -1,0 +1,292 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testConfig returns a small RedHawk-style machine for behavioral tests.
+func testConfig(ncpu int) Config {
+	cfg := RedHawk14(ncpu, 1.0)
+	return cfg
+}
+
+// run builds a kernel, starts it and runs until the given time.
+func run(t *testing.T, cfg Config, setup func(k *Kernel), until sim.Duration) *Kernel {
+	t.Helper()
+	k := New(cfg, 42)
+	setup(k)
+	k.Start()
+	k.Eng.Run(sim.Time(until))
+	return k
+}
+
+// onceBehavior runs a fixed list of actions then exits.
+type onceBehavior struct {
+	actions []Action
+	idx     int
+}
+
+func (b *onceBehavior) Next(t *Task) Action {
+	if b.idx >= len(b.actions) {
+		return Exit()
+	}
+	a := b.actions[b.idx]
+	b.idx++
+	return a
+}
+
+func TestComputeTaskRunsToCompletion(t *testing.T) {
+	var done sim.Time = -1
+	act := Compute(10 * sim.Millisecond)
+	act.OnComplete = func(now sim.Time) { done = now }
+	k := run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("worker", SchedOther, 0, 0, &onceBehavior{actions: []Action{act}})
+	}, 100*sim.Millisecond)
+
+	if done < 0 {
+		t.Fatal("compute action never completed")
+	}
+	// 10ms of work plus dispatch overhead and tick interruptions; it
+	// must take at least the work and not wildly more.
+	if done < sim.Time(10*sim.Millisecond) {
+		t.Fatalf("completed at %v, before the work could be done", done)
+	}
+	if done > sim.Time(12*sim.Millisecond) {
+		t.Fatalf("completed at %v, too much overhead on an idle machine", done)
+	}
+	var task *Task
+	for _, tk := range k.Tasks() {
+		if tk.Name == "worker" {
+			task = tk
+		}
+	}
+	if task == nil || task.State() != TaskExited {
+		t.Fatalf("worker state = %v, want exited", task.State())
+	}
+}
+
+func TestTwoTasksOneCPUTimeshare(t *testing.T) {
+	// Two SCHED_OTHER tasks on one CPU must both make progress
+	// (timeslice rotation) and both finish.
+	finished := 0
+	mk := func() Behavior {
+		act := Compute(200 * sim.Millisecond)
+		act.OnComplete = func(sim.Time) { finished++ }
+		return &onceBehavior{actions: []Action{act}}
+	}
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("a", SchedOther, 0, 0, mk())
+		k.NewTask("b", SchedOther, 0, 0, mk())
+	}, 600*sim.Millisecond)
+	if finished != 2 {
+		t.Fatalf("finished = %d, want 2", finished)
+	}
+}
+
+func TestFIFOPreemptsOther(t *testing.T) {
+	// A SCHED_FIFO task waking up must preempt a SCHED_OTHER cpu hog
+	// almost immediately (user-mode preemption).
+	var rtStart sim.Time = -1
+	hog := BehaviorFunc(func(task *Task) Action {
+		return Compute(sim.Second)
+	})
+	rtAct := Compute(sim.Millisecond)
+	rtAct.OnComplete = func(now sim.Time) { rtStart = now }
+
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("hog", SchedOther, 0, 0, hog)
+		rt := k.NewTask("rt", SchedFIFO, 90, 0, &onceBehavior{actions: []Action{
+			Sleep(10 * sim.Millisecond),
+			rtAct,
+		}})
+		_ = rt
+	}, 100*sim.Millisecond)
+
+	if rtStart < 0 {
+		t.Fatal("RT task never ran")
+	}
+	// Woken at ~10ms; must complete its 1ms compute well before the
+	// hog's 1s compute would have finished.
+	latency := rtStart - sim.Time(11*sim.Millisecond)
+	if latency < 0 {
+		latency = -latency
+	}
+	if latency > sim.Time(200*sim.Microsecond) {
+		t.Fatalf("RT completion at %v, want ~11ms (preemption of user-mode hog)", rtStart)
+	}
+}
+
+func TestFIFONeverRotated(t *testing.T) {
+	// Two FIFO tasks at the same priority: the first must run to
+	// completion before the second starts (no timeslice rotation).
+	var order []int
+	mk := func(id int) Behavior {
+		act := Compute(300 * sim.Millisecond)
+		act.OnComplete = func(sim.Time) { order = append(order, id) }
+		return &onceBehavior{actions: []Action{act}}
+	}
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("f1", SchedFIFO, 50, 0, mk(1))
+		k.NewTask("f2", SchedFIFO, 50, 0, mk(2))
+	}, 800*sim.Millisecond)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("completion order = %v, want [1 2]", order)
+	}
+}
+
+func TestHigherFIFOPrioWins(t *testing.T) {
+	var first int
+	mk := func(id int) Behavior {
+		act := Compute(50 * sim.Millisecond)
+		act.OnComplete = func(sim.Time) {
+			if first == 0 {
+				first = id
+			}
+		}
+		return &onceBehavior{actions: []Action{act}}
+	}
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("low", SchedFIFO, 10, 0, mk(1))
+		k.NewTask("high", SchedFIFO, 90, 0, mk(2))
+	}, 300*sim.Millisecond)
+	if first != 2 {
+		t.Fatalf("first finisher = %d, want the high-priority task", first)
+	}
+}
+
+func TestAffinityRespected(t *testing.T) {
+	cfg := testConfig(2)
+	var ranOn = -1
+	act := Compute(5 * sim.Millisecond)
+	run(t, cfg, func(k *Kernel) {
+		b := BehaviorFunc(func(task *Task) Action {
+			ranOn = task.CPU()
+			return Exit()
+		})
+		a := act
+		_ = a
+		k.NewTask("pinned", SchedOther, 0, MaskOf(1), b)
+	}, 50*sim.Millisecond)
+	if ranOn != 1 {
+		t.Fatalf("pinned task ran on cpu%d, want cpu1", ranOn)
+	}
+}
+
+func TestSMPParallelism(t *testing.T) {
+	// Two CPU-bound tasks on two CPUs should finish in about the time of
+	// one (parallel), not two (serial).
+	var last sim.Time
+	mk := func() Behavior {
+		act := Compute(100 * sim.Millisecond)
+		act.OnComplete = func(now sim.Time) {
+			if now > last {
+				last = now
+			}
+		}
+		return &onceBehavior{actions: []Action{act}}
+	}
+	run(t, testConfig(2), func(k *Kernel) {
+		k.NewTask("a", SchedOther, 0, 0, mk())
+		k.NewTask("b", SchedOther, 0, 0, mk())
+	}, 400*sim.Millisecond)
+	if last == 0 {
+		t.Fatal("tasks did not finish")
+	}
+	if last > sim.Time(120*sim.Millisecond) {
+		t.Fatalf("parallel finish at %v, want ~100-105ms (bus contention only)", last)
+	}
+}
+
+func TestSleepWakes(t *testing.T) {
+	var woke sim.Time = -1
+	act := Sleep(25 * sim.Millisecond)
+	act.OnComplete = func(now sim.Time) { woke = now }
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("sleeper", SchedOther, 0, 0, &onceBehavior{actions: []Action{act}})
+	}, 100*sim.Millisecond)
+	if woke < sim.Time(25*sim.Millisecond) || woke > sim.Time(26*sim.Millisecond) {
+		t.Fatalf("woke at %v, want ~25ms", woke)
+	}
+}
+
+func TestSyscallSegmentsExecute(t *testing.T) {
+	var sideEffects []string
+	var completed sim.Time = -1
+	call := &SyscallCall{
+		Name: "test",
+		Segments: []Segment{
+			{Kind: SegWork, D: 100 * sim.Microsecond, OnDone: func() { sideEffects = append(sideEffects, "a") }},
+			{Kind: SegWork, D: 50 * sim.Microsecond, OnDone: func() { sideEffects = append(sideEffects, "b") }},
+		},
+	}
+	act := Syscall(call)
+	act.OnComplete = func(now sim.Time) { completed = now }
+	run(t, testConfig(1), func(k *Kernel) {
+		k.NewTask("caller", SchedOther, 0, 0, &onceBehavior{actions: []Action{act}})
+	}, 10*sim.Millisecond)
+	if completed < 0 {
+		t.Fatal("syscall never completed")
+	}
+	if len(sideEffects) != 2 || sideEffects[0] != "a" || sideEffects[1] != "b" {
+		t.Fatalf("side effects = %v", sideEffects)
+	}
+	if completed < sim.Time(150*sim.Microsecond) {
+		t.Fatalf("syscall completed at %v, faster than its work", completed)
+	}
+}
+
+func TestSyscallBlockAndWake(t *testing.T) {
+	wq := NewWaitQueue("dev")
+	var completed sim.Time = -1
+	call := &SyscallCall{
+		Name: "read",
+		Segments: []Segment{
+			{Kind: SegWork, D: 10 * sim.Microsecond},
+			{Kind: SegBlock, Wait: wq},
+			{Kind: SegWork, D: 5 * sim.Microsecond},
+		},
+	}
+	act := Syscall(call)
+	act.OnComplete = func(now sim.Time) { completed = now }
+
+	k := New(testConfig(1), 42)
+	tk := k.NewTask("reader", SchedFIFO, 80, 0, &onceBehavior{actions: []Action{act}})
+	k.Start()
+	// Wake the reader at t=5ms from a timer event (as an ISR would).
+	k.Eng.Schedule(sim.Time(5*sim.Millisecond), func() {
+		k.WakeAll(wq, nil)
+	})
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+
+	if completed < 0 {
+		t.Fatalf("blocked syscall never completed (task state %v)", tk.State())
+	}
+	if completed < sim.Time(5*sim.Millisecond) {
+		t.Fatal("syscall completed before the wake")
+	}
+	// Wake + switch + 5µs exit work on an idle CPU: tens of µs at most.
+	if completed > sim.Time(5*sim.Millisecond+100*sim.Microsecond) {
+		t.Fatalf("wake-to-completion took too long: %v", completed)
+	}
+}
+
+func TestTaskMigratesOffCPUOnAffinityChange(t *testing.T) {
+	cfg := testConfig(2)
+	k := New(cfg, 42)
+	var task *Task
+	task = k.NewTask("mover", SchedOther, 0, MaskOf(0), BehaviorFunc(func(tk *Task) Action {
+		return Compute(10 * sim.Millisecond)
+	}))
+	k.Start()
+	k.Eng.Schedule(sim.Time(15*sim.Millisecond), func() {
+		if err := k.SetTaskAffinity(task, MaskOf(1)); err != nil {
+			t.Errorf("SetTaskAffinity: %v", err)
+		}
+	})
+	k.Eng.Run(sim.Time(50 * sim.Millisecond))
+	if got := task.CPU(); got != 1 {
+		t.Fatalf("task on cpu%d after affinity change, want cpu1", got)
+	}
+}

@@ -1,0 +1,64 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLoadAvgTracksRunnable(t *testing.T) {
+	// Three always-runnable hogs on one CPU: the 1-minute load should
+	// converge toward 3.
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	for i := 0; i < 3; i++ {
+		k.NewTask("hog", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			return Compute(5 * sim.Millisecond)
+		}))
+	}
+	k.Start()
+	k.Eng.Run(sim.Time(120 * sim.Second))
+	one, five, _ := k.LoadAvg()
+	if one < 2.2 || one > 3.3 {
+		t.Fatalf("1-min load = %.2f, want ≈3", one)
+	}
+	// After 120s the 5-min EMA has closed ~1/3 of the gap to 3.
+	if five < 0.7 || five > 3.3 {
+		t.Fatalf("5-min load = %.2f, want ≈1 after 120s", five)
+	}
+}
+
+func TestLoadAvgIdleDecays(t *testing.T) {
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	tk := k.NewTask("burst", SchedOther, 0, 0, &onceBehavior{actions: []Action{
+		Compute(30 * sim.Second),
+	}})
+	k.Start()
+	k.Eng.Run(sim.Time(30 * sim.Second))
+	one1, _, _ := k.LoadAvg()
+	if one1 < 0.3 {
+		t.Fatalf("load while busy = %.2f", one1)
+	}
+	_ = tk
+	// Two idle minutes: load decays substantially.
+	k.Eng.Run(k.Now() + sim.Time(120*sim.Second))
+	one2, _, _ := k.LoadAvg()
+	if one2 > one1/2 {
+		t.Fatalf("load did not decay: %.2f -> %.2f", one1, one2)
+	}
+}
+
+func TestProcLoadavgFile(t *testing.T) {
+	k := New(testConfig(1), 42)
+	k.Start()
+	k.Eng.Run(sim.Time(10 * sim.Second))
+	out, err := k.FS.Read("/proc/loadavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") || !strings.Contains(out, "/") {
+		t.Fatalf("/proc/loadavg = %q", out)
+	}
+}

@@ -1,0 +1,132 @@
+package kernel
+
+import "repro/internal/sim"
+
+// SpinLock models a kernel spinlock. In this simulator a lock is held by a
+// CPU context (frame); a contended acquire spins, burning the waiter's CPU
+// until the holder releases. The Big Kernel Lock is a SpinLock with
+// sleep-release semantics handled by the syscall engine.
+//
+// Whether the lock disables interrupts while held is a property of the
+// *section* (Segment.IRQsOff), not the lock, matching spin_lock vs
+// spin_lock_irqsave usage in the kernel. §6.2 of the paper hinges on
+// sections that do NOT disable interrupts being preempted by interrupt +
+// bottom-half activity while holding the lock.
+type SpinLock struct {
+	Name string
+
+	holder *CPU
+	// waiters are CPUs spinning on this lock, FIFO. grant is invoked on
+	// the waiter's CPU when the lock is handed over.
+	waiters []*lockWaiter
+
+	// Contention statistics.
+	Acquisitions uint64
+	Contentions  uint64
+	// TotalSpin is the aggregate virtual time CPUs spent spinning.
+	TotalSpin sim.Duration
+	// MaxHold is the longest observed hold (including time the holder
+	// was preempted by interrupts or bottom halves).
+	MaxHold  sim.Duration
+	heldAt   sim.Time
+	heldOnce bool
+}
+
+type lockWaiter struct {
+	cpu   *CPU
+	since sim.Time
+	// active reports whether the CPU is actively spinning right now
+	// (its spin frame is on top). A CPU whose spin was preempted by
+	// interrupt work cannot take a handover — a real spinlock would
+	// simply stay free until somebody's test-and-set wins.
+	active  func() bool
+	granted func()
+}
+
+// NewSpinLock returns an unlocked spinlock.
+func NewSpinLock(name string) *SpinLock { return &SpinLock{Name: name} }
+
+// Held reports whether the lock is currently held.
+func (l *SpinLock) Held() bool { return l.holder != nil }
+
+// Holder returns the CPU holding the lock, or nil.
+func (l *SpinLock) Holder() *CPU { return l.holder }
+
+// Waiters returns the number of spinning CPUs.
+func (l *SpinLock) Waiters() int { return len(l.waiters) }
+
+// tryAcquire attempts an uncontended acquire by cpu. It reports success.
+func (l *SpinLock) tryAcquire(cpu *CPU, now sim.Time) bool {
+	if l.holder != nil {
+		return false
+	}
+	l.holder = cpu
+	l.heldAt = now
+	l.heldOnce = true
+	l.Acquisitions++
+	return true
+}
+
+// addWaiter queues a spinning CPU; granted runs when the lock is handed
+// to it (the handover performs the acquire bookkeeping).
+func (l *SpinLock) addWaiter(cpu *CPU, now sim.Time, active func() bool, granted func()) {
+	l.Contentions++
+	l.waiters = append(l.waiters, &lockWaiter{cpu: cpu, since: now, active: active, granted: granted})
+}
+
+// retryAcquire is called when a preempted spinner surfaces again and the
+// lock may have been freed meanwhile: it attempts the test-and-set and,
+// on success, removes the waiter entry and performs the acquire
+// bookkeeping. Reports success.
+func (l *SpinLock) retryAcquire(cpu *CPU, now sim.Time, since sim.Time) bool {
+	if l.holder != nil {
+		return false
+	}
+	l.removeWaiter(cpu)
+	l.holder = cpu
+	l.heldAt = now
+	l.heldOnce = true
+	l.Acquisitions++
+	l.TotalSpin += now.Sub(since)
+	return true
+}
+
+// removeWaiter deletes a queued waiter for the given CPU (used when the
+// spin is abandoned, e.g. task killed). Reports whether one was removed.
+func (l *SpinLock) removeWaiter(cpu *CPU) bool {
+	for i, w := range l.waiters {
+		if w.cpu == cpu {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release drops the lock and hands it to the first *actively spinning*
+// waiter, if any. The waiter's granted callback runs immediately (same
+// virtual instant): spinners observe the release without delay. Waiters
+// whose spin was preempted by interrupt work are skipped — the lock stays
+// free for them to retry when they surface (retryAcquire), exactly like a
+// real test-and-set loop.
+func (l *SpinLock) release(now sim.Time) {
+	if l.holder == nil {
+		panic("kernel: release of unheld lock " + l.Name)
+	}
+	if hold := now.Sub(l.heldAt); hold > l.MaxHold {
+		l.MaxHold = hold
+	}
+	l.holder = nil
+	for i, w := range l.waiters {
+		if w.active != nil && !w.active() {
+			continue
+		}
+		l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+		l.holder = w.cpu
+		l.heldAt = now
+		l.Acquisitions++
+		l.TotalSpin += now.Sub(w.since)
+		w.granted()
+		return
+	}
+}

@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFastHandlerNestedOverSlow(t *testing.T) {
+	// A fast (SA_INTERRUPT) line arriving while a slow handler runs must
+	// be serviced immediately (nested), not pended until the slow
+	// handler completes.
+	cfg := testConfig(1)
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	var slowStart, fastAt, slowEnd sim.Time = -1, -1, -1
+	slow := k.RegisterIRQ("disk", 0, constWork(500*sim.Microsecond), func(c *CPU) {
+		slowEnd = k.Now()
+	})
+	fast := k.RegisterIRQ("rtc", 0, constWork(2*sim.Microsecond), func(c *CPU) {
+		fastAt = k.Now()
+	})
+	fast.Fast = true
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() {
+		slowStart = k.Now()
+		k.Raise(slow)
+	})
+	k.Eng.Schedule(sim.Time(sim.Millisecond+100*sim.Microsecond), func() { k.Raise(fast) })
+	k.Eng.Run(sim.Time(10 * sim.Millisecond))
+
+	if fastAt < 0 || slowEnd < 0 {
+		t.Fatal("handlers did not run")
+	}
+	if fastAt > slowEnd {
+		t.Fatalf("fast handler at %v waited for slow handler end %v (no nesting)", fastAt, slowEnd)
+	}
+	if fastAt < slowStart {
+		t.Fatal("ordering broken")
+	}
+	// The fast handler nests promptly after its arrival at +100µs.
+	if fastAt > sim.Time(sim.Millisecond+120*sim.Microsecond) {
+		t.Fatalf("fast handler delayed to %v, want ~1.1ms", fastAt)
+	}
+}
+
+func TestSlowHandlerPendsUnderFast(t *testing.T) {
+	// The reverse: anything arriving during a fast handler pends.
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	var slowAt, fastEnd sim.Time = -1, -1
+	fast := k.RegisterIRQ("rtc", 0, constWork(300*sim.Microsecond), func(c *CPU) {
+		fastEnd = k.Now()
+	})
+	fast.Fast = true
+	slow := k.RegisterIRQ("disk", 0, constWork(5*sim.Microsecond), func(c *CPU) {
+		slowAt = k.Now()
+	})
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() { k.Raise(fast) })
+	k.Eng.Schedule(sim.Time(sim.Millisecond+50*sim.Microsecond), func() { k.Raise(slow) })
+	k.Eng.Run(sim.Time(10 * sim.Millisecond))
+	if slowAt < fastEnd {
+		t.Fatalf("slow handler at %v ran inside fast handler (ended %v)", slowAt, fastEnd)
+	}
+}
+
+func TestSameLineNeverNests(t *testing.T) {
+	// A second occurrence of the same slow line during its own handler
+	// must pend (the line is masked), and still be handled afterwards.
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	var times []sim.Time
+	line := k.RegisterIRQ("dev", 0, constWork(400*sim.Microsecond), func(c *CPU) {
+		times = append(times, k.Now())
+	})
+	k.Start()
+	k.Eng.Schedule(sim.Time(sim.Millisecond), func() { k.Raise(line) })
+	k.Eng.Schedule(sim.Time(sim.Millisecond+100*sim.Microsecond), func() { k.Raise(line) })
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+	if len(times) != 2 {
+		t.Fatalf("handled %d, want 2", len(times))
+	}
+	gap := times[1].Sub(times[0])
+	if gap < 350*sim.Microsecond {
+		t.Fatalf("second occurrence ran %v after the first — nested on its own line", gap)
+	}
+}
+
+func TestISRNestingDepthBounded(t *testing.T) {
+	// A cascade of distinct slow lines cannot nest beyond maxISRNest.
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	depths := []int{}
+	var lines []*IRQLine
+	for i := 0; i < 6; i++ {
+		l := k.RegisterIRQ("slow", 0, constWork(300*sim.Microsecond), func(c *CPU) {
+			depths = append(depths, c.isrDepth())
+		})
+		lines = append(lines, l)
+	}
+	k.Start()
+	for i, l := range lines {
+		l := l
+		at := sim.Time(sim.Millisecond) + sim.Time(i)*sim.Time(30*sim.Microsecond)
+		k.Eng.Schedule(at, func() { k.Raise(l) })
+	}
+	k.Eng.Run(sim.Time(50 * sim.Millisecond))
+	if len(depths) != 6 {
+		t.Fatalf("handled %d of 6", len(depths))
+	}
+	// depths are recorded at handler END (after pop of own frame the
+	// onDone runs post-pop, so depth excludes self); the max live depth
+	// is therefore depths+1 ≤ maxISRNest.
+	for _, d := range depths {
+		if d+1 > maxISRNest {
+			t.Fatalf("nest depth %d exceeded cap %d", d+1, maxISRNest)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimesliceForNice(t *testing.T) {
+	mk := func(nice int, policy SchedPolicy) *Task {
+		return &Task{Policy: policy, Nice: nice}
+	}
+	base := timesliceFor(mk(0, SchedOther))
+	if base != defaultTimeslice {
+		t.Fatalf("nice 0 slice = %v", base)
+	}
+	favoured := timesliceFor(mk(-20, SchedOther))
+	if favoured != defaultTimeslice.Scale(2.0) {
+		t.Fatalf("nice -20 slice = %v, want 2x", favoured)
+	}
+	starved := timesliceFor(mk(19, SchedOther))
+	if starved >= base/2 || starved < 10*sim.Millisecond {
+		t.Fatalf("nice 19 slice = %v", starved)
+	}
+	// Clamping out-of-range values.
+	if timesliceFor(mk(-100, SchedOther)) != favoured {
+		t.Fatal("nice below -20 not clamped")
+	}
+	if timesliceFor(mk(100, SchedOther)) != starved {
+		t.Fatal("nice above 19 not clamped")
+	}
+}
+
+func TestNiceBiasesCPUShare(t *testing.T) {
+	// A nice -20 hog against a nice +19 hog on one CPU: the favoured
+	// task gets a clearly larger share.
+	cfg := testConfig(1)
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	progress := map[string]int{}
+	mk := func(name string, nice int) {
+		tk := k.NewTask(name, SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			a := Compute(5 * sim.Millisecond)
+			a.OnComplete = func(sim.Time) { progress[name]++ }
+			return a
+		}))
+		tk.Nice = nice
+		tk.sliceLeft = timesliceFor(tk)
+	}
+	mk("favoured", -20)
+	mk("starved", 19)
+	k.Start()
+	k.Eng.Run(sim.Time(3 * sim.Second))
+	f, s := progress["favoured"], progress["starved"]
+	if f == 0 || s == 0 {
+		t.Fatalf("starvation: favoured=%d starved=%d", f, s)
+	}
+	ratio := float64(f) / float64(s)
+	// 120ms vs 10ms quantum → expect roughly 12:1; accept a broad band.
+	if ratio < 3 {
+		t.Fatalf("nice bias too weak: favoured=%d starved=%d (ratio %.1f)", f, s, ratio)
+	}
+}

@@ -1,0 +1,209 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// wakeLatencyUnder measures how long a high-priority task waits from its
+// wake event until it reaches user-mode completion of a tiny compute,
+// while a low-priority task sits inside the given syscall on the same CPU.
+func wakeLatencyUnder(t *testing.T, cfg Config, kernelResidency sim.Duration, locked bool) sim.Duration {
+	t.Helper()
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+
+	segs := []Segment{{Kind: SegWork, D: kernelResidency}}
+	if locked {
+		segs[0].Lock = k.NamedLock("fs")
+	}
+	lowCall := &SyscallCall{Name: "longsys", Segments: segs}
+	low := BehaviorFunc(func(task *Task) Action {
+		return Syscall(lowCall)
+	})
+	k.NewTask("low", SchedOther, 0, MaskOf(0), low)
+
+	var wakeAt, doneAt sim.Time = -1, -1
+	rtAct := Compute(sim.Microsecond)
+	rtAct.OnComplete = func(now sim.Time) { doneAt = now }
+	sleep := Sleep(2 * sim.Millisecond) // let low settle into its syscall
+	// Record the actual wake instant (jiffy rounding applies on stock
+	// kernels, so the nominal 2ms cannot be assumed).
+	sleep.OnComplete = func(now sim.Time) { wakeAt = now }
+	rt := k.NewTask("rt", SchedFIFO, 90, MaskOf(0), &onceBehavior{actions: []Action{
+		sleep,
+		rtAct,
+	}})
+	_ = rt
+	k.Start()
+	k.Eng.Run(sim.Time(sim.Second))
+	if doneAt < 0 {
+		t.Fatalf("RT task never completed under %s", cfg.Name)
+	}
+	return sim.Duration(doneAt - wakeAt)
+}
+
+func TestNonPreemptibleKernelDelaysWake(t *testing.T) {
+	// Stock 2.4: the RT task must wait for the whole remaining syscall
+	// (tens of ms), the §6 pathology.
+	cfg := StandardLinux24(1, 1.0, false)
+	lat := wakeLatencyUnder(t, cfg, 50*sim.Millisecond, false)
+	if lat < 10*sim.Millisecond {
+		t.Fatalf("latency = %v; stock kernel should make the RT task wait for syscall exit", lat)
+	}
+}
+
+func TestPreemptibleKernelPreemptsMidSyscall(t *testing.T) {
+	// Preemption patch: the unlocked kernel region is preemptible, so
+	// the wake latency is tiny even with 50ms of kernel residency.
+	cfg := RedHawk14(1, 1.0)
+	lat := wakeLatencyUnder(t, cfg, 50*sim.Millisecond, false)
+	if lat > 200*sim.Microsecond {
+		t.Fatalf("latency = %v; preemptible kernel should preempt mid-syscall", lat)
+	}
+}
+
+func TestPreemptibleKernelWaitsForCriticalSection(t *testing.T) {
+	// Preemption patch but the region holds a spinlock: latency is
+	// bounded by the critical section, which RedHawk caps at
+	// CritSectionCap.
+	cfg := RedHawk14(1, 1.0)
+	lat := wakeLatencyUnder(t, cfg, 50*sim.Millisecond, true)
+	if lat > cfg.CritSectionCap+300*sim.Microsecond {
+		t.Fatalf("latency = %v, want bounded by the %v critical section cap", lat, cfg.CritSectionCap)
+	}
+	if lat < 10*sim.Microsecond {
+		t.Fatalf("latency = %v; implausibly small while a lock was held", lat)
+	}
+}
+
+func TestLowLatencyPatchBoundsLatencyWithoutPreemption(t *testing.T) {
+	// Low-latency patches alone (no preemption patch): scheduling
+	// points cap the wait at ~LowLatencyPoint even in a locked region.
+	cfg := StandardLinux24(1, 1.0, false)
+	cfg.LowLatency = true
+	cfg.CritSectionCap = cfg.Timing.LowLatencyPoint
+	lat := wakeLatencyUnder(t, cfg, 50*sim.Millisecond, true)
+	if lat > cfg.Timing.LowLatencyPoint+500*sim.Microsecond {
+		t.Fatalf("latency = %v, want ≤ ~%v (scheduling points)", lat, cfg.Timing.LowLatencyPoint)
+	}
+}
+
+func TestLatencyOrderingAcrossKernels(t *testing.T) {
+	// The paper's overall story in one assertion chain:
+	// stock ≫ low-latency ≫ RedHawk-preemptible.
+	stock := wakeLatencyUnder(t, StandardLinux24(1, 1.0, false), 40*sim.Millisecond, true)
+	patched := wakeLatencyUnder(t, PatchedLinux24(1, 1.0), 40*sim.Millisecond, true)
+	redhawk := wakeLatencyUnder(t, RedHawk14(1, 1.0), 40*sim.Millisecond, true)
+	if !(stock > patched && patched > redhawk) {
+		t.Fatalf("ordering violated: stock=%v patched=%v redhawk=%v", stock, patched, redhawk)
+	}
+}
+
+func TestHTSiblingContentionSlowsCompute(t *testing.T) {
+	// §5: with hyperthreading, a busy sibling stretches the execution
+	// of a CPU-bound loop by roughly 1/HTSlowdown.
+	measure := func(siblingBusy bool) sim.Duration {
+		cfg := StandardLinux24(1, 1.0, true) // 1 phys → logical 0,1 siblings
+		cfg.Timing.BusContention = 0
+		k := New(cfg, 42)
+		var start, end sim.Time
+		act := Compute(100 * sim.Millisecond)
+		act.OnComplete = func(now sim.Time) { end = now }
+		k.NewTask("meas", SchedFIFO, 90, MaskOf(0), &onceBehavior{actions: []Action{act}})
+		if siblingBusy {
+			k.NewTask("noise", SchedFIFO, 90, MaskOf(1), BehaviorFunc(func(*Task) Action {
+				return Compute(sim.Second)
+			}))
+		}
+		k.Start()
+		k.Eng.Run(sim.Time(sim.Second))
+		if end == 0 {
+			t.Fatal("measurement task did not finish")
+		}
+		return sim.Duration(end - start)
+	}
+	alone := measure(false)
+	contended := measure(true)
+	ratio := float64(contended) / float64(alone)
+	cfg := DefaultTiming()
+	want := 1 / cfg.HTSlowdown
+	if ratio < want*0.93 || ratio > want*1.07 {
+		t.Fatalf("HT contention ratio = %.3f, want ≈ %.3f", ratio, want)
+	}
+}
+
+func TestTimesliceRotationFairness(t *testing.T) {
+	// Two OTHER hogs on one CPU must alternate: after 1s each has made
+	// 40-60% of total progress.
+	cfg := testConfig(1)
+	k := New(cfg, 42)
+	progress := map[string]int{}
+	mk := func(name string) Behavior {
+		return BehaviorFunc(func(*Task) Action {
+			a := Compute(10 * sim.Millisecond)
+			a.OnComplete = func(sim.Time) { progress[name]++ }
+			return a
+		})
+	}
+	k.NewTask("a", SchedOther, 0, 0, mk("a"))
+	k.NewTask("b", SchedOther, 0, 0, mk("b"))
+	k.Start()
+	k.Eng.Run(sim.Time(sim.Second))
+	total := progress["a"] + progress["b"]
+	if total == 0 {
+		t.Fatal("no progress at all")
+	}
+	fracA := float64(progress["a"]) / float64(total)
+	if fracA < 0.35 || fracA > 0.65 {
+		t.Fatalf("unfair rotation: a=%d b=%d", progress["a"], progress["b"])
+	}
+}
+
+func TestLegacySchedulerCostGrowsWithRunnable(t *testing.T) {
+	cfg := StandardLinux24(1, 1.0, false)
+	k := New(cfg, 42)
+	base := k.sched.PickCost(k.CPU(0))
+	for i := 0; i < 50; i++ {
+		k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			return Compute(sim.Millisecond)
+		}))
+	}
+	k.Start() // enqueues all 50
+	loaded := k.sched.PickCost(k.CPU(0))
+	if loaded <= base {
+		t.Fatalf("legacy pick cost did not grow: base %v, loaded %v", base, loaded)
+	}
+	// O(1): constant.
+	k2 := New(RedHawk14(1, 1.0), 42)
+	base2 := k2.sched.PickCost(k2.CPU(0))
+	for i := 0; i < 50; i++ {
+		k2.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			return Compute(sim.Millisecond)
+		}))
+	}
+	k2.Start()
+	if got := k2.sched.PickCost(k2.CPU(0)); got != base2 {
+		t.Fatalf("O(1) pick cost changed under load: %v -> %v", base2, got)
+	}
+}
+
+func TestO1StealsFromLoadedCPU(t *testing.T) {
+	// Queue several tasks on CPU0; CPU1 must steal and run some.
+	cfg := RedHawk14(2, 1.0)
+	k := New(cfg, 42)
+	ranOn := map[int]int{}
+	for i := 0; i < 6; i++ {
+		k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(tk *Task) Action {
+			a := Compute(5 * sim.Millisecond)
+			a.OnComplete = func(sim.Time) { ranOn[tk.CPU()]++ }
+			return a
+		}))
+	}
+	k.Start()
+	k.Eng.Run(sim.Time(200 * sim.Millisecond))
+	if ranOn[0] == 0 || ranOn[1] == 0 {
+		t.Fatalf("work distribution = %v, want both CPUs active", ranOn)
+	}
+}

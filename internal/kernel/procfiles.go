@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// registerProcFiles mounts the kernel's control files in the /proc tree:
+// the standard /proc/irq/<n>/smp_affinity files and, on kernels with
+// shield support, the paper's /proc/shield directory.
+func (k *Kernel) registerProcFiles() {
+	k.FS.MustRegister("/proc/version", func() string {
+		return fmt.Sprintf("Linux version 2.4.18 (%s) SMP\n", k.Cfg.Name)
+	}, nil)
+
+	k.FS.MustRegister("/proc/cpuinfo", func() string {
+		var b strings.Builder
+		for _, c := range k.cpus {
+			fmt.Fprintf(&b, "processor\t: %d\nphysical id\t: %d\ncpu MHz\t\t: %.0f\n\n",
+				c.ID, c.Phys, k.Cfg.CPUFreqGHz*1000)
+		}
+		return b.String()
+	}, nil)
+
+	k.FS.MustRegister("/proc/stat", k.ProcStat, nil)
+	k.FS.MustRegister("/proc/loadavg", func() string {
+		one, five, fifteen := k.LoadAvg()
+		return fmt.Sprintf("%.2f %.2f %.2f %d/%d\n",
+			one, five, fifteen, k.activeTasks(), len(k.tasks))
+	}, nil)
+	k.FS.MustRegister("/proc/tasks", k.ProcTasks, nil)
+
+	k.FS.MustRegister("/proc/interrupts", func() string {
+		var b strings.Builder
+		b.WriteString("     ")
+		for i := range k.cpus {
+			fmt.Fprintf(&b, "%12s", fmt.Sprintf("CPU%d", i))
+		}
+		b.WriteString("\n")
+		for _, l := range k.irqs {
+			fmt.Fprintf(&b, "%3d: ", l.Num)
+			for i := range k.cpus {
+				var n uint64
+				if i < len(l.PerCPU) {
+					n = l.PerCPU[i]
+				}
+				fmt.Fprintf(&b, "%12d", n)
+			}
+			fmt.Fprintf(&b, "  %s  (affinity %s, effective %s)\n",
+				l.Name, l.Affinity(), l.EffectiveAffinity())
+		}
+		return b.String()
+	}, nil)
+
+	if !k.Cfg.ShieldSupport {
+		return
+	}
+	type shieldFile struct {
+		name string
+		get  func() CPUMask
+		set  func(CPUMask) error
+	}
+	files := []shieldFile{
+		{"procs", func() CPUMask { return k.shieldProcs }, k.SetShieldProcs},
+		{"irqs", func() CPUMask { return k.shieldIRQs }, k.SetShieldIRQs},
+		{"ltmr", func() CPUMask { return k.shieldLTimer }, k.SetShieldLTimer},
+		{"all", func() CPUMask {
+			// "all" reads back the intersection: CPUs shielded in every
+			// dimension.
+			return k.shieldProcs & k.shieldIRQs & k.shieldLTimer
+		}, k.SetShieldAll},
+	}
+	for _, f := range files {
+		f := f
+		k.FS.MustRegister("/proc/shield/"+f.name,
+			func() string { return f.get().String() + "\n" },
+			func(data string) error {
+				m, err := ParseMask(data)
+				if err != nil {
+					return err
+				}
+				return f.set(m)
+			})
+	}
+}
+
+// registerIRQProcFile mounts /proc/irq/<n>/smp_affinity for a new line.
+func (k *Kernel) registerIRQProcFile(l *IRQLine) {
+	path := fmt.Sprintf("/proc/irq/%d/smp_affinity", l.Num)
+	k.FS.MustRegister(path,
+		func() string { return l.Affinity().String() + "\n" },
+		func(data string) error {
+			m, err := ParseMask(data)
+			if err != nil {
+				return err
+			}
+			return k.SetIRQAffinity(l, m)
+		})
+}

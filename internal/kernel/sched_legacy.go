@@ -1,0 +1,93 @@
+package kernel
+
+import "repro/internal/sim"
+
+// legacyScheduler is the 2.4 scheduler: one global runqueue, and every
+// dispatch walks it computing goodness() for each runnable task — O(n) in
+// the number of runnable tasks, which is the scheduling-overhead problem
+// the O(1) scheduler fixed. Selection semantics here: highest RT priority
+// first, then FIFO order with a last-CPU (cache affinity) bonus among
+// time-sharing tasks, a faithful simplification of goodness().
+type legacyScheduler struct {
+	k   *Kernel
+	run []*Task // global runqueue, FIFO within priority
+}
+
+func newLegacyScheduler(k *Kernel) *legacyScheduler {
+	return &legacyScheduler{k: k}
+}
+
+// Enqueue implements Scheduler. The legacy runqueue is global; c only
+// records the preferred CPU for the cache-affinity bonus.
+func (s *legacyScheduler) Enqueue(t *Task, c *CPU) {
+	t.cpu = c
+	s.run = append(s.run, t)
+}
+
+// Dequeue implements Scheduler.
+func (s *legacyScheduler) Dequeue(t *Task) {
+	for i, x := range s.run {
+		if x == t {
+			s.run = append(s.run[:i], s.run[i+1:]...)
+			return
+		}
+	}
+}
+
+// goodness scores t for running on c: RT priority dominates; among equal
+// priorities, a task that last ran on c gets a bonus (PROC_CHANGE_PENALTY)
+// and earlier-queued tasks win ties.
+func (s *legacyScheduler) goodness(t *Task, c *CPU) int {
+	g := t.rtEffective() * 1000
+	if t.cpu == c {
+		g += 100
+	}
+	return g
+}
+
+func (s *legacyScheduler) bestIndex(c *CPU) int {
+	best, bestG := -1, -1
+	for i, t := range s.run {
+		if !eligible(t, c) {
+			continue
+		}
+		if g := s.goodness(t, c); g > bestG {
+			best, bestG = i, g
+		}
+	}
+	return best
+}
+
+// Pick implements Scheduler.
+func (s *legacyScheduler) Pick(c *CPU) *Task {
+	i := s.bestIndex(c)
+	if i < 0 {
+		return nil
+	}
+	t := s.run[i]
+	s.run = append(s.run[:i], s.run[i+1:]...)
+	return t
+}
+
+// Peek implements Scheduler.
+func (s *legacyScheduler) Peek(c *CPU) *Task {
+	i := s.bestIndex(c)
+	if i < 0 {
+		return nil
+	}
+	return s.run[i]
+}
+
+// PickCost implements Scheduler: the goodness loop is linear in the
+// number of runnable tasks.
+func (s *legacyScheduler) PickCost(*CPU) sim.Duration {
+	cfg := &s.k.Cfg
+	return cfg.scale(cfg.Timing.SchedPickBase) +
+		cfg.scale(cfg.Timing.SchedPickPerTask).Scale(float64(len(s.run)))
+}
+
+// PlaceWake implements Scheduler.
+func (s *legacyScheduler) PlaceWake(t *Task) *CPU { return placeWake(s.k, t) }
+
+// NrRunnable implements Scheduler.
+func (s *legacyScheduler) NrRunnable() int { return len(s.run) }

@@ -1,0 +1,187 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Priority slots for the O(1) runqueue arrays, mirroring Linux: slots
+// 0..98 are the real-time priorities (slot = 99 - rtprio, lower slot runs
+// first) and slot 99 is the single time-sharing band (this model does not
+// simulate nice-level interactivity credits; SCHED_OTHER fairness is
+// timeslice rotation).
+const (
+	numSlots  = 100
+	otherSlot = numSlots - 1
+)
+
+func prioSlot(t *Task) int {
+	if t.Policy == SchedFIFO || t.Policy == SchedRR {
+		return MaxRTPrio - t.RTPrio
+	}
+	return otherSlot
+}
+
+// o1Runqueue is one per-CPU priority-array runqueue.
+type o1Runqueue struct {
+	queues [numSlots][]*Task
+	// bitmap has bit s set when queues[s] is non-empty; find-first-set
+	// gives the O(1) pick.
+	bitmap [2]uint64
+	nr     int
+}
+
+func (rq *o1Runqueue) add(t *Task) {
+	s := prioSlot(t)
+	rq.queues[s] = append(rq.queues[s], t)
+	rq.bitmap[s/64] |= 1 << uint(s%64)
+	rq.nr++
+}
+
+func (rq *o1Runqueue) remove(t *Task) bool {
+	s := prioSlot(t)
+	q := rq.queues[s]
+	for i, x := range q {
+		if x == t {
+			rq.queues[s] = append(q[:i], q[i+1:]...)
+			if len(rq.queues[s]) == 0 {
+				rq.bitmap[s/64] &^= 1 << uint(s%64)
+			}
+			rq.nr--
+			return true
+		}
+	}
+	return false
+}
+
+// firstSlot returns the lowest non-empty slot, or -1.
+func (rq *o1Runqueue) firstSlot() int {
+	for w := 0; w < 2; w++ {
+		if rq.bitmap[w] == 0 {
+			continue
+		}
+		v := rq.bitmap[w]
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				return w*64 + b
+			}
+		}
+	}
+	return -1
+}
+
+// best returns the first task in the lowest non-empty slot that is
+// eligible for c (removing it when take is set).
+func (rq *o1Runqueue) best(c *CPU, take bool) *Task {
+	for s := rq.firstSlot(); s >= 0 && s < numSlots; s++ {
+		for _, t := range rq.queues[s] {
+			if eligible(t, c) {
+				if take {
+					rq.remove(t)
+				}
+				return t
+			}
+		}
+		// Slot had only ineligible tasks; try the next non-empty slot.
+		next := -1
+		for x := s + 1; x < numSlots; x++ {
+			if len(rq.queues[x]) > 0 {
+				next = x
+				break
+			}
+		}
+		if next < 0 {
+			return nil
+		}
+		s = next - 1
+	}
+	return nil
+}
+
+// o1Scheduler is Ingo Molnar's O(1) scheduler: per-CPU priority arrays
+// with constant-time dispatch and idle-balance stealing.
+type o1Scheduler struct {
+	k   *Kernel
+	rqs []*o1Runqueue
+}
+
+func newO1Scheduler(k *Kernel) *o1Scheduler {
+	s := &o1Scheduler{k: k, rqs: make([]*o1Runqueue, k.Cfg.NumCPUs())}
+	for i := range s.rqs {
+		s.rqs[i] = &o1Runqueue{}
+	}
+	return s
+}
+
+// Enqueue implements Scheduler.
+func (s *o1Scheduler) Enqueue(t *Task, c *CPU) {
+	t.cpu = c
+	s.rqs[c.ID].add(t)
+}
+
+// Dequeue implements Scheduler.
+func (s *o1Scheduler) Dequeue(t *Task) {
+	if t.cpu != nil && s.rqs[t.cpu.ID].remove(t) {
+		return
+	}
+	// Slow path: the task moved queues; search all.
+	for _, rq := range s.rqs {
+		if rq.remove(t) {
+			return
+		}
+	}
+}
+
+// Pick implements Scheduler: own runqueue first, then steal from the
+// queue with the most waiting tasks (idle balancing).
+func (s *o1Scheduler) Pick(c *CPU) *Task {
+	if t := s.rqs[c.ID].best(c, true); t != nil {
+		return t
+	}
+	var victim *o1Runqueue
+	for i, rq := range s.rqs {
+		if i == c.ID || rq.nr == 0 {
+			continue
+		}
+		if victim == nil || rq.nr > victim.nr {
+			victim = rq
+		}
+	}
+	if victim != nil {
+		if t := victim.best(c, true); t != nil {
+			t.Migrated++
+			return t
+		}
+	}
+	return nil
+}
+
+// Peek implements Scheduler.
+func (s *o1Scheduler) Peek(c *CPU) *Task {
+	if t := s.rqs[c.ID].best(c, false); t != nil {
+		return t
+	}
+	for i, rq := range s.rqs {
+		if i == c.ID || rq.nr == 0 {
+			continue
+		}
+		if t := rq.best(c, false); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// PickCost implements Scheduler: constant, the whole point of O(1).
+func (s *o1Scheduler) PickCost(*CPU) sim.Duration {
+	return s.k.Cfg.scale(s.k.Cfg.Timing.SchedPickO1)
+}
+
+// PlaceWake implements Scheduler.
+func (s *o1Scheduler) PlaceWake(t *Task) *CPU { return placeWake(s.k, t) }
+
+// NrRunnable implements Scheduler.
+func (s *o1Scheduler) NrRunnable() int {
+	n := 0
+	for _, rq := range s.rqs {
+		n += rq.nr
+	}
+	return n
+}

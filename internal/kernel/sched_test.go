@@ -1,0 +1,294 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPrioSlotMapping(t *testing.T) {
+	rt99 := &Task{Policy: SchedFIFO, RTPrio: 99}
+	rt1 := &Task{Policy: SchedRR, RTPrio: 1}
+	other := &Task{Policy: SchedOther}
+	if prioSlot(rt99) != 0 {
+		t.Fatalf("slot(rt99) = %d, want 0", prioSlot(rt99))
+	}
+	if prioSlot(rt1) != 98 {
+		t.Fatalf("slot(rt1) = %d, want 98", prioSlot(rt1))
+	}
+	if prioSlot(other) != otherSlot {
+		t.Fatalf("slot(other) = %d, want %d", prioSlot(other), otherSlot)
+	}
+}
+
+func TestO1RunqueueAddRemove(t *testing.T) {
+	rq := &o1Runqueue{}
+	k := New(testConfig(2), 1)
+	mk := func(p int) *Task {
+		return &Task{PID: p, Name: "t", Policy: SchedFIFO, RTPrio: p, affinity: MaskAll(2), kern: k}
+	}
+	a, b, c := mk(10), mk(50), mk(50)
+	rq.add(a)
+	rq.add(b)
+	rq.add(c)
+	if rq.nr != 3 {
+		t.Fatalf("nr = %d", rq.nr)
+	}
+	// Best for any CPU is the highest priority; FIFO between b and c.
+	best := rq.best(k.CPU(0), false)
+	if best != b {
+		t.Fatalf("best = %v, want b (prio 50, first queued)", best)
+	}
+	if !rq.remove(b) || rq.remove(b) {
+		t.Fatal("remove bookkeeping broken")
+	}
+	if got := rq.best(k.CPU(0), true); got != c {
+		t.Fatalf("best after removing b = %v, want c", got)
+	}
+	if got := rq.best(k.CPU(0), true); got != a {
+		t.Fatalf("last = %v, want a", got)
+	}
+	if rq.nr != 0 || rq.firstSlot() != -1 {
+		t.Fatalf("queue not empty at end: nr=%d slot=%d", rq.nr, rq.firstSlot())
+	}
+}
+
+func TestO1BestSkipsIneligible(t *testing.T) {
+	k := New(testConfig(2), 1)
+	rq := &o1Runqueue{}
+	pinned1 := &Task{PID: 1, Policy: SchedFIFO, RTPrio: 90, affinity: MaskOf(1), kern: k}
+	anyCPU := &Task{PID: 2, Policy: SchedFIFO, RTPrio: 10, affinity: MaskAll(2), kern: k}
+	rq.add(pinned1)
+	rq.add(anyCPU)
+	// CPU0 cannot take the higher-priority pinned task; it must get the
+	// lower-priority eligible one.
+	if got := rq.best(k.CPU(0), false); got != anyCPU {
+		t.Fatalf("best for cpu0 = %v, want the eligible task", got)
+	}
+	if got := rq.best(k.CPU(1), false); got != pinned1 {
+		t.Fatalf("best for cpu1 = %v, want the pinned high-prio task", got)
+	}
+}
+
+// Property: for any sequence of enqueues, the O(1) runqueue always
+// returns tasks in non-increasing priority order (FIFO within equal).
+func TestQuickO1PriorityOrder(t *testing.T) {
+	k := New(testConfig(1), 1)
+	f := func(prios []uint8) bool {
+		rq := &o1Runqueue{}
+		for i, p := range prios {
+			rt := int(p)%MaxRTPrio + 1
+			rq.add(&Task{PID: i, Policy: SchedFIFO, RTPrio: rt, affinity: MaskAll(1), kern: k})
+		}
+		last := MaxRTPrio + 1
+		for rq.nr > 0 {
+			tk := rq.best(k.CPU(0), true)
+			if tk == nil {
+				return false
+			}
+			if tk.RTPrio > last {
+				return false
+			}
+			last = tk.RTPrio
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bitmap bits exactly mirror non-empty slots after arbitrary
+// add/remove interleavings.
+func TestQuickO1BitmapConsistency(t *testing.T) {
+	k := New(testConfig(1), 1)
+	f := func(ops []uint16) bool {
+		rq := &o1Runqueue{}
+		var live []*Task
+		pid := 0
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				rt := int(op)%MaxRTPrio + 1
+				tk := &Task{PID: pid, Policy: SchedFIFO, RTPrio: rt, affinity: MaskAll(1), kern: k}
+				pid++
+				rq.add(tk)
+				live = append(live, tk)
+			} else {
+				victim := live[int(op/3)%len(live)]
+				rq.remove(victim)
+				for i, tk := range live {
+					if tk == victim {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		for s := 0; s < numSlots; s++ {
+			bit := rq.bitmap[s/64]&(1<<uint(s%64)) != 0
+			if bit != (len(rq.queues[s]) > 0) {
+				return false
+			}
+		}
+		return rq.nr == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// schedImpls runs a check against both scheduler implementations.
+func schedImpls(t *testing.T, check func(t *testing.T, cfg Config)) {
+	t.Helper()
+	o1 := RedHawk14(2, 1.0)
+	legacy := StandardLinux24(2, 1.0, false)
+	t.Run("o1", func(t *testing.T) { check(t, o1) })
+	t.Run("legacy", func(t *testing.T) { check(t, legacy) })
+}
+
+func TestBothSchedulersRunHighestPrioFirst(t *testing.T) {
+	schedImpls(t, func(t *testing.T, cfg Config) {
+		k := New(cfg, 42)
+		var order []int
+		for _, prio := range []int{10, 90, 50} {
+			prio := prio
+			act := Compute(5 * sim.Millisecond)
+			act.OnComplete = func(sim.Time) { order = append(order, prio) }
+			k.NewTask("t", SchedFIFO, prio, MaskOf(0), &onceBehavior{actions: []Action{act}})
+		}
+		k.Start()
+		k.Eng.Run(sim.Time(100 * sim.Millisecond))
+		if len(order) != 3 || order[0] != 90 || order[1] != 50 || order[2] != 10 {
+			t.Fatalf("completion order = %v, want [90 50 10]", order)
+		}
+	})
+}
+
+func TestBothSchedulersRespectShielding(t *testing.T) {
+	schedImpls(t, func(t *testing.T, cfg Config) {
+		if !cfg.ShieldSupport {
+			cfg.ShieldSupport = true // enable so both impls are exercised
+		}
+		k := New(cfg, 42)
+		w := k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			return Compute(2 * sim.Millisecond)
+		}))
+		k.Start()
+		if err := k.SetShieldProcs(MaskOf(1)); err != nil {
+			t.Fatal(err)
+		}
+		k.Eng.Run(sim.Time(200 * sim.Millisecond))
+		if w.CPU() == 1 {
+			t.Fatalf("%s scheduler placed a task on the shielded CPU", cfg.Name)
+		}
+		if w.Switches == 0 {
+			t.Fatal("worker never ran")
+		}
+	})
+}
+
+// Property: with N runnable FIFO tasks of distinct priorities on one CPU,
+// whatever the arrival order, the running task after settling is always
+// the highest-priority one.
+func TestQuickHighestPrioRuns(t *testing.T) {
+	f := func(rawPrios []uint8, legacy bool) bool {
+		if len(rawPrios) == 0 || len(rawPrios) > 12 {
+			return true
+		}
+		var cfg Config
+		if legacy {
+			cfg = StandardLinux24(1, 1.0, false)
+		} else {
+			cfg = RedHawk14(1, 1.0)
+		}
+		k := New(cfg, 9)
+		best := 0
+		seen := map[int]bool{}
+		for _, p := range rawPrios {
+			prio := int(p)%MaxRTPrio + 1
+			if seen[prio] {
+				continue
+			}
+			seen[prio] = true
+			if prio > best {
+				best = prio
+			}
+			k.NewTask("t", SchedFIFO, prio, 0, BehaviorFunc(func(*Task) Action {
+				return Compute(sim.Second)
+			}))
+		}
+		k.Start()
+		k.Eng.Run(sim.Time(5 * sim.Millisecond))
+		cur := k.CPU(0).Cur()
+		return cur != nil && cur.RTPrio == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRTasksRotate(t *testing.T) {
+	// Two SCHED_RR tasks at equal priority share the CPU via timeslices
+	// (unlike FIFO, which runs to completion).
+	k := New(testConfig(1), 42)
+	progress := map[string]int{}
+	mk := func(name string) Behavior {
+		return BehaviorFunc(func(*Task) Action {
+			a := Compute(10 * sim.Millisecond)
+			a.OnComplete = func(sim.Time) { progress[name]++ }
+			return a
+		})
+	}
+	k.NewTask("r1", SchedRR, 50, 0, mk("r1"))
+	k.NewTask("r2", SchedRR, 50, 0, mk("r2"))
+	k.Start()
+	k.Eng.Run(sim.Time(sim.Second))
+	if progress["r1"] == 0 || progress["r2"] == 0 {
+		t.Fatalf("RR starvation: %v", progress)
+	}
+	ratio := float64(progress["r1"]) / float64(progress["r1"]+progress["r2"])
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("RR sharing skewed: %v", progress)
+	}
+}
+
+func TestLegacyGoodnessPrefersLastCPU(t *testing.T) {
+	k := New(StandardLinux24(2, 1.0, false), 42)
+	s := k.sched.(*legacyScheduler)
+	tk := &Task{PID: 1, Policy: SchedOther, affinity: MaskAll(2), kern: k}
+	tk.cpu = k.CPU(1)
+	if g0, g1 := s.goodness(tk, k.CPU(0)), s.goodness(tk, k.CPU(1)); g1 <= g0 {
+		t.Fatalf("goodness(last cpu) = %d should beat %d", g1, g0)
+	}
+}
+
+func TestPlaceWakePrefersIdleLastCPU(t *testing.T) {
+	k := New(testConfig(2), 42)
+	tk := k.NewTask("t", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+		return Sleep(sim.Millisecond)
+	}))
+	tk.cpu = k.CPU(1)
+	if got := placeWake(k, tk); got.ID != 1 {
+		t.Fatalf("placeWake = cpu%d, want idle last cpu1", got.ID)
+	}
+}
+
+func TestPlaceWakePicksPreemptableCPU(t *testing.T) {
+	// Both CPUs busy: a FIFO-90 wakeup must target a CPU running lower
+	// priority work.
+	k := New(testConfig(2), 42)
+	k.NewTask("low0", SchedOther, 0, MaskOf(0), BehaviorFunc(func(*Task) Action {
+		return Compute(sim.Second)
+	}))
+	k.NewTask("low1", SchedOther, 0, MaskOf(1), BehaviorFunc(func(*Task) Action {
+		return Compute(sim.Second)
+	}))
+	k.Start()
+	k.Eng.Run(sim.Time(5 * sim.Millisecond))
+	rt := &Task{PID: 99, Policy: SchedFIFO, RTPrio: 90, affinity: MaskAll(2), kern: k}
+	c := placeWake(k, rt)
+	if c.Cur() == nil || c.Cur().rtEffective() >= 90 {
+		t.Fatalf("placeWake chose cpu%d running %v", c.ID, c.Cur())
+	}
+}

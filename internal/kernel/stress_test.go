@@ -1,0 +1,266 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Failure injection and robustness tests: interrupt storms, pathological
+// lock holders, shield transitions under load, and reproducibility.
+
+func TestIRQStormDoesNotLoseInterrupts(t *testing.T) {
+	// 10k interrupts in 10ms (a 1 MHz burst) must all be handled
+	// eventually, even though most arrive while the CPU is in an ISR.
+	k := New(testConfig(1), 42)
+	handled := 0
+	line := k.RegisterIRQ("storm", 0, constWork(2*sim.Microsecond), func(c *CPU) { handled++ })
+	k.Start()
+	for i := 0; i < 10000; i++ {
+		at := sim.Time(sim.Millisecond) + sim.Time(i)*sim.Time(sim.Microsecond)
+		k.Eng.Schedule(at, func() { k.Raise(line) })
+	}
+	k.Eng.Run(sim.Time(sim.Second))
+	if handled != 10000 {
+		t.Fatalf("handled %d of 10000 storm interrupts", handled)
+	}
+}
+
+func TestIRQStormStarvesButDoesNotWedge(t *testing.T) {
+	// A storm that outpaces the CPU delays tasks but the system keeps
+	// functioning and drains afterwards.
+	k := New(testConfig(1), 42)
+	line := k.RegisterIRQ("storm", 0, constWork(80*sim.Microsecond), func(c *CPU) {})
+	var done sim.Time
+	act := Compute(10 * sim.Millisecond)
+	act.OnComplete = func(now sim.Time) { done = now }
+	k.NewTask("victim", SchedFIFO, 90, 0, &onceBehavior{actions: []Action{act}})
+	k.Start()
+	// 100µs period × 80µs handler = 80% of the CPU in interrupt context.
+	for i := 0; i < 1000; i++ {
+		at := sim.Time(sim.Millisecond) + sim.Time(i)*sim.Time(100*sim.Microsecond)
+		k.Eng.Schedule(at, func() { k.Raise(line) })
+	}
+	k.Eng.Run(sim.Time(sim.Second))
+	if done == 0 {
+		t.Fatal("victim never finished")
+	}
+	// 10ms of work at ~20% of the CPU (80% stolen) finishes near 50ms.
+	if done < sim.Time(40*sim.Millisecond) {
+		t.Fatalf("victim finished at %v — storm did not actually steal time", done)
+	}
+	if done > sim.Time(150*sim.Millisecond) {
+		t.Fatalf("victim finished at %v — system wedged", done)
+	}
+}
+
+func TestLongLockHolderDelaysButReleases(t *testing.T) {
+	// A holder camping on a lock for 50ms (stock kernel, no splitting)
+	// delays contenders exactly until release.
+	cfg := StandardLinux24(2, 1.0, false)
+	cfg.Timing.BusContention = 0
+	k := New(cfg, 42)
+	l := k.NamedLock("dcache")
+	var contenderDone sim.Time
+	hold := lockedCall("camp", l, 50*sim.Millisecond, nil)
+	short := Syscall(lockedCall("short", l, 10*sim.Microsecond, nil))
+	short.OnComplete = func(now sim.Time) { contenderDone = now }
+	k.NewTask("camper", SchedFIFO, 50, MaskOf(0), &onceBehavior{actions: []Action{Syscall(hold)}})
+	k.NewTask("contender", SchedFIFO, 50, MaskOf(1), &onceBehavior{actions: []Action{
+		Sleep(sim.Millisecond), short,
+	}})
+	k.Start()
+	k.Eng.Run(sim.Time(200 * sim.Millisecond))
+	if contenderDone == 0 {
+		t.Fatal("contender starved forever")
+	}
+	if contenderDone < sim.Time(50*sim.Millisecond) {
+		t.Fatal("contender ran inside the hold")
+	}
+	// The contender's nominal 1ms sleep stretches to ~20ms under jiffy
+	// rounding, so it spins for the last ~30ms of the hold.
+	if l.TotalSpin < 25*sim.Millisecond {
+		t.Fatalf("TotalSpin = %v, want ~30ms", l.TotalSpin)
+	}
+}
+
+func TestShieldFlappingUnderLoad(t *testing.T) {
+	// Toggling the shield every 20ms under load must never wedge the
+	// system or leave a non-opted-in task on a shielded CPU at rest.
+	k := New(testConfig(2), 42)
+	for i := 0; i < 4; i++ {
+		k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+			return Compute(3 * sim.Millisecond)
+		}))
+	}
+	k.Start()
+	for i := 1; i <= 19; i++ { // odd count: ends in the shielded state
+		i := i
+		k.Eng.Schedule(sim.Time(i)*sim.Time(20*sim.Millisecond), func() {
+			var m CPUMask
+			if i%2 == 1 {
+				m = MaskOf(1)
+			}
+			if err := k.SetShieldAll(m); err != nil {
+				t.Errorf("shield toggle %d: %v", i, err)
+			}
+		})
+	}
+	k.Eng.Run(sim.Time(450 * sim.Millisecond)) // ends in shielded state
+	// Everything must still be making progress.
+	for _, tk := range k.Tasks() {
+		if tk.Name == "w" && tk.Switches == 0 {
+			t.Fatalf("worker never ran across shield flapping")
+		}
+	}
+	// At rest with CPU1 shielded, no worker occupies it.
+	for _, tk := range k.Tasks() {
+		if tk.Name == "w" && tk.State() == TaskRunning && tk.CPU() == 1 {
+			t.Fatalf("worker still running on shielded cpu1")
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Identical seeds must produce bit-identical simulations; different
+	// seeds must diverge.
+	run := func(seed uint64) (sim.Time, uint64, uint64) {
+		k := New(testConfig(2), seed)
+		line := k.RegisterIRQ("dev", 0, func(r *sim.RNG) sim.Duration {
+			return r.Exp(20 * sim.Microsecond)
+		}, nil)
+		var periodic func()
+		periodic = func() {
+			k.Raise(line)
+			k.Eng.After(k.Eng.RNG().Exp(300*sim.Microsecond), periodic)
+		}
+		k.Eng.After(0, periodic)
+		var lastDone sim.Time
+		for i := 0; i < 3; i++ {
+			k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(tk *Task) Action {
+				a := Compute(tk.RNG().Exp(2 * sim.Millisecond))
+				a.OnComplete = func(now sim.Time) { lastDone = now }
+				return a
+			}))
+		}
+		k.Start()
+		k.Eng.Run(sim.Time(300 * sim.Millisecond))
+		return lastDone, k.Eng.Fired(), line.Handled
+	}
+	a1, f1, h1 := run(77)
+	a2, f2, h2 := run(77)
+	if a1 != a2 || f1 != f2 || h1 != h2 {
+		t.Fatalf("same seed diverged: (%v,%d,%d) vs (%v,%d,%d)", a1, f1, h1, a2, f2, h2)
+	}
+	a3, f3, _ := run(78)
+	if a1 == a3 && f1 == f3 {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestManyTasksManyCPUs(t *testing.T) {
+	// Scale smoke test: 32 tasks on 8 CPUs with devices; everything
+	// runs, nothing panics, CPU time is spread.
+	cfg := RedHawk14(8, 1.0)
+	k := New(cfg, 42)
+	line := k.RegisterIRQ("dev", 0, constWork(5*sim.Microsecond), nil)
+	for i := 0; i < 32; i++ {
+		k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(tk *Task) Action {
+			if tk.RNG().Bool(0.3) {
+				return Sleep(tk.RNG().Exp(500 * sim.Microsecond))
+			}
+			return Compute(tk.RNG().Exp(sim.Millisecond))
+		}))
+	}
+	k.Start()
+	var pump func()
+	pump = func() {
+		k.Raise(line)
+		k.Eng.After(100*sim.Microsecond, pump)
+	}
+	k.Eng.After(0, pump)
+	k.Eng.Run(sim.Time(sim.Second))
+
+	ran := map[int]bool{}
+	for _, tk := range k.Tasks() {
+		if tk.Name == "w" {
+			if tk.Switches == 0 {
+				t.Fatal("a worker never ran")
+			}
+			ran[tk.CPU()] = true
+		}
+	}
+	if len(ran) < 6 {
+		t.Fatalf("workers only touched %d of 8 CPUs", len(ran))
+	}
+	if line.Handled < 9000 {
+		t.Fatalf("handled %d interrupts, want ~10000", line.Handled)
+	}
+}
+
+func TestZeroWorkActionsTerminate(t *testing.T) {
+	// Misbehaving behaviors returning zero-length actions must not hang
+	// the engine (each pass still consumes events in finite time).
+	k := New(testConfig(1), 42)
+	n := 0
+	k.NewTask("spinner", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+		n++
+		if n > 1000 {
+			return Exit()
+		}
+		return Compute(0)
+	}))
+	k.Start()
+	k.Eng.Run(sim.Time(10 * sim.Millisecond))
+	if n <= 1000 {
+		t.Fatalf("zero-work loop stalled after %d iterations", n)
+	}
+}
+
+func TestExitedTasksLeaveNoResidue(t *testing.T) {
+	k := New(testConfig(2), 42)
+	for i := 0; i < 10; i++ {
+		k.NewTask("short", SchedOther, 0, 0, &onceBehavior{actions: []Action{
+			Compute(100 * sim.Microsecond),
+		}})
+	}
+	k.Start()
+	// Stop between ticks so no ISR frame is transiently stacked.
+	k.Eng.Run(sim.Time(sim.Second + 2*sim.Millisecond))
+	for _, tk := range k.Tasks() {
+		if tk.Name == "short" && tk.State() != TaskExited {
+			t.Fatalf("task %v in state %v, want exited", tk, tk.State())
+		}
+	}
+	if n := k.Scheduler().NrRunnable(); n != 0 {
+		t.Fatalf("%d tasks still queued after everything exited", n)
+	}
+	for i := 0; i < 2; i++ {
+		if !k.CPU(i).Idle() {
+			t.Fatalf("cpu%d not idle at rest", i)
+		}
+	}
+}
+
+func TestSleepStorm(t *testing.T) {
+	// 1000 sleepers with staggered durations must all wake exactly once,
+	// and wake timestamps must be non-decreasing (the engine never runs
+	// time backwards under wake pressure).
+	k := New(testConfig(2), 42)
+	var wakeTimes []sim.Time
+	for i := 0; i < 1000; i++ {
+		act := Sleep(sim.Duration(i+1) * 10 * sim.Microsecond)
+		act.OnComplete = func(now sim.Time) { wakeTimes = append(wakeTimes, now) }
+		k.NewTask("sleeper", SchedOther, 0, 0, &onceBehavior{actions: []Action{act}})
+	}
+	k.Start()
+	k.Eng.Run(sim.Time(200 * sim.Millisecond))
+	if len(wakeTimes) != 1000 {
+		t.Fatalf("woke %d of 1000", len(wakeTimes))
+	}
+	for i := 1; i < len(wakeTimes); i++ {
+		if wakeTimes[i] < wakeTimes[i-1] {
+			t.Fatalf("wake time went backwards at %d: %v < %v", i, wakeTimes[i], wakeTimes[i-1])
+		}
+	}
+}

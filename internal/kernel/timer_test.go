@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sleepLatency(t *testing.T, cfg Config, want sim.Duration) sim.Duration {
+	t.Helper()
+	k := New(cfg, 42)
+	var woke sim.Time
+	act := Sleep(want)
+	act.OnComplete = func(now sim.Time) { woke = now }
+	k.NewTask("s", SchedFIFO, 90, 0, &onceBehavior{actions: []Action{act}})
+	k.Start()
+	k.Eng.Run(sim.Time(sim.Second))
+	if woke == 0 {
+		t.Fatal("sleeper never woke")
+	}
+	return sim.Duration(woke)
+}
+
+func TestJiffySleepGranularityStock(t *testing.T) {
+	// Stock 2.4: a 100µs sleep takes ceil(0.1/10)+1 = 2 jiffies ≈ 20ms.
+	cfg := StandardLinux24(1, 1.0, false)
+	got := sleepLatency(t, cfg, 100*sim.Microsecond)
+	if got < 19*sim.Millisecond || got > 21*sim.Millisecond {
+		t.Fatalf("stock 100µs sleep took %v, want ~20ms (jiffy rounding)", got)
+	}
+	// Even a 15ms sleep rounds up to 3 jiffies.
+	got = sleepLatency(t, cfg, 15*sim.Millisecond)
+	if got < 29*sim.Millisecond || got > 31*sim.Millisecond {
+		t.Fatalf("stock 15ms sleep took %v, want ~30ms", got)
+	}
+}
+
+func TestHighResSleepGranularityRedHawk(t *testing.T) {
+	// The POSIX timers patch: sleeps are honoured at requested
+	// precision (plus wake/dispatch overhead).
+	cfg := RedHawk14(1, 1.0)
+	got := sleepLatency(t, cfg, 100*sim.Microsecond)
+	if got < 100*sim.Microsecond || got > 150*sim.Microsecond {
+		t.Fatalf("RedHawk 100µs sleep took %v, want ~100µs", got)
+	}
+}
+
+func TestPeriodicSleeperRateStockVsRedHawk(t *testing.T) {
+	// A task trying to run at 1 kHz by sleeping 1ms each cycle: on stock
+	// 2.4 it achieves ~50 Hz (20ms effective period); with high-res
+	// timers it achieves ~1 kHz.
+	rate := func(cfg Config) int {
+		k := New(cfg, 42)
+		cycles := 0
+		k.NewTask("periodic", SchedFIFO, 90, 0, BehaviorFunc(func(*Task) Action {
+			a := Sleep(sim.Millisecond)
+			a.OnComplete = func(sim.Time) { cycles++ }
+			return a
+		}))
+		k.Start()
+		k.Eng.Run(sim.Time(sim.Second))
+		return cycles
+	}
+	stock := rate(StandardLinux24(1, 1.0, false))
+	redhawk := rate(RedHawk14(1, 1.0))
+	if stock > 60 {
+		t.Fatalf("stock 1ms-sleep loop achieved %d Hz, want ~50 (jiffy limit)", stock)
+	}
+	if redhawk < 900 {
+		t.Fatalf("RedHawk 1ms-sleep loop achieved %d Hz, want ~1000", redhawk)
+	}
+}

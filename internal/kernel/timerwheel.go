@@ -1,0 +1,224 @@
+package kernel
+
+import "repro/internal/sim"
+
+// timerWheel is the 2.4 kernel timer subsystem: a cascading hierarchy of
+// buckets indexed by jiffies. Timers are added with a jiffy expiry; the
+// base CPU's local timer tick advances the wheel, and expired timers run
+// from the TIMER bottom half — so timer callbacks share the softirq
+// latency characteristics everything else in this model has.
+//
+// Kernels with the POSIX timers patch (Config.HighResTimers) bypass the
+// wheel for precise expiries; the wheel still exists for legacy users.
+//
+// The implementation follows the classic tvec layout: the innermost
+// vector holds one bucket per jiffy for the next 256 jiffies; higher
+// vectors hold exponentially coarser ranges and cascade down as the
+// index wraps.
+type timerWheel struct {
+	k *Kernel
+	// jiffies is the current tick count.
+	jiffies uint64
+	// tv1..tv5: 256 + 4×64 buckets, as in kernel/timer.c.
+	tv1 [256][]*KTimer
+	tv  [4][64][]*KTimer
+	// pendingRun holds timers that expired on this tick and run from
+	// the timer bottom half.
+	pendingRun []*KTimer
+
+	// Added counts add_timer calls; Fired counts expirations.
+	Added uint64
+	Fired uint64
+}
+
+// KTimer is one kernel timer (struct timer_list).
+type KTimer struct {
+	// expires is the absolute jiffy.
+	expires uint64
+	// fn runs in timer-bottom-half context on the base CPU.
+	fn func()
+	// active is cleared on expiry or deletion.
+	active bool
+}
+
+// Active reports whether the timer is pending.
+func (t *KTimer) Active() bool { return t != nil && t.active }
+
+func newTimerWheel(k *Kernel) *timerWheel {
+	return &timerWheel{k: k}
+}
+
+// AddTimer schedules fn to run `ticks` jiffies from now (minimum 1, as
+// in the kernel: a timeout of 0 still waits for the next tick).
+func (w *timerWheel) AddTimer(ticks uint64, fn func()) *KTimer {
+	if ticks == 0 {
+		ticks = 1
+	}
+	t := &KTimer{expires: w.jiffies + ticks, fn: fn, active: true}
+	w.Added++
+	w.insert(t)
+	return t
+}
+
+// DelTimer cancels a pending timer (del_timer).
+func (w *timerWheel) DelTimer(t *KTimer) {
+	if t != nil {
+		t.active = false
+	}
+}
+
+// insert places t in the right vector for its distance from now.
+func (w *timerWheel) insert(t *KTimer) {
+	delta := t.expires - w.jiffies
+	switch {
+	case delta < 256:
+		idx := t.expires & 255
+		w.tv1[idx] = append(w.tv1[idx], t)
+	case delta < 1<<14:
+		idx := (t.expires >> 8) & 63
+		w.tv[0][idx] = append(w.tv[0][idx], t)
+	case delta < 1<<20:
+		idx := (t.expires >> 14) & 63
+		w.tv[1][idx] = append(w.tv[1][idx], t)
+	case delta < 1<<26:
+		idx := (t.expires >> 20) & 63
+		w.tv[2][idx] = append(w.tv[2][idx], t)
+	default:
+		idx := (t.expires >> 26) & 63
+		w.tv[3][idx] = append(w.tv[3][idx], t)
+	}
+}
+
+// Tick advances the wheel by one jiffy and returns the timers that
+// expired (they must then be run from bottom-half context).
+func (w *timerWheel) Tick() []*KTimer {
+	w.jiffies++
+	idx := w.jiffies & 255
+	if idx == 0 {
+		w.cascade()
+	}
+	expired := w.tv1[idx]
+	w.tv1[idx] = nil
+	var out []*KTimer
+	for _, t := range expired {
+		if !t.active {
+			continue
+		}
+		if t.expires > w.jiffies {
+			// Re-inserted timer from a cascade landing in a future
+			// lap of tv1.
+			w.insert(t)
+			continue
+		}
+		t.active = false
+		w.Fired++
+		out = append(out, t)
+	}
+	return out
+}
+
+// cascade migrates one bucket from each higher vector down when the
+// lower vector wraps, kernel/timer.c-style.
+func (w *timerWheel) cascade() {
+	shift := uint(8)
+	for lvl := 0; lvl < 4; lvl++ {
+		idx := (w.jiffies >> shift) & 63
+		bucket := w.tv[lvl][idx]
+		w.tv[lvl][idx] = nil
+		for _, t := range bucket {
+			if t.active {
+				w.insert(t)
+			}
+		}
+		if idx != 0 {
+			break // only cascade further when this level also wrapped
+		}
+		shift += 6
+	}
+}
+
+// Jiffies returns the current tick count.
+func (w *timerWheel) Jiffies() uint64 { return w.jiffies }
+
+// --- kernel integration ---
+
+// AddTimer exposes the wheel: fn runs in timer-bottom-half context on
+// the base CPU after `d` of virtual time, rounded up to jiffies. This is
+// what legacy (non-HighResTimers) sleeps use.
+func (k *Kernel) AddTimer(d sim.Duration, fn func()) *KTimer {
+	jiffy := int64(sim.Second) / int64(k.Cfg.LocalTimerHz)
+	ticks := uint64(int64(d) / jiffy)
+	if int64(d)%jiffy != 0 {
+		ticks++
+	}
+	// +1 as in the kernel: you always wait out the current partial tick.
+	return k.wheel.AddTimer(ticks+1, fn)
+}
+
+// DelTimer cancels a wheel timer.
+func (k *Kernel) DelTimer(t *KTimer) { k.wheel.DelTimer(t) }
+
+// Jiffies returns the kernel tick count.
+func (k *Kernel) Jiffies() uint64 { return k.wheel.Jiffies() }
+
+// loadavg holds the classic exponentially-damped load averages,
+// recomputed every 5 seconds of jiffies from the runnable+running count
+// (kernel/timer.c calc_load).
+type loadavg struct {
+	one, five, fifteen float64
+}
+
+// damping factors per 5s interval: exp(-5/60), exp(-5/300), exp(-5/900).
+const (
+	loadExp1  = 0.9200
+	loadExp5  = 0.9835
+	loadExp15 = 0.9945
+)
+
+// calcLoad updates the averages from the instantaneous active count.
+func (l *loadavg) calcLoad(active int) {
+	n := float64(active)
+	l.one = l.one*loadExp1 + n*(1-loadExp1)
+	l.five = l.five*loadExp5 + n*(1-loadExp5)
+	l.fifteen = l.fifteen*loadExp15 + n*(1-loadExp15)
+}
+
+// activeTasks counts runnable plus running tasks, as calc_load does.
+func (k *Kernel) activeTasks() int {
+	n := k.sched.NrRunnable()
+	for _, c := range k.cpus {
+		if c.cur != nil && c.cur.state == TaskRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// LoadAvg returns the 1/5/15-minute load averages.
+func (k *Kernel) LoadAvg() (one, five, fifteen float64) {
+	return k.load.one, k.load.five, k.load.fifteen
+}
+
+// runWheelTick is called by the base CPU's timer tick handler: advance
+// the wheel and queue expired timers for the timer bottom half.
+func (c *CPU) runWheelTick() {
+	w := c.kern.wheel
+	// calc_load every 5 seconds of jiffies.
+	if interval := uint64(5 * c.kern.Cfg.LocalTimerHz); w.jiffies%interval == interval-1 {
+		c.kern.load.calcLoad(c.kern.activeTasks())
+	}
+	expired := w.Tick()
+	if len(expired) == 0 {
+		return
+	}
+	w.pendingRun = append(w.pendingRun, expired...)
+	// The timer bottom half costs real CPU per expired timer and then
+	// runs the callbacks. Callbacks execute at softirq completion on
+	// this CPU (wakeups from timer context, as in run_timer_list).
+	c.RaiseSoftirq(SoftirqTimer, sim.Duration(len(expired))*c.kern.Cfg.scale(2*sim.Microsecond))
+	run := w.pendingRun
+	w.pendingRun = nil
+	for _, t := range run {
+		t.fn()
+	}
+}

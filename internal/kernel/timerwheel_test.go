@@ -1,0 +1,167 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWheelBasicExpiry(t *testing.T) {
+	k := New(testConfig(1), 1)
+	w := k.wheel
+	fired := map[int]uint64{}
+	for _, ticks := range []uint64{1, 3, 3, 255} {
+		ticks := ticks
+		w.AddTimer(ticks, func() { fired[int(ticks)] = w.Jiffies() })
+	}
+	for i := 0; i < 300; i++ {
+		for _, tm := range w.Tick() {
+			tm.fn()
+		}
+	}
+	if fired[1] != 1 || fired[3] != 3 || fired[255] != 255 {
+		t.Fatalf("expiry jiffies = %v", fired)
+	}
+	if w.Fired != 4 {
+		t.Fatalf("Fired = %d, want 4", w.Fired)
+	}
+}
+
+func TestWheelZeroTicksMeansOne(t *testing.T) {
+	k := New(testConfig(1), 1)
+	w := k.wheel
+	var at uint64
+	w.AddTimer(0, func() { at = w.Jiffies() })
+	for i := 0; i < 5; i++ {
+		for _, tm := range w.Tick() {
+			tm.fn()
+		}
+	}
+	if at != 1 {
+		t.Fatalf("zero-tick timer fired at jiffy %d, want 1", at)
+	}
+}
+
+func TestWheelCascade(t *testing.T) {
+	// Timers beyond 256 jiffies live in higher vectors and must still
+	// fire at exactly the right jiffy after cascading.
+	k := New(testConfig(1), 1)
+	w := k.wheel
+	want := map[uint64]bool{300: false, 1000: false, 20000: false, 300000: false}
+	for ticks := range want {
+		ticks := ticks
+		w.AddTimer(ticks, func() {
+			if w.Jiffies() != ticks {
+				t.Errorf("timer for %d fired at %d", ticks, w.Jiffies())
+			}
+			want[ticks] = true
+		})
+	}
+	for i := 0; i < 300001; i++ {
+		for _, tm := range w.Tick() {
+			tm.fn()
+		}
+	}
+	for ticks, ok := range want {
+		if !ok {
+			t.Errorf("timer for %d never fired", ticks)
+		}
+	}
+}
+
+func TestWheelDelTimer(t *testing.T) {
+	k := New(testConfig(1), 1)
+	w := k.wheel
+	fired := false
+	tm := w.AddTimer(5, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active after add")
+	}
+	w.DelTimer(tm)
+	if tm.Active() {
+		t.Fatal("timer still active after del")
+	}
+	for i := 0; i < 10; i++ {
+		for _, x := range w.Tick() {
+			x.fn()
+		}
+	}
+	if fired {
+		t.Fatal("deleted timer fired")
+	}
+	// Deleting nil or twice is a no-op.
+	w.DelTimer(nil)
+	w.DelTimer(tm)
+}
+
+// Property: for any batch of delays, every timer fires exactly at its
+// jiffy, no earlier, no later, regardless of vector and cascade paths.
+func TestQuickWheelExactExpiry(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := New(testConfig(1), 1)
+		w := k.wheel
+		var maxTicks uint64
+		ok := true
+		for _, r := range raw {
+			ticks := uint64(r)%70000 + 1
+			if ticks > maxTicks {
+				maxTicks = ticks
+			}
+			want := ticks
+			w.AddTimer(ticks, func() {
+				if w.Jiffies() != want {
+					ok = false
+				}
+			})
+		}
+		for i := uint64(0); i <= maxTicks; i++ {
+			for _, tm := range w.Tick() {
+				tm.fn()
+			}
+		}
+		return ok && w.Fired == uint64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelAddTimerThroughTick(t *testing.T) {
+	// Integration: a kernel timer scheduled through AddTimer fires from
+	// the global timer interrupt at the right jiffy boundary.
+	cfg := StandardLinux24(1, 1.0, false)
+	k := New(cfg, 7)
+	var firedAt sim.Time = -1
+	k.AddTimer(25*sim.Millisecond, func() { firedAt = k.Now() })
+	k.Start()
+	k.Eng.Run(sim.Time(200 * sim.Millisecond))
+	if firedAt < 0 {
+		t.Fatal("kernel timer never fired")
+	}
+	// ceil(25/10)+1 = 4 ticks → ~40ms, at a tick boundary.
+	if firedAt < sim.Time(30*sim.Millisecond) || firedAt > sim.Time(50*sim.Millisecond) {
+		t.Fatalf("fired at %v, want ~40ms", firedAt)
+	}
+	if k.Jiffies() < 19 {
+		t.Fatalf("jiffies = %d after 200ms at 100Hz", k.Jiffies())
+	}
+}
+
+func TestWheelSurvivesLTimerShield(t *testing.T) {
+	// Shielding a CPU's local timer must NOT stop global timekeeping:
+	// IRQ0 reroutes to an unshielded CPU and jiffies keep advancing.
+	cfg := RedHawk14(2, 1.0)
+	k := New(cfg, 7)
+	k.Start()
+	k.Eng.Run(sim.Time(100 * sim.Millisecond))
+	if err := k.SetShieldAll(MaskOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	before := k.Jiffies()
+	k.Eng.Run(k.Now() + sim.Time(500*sim.Millisecond))
+	after := k.Jiffies()
+	if after < before+45 {
+		t.Fatalf("jiffies stalled under shielding: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// JitterReport summarises the determinism test exactly the way the paper's
+// figure legends do: the ideal (best-case) time for the code path, the
+// worst observed time, and the jitter — their difference — in absolute
+// terms and as a percentage of the ideal.
+type JitterReport struct {
+	Ideal sim.Duration // best-case execution time of the code path
+	Max   sim.Duration // worst observed execution time
+	Runs  int          // number of loop executions measured
+	// Variances holds, for each run, the excess over Ideal (>= 0).
+	Variances []sim.Duration
+}
+
+// NewJitterReport builds a report from raw per-run execution times.
+// The ideal is taken as the minimum observed, matching the paper's method
+// of calibrating the ideal on an unloaded system and treating any slower
+// run as impacted by indeterminism.
+func NewJitterReport(runs []sim.Duration) JitterReport {
+	if len(runs) == 0 {
+		return JitterReport{}
+	}
+	ideal := runs[0]
+	for _, d := range runs {
+		if d < ideal {
+			ideal = d
+		}
+	}
+	return NewJitterReportWithIdeal(ideal, runs)
+}
+
+// NewJitterReportWithIdeal builds a report against an explicitly
+// calibrated ideal (the paper measures the ideal on an unloaded system,
+// then compares loaded runs against it). Runs faster than the ideal —
+// possible only through calibration noise — lower the ideal to keep
+// variances non-negative.
+func NewJitterReportWithIdeal(ideal sim.Duration, runs []sim.Duration) JitterReport {
+	r := JitterReport{Runs: len(runs), Ideal: ideal}
+	if len(runs) == 0 {
+		return r
+	}
+	for _, d := range runs {
+		if d < r.Ideal {
+			r.Ideal = d
+		}
+		if d > r.Max {
+			r.Max = d
+		}
+	}
+	r.Variances = make([]sim.Duration, len(runs))
+	for i, d := range runs {
+		r.Variances[i] = d - r.Ideal
+	}
+	return r
+}
+
+// Jitter returns Max - Ideal.
+func (r JitterReport) Jitter() sim.Duration { return r.Max - r.Ideal }
+
+// JitterPercent returns the jitter as a percentage of the ideal time,
+// the headline number of the paper's Figures 1–4.
+func (r JitterReport) JitterPercent() float64 {
+	if r.Ideal <= 0 {
+		return 0
+	}
+	return 100 * float64(r.Jitter()) / float64(r.Ideal)
+}
+
+// Legend renders the three-line summary printed under Figures 1–4:
+//
+//	ideal:  1.150770 sec
+//	max:    1.451925 sec
+//	jitter: 0.301155 sec (26.17%)
+func (r JitterReport) Legend() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ideal:  %.6f sec\n", r.Ideal.Seconds())
+	fmt.Fprintf(&b, "max:    %.6f sec\n", r.Max.Seconds())
+	fmt.Fprintf(&b, "jitter: %.6f sec (%.2f%%)\n", r.Jitter().Seconds(), r.JitterPercent())
+	return b.String()
+}
+
+// VarianceHistogram bins the per-run variance from ideal with the given
+// bin width, reproducing the x-axis of Figures 1–4 ("time difference in
+// milliseconds").
+func (r JitterReport) VarianceHistogram(binWidth sim.Duration, nbins int) *Histogram {
+	h := NewHistogram(binWidth, nbins)
+	for _, v := range r.Variances {
+		h.Add(v)
+	}
+	return h
+}

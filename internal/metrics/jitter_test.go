@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestJitterReport(t *testing.T) {
+	runs := []sim.Duration{
+		sim.DurationOf(1.150770),
+		sim.DurationOf(1.2),
+		sim.DurationOf(1.451925),
+		sim.DurationOf(1.16),
+	}
+	r := NewJitterReport(runs)
+	if r.Ideal != sim.DurationOf(1.150770) {
+		t.Fatalf("Ideal = %v", r.Ideal)
+	}
+	if r.Max != sim.DurationOf(1.451925) {
+		t.Fatalf("Max = %v", r.Max)
+	}
+	wantJitter := sim.DurationOf(1.451925) - sim.DurationOf(1.150770)
+	if r.Jitter() != wantJitter {
+		t.Fatalf("Jitter = %v, want %v", r.Jitter(), wantJitter)
+	}
+	pct := r.JitterPercent()
+	if pct < 26.0 || pct > 26.3 {
+		t.Fatalf("JitterPercent = %v, want ~26.17", pct)
+	}
+}
+
+func TestJitterLegend(t *testing.T) {
+	r := NewJitterReport([]sim.Duration{sim.Second, sim.DurationOf(1.1)})
+	legend := r.Legend()
+	for _, want := range []string{"ideal:  1.000000 sec", "max:    1.100000 sec", "jitter: 0.100000 sec (10.00%)"} {
+		if !strings.Contains(legend, want) {
+			t.Fatalf("legend missing %q:\n%s", want, legend)
+		}
+	}
+}
+
+func TestJitterEmpty(t *testing.T) {
+	r := NewJitterReport(nil)
+	if r.Jitter() != 0 || r.JitterPercent() != 0 {
+		t.Fatal("empty report should be all zeros")
+	}
+}
+
+func TestVarianceHistogram(t *testing.T) {
+	r := NewJitterReport([]sim.Duration{sim.Second, sim.Second + 5*sim.Millisecond, sim.Second + 60*sim.Millisecond})
+	h := r.VarianceHistogram(10*sim.Millisecond, 10)
+	if h.Bin(0) != 2 { // 0 and 5ms variance
+		t.Fatalf("bin0 = %d, want 2", h.Bin(0))
+	}
+	if h.Bin(6) != 1 { // 60ms variance
+		t.Fatalf("bin6 = %d, want 1", h.Bin(6))
+	}
+}
+
+// Property: all variances are non-negative and max variance equals Jitter().
+func TestQuickJitterInvariants(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		runs := make([]sim.Duration, len(raw))
+		for i, v := range raw {
+			runs[i] = sim.Duration(v) + sim.Second
+		}
+		r := NewJitterReport(runs)
+		var maxVar sim.Duration
+		for _, v := range r.Variances {
+			if v < 0 {
+				return false
+			}
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+		return maxVar == r.Jitter() && r.Ideal <= r.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package procfs
+
+import "testing"
+
+// FuzzPaths throws arbitrary paths at the tree: no panics, and
+// registered files stay reachable under their canonical path.
+func FuzzPaths(f *testing.F) {
+	for _, seed := range []string{"/proc/shield/all", "a//b/../c", "", "/", "..", "///x"} {
+		f.Add(seed, seed)
+	}
+	f.Fuzz(func(t *testing.T, reg, probe string) {
+		fs := New()
+		err := fs.Register(reg, func() string { return "v" }, nil)
+		// Whatever happened, these must not panic.
+		fs.Read(probe)
+		fs.Write(probe, "x")
+		fs.List(probe)
+		fs.Exists(probe)
+		if err == nil {
+			if got, rerr := fs.Read(reg); rerr != nil || got != "v" {
+				t.Fatalf("registered %q but read failed: %q, %v", reg, got, rerr)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package report renders experiment results as terminal charts shaped
+// like the paper's figures: log-scale histogram bars for the interrupt
+// response plots (Figures 5–7) and variance histograms for the
+// determinism plots (Figures 1–4).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// barGlyph is the fill used for histogram bars.
+const barGlyph = "█"
+
+// Chart renders a histogram as horizontal bars, one row per non-empty
+// bin. If logScale is set, bar lengths are proportional to log10(count),
+// matching the paper's log-count axes.
+type Chart struct {
+	Title string
+	// Width is the maximum bar width in runes (default 50).
+	Width int
+	// LogScale uses log10(count) bar lengths.
+	LogScale bool
+	// Unit divides bin edges for display (e.g. sim.Millisecond) and
+	// UnitName labels it.
+	Unit     sim.Duration
+	UnitName string
+	// MaxRows caps the number of rendered rows; the densest rows are
+	// kept and a summary line notes the omission (0 = unlimited).
+	MaxRows int
+}
+
+// Render draws the histogram.
+func (c Chart) Render(h *metrics.Histogram) string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	unit := c.Unit
+	if unit <= 0 {
+		unit = sim.Millisecond
+	}
+	unitName := c.UnitName
+	if unitName == "" {
+		unitName = "ms"
+	}
+	rows := h.Rows()
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	if len(rows) == 0 {
+		b.WriteString("  (no samples)\n")
+		return b.String()
+	}
+
+	omitted := 0
+	if c.MaxRows > 0 && len(rows) > c.MaxRows {
+		// Keep the most populated rows, preserving order.
+		kept := topRows(rows, c.MaxRows)
+		omitted = len(rows) - len(kept)
+		rows = kept
+	}
+
+	maxCount := uint64(1)
+	for _, r := range rows {
+		if r.Count > maxCount {
+			maxCount = r.Count
+		}
+	}
+	scale := func(n uint64) int {
+		if n == 0 {
+			return 0
+		}
+		if c.LogScale {
+			l := math.Log10(float64(n)) + 1
+			lm := math.Log10(float64(maxCount)) + 1
+			w := int(l / lm * float64(width))
+			if w < 1 {
+				w = 1
+			}
+			return w
+		}
+		w := int(float64(n) / float64(maxCount) * float64(width))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	for _, r := range rows {
+		label := fmt.Sprintf("≤%9.3f%s", float64(r.Upper)/float64(unit), unitName)
+		if r.IsOverflow {
+			label = fmt.Sprintf(" %9.3f%s+", float64(r.Upper)/float64(unit), unitName)
+		}
+		fmt.Fprintf(&b, "%s |%-*s %d\n", label, width, strings.Repeat(barGlyph, scale(r.Count)), r.Count)
+	}
+	if omitted > 0 {
+		fmt.Fprintf(&b, "  (%d sparsely-populated rows omitted)\n", omitted)
+	}
+	if c.LogScale {
+		b.WriteString("  (bar length ∝ log₁₀ count, as in the paper's figures)\n")
+	}
+	return b.String()
+}
+
+// topRows keeps the n most-populated rows, preserving bin order.
+func topRows(rows []metrics.BinRow, n int) []metrics.BinRow {
+	if len(rows) <= n {
+		return rows
+	}
+	// Find the count threshold via a simple selection.
+	counts := make([]uint64, len(rows))
+	for i, r := range rows {
+		counts[i] = r.Count
+	}
+	// Insertion-sort a copy descending (row counts are small sets).
+	sorted := append([]uint64(nil), counts...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	threshold := sorted[n-1]
+	out := make([]metrics.BinRow, 0, n)
+	taken := 0
+	for _, r := range rows {
+		if taken < n && (r.Count > threshold || (r.Count == threshold)) {
+			out = append(out, r)
+			taken++
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// JitterChart renders a Figures 1–4 style report: variance histogram plus
+// the legend.
+func JitterChart(title string, r metrics.JitterReport) string {
+	h := r.VarianceHistogram(10*sim.Millisecond, 100)
+	var b strings.Builder
+	b.WriteString(Chart{
+		Title: title, Width: 40, Unit: sim.Millisecond, UnitName: "ms",
+	}.Render(h))
+	b.WriteString(r.Legend())
+	return b.String()
+}

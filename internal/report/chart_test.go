@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func sample() *metrics.Histogram {
+	h := metrics.NewHistogram(100*sim.Microsecond, 1000)
+	for i := 0; i < 10000; i++ {
+		h.Add(50 * sim.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(450 * sim.Microsecond)
+	}
+	h.Add(5 * sim.Millisecond)
+	return h
+}
+
+func TestChartRender(t *testing.T) {
+	out := Chart{Title: "fig", Width: 40, LogScale: true, Unit: sim.Millisecond, UnitName: "ms"}.Render(sample())
+	if !strings.Contains(out, "fig") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "10000") || !strings.Contains(out, "100") {
+		t.Fatalf("missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, barGlyph) {
+		t.Fatal("no bars rendered")
+	}
+	if !strings.Contains(out, "log₁₀") {
+		t.Fatal("missing log-scale note")
+	}
+	// Log scale: the 10000 bar must be longer than the 100 bar but not
+	// 100x longer.
+	lines := strings.Split(out, "\n")
+	var big, mid int
+	for _, l := range lines {
+		n := strings.Count(l, barGlyph)
+		if strings.Contains(l, "10000") {
+			big = n
+		} else if strings.HasSuffix(strings.TrimSpace(l), " 100") {
+			mid = n
+		}
+	}
+	if big <= mid || big > mid*4 {
+		t.Fatalf("log scaling wrong: big=%d mid=%d", big, mid)
+	}
+}
+
+func TestChartLinearScale(t *testing.T) {
+	out := Chart{Width: 40}.Render(sample())
+	lines := strings.Split(out, "\n")
+	var big, mid int
+	for _, l := range lines {
+		n := strings.Count(l, barGlyph)
+		if strings.Contains(l, "10000") {
+			big = n
+		} else if strings.HasSuffix(strings.TrimSpace(l), " 100") {
+			mid = n
+		}
+	}
+	if big != 40 || mid != 1 {
+		t.Fatalf("linear scaling wrong: big=%d mid=%d", big, mid)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	h := metrics.NewHistogram(sim.Millisecond, 4)
+	out := Chart{}.Render(h)
+	if !strings.Contains(out, "no samples") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartMaxRows(t *testing.T) {
+	h := metrics.NewHistogram(sim.Millisecond, 100)
+	for i := 0; i < 50; i++ {
+		for j := 0; j <= i; j++ {
+			h.Add(sim.Duration(i) * sim.Millisecond)
+		}
+	}
+	out := Chart{MaxRows: 10}.Render(h)
+	bars := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, barGlyph) {
+			bars++
+		}
+	}
+	if bars != 10 {
+		t.Fatalf("rendered %d rows, want 10", bars)
+	}
+	if !strings.Contains(out, "omitted") {
+		t.Fatal("missing omission note")
+	}
+}
+
+func TestChartOverflowRow(t *testing.T) {
+	h := metrics.NewHistogram(sim.Millisecond, 2)
+	h.Add(500 * sim.Microsecond)
+	h.Add(10 * sim.Millisecond) // overflow
+	out := Chart{}.Render(h)
+	if !strings.Contains(out, "+") {
+		t.Fatalf("overflow row not marked:\n%s", out)
+	}
+}
+
+func TestJitterChart(t *testing.T) {
+	r := metrics.NewJitterReport([]sim.Duration{
+		sim.Second, sim.Second + 20*sim.Millisecond, sim.Second + 150*sim.Millisecond,
+	})
+	out := JitterChart("Figure X", r)
+	for _, want := range []string{"Figure X", "ideal:", "jitter:", barGlyph} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

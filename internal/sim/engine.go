@@ -1,0 +1,141 @@
+package sim
+
+import "fmt"
+
+// Engine runs a discrete-event simulation. It is not safe for concurrent
+// use: the whole simulation is single-threaded and deterministic by design
+// (real SMP hardware is modelled, not exploited).
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	nextSeq uint64
+	rng     *RNG
+	// Stopped is set by Stop and checked by Run.
+	stopped bool
+	// fired counts events dispatched, for diagnostics and budget checks.
+	fired uint64
+}
+
+// NewEngine returns an engine at time 0 with an RNG seeded from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at time at. Scheduling in the past panics:
+// it always indicates a model bug, never valid input.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil callback")
+	}
+	ev := &Event{At: at, seq: e.nextSeq, fn: fn, index: -1}
+	e.nextSeq++
+	e.heap.push(ev)
+	return ev
+}
+
+// After queues fn to run d from now (d < 0 is clamped to now).
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel
+// unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fn == nil {
+		return
+	}
+	ev.fn = nil
+	if ev.index >= 0 {
+		e.heap.remove(ev.index)
+	}
+}
+
+// Reschedule moves a pending event to a new time, preserving its callback.
+// If the event already fired or was cancelled it returns nil; otherwise it
+// returns the (new) event handle.
+func (e *Engine) Reschedule(ev *Event, at Time) *Event {
+	if ev == nil || ev.fn == nil {
+		return nil
+	}
+	fn := ev.fn
+	e.Cancel(ev)
+	return e.Schedule(at, fn)
+}
+
+// Step dispatches the next event. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.heap.len() > 0 {
+		ev := e.heap.pop()
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.At
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty, until is reached, or
+// Stop is called. Events at exactly until still fire. It returns the time
+// the engine stopped at.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for !e.stopped && e.heap.len() > 0 {
+		// Peek without popping so an event after `until` stays queued.
+		next := e.heap.items[0]
+		if next.fn == nil {
+			e.heap.pop()
+			continue
+		}
+		if next.At > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll dispatches events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// Stop makes the current Run/RunAll return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap.items {
+		if ev != nil && ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}

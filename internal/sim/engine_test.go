@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-time events must fire FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-nil must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	var victim *Event
+	e.Schedule(5, func() { e.Cancel(victim) })
+	victim = e.Schedule(10, func() { fired = true })
+	e.RunAll()
+	if fired {
+		t.Fatal("event cancelled from an earlier event still fired")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	ev := e.Schedule(10, func() { at = e.Now() })
+	ev = e.Reschedule(ev, 25)
+	if ev == nil {
+		t.Fatal("Reschedule returned nil for a pending event")
+	}
+	e.RunAll()
+	if at != 25 {
+		t.Fatalf("rescheduled event fired at %v, want 25", at)
+	}
+	if e.Reschedule(ev, 99) != nil {
+		t.Fatal("Reschedule of a fired event should return nil")
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		e.Schedule(at, func() { fired = append(fired, e.Now()) })
+	}
+	end := e.Run(20)
+	if end != 20 {
+		t.Fatalf("Run returned %v, want 20", end)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (event at boundary must fire)", len(fired))
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Continue; the remaining event must still fire.
+	e.Run(100)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after second Run, want 3", len(fired))
+	}
+}
+
+func TestRunAdvancesToUntilWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %v after idle Run(1000), want 1000", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("dispatched %d events, want 1 (Stop must halt the loop)", count)
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(50, func() {})
+	e.Run(50)
+	fired := false
+	e.After(-10, func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("After with negative duration did not fire")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var seq []Time
+	e.Schedule(10, func() {
+		seq = append(seq, e.Now())
+		e.After(5, func() { seq = append(seq, e.Now()) })
+	})
+	e.RunAll()
+	if len(seq) != 2 || seq[0] != 10 || seq[1] != 15 {
+		t.Fatalf("seq = %v, want [10 15]", seq)
+	}
+}
+
+// Property: for any multiset of schedule times, events fire in sorted order
+// and time never goes backwards.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(42)
+		var fired []Time
+		for _, u := range times {
+			e.Schedule(Time(u), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(times) {
+			return false
+		}
+		want := make([]Time, len(times))
+		for i, u := range times {
+			want[i] = Time(u)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement to
+// fire, still in order.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(times []uint16, mask []bool) bool {
+		e := NewEngine(7)
+		fired := map[int]bool{}
+		events := make([]*Event, len(times))
+		for i, u := range times {
+			i := i
+			events[i] = e.Schedule(Time(u), func() { fired[i] = true })
+		}
+		cancelled := map[int]bool{}
+		for i := range events {
+			if i < len(mask) && mask[i] {
+				e.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		e.RunAll()
+		for i := range times {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapRemoveMiddle(t *testing.T) {
+	// Exercise remove() at interior positions, which needs the
+	// sift-down-or-up repair path.
+	e := NewEngine(1)
+	var events []*Event
+	for i := 100; i > 0; i-- {
+		events = append(events, e.Schedule(Time(i), func() {}))
+	}
+	// Remove every third event.
+	removed := 0
+	for i := 0; i < len(events); i += 3 {
+		e.Cancel(events[i])
+		removed++
+	}
+	if got := e.Pending(); got != 100-removed {
+		t.Fatalf("Pending() = %d, want %d", got, 100-removed)
+	}
+	last := Time(-1)
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatal("time went backwards after interior removals")
+		}
+		last = e.Now()
+	}
+}
+
+func BenchmarkScheduleDispatch(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%64), func() {})
+		e.Step()
+	}
+}

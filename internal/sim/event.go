@@ -1,0 +1,112 @@
+package sim
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be cancelled with Engine.Cancel. An Event must not be reused after it
+// has fired or been cancelled.
+type Event struct {
+	// At is the virtual time the event fires.
+	At Time
+	// seq breaks ties between events scheduled for the same instant:
+	// earlier-scheduled events fire first (FIFO at equal time), which the
+	// kernel model relies on for determinism.
+	seq uint64
+	// fn is the callback; nil marks a cancelled event.
+	fn func()
+	// index is the position in the heap, or -1 when not queued.
+	index int
+}
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+// eventHeap is a binary min-heap ordered by (At, seq). It implements the
+// operations directly instead of going through container/heap to avoid the
+// interface-call overhead on the simulator's hottest path.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.index = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.items) - 1
+	h.swap(0, n)
+	e := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	n := len(h.items) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	e := h.items[n]
+	h.items[n] = nil
+	h.items = h.items[:n]
+	if i != n && n > 0 {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	e.index = -1
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the item at i down; it reports whether the item moved.
+func (h *eventHeap) down(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}

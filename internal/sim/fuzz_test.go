@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// FuzzEngineOps drives the engine with an arbitrary op sequence
+// (schedule / cancel / reschedule / step) and checks the core invariants:
+// no panic, time never regresses, every scheduled-and-not-cancelled event
+// fires exactly once.
+func FuzzEngineOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 0, 9})
+	f.Add([]byte{255, 0, 255, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		e := NewEngine(1)
+		fired := 0
+		expected := 0
+		var live []*Event
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // schedule
+				d := Duration(op) * Microsecond
+				expected++
+				live = append(live, e.After(d, func() { fired++ }))
+			case 1: // cancel something
+				if len(live) > 0 {
+					ev := live[int(op)%len(live)]
+					if ev != nil && !ev.Cancelled() {
+						e.Cancel(ev)
+						expected--
+					}
+					live[int(op)%len(live)] = nil
+				}
+			case 2: // reschedule something
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					if live[i] != nil {
+						live[i] = e.Reschedule(live[i], e.Now().Add(Duration(op)*Microsecond))
+					}
+				}
+			case 3: // step a few events
+				last := e.Now()
+				for j := 0; j < int(op%5); j++ {
+					if !e.Step() {
+						break
+					}
+					if e.Now() < last {
+						t.Fatal("time went backwards")
+					}
+					last = e.Now()
+				}
+			}
+		}
+		e.RunAll()
+		if fired != expected {
+			t.Fatalf("fired %d, expected %d", fired, expected)
+		}
+	})
+}

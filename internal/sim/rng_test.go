@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d for identical seeds", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between differently-seeded streams", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	// Consuming from a fork must not perturb the parent's future stream
+	// relative to a parent that forked but never used the child.
+	p1 := NewRNG(99)
+	_ = p1.Fork()
+	wantNext := p1.Uint64()
+
+	p2 := NewRNG(99)
+	c := p2.Fork()
+	for i := 0; i < 100; i++ {
+		c.Uint64()
+	}
+	if got := p2.Uint64(); got != wantNext {
+		t.Fatal("using a forked child perturbed the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(6)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(7)
+	var sum Duration
+	n := 100000
+	mean := 100 * Microsecond
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := float64(sum) / float64(n)
+	if math.Abs(got-float64(mean)) > 0.03*float64(mean) {
+		t.Fatalf("Exp mean = %v, want ~%v", Duration(got), mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-5) != 0 {
+		t.Fatal("Exp of non-positive mean should be 0")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRNG(8)
+	lo, hi := 10*Microsecond, 20*Microsecond
+	sawLo, sawHi := false, false
+	for i := 0; i < 100000; i++ {
+		v := r.Uniform(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Uniform(%v,%v) = %v out of range", lo, hi, v)
+		}
+		if v < lo+Microsecond {
+			sawLo = true
+		}
+		if v > hi-Microsecond {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("Uniform never approached its bounds")
+	}
+	if r.Uniform(hi, lo) != hi {
+		t.Fatal("Uniform with hi<=lo should return lo")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRNG(9)
+	xm, max := 50*Microsecond, 90*Millisecond
+	var worst Duration
+	for i := 0; i < 200000; i++ {
+		v := r.Pareto(xm, 1.1, max)
+		if v < xm || v > max {
+			t.Fatalf("Pareto = %v out of [%v,%v]", v, xm, max)
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	// A heavy tail with alpha=1.1 over 200k draws should reach well past
+	// 100x the minimum.
+	if worst < 100*xm {
+		t.Fatalf("Pareto worst = %v, tail looks too light", worst)
+	}
+}
+
+func TestLogNormalMeanP99(t *testing.T) {
+	r := NewRNG(10)
+	median, p99 := 200*Microsecond, 5*Millisecond
+	n := 200000
+	var above99 int
+	var aboveMedian int
+	for i := 0; i < n; i++ {
+		v := r.LogNormalMeanP99(median, p99)
+		if v > p99 {
+			above99++
+		}
+		if v > median {
+			aboveMedian++
+		}
+	}
+	gotP99 := float64(above99) / float64(n)
+	if gotP99 < 0.003 || gotP99 > 0.03 {
+		t.Fatalf("fraction above p99 = %v, want ~0.01", gotP99)
+	}
+	gotMed := float64(aboveMedian) / float64(n)
+	if gotMed < 0.48 || gotMed > 0.52 {
+		t.Fatalf("fraction above median = %v, want ~0.5", gotMed)
+	}
+	if got := r.LogNormalMeanP99(0, p99); got != 0 {
+		t.Fatalf("LogNormalMeanP99(0, p99) = %v, want 0", got)
+	}
+	if got := r.LogNormalMeanP99(median, median); got != median {
+		t.Fatal("degenerate p99<=median should return median")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRNG(12)
+	d := 100 * Microsecond
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(d, 0.1)
+		if v < d.Scale(0.9)-1 || v > d.Scale(1.1)+1 {
+			t.Fatalf("Jitter out of ±10%%: %v", v)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("Jitter with f=0 should be identity")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", got)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+// Property: Uniform always respects its bounds for arbitrary lo/hi.
+func TestQuickUniformInRange(t *testing.T) {
+	r := NewRNG(21)
+	f := func(a, b uint32) bool {
+		lo, hi := Duration(a), Duration(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := r.Uniform(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale is monotone in the factor and never returns negative.
+func TestQuickScaleMonotone(t *testing.T) {
+	f := func(d uint32, f1, f2 float64) bool {
+		f1, f2 = math.Abs(f1), math.Abs(f2)
+		if math.IsNaN(f1) || math.IsNaN(f2) || math.IsInf(f1, 0) || math.IsInf(f2, 0) {
+			return true
+		}
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		if f2 > 1e6 {
+			return true // avoid overflow territory; model never scales that far
+		}
+		dd := Duration(d)
+		a, b := dd.Scale(f1), dd.Scale(f2)
+		return a >= 0 && a <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{13200, "13.20µs"},
+		{565 * Microsecond, "565.00µs"},
+		{1565 * Microsecond, "1.565ms"},
+		{92300 * Microsecond, "92.300ms"},
+		{1451900 * Microsecond, "1.4519s"},
+		{-500, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1000)
+	t1 := t0.Add(500)
+	if t1 != 1500 {
+		t.Fatalf("Add: got %v", t1)
+	}
+	if d := t1.Sub(t0); d != 500 {
+		t.Fatalf("Sub: got %v", d)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+	if got := Time(2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3 {
+		t.Errorf("Micros = %v, want 3", got)
+	}
+	if got := Time(1500).Micros(); got != 1.5 {
+		t.Errorf("Time.Micros = %v, want 1.5", got)
+	}
+	if got := Time(2500000).Millis(); got != 2.5 {
+		t.Errorf("Time.Millis = %v, want 2.5", got)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	if got := DurationOf(1.5); got != 1500*Millisecond {
+		t.Fatalf("DurationOf(1.5) = %v", got)
+	}
+	if got := DurationOf(0); got != 0 {
+		t.Fatalf("DurationOf(0) = %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := (1000 * Nanosecond).Scale(1.5); got != 1500 {
+		t.Fatalf("Scale(1.5) = %v", got)
+	}
+	if got := (Duration(0)).Scale(5); got != 0 {
+		t.Fatalf("Scale of zero = %v", got)
+	}
+	if got := (Duration(-10)).Scale(5); got != 0 {
+		t.Fatalf("Scale of negative = %v, want 0", got)
+	}
+	// Rounds to nearest.
+	if got := (Duration(3)).Scale(0.5); got != 2 {
+		t.Fatalf("Scale rounding: got %v, want 2", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace provides a bounded ring buffer of simulation events, the
+// moral equivalent of a kernel trace buffer. The kernel model emits records
+// for interrupts, context switches, lock contention and shield transitions;
+// tools and tests read them back to explain where latency went.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Record kinds emitted by the kernel model.
+const (
+	KindIRQEnter Kind = iota
+	KindIRQExit
+	KindSoftirq
+	KindSwitch
+	KindWakeup
+	KindSyscallEnter
+	KindSyscallExit
+	KindLockContend
+	KindLockAcquire
+	KindShield
+	KindMigrate
+	KindTimerTick
+	KindUser
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"irq-enter", "irq-exit", "softirq", "switch", "wakeup",
+	"sys-enter", "sys-exit", "lock-contend", "lock-acquire",
+	"shield", "migrate", "tick", "user",
+}
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one trace entry.
+type Record struct {
+	At   sim.Time
+	CPU  int
+	Kind Kind
+	Msg  string
+}
+
+// String renders the record in a dmesg-like single line.
+func (r Record) String() string {
+	return fmt.Sprintf("[%12.6f] cpu%d %-12s %s", r.At.Seconds(), r.CPU, r.Kind, r.Msg)
+}
+
+// Buffer is a fixed-capacity ring of Records. A nil *Buffer is valid and
+// discards everything, so tracing can be left out of hot paths at zero
+// cost with a single nil check.
+type Buffer struct {
+	records []Record
+	next    int
+	wrapped bool
+	dropped uint64
+	filter  map[Kind]bool // nil means all kinds
+}
+
+// NewBuffer returns a ring holding at most capacity records.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Buffer{records: make([]Record, 0, capacity)}
+}
+
+// SetFilter restricts recording to the given kinds. Passing none clears
+// the filter.
+func (b *Buffer) SetFilter(kinds ...Kind) {
+	if b == nil {
+		return
+	}
+	if len(kinds) == 0 {
+		b.filter = nil
+		return
+	}
+	b.filter = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		b.filter[k] = true
+	}
+}
+
+// Emit appends a record, overwriting the oldest when full.
+func (b *Buffer) Emit(at sim.Time, cpu int, kind Kind, msg string) {
+	if b == nil {
+		return
+	}
+	if b.filter != nil && !b.filter[kind] {
+		return
+	}
+	r := Record{At: at, CPU: cpu, Kind: kind, Msg: msg}
+	if len(b.records) < cap(b.records) {
+		b.records = append(b.records, r)
+		return
+	}
+	b.records[b.next] = r
+	b.next = (b.next + 1) % len(b.records)
+	b.wrapped = true
+	b.dropped++
+}
+
+// Emitf is Emit with fmt.Sprintf formatting, skipped entirely when the
+// buffer is nil.
+func (b *Buffer) Emitf(at sim.Time, cpu int, kind Kind, format string, args ...interface{}) {
+	if b == nil {
+		return
+	}
+	b.Emit(at, cpu, kind, fmt.Sprintf(format, args...))
+}
+
+// Records returns the retained records in chronological order.
+func (b *Buffer) Records() []Record {
+	if b == nil {
+		return nil
+	}
+	if !b.wrapped {
+		out := make([]Record, len(b.records))
+		copy(out, b.records)
+		return out
+	}
+	out := make([]Record, 0, len(b.records))
+	out = append(out, b.records[b.next:]...)
+	out = append(out, b.records[:b.next]...)
+	return out
+}
+
+// Dropped returns how many records were overwritten.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped
+}
+
+// Len returns the number of retained records.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.records)
+}
+
+// Dump renders all retained records, one per line.
+func (b *Buffer) Dump() string {
+	var s strings.Builder
+	for _, r := range b.Records() {
+		s.WriteString(r.String())
+		s.WriteByte('\n')
+	}
+	return s.String()
+}

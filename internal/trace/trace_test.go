@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEmitAndRecords(t *testing.T) {
+	b := NewBuffer(10)
+	b.Emit(100, 0, KindIRQEnter, "irq 8")
+	b.Emit(200, 1, KindWakeup, "pid 42")
+	recs := b.Records()
+	if len(recs) != 2 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].At != 100 || recs[1].CPU != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Emit(sim.Time(i), 0, KindUser, "")
+	}
+	recs := b.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	want := []sim.Time{2, 3, 4}
+	for i, r := range recs {
+		if r.At != want[i] {
+			t.Fatalf("recs[%d].At = %v, want %v (chronological after wrap)", i, r.At, want[i])
+		}
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", b.Dropped())
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(1, 0, KindUser, "x")
+	b.Emitf(1, 0, KindUser, "x %d", 1)
+	b.SetFilter(KindUser)
+	if b.Records() != nil || b.Len() != 0 || b.Dropped() != 0 {
+		t.Fatal("nil buffer should be inert")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(10)
+	b.SetFilter(KindShield)
+	b.Emit(1, 0, KindUser, "ignored")
+	b.Emit(2, 0, KindShield, "kept")
+	if b.Len() != 1 || b.Records()[0].Kind != KindShield {
+		t.Fatalf("filter failed: %+v", b.Records())
+	}
+	b.SetFilter() // clear
+	b.Emit(3, 0, KindUser, "now kept")
+	if b.Len() != 2 {
+		t.Fatal("clearing filter failed")
+	}
+}
+
+func TestEmitf(t *testing.T) {
+	b := NewBuffer(4)
+	b.Emitf(5, 2, KindMigrate, "pid %d -> cpu%d", 7, 1)
+	if got := b.Records()[0].Msg; got != "pid 7 -> cpu1" {
+		t.Fatalf("Msg = %q", got)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{At: sim.Time(1500000), CPU: 1, Kind: KindIRQEnter, Msg: "irq 8"}
+	s := r.String()
+	for _, want := range []string{"cpu1", "irq-enter", "irq 8", "0.001500"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	b := NewBuffer(4)
+	b.Emit(1, 0, KindUser, "a")
+	b.Emit(2, 0, KindUser, "b")
+	d := b.Dump()
+	if strings.Count(d, "\n") != 2 {
+		t.Fatalf("Dump = %q", d)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSoftirq.String() != "softirq" {
+		t.Fatalf("KindSoftirq = %q", KindSoftirq.String())
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

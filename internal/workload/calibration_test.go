@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dev"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Calibration guard tests: the figure reproductions depend on the duty
+// cycles and kernel-activity rates these workloads induce. These tests
+// pin the calibrated ranges so an innocent-looking change to a workload
+// doesn't silently move the figures.
+
+// dutyOf runs the workload alone on a 2-CPU stock machine and returns
+// each named task's CPU duty cycle over the window.
+func dutyOf(t *testing.T, mk func(k *kernel.Kernel) Workload, span sim.Duration) map[string]float64 {
+	t.Helper()
+	k := kernel.New(kernel.StandardLinux24(2, 1.0, false), 7)
+	w := mk(k)
+	w.Start(k)
+	k.Start()
+	k.Eng.Run(sim.Time(span))
+	out := map[string]float64{}
+	for _, task := range k.Tasks() {
+		out[task.Name] = float64(task.RunTime) / float64(span)
+	}
+	return out
+}
+
+func TestScpSshdDutyCycle(t *testing.T) {
+	// sshd decrypt at ~40ns/byte over ~4-5MB/s effective: the fig1 HT
+	// contention calibration expects sshd around 20-60% of one CPU.
+	duty := dutyOf(t, func(k *kernel.Kernel) Workload {
+		return NewScpFlood(dev.NewNIC(k, "eth0"), dev.NewDisk(k, "sda"))
+	}, 3*sim.Second)
+	if d := duty["sshd"]; d < 0.15 || d > 0.65 {
+		t.Fatalf("sshd duty = %.2f, outside the calibrated band", d)
+	}
+}
+
+func TestDiskNoiseThrottledDuty(t *testing.T) {
+	// disknoise must be writeback-throttled: well below 100% duty (the
+	// fig1 sibling-contention calibration depends on it).
+	duty := dutyOf(t, func(k *kernel.Kernel) Workload {
+		return NewDiskNoise(dev.NewDisk(k, "sda"))
+	}, 3*sim.Second)
+	if d := duty["disknoise"]; d < 0.05 || d > 0.75 {
+		t.Fatalf("disknoise duty = %.2f, outside the calibrated band", d)
+	}
+}
+
+func TestScpSoftirqLoadRate(t *testing.T) {
+	// The fig3/fig4 jitter comes from the NET softirq + ISR load on the
+	// interrupt CPU: with static routing everything lands on cpu0, and
+	// the combined rate must sit in the calibrated band (~8-20% of the
+	// CPU during the run).
+	k := kernel.New(kernel.StandardLinux24(2, 1.0, false), 7)
+	nic := dev.NewNIC(k, "eth0")
+	NewScpFlood(nic, dev.NewDisk(k, "sda")).Start(k)
+	k.Start()
+	span := 3 * sim.Second
+	k.Eng.Run(sim.Time(span))
+	c0 := k.CPU(0)
+	tm := c0.Times()
+	frac := float64(tm.IRQ+tm.Softirq) / float64(span)
+	if frac < 0.05 || frac > 0.25 {
+		t.Fatalf("cpu0 irq+softirq fraction = %.3f, outside the calibrated band", frac)
+	}
+	// And essentially none of it on cpu1 (static routing).
+	tm1 := k.CPU(1).Times()
+	frac1 := float64(tm1.IRQ+tm1.Softirq) / float64(span)
+	if frac1 > frac/3 {
+		t.Fatalf("cpu1 irq+softirq fraction = %.3f — static routing broken", frac1)
+	}
+}
+
+func TestStressKernelKernelResidencyDuty(t *testing.T) {
+	// Fig 5's tail needs the stress suite to keep the CPUs in-kernel a
+	// bounded fraction of the time: too little and realfeel never
+	// waits; too much and the baseline histogram is wrong.
+	k := kernel.New(kernel.StandardLinux24(2, 0.933, false), 7)
+	NewStressKernel(dev.NewDisk(k, "sda")).Start(k)
+	k.Start()
+	span := 5 * sim.Second
+	k.Eng.Run(sim.Time(span))
+	var sys float64
+	for i := 0; i < 2; i++ {
+		sys += float64(k.CPU(i).Times().System)
+	}
+	frac := sys / float64(2*span)
+	if frac < 0.03 || frac > 0.5 {
+		t.Fatalf("stress-kernel in-kernel fraction = %.3f, outside the calibrated band", frac)
+	}
+}
+
+func TestStressKernelSaturatesCPUs(t *testing.T) {
+	// The interrupt-response experiments assume the machine is busy:
+	// under stress-kernel both CPUs should be non-idle most of the time.
+	k := kernel.New(kernel.StandardLinux24(2, 0.933, false), 7)
+	NewStressKernel(dev.NewDisk(k, "sda")).Start(k)
+	k.Start()
+	span := 5 * sim.Second
+	k.Eng.Run(sim.Time(span))
+	var busy float64
+	for i := 0; i < 2; i++ {
+		busy += float64(k.CPU(i).Times().Busy())
+	}
+	frac := busy / float64(2*span)
+	if frac < 0.6 {
+		t.Fatalf("stress-kernel busy fraction = %.3f, machine not loaded", frac)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"repro/internal/dev"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// DiskNoise reproduces the second determinism-test script (§5.1): a shell
+// loop that recursively concatenates files in /tmp, growing them until a
+// reset. It is page-cache-heavy: every iteration reads and writes through
+// the fs layers (taking fs locks), and the dirtied pages drain to disk as
+// asynchronous writeback that completes via disk interrupts and BLOCK
+// bottom halves.
+type DiskNoise struct {
+	disk *dev.Disk
+
+	Iterations uint64
+}
+
+// NewDiskNoise returns the script model.
+func NewDiskNoise(disk *dev.Disk) *DiskNoise {
+	return &DiskNoise{disk: disk}
+}
+
+// Name implements Workload.
+func (d *DiskNoise) Name() string { return "disknoise" }
+
+// dirtyThreshold is the write-throttling point: once this many dirty
+// bytes accumulate, the writer blocks until the disk catches up, exactly
+// the way 2.4's bdflush throttled heavy page-cache writers. This is what
+// keeps the script's CPU duty cycle disk-bound rather than 100%.
+const dirtyThreshold = 512 << 10
+
+// Start implements Workload.
+func (d *DiskNoise) Start(k *kernel.Kernel) {
+	// One shell loop; the file set grows then resets, so syscall sizes
+	// cycle from tiny to substantial.
+	size := 1024
+	step := 0
+	dirty := 0
+	ioDone := kernel.NewWaitQueue("disknoise-io")
+	k.NewTask("disknoise", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		if dirty > dirtyThreshold && d.disk != nil {
+			// Writeback throttling: submit the dirty set synchronously
+			// and wait for the completion interrupt.
+			flush := dirty
+			dirty = 0
+			return kernel.Syscall(&kernel.SyscallCall{
+				Name: "writeback-wait",
+				Segments: []kernel.Segment{
+					{Kind: kernel.SegWork, D: rng.Uniform(30*sim.Microsecond, 150*sim.Microsecond),
+						Lock:   k.NamedLock("io"),
+						OnDone: func() { d.disk.Submit(flush, ioDone) }},
+					{Kind: kernel.SegBlock, Wait: ioDone},
+					{Kind: kernel.SegWork, D: rng.Uniform(5*sim.Microsecond, 30*sim.Microsecond)},
+				},
+			})
+		}
+		step++
+		switch step % 3 {
+		case 0:
+			// The `cat * > $f` iteration: read+write through the page
+			// cache. Kernel residency grows with the file set.
+			d.Iterations++
+			residency := sim.Duration(size/2)*sim.Nanosecond + rng.Exp(40*sim.Microsecond)
+			if residency > 3*sim.Millisecond {
+				residency = 3 * sim.Millisecond
+			}
+			size *= 2
+			if size > 4<<20 {
+				// `rm *; echo boo >9`: reset, with a metadata burst.
+				size = 1024
+				return kernel.Syscall(fsSyscall(k, rng, "unlink*", rng.Uniform(100*sim.Microsecond, 600*sim.Microsecond)))
+			}
+			dirty += size / 2
+			return kernel.Syscall(fsSyscall(k, rng, "cat", residency))
+		case 1:
+			// Shell forking/glob expansion: a bit of user CPU.
+			return kernel.Compute(rng.Uniform(100*sim.Microsecond, 500*sim.Microsecond))
+		default:
+			// expr, test, echo: short syscalls.
+			return kernel.Syscall(fsSyscall(k, rng, "sh-builtin", rng.Uniform(10*sim.Microsecond, 80*sim.Microsecond)))
+		}
+	}))
+}

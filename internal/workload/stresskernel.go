@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dev"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// StressKernel reproduces the Red Hat stress-kernel RPM load used for the
+// interrupt response tests (§6.1), the same workload as Clark Williams'
+// scheduler latency study [5]. Six programs run concurrently:
+//
+//	NFS-COMPILE — repeated kernel compilation over loopback NFS
+//	TTCP        — bulk data over the loopback device
+//	FIFOS_MMAP  — FIFO ping-pong alternating with mmap'd file ops
+//	P3_FPU      — floating-point matrix operations (pure CPU)
+//	FS          — pathological file-system operations (holes, truncates)
+//	CRASHME     — random byte streams executed as code (faults galore)
+//
+// What matters for latency is the kernel activity each induces: long
+// syscall residencies (FS, CRASHME), fs-spinlock traffic (all the file
+// work), loopback softirq storms (NFS, TTCP), page faults (CRASHME,
+// FIFOS_MMAP) and raw CPU pressure (P3_FPU, compiles).
+type StressKernel struct {
+	disk *dev.Disk
+
+	// ResidencyCap bounds the heaviest single kernel entry. The 2.4
+	// stock kernel's worst observed sections under this load were tens
+	// of milliseconds (Figure 5 tops out at ~92 ms).
+	ResidencyCap sim.Duration
+	// Compilers is the number of parallel compile tasks.
+	Compilers int
+}
+
+// NewStressKernel returns the suite with paper-era defaults.
+func NewStressKernel(disk *dev.Disk) *StressKernel {
+	return &StressKernel{
+		disk:         disk,
+		ResidencyCap: 90 * sim.Millisecond,
+		Compilers:    2,
+	}
+}
+
+// Name implements Workload.
+func (s *StressKernel) Name() string { return "stress-kernel" }
+
+// Start implements Workload.
+func (s *StressKernel) Start(k *kernel.Kernel) {
+	s.startNFSCompile(k)
+	s.startTTCPLoop(k)
+	s.startFIFOSMmap(k)
+	s.startP3FPU(k)
+	s.startFS(k)
+	s.startCrashme(k)
+}
+
+// startNFSCompile: cc1 burns CPU in bursts; every file involves NFS RPCs
+// over loopback (local softirq work) and fs operations.
+func (s *StressKernel) startNFSCompile(k *kernel.Kernel) {
+	for i := 0; i < s.Compilers; i++ {
+		name := fmt.Sprintf("cc1-%d", i)
+		phase := 0
+		k.NewTask(name, kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+			rng := t.RNG()
+			phase++
+			switch phase % 4 {
+			case 0: // compile a unit
+				return kernel.Compute(rng.Exp(25 * sim.Millisecond))
+			case 1: // read sources via NFS: RPC + protocol work locally
+				netSoftirqHere(t, kernel.SoftirqNetRx, rng.Uniform(20*sim.Microsecond, 120*sim.Microsecond))
+				return kernel.Syscall(fsSyscall(k, rng, "nfs-read",
+					residencyTail(rng, 25*sim.Microsecond, 1.5, s.ResidencyCap/3)))
+			case 2: // write the object file back over NFS
+				netSoftirqHere(t, kernel.SoftirqNetTx, rng.Uniform(15*sim.Microsecond, 80*sim.Microsecond))
+				if s.disk != nil && rng.Bool(0.3) {
+					s.disk.Submit(64<<10, nil)
+				}
+				return kernel.Syscall(fsSyscall(k, rng, "nfs-write",
+					residencyTail(rng, 22*sim.Microsecond, 1.5, s.ResidencyCap/3)))
+			default: // link/stat bookkeeping
+				return kernel.Syscall(fsSyscall(k, rng, "stat", rng.Uniform(5*sim.Microsecond, 60*sim.Microsecond)))
+			}
+		}))
+	}
+}
+
+// startTTCPLoop: bulk transfer over loopback — sender and receiver tasks
+// exchanging via a wait queue, with protocol softirq work per chunk.
+func (s *StressKernel) startTTCPLoop(k *kernel.Kernel) {
+	dataReady := kernel.NewWaitQueue("ttcp-lo")
+	const chunk = 64 << 10
+
+	txPhase := 0
+	k.NewTask("ttcp-tx", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		txPhase++
+		if txPhase%2 == 0 {
+			// User-mode buffer fill between sends.
+			return kernel.Compute(rng.Uniform(80*sim.Microsecond, 400*sim.Microsecond))
+		}
+		call := &kernel.SyscallCall{
+			Name: "send(lo)",
+			Segments: []kernel.Segment{
+				{Kind: kernel.SegWork, D: rng.Uniform(20*sim.Microsecond, 90*sim.Microsecond),
+					Lock: k.NamedLock("net")},
+			},
+		}
+		act := kernel.Syscall(call)
+		act.OnComplete = func(sim.Time) {
+			// Loopback skips the wire-driver costs: ~1.5µs/KB.
+			netSoftirqHere(t, kernel.SoftirqNetTx, sim.Duration(chunk/1024)*1500*sim.Nanosecond)
+			k.WakeAll(dataReady, nil)
+		}
+		return act
+	}))
+
+	rxPhase := 0
+	k.NewTask("ttcp-rx", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		rxPhase++
+		if rxPhase%2 == 0 {
+			return kernel.Compute(rng.Uniform(60*sim.Microsecond, 300*sim.Microsecond))
+		}
+		call := &kernel.SyscallCall{
+			Name: "recv(lo)",
+			Segments: []kernel.Segment{
+				{Kind: kernel.SegBlock, Wait: dataReady},
+				{Kind: kernel.SegWork, D: rng.Uniform(15*sim.Microsecond, 70*sim.Microsecond)},
+			},
+		}
+		act := kernel.Syscall(call)
+		act.OnComplete = func(sim.Time) {
+			netSoftirqHere(t, kernel.SoftirqNetRx, sim.Duration(chunk/1024)*2*sim.Microsecond)
+		}
+		return act
+	}))
+}
+
+// startFIFOSMmap: a writer pushes data through a FIFO to a reader, both
+// alternating with operations on an mmap'd file (page faults: the tasks
+// do not mlock). The writer never blocks on the FIFO, so the pair cannot
+// deadlock on a lost wakeup; data flow is writer-paced.
+func (s *StressKernel) startFIFOSMmap(k *kernel.Kernel) {
+	fifo := kernel.NewWaitQueue("fifo")
+	phaseA := 0
+	k.NewTask("fifos-a", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		phaseA++
+		switch phaseA % 3 {
+		case 0: // write into the FIFO, waking the reader
+			call := &kernel.SyscallCall{
+				Name: "fifo-write",
+				Segments: []kernel.Segment{
+					{Kind: kernel.SegWork, D: rng.Uniform(5*sim.Microsecond, 40*sim.Microsecond),
+						Lock: k.NamedLock("inode")},
+				},
+			}
+			act := kernel.Syscall(call)
+			act.OnComplete = func(sim.Time) { k.WakeAll(fifo, nil) }
+			return act
+		case 1: // mmap'd file pass: user-mode touching with page faults
+			return kernel.Compute(rng.Uniform(50*sim.Microsecond, 400*sim.Microsecond))
+		default: // pace the stream
+			return kernel.Sleep(rng.Uniform(50*sim.Microsecond, 300*sim.Microsecond))
+		}
+	}))
+	phaseB := 0
+	k.NewTask("fifos-b", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		phaseB++
+		if phaseB%2 == 1 {
+			return kernel.Syscall(&kernel.SyscallCall{
+				Name: "fifo-read",
+				Segments: []kernel.Segment{
+					{Kind: kernel.SegBlock, Wait: fifo},
+					{Kind: kernel.SegWork, D: rng.Uniform(5*sim.Microsecond, 30*sim.Microsecond),
+						Lock: k.NamedLock("inode")},
+				},
+			})
+		}
+		return kernel.Compute(rng.Uniform(50*sim.Microsecond, 400*sim.Microsecond))
+	}))
+}
+
+// startP3FPU: the pure floating-point hog.
+func (s *StressKernel) startP3FPU(k *kernel.Kernel) {
+	k.NewTask("p3_fpu", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		return kernel.Compute(t.RNG().Exp(15 * sim.Millisecond))
+	}))
+}
+
+// startFS: "all sorts of unnatural acts on a set of files" — the
+// heavy-tailed kernel residencies that dominate Figure 5's worst case.
+func (s *StressKernel) startFS(k *kernel.Kernel) {
+	phase := 0
+	k.NewTask("fs-stress", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		phase++
+		switch {
+		case phase%10 == 0:
+			// Truncate/extend a huge holey file: the long one — the
+			// residency class behind the stock kernel's ~90ms tail.
+			if s.disk != nil {
+				s.disk.Submit(256<<10, nil)
+			}
+			return kernel.Syscall(fsSyscall(k, rng, "truncate",
+				residencyTail(rng, 150*sim.Microsecond, 0.95, s.ResidencyCap)))
+		case phase%2 == 0:
+			// Buffer preparation between file operations (user mode).
+			return kernel.Compute(rng.Uniform(100*sim.Microsecond, 800*sim.Microsecond))
+		default:
+			return kernel.Syscall(fsSyscall(k, rng, "fs-op",
+				residencyTail(rng, 18*sim.Microsecond, 1.5, s.ResidencyCap/6)))
+		}
+	}))
+}
+
+// startCrashme: random instruction streams — short user bursts ending in
+// faults the kernel must clean up, occasionally wedging into long
+// exception/teardown paths.
+func (s *StressKernel) startCrashme(k *kernel.Kernel) {
+	k.NewTask("crashme", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		if rng.Bool(0.7) {
+			return kernel.Compute(rng.Uniform(20*sim.Microsecond, 300*sim.Microsecond))
+		}
+		// Fault handling: mostly quick fixups, occasionally a heavy
+		// teardown (core dump-ish) with real residency.
+		res := residencyTail(rng, 20*sim.Microsecond, 1.25, s.ResidencyCap/2)
+		return kernel.Syscall(&kernel.SyscallCall{
+			Name: "fault",
+			Segments: []kernel.Segment{
+				{Kind: kernel.SegWork, D: res.Scale(0.6)},
+				{Kind: kernel.SegWork, D: res.Scale(0.4), NonPreempt: true},
+			},
+		})
+	}))
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"repro/internal/dev"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// X11Perf reproduces the graphics load of the final experiment (§6.3):
+// the X server runs the x11perf benchmark on the console, continuously
+// stuffing the GPU command FIFO. Each batch costs X server CPU, a short
+// driver ioctl (which on a stock kernel takes the BKL — part of why
+// graphics activity was poison for latency), and a FIFO-drain interrupt
+// with tasklet work.
+type X11Perf struct {
+	gpu *dev.GPU
+
+	Batches uint64
+}
+
+// NewX11Perf returns the load.
+func NewX11Perf(gpu *dev.GPU) *X11Perf {
+	return &X11Perf{gpu: gpu}
+}
+
+// Name implements Workload.
+func (x *X11Perf) Name() string { return "x11perf" }
+
+// Start implements Workload.
+func (x *X11Perf) Start(k *kernel.Kernel) {
+	phase := 0
+	k.NewTask("Xserver", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
+		rng := t.RNG()
+		phase++
+		switch phase % 3 {
+		case 0: // build the rendering batch
+			return kernel.Compute(rng.Uniform(500*sim.Microsecond, 3*sim.Millisecond))
+		case 1: // submit via the DRM-ish ioctl; legacy driver wants the BKL
+			call := &kernel.SyscallCall{
+				Name:     "ioctl(gfx)",
+				TakesBKL: true,
+				Segments: []kernel.Segment{
+					{Kind: kernel.SegWork, D: rng.Uniform(10*sim.Microsecond, 80*sim.Microsecond)},
+				},
+			}
+			act := kernel.Syscall(call)
+			act.OnComplete = func(sim.Time) {
+				x.Batches++
+				x.gpu.SubmitBatch(rng.Uniform(sim.Millisecond, 4*sim.Millisecond))
+			}
+			return act
+		default: // handle client requests
+			return kernel.Syscall(fsSyscall(k, rng, "x11-sock",
+				rng.Uniform(10*sim.Microsecond, 100*sim.Microsecond)))
+		}
+	}))
+}
+
+// TTCPNet reproduces the network load of the final experiment: the ttcp
+// benchmark reading and writing data across a 10BaseT Ethernet connection
+// — a steady bidirectional stream of NIC interrupts and protocol work,
+// plus a driver task.
+type TTCPNet struct {
+	nic *dev.NIC
+	// RateBytesPerSec is the wire rate (10BaseT ≈ 1.1 MB/s).
+	RateBytesPerSec float64
+	BatchBytes      int
+}
+
+// NewTTCPNet returns the load at 10BaseT defaults.
+func NewTTCPNet(nic *dev.NIC) *TTCPNet {
+	return &TTCPNet{nic: nic, RateBytesPerSec: 1.1e6, BatchBytes: 1500}
+}
+
+// Name implements Workload.
+func (t *TTCPNet) Name() string { return "ttcp-net" }
+
+// Start implements Workload.
+func (t *TTCPNet) Start(k *kernel.Kernel) {
+	rng := k.Eng.RNG().Fork()
+	interval := sim.Duration(float64(t.BatchBytes) / t.RateBytesPerSec * 1e9)
+
+	// The wire: alternating rx/tx batches.
+	dir := 0
+	var pump func()
+	pump = func() {
+		dir++
+		if dir%2 == 0 {
+			t.nic.Receive(t.BatchBytes)
+		} else {
+			t.nic.Transmit(t.BatchBytes)
+		}
+		k.Eng.After(rng.Jitter(interval, 0.3), pump)
+	}
+	k.Eng.After(rng.Uniform(0, interval), pump)
+
+	// The ttcp process: copies between socket and user buffers.
+	k.NewTask("ttcp", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(task *kernel.Task) kernel.Action {
+		r := task.RNG()
+		if r.Bool(0.5) {
+			return kernel.Syscall(&kernel.SyscallCall{
+				Name: "rw(sock)",
+				Segments: []kernel.Segment{
+					{Kind: kernel.SegWork, D: r.Uniform(10*sim.Microsecond, 60*sim.Microsecond),
+						Lock: k.NamedLock("net")},
+				},
+			})
+		}
+		return kernel.Sleep(r.Uniform(200*sim.Microsecond, 2*sim.Millisecond))
+	}))
+}
