@@ -86,7 +86,7 @@ func TestPublicExperimentRegistry(t *testing.T) {
 	if !ok {
 		t.Fatal("lookup failed")
 	}
-	out := e.Run(0.2, 1)
+	out := e.Run(0.2, 1, 0)
 	if !strings.Contains(out, "RedHawk") {
 		t.Fatalf("experiment output:\n%s", out)
 	}

@@ -12,7 +12,10 @@
 package shieldsim
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -21,8 +24,9 @@ import (
 // benchSeed keeps benchmark iterations deterministic but distinct; the
 // salt separates benchmarks that would otherwise replay identical event
 // streams (the measured CPU's timeline does not depend on the kernel
-// config when the load and seed are equal).
-func benchSeed(i int) uint64 { return 1000 + uint64(i)*7919 }
+// config when the load and seed are equal). Seeds come from the shared
+// splitmix64 derivation so iteration streams never collide.
+func benchSeed(i int) uint64 { return sim.DeriveSeed(1000, uint64(i)) }
 
 func benchDeterminism(b *testing.B, cfg kernel.Config, shield bool, salt uint64) {
 	var worstPct float64
@@ -94,7 +98,7 @@ func BenchmarkFig7_RedHawkShielded_RCIM(b *testing.B) {
 		if r.Max > worst {
 			worst = r.Max
 		}
-		sum += r.Mean
+		sum += r.Mean()
 		n++
 	}
 	b.ReportMetric(worst.Micros(), "max_latency_us")
@@ -231,6 +235,60 @@ func BenchmarkAblation_Hyperthreading(b *testing.B) {
 	}
 	b.ReportMetric(ht, "ht_jitter_pct")
 	b.ReportMetric(noht, "no_ht_jitter_pct")
+}
+
+// --- Parallel replication engine (internal/runner) ---
+
+// The serial-vs-parallel benchmarks run the same full-size experiment
+// once with the worker pool pinned to 1 and once across all cores,
+// assert the two results are bit-identical (the runner's determinism
+// contract), and report the wall-clock speedup. On a 4-core machine the
+// fan-out (6 placements for Fig 1, 8 replications for Fig 5) yields
+// >=2x; on a single core speedup_x hovers around 1 and only the
+// identity assertion is meaningful.
+
+func BenchmarkParallel_Fig1Determinism(b *testing.B) {
+	cfg := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
+	cfg.Seed = benchSeed(0)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Workers = 1
+		t0 := time.Now()
+		want := RunDeterminism(cfg)
+		serial += time.Since(t0)
+		cfg.Workers = 0
+		t0 = time.Now()
+		got := RunDeterminism(cfg)
+		parallel += time.Since(t0)
+		if !reflect.DeepEqual(want, got) {
+			b.Fatal("parallel fig1 diverged from serial — the merge is not deterministic")
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+func BenchmarkParallel_Fig5Realfeel(b *testing.B) {
+	cfg := DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
+	cfg.Samples = 200_000
+	cfg.Replications = 8
+	cfg.Seed = benchSeed(0)
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg.Workers = 1
+		t0 := time.Now()
+		want := RunRealfeel(cfg)
+		serial += time.Since(t0)
+		cfg.Workers = 0
+		t0 = time.Now()
+		got := RunRealfeel(cfg)
+		parallel += time.Since(t0)
+		if !reflect.DeepEqual(want, got) {
+			b.Fatal("parallel fig5 diverged from serial — the merge is not deterministic")
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput, the

@@ -50,7 +50,7 @@ func main() {
 	r := shieldsim.RunRealfeel(rf)
 	fmt.Println(r.Name)
 	fmt.Printf("%d measured rtc interrupts\n", r.Samples)
-	fmt.Printf("min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean)
+	fmt.Printf("min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean())
 
 	// realfeel-style cumulative rows.
 	var rows []shieldsim.Duration

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	reprocheck [-scale 1.0] [-seed 1]
+//	reprocheck [-scale 1.0] [-seed 1] [-parallel N]
+//
+// -parallel caps the worker pool the independent experiment runs fan
+// out on (0 = all cores); it never changes the verdicts, only the
+// wall-clock time of the pass.
 package main
 
 import (
@@ -20,10 +24,11 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "sample-count scale factor")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores); never affects results, only wall-clock time")
 	flag.Parse()
 
 	start := time.Now()
-	results := core.RunChecks(*scale, *seed)
+	results := core.RunChecks(*scale, *seed, *parallel)
 	failed := 0
 	fmt.Println("reproduction conformance checks (Brosky & Rotolo, IPPS 2003):")
 	fmt.Println()

@@ -3,12 +3,17 @@
 // Usage:
 //
 //	rtsim -list
-//	rtsim -exp fig5 [-scale 1.0] [-seed 1]
+//	rtsim -exp fig5 [-scale 1.0] [-seed 1] [-parallel N]
 //	rtsim -exp all
 //
 // -scale multiplies the default sample counts; the paper's full-size runs
 // (60,000,000 samples, ~8 hours of virtual time) correspond to roughly
 // -scale 150 on fig5/fig6/fig7.
+//
+// -parallel caps the replication worker pool (0 = all cores). Results
+// are bit-identical for every worker count — replications are seeded
+// independently via splitmix64 and merged in replication-index order —
+// so -parallel only changes wall-clock time.
 package main
 
 import (
@@ -26,13 +31,14 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
 	scale := flag.Float64("scale", 1.0, "sample-count scale factor (1.0 = default, paper-size ≈ 150)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores); never affects results, only wall-clock time")
 	csv := flag.Bool("csv", false, "emit the figure's plotted data series as CSV (fig1..fig7)")
 	sweep := flag.String("sweep", "", "run a sensitivity sweep by id, or 'list'")
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
 	flag.Parse()
 
 	if *outdir != "" {
-		if err := writeAll(*outdir, *scale, *seed); err != nil {
+		if err := writeAll(*outdir, *scale, *seed, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "rtsim:", err)
 			os.Exit(1)
 		}
@@ -51,7 +57,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtsim: unknown sweep %q; try -sweep list\n", *sweep)
 			os.Exit(2)
 		}
-		fmt.Print(core.RunSweep(s, *scale, *seed))
+		fmt.Print(core.RunSweep(s, *scale, *seed, *parallel))
 		return
 	}
 
@@ -60,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rtsim: -csv needs a single figure id (fig1..fig7)")
 			os.Exit(2)
 		}
-		out, err := core.FigureCSV(*exp, *scale, *seed)
+		out, err := core.FigureCSV(*exp, *scale, *seed, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtsim:", err)
 			os.Exit(2)
@@ -85,7 +91,7 @@ func main() {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n", e.Paper)
 		start := time.Now()
-		out := e.Run(*scale, *seed)
+		out := e.Run(*scale, *seed, *parallel)
 		fmt.Println(out)
 		fmt.Printf("    (simulated in %.1fs wall time)\n\n", time.Since(start).Seconds())
 	}
@@ -107,7 +113,7 @@ func main() {
 // writeAll regenerates every experiment report, figure CSV series and
 // sensitivity sweep into dir, one file each — the full evaluation as an
 // artifact directory.
-func writeAll(dir string, scale float64, seed uint64) error {
+func writeAll(dir string, scale float64, seed uint64, parallel int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -117,10 +123,10 @@ func writeAll(dir string, scale float64, seed uint64) error {
 	for _, e := range core.Experiments() {
 		fmt.Printf("running %s...\n", e.ID)
 		header := fmt.Sprintf("%s\npaper: %s\n\n", e.Title, e.Paper)
-		if err := write(e.ID+".txt", header+e.Run(scale, seed)); err != nil {
+		if err := write(e.ID+".txt", header+e.Run(scale, seed, parallel)); err != nil {
 			return err
 		}
-		if csvData, err := core.FigureCSV(e.ID, scale, seed); err == nil {
+		if csvData, err := core.FigureCSV(e.ID, scale, seed, parallel); err == nil {
 			if err := write(e.ID+".csv", csvData); err != nil {
 				return err
 			}
@@ -128,7 +134,7 @@ func writeAll(dir string, scale float64, seed uint64) error {
 	}
 	for _, s := range core.Sweeps() {
 		fmt.Printf("running sweep %s...\n", s.ID)
-		if err := write("sweep-"+s.ID+".txt", core.RunSweep(s, scale, seed)); err != nil {
+		if err := write("sweep-"+s.ID+".txt", core.RunSweep(s, scale, seed, parallel)); err != nil {
 			return err
 		}
 	}

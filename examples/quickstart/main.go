@@ -32,7 +32,7 @@ func main() {
 		}
 		fmt.Printf("%s:\n", mode)
 		fmt.Printf("  samples %d   min %v   avg %v   max %v\n",
-			r.Samples, r.Min, r.Mean, r.Max)
+			r.Samples, r.Min, r.Mean(), r.Max)
 		fmt.Printf("  < 30µs: %.3f%%   < 100µs: %.3f%%   < 1ms: %.3f%%\n\n",
 			100*r.Hist.FractionBelow(30*shieldsim.Microsecond),
 			100*r.Hist.FractionBelow(100*shieldsim.Microsecond),

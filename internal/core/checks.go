@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -19,7 +20,70 @@ type CheckResult struct {
 // claims at the given scale and seed. Each check runs scaled-down
 // experiments and asserts the claim's *shape* (orderings and bounds), the
 // same assertions the integration tests make, packaged for the CLI.
-func RunChecks(scale float64, seed uint64) []CheckResult {
+//
+// The underlying experiment runs are independent replications, so they
+// fan out across up to workers goroutines (<= 0 means GOMAXPROCS); the
+// assertions are then evaluated in a fixed order, so the report is
+// identical for any worker count.
+func RunChecks(scale float64, seed uint64, workers int) []CheckResult {
+	// --- phase 1: run every experiment the claims need, in parallel ---
+	var jobs []func()
+	det := func(cfg kernel.Config, shield bool) func() float64 {
+		var out float64
+		run := func() {
+			d := DefaultDeterminism(cfg)
+			d.Runs = scaleRuns(18, scale)
+			d.LoopWork = sim.DurationOf(0.3)
+			d.Shield = shield
+			d.Seed = sim.DeriveSeed(seed, streamChecksDet)
+			// The placement pool is the inner parallelism; the checks
+			// already fan out here, one worker per experiment.
+			d.Workers = 1
+			out = RunDeterminism(d).Report.JitterPercent()
+		}
+		jobs = append(jobs, run)
+		return func() float64 { return out }
+	}
+	rf := func(cfg kernel.Config, shield bool, mutate func(*RealfeelConfig)) func() ResponseResult {
+		var out ResponseResult
+		jobs = append(jobs, func() {
+			r := DefaultRealfeel(cfg)
+			r.Samples = scaleSamples(60_000, scale)
+			r.Shield = shield
+			r.Seed = sim.DeriveSeed(seed, streamChecksResp)
+			if mutate != nil {
+				mutate(&r)
+			}
+			out = RunRealfeel(r)
+		})
+		return func() ResponseResult { return out }
+	}
+	rc := func(forceBKL bool) func() ResponseResult {
+		var out ResponseResult
+		jobs = append(jobs, func() {
+			c := DefaultRCIM(kernel.RedHawk14(2, 2.0))
+			c.Samples = scaleSamples(60_000, scale)
+			c.Seed = sim.DeriveSeed(seed, streamChecksResp)
+			c.ForceBKL = forceBKL
+			out = RunRCIM(c)
+		})
+		return func() ResponseResult { return out }
+	}
+
+	j1 := det(kernel.StandardLinux24(2, 1.4, true), false)
+	j2 := det(kernel.RedHawk14(2, 1.4), true)
+	j3 := det(kernel.RedHawk14(2, 1.4), false)
+	j4 := det(kernel.StandardLinux24(2, 1.4, false), false)
+	fig5 := rf(kernel.StandardLinux24(2, 0.933, false), false, nil)
+	fig6 := rf(kernel.RedHawk14(2, 0.933), true, nil)
+	patched := rf(kernel.PatchedLinux24(2, 0.933), false, nil)
+	future := rf(kernel.RedHawk14(2, 0.933), true, func(r *RealfeelConfig) { r.FixedAPI = true })
+	fig7 := rc(false)
+	bkl := rc(true)
+
+	runner.Do(workers, jobs...)
+
+	// --- phase 2: evaluate the claims in paper order ---
 	var out []CheckResult
 	add := func(id, claim string, pass bool, detail string, args ...interface{}) {
 		out = append(out, CheckResult{
@@ -28,68 +92,31 @@ func RunChecks(scale float64, seed uint64) []CheckResult {
 	}
 
 	// --- determinism ordering (§5, Figures 1-4) ---
-	det := func(cfg kernel.Config, shield bool) float64 {
-		d := DefaultDeterminism(cfg)
-		d.Runs = scaleRuns(18, scale)
-		d.LoopWork = sim.DurationOf(0.3)
-		d.Shield = shield
-		d.Seed = seed + 11
-		return RunDeterminism(d).Report.JitterPercent()
-	}
-	j1 := det(kernel.StandardLinux24(2, 1.4, true), false)
-	j2 := det(kernel.RedHawk14(2, 1.4), true)
-	j3 := det(kernel.RedHawk14(2, 1.4), false)
-	j4 := det(kernel.StandardLinux24(2, 1.4, false), false)
 	add("det-shield", "a shielded CPU has by far the least execution jitter (Fig 2)",
-		j2 < j1 && j2 < j3 && j2 < j4 && j2 < 5,
-		"shielded %.2f%% vs HT %.2f%% / redhawk %.2f%% / stock %.2f%%", j2, j1, j3, j4)
+		j2() < j1() && j2() < j3() && j2() < j4() && j2() < 5,
+		"shielded %.2f%% vs HT %.2f%% / redhawk %.2f%% / stock %.2f%%", j2(), j1(), j3(), j4())
 	add("det-ht", "hyperthreading adds execution jitter (Fig 1 vs Fig 4)",
-		j1 > j4, "HT %.2f%% vs no-HT %.2f%%", j1, j4)
+		j1() > j4(), "HT %.2f%% vs no-HT %.2f%%", j1(), j4())
 	add("det-load", "interrupt load costs ≳10 percent on an unshielded CPU (Fig 3-4)",
-		j3 > 5 && j4 > 5, "redhawk %.2f%%, stock %.2f%%", j3, j4)
+		j3() > 5 && j4() > 5, "redhawk %.2f%%, stock %.2f%%", j3(), j4())
 
 	// --- interrupt response (§6, Figures 5-7) ---
-	rf := func(cfg kernel.Config, shield bool) ResponseResult {
-		r := DefaultRealfeel(cfg)
-		r.Samples = scaleSamples(60_000, scale)
-		r.Shield = shield
-		r.Seed = seed + 5
-		return RunRealfeel(r)
-	}
-	fig5 := rf(kernel.StandardLinux24(2, 0.933, false), false)
-	fig6 := rf(kernel.RedHawk14(2, 0.933), true)
-	patched := rf(kernel.PatchedLinux24(2, 0.933), false)
 	add("resp-stock", "stock 2.4 worst-case response is tens of milliseconds (Fig 5)",
-		fig5.Max > 5*sim.Millisecond, "max %v", fig5.Max)
+		fig5().Max > 5*sim.Millisecond, "max %v", fig5().Max)
 	add("resp-shield", "a shielded RedHawk CPU guarantees sub-millisecond response (Fig 6, the title claim)",
-		fig6.Max < sim.Millisecond, "max %v", fig6.Max)
+		fig6().Max < sim.Millisecond, "max %v", fig6().Max)
 	add("resp-patches", "patches without shielding land near a millisecond (Clark Williams [5])",
-		patched.Max < 10*sim.Millisecond && patched.Max > fig6.Max,
-		"patched max %v vs shielded %v", patched.Max, fig6.Max)
-
-	rc := DefaultRCIM(kernel.RedHawk14(2, 2.0))
-	rc.Samples = scaleSamples(60_000, scale)
-	rc.Seed = seed + 5
-	fig7 := RunRCIM(rc)
+		patched().Max < 10*sim.Millisecond && patched().Max > fig6().Max,
+		"patched max %v vs shielded %v", patched().Max, fig6().Max)
 	add("resp-rcim", "RCIM on a shielded CPU stays under 30µs worst case (Fig 7)",
-		fig7.Max < 30*sim.Microsecond, "min %v avg %v max %v", fig7.Min, fig7.Mean, fig7.Max)
-
-	forced := rc
-	forced.ForceBKL = true
-	bkl := RunRCIM(forced)
+		fig7().Max < 30*sim.Microsecond, "min %v avg %v max %v", fig7().Min, fig7().Mean(), fig7().Max)
 	add("resp-bkl", "routing the same ioctl through the BKL wrecks the guarantee (§6.3)",
-		bkl.Max > 3*fig7.Max, "BKL max %v vs flag max %v", bkl.Max, fig7.Max)
+		bkl().Max > 3*fig7().Max, "BKL max %v vs flag max %v", bkl().Max, fig7().Max)
 
 	// --- mechanism checks ---
-	fixedAPI := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
-	fixedAPI.Samples = scaleSamples(60_000, scale)
-	fixedAPI.Shield = true
-	fixedAPI.Seed = seed + 5
-	fixedAPI.FixedAPI = true
-	future := RunRealfeel(fixedAPI)
 	add("resp-future", "a multithreaded RTC driver API removes the residual fs-lock tail (§7)",
-		future.Max < fig6.Max && future.Max < 50*sim.Microsecond,
-		"fixed API max %v vs read(2) max %v", future.Max, fig6.Max)
+		future().Max < fig6().Max && future().Max < 50*sim.Microsecond,
+		"fixed API max %v vs read(2) max %v", future().Max, fig6().Max)
 
 	return out
 }

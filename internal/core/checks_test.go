@@ -6,7 +6,7 @@ func TestRunChecksAllPass(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration")
 	}
-	results := RunChecks(0.3, 1)
+	results := RunChecks(0.3, 1, 0)
 	if len(results) < 9 {
 		t.Fatalf("only %d checks", len(results))
 	}

@@ -91,7 +91,7 @@ func TestRCIMUnder30Micros(t *testing.T) {
 	cfg.Samples = 40_000
 	cfg.Seed = 5
 	r := RunRCIM(cfg)
-	t.Logf("rcim min=%v avg=%v max=%v", r.Min, r.Mean, r.Max)
+	t.Logf("rcim min=%v avg=%v max=%v", r.Min, r.Mean(), r.Max)
 	if r.Max >= 30*sim.Microsecond {
 		t.Errorf("RCIM max = %v, the paper's guarantee is <30µs", r.Max)
 	}
@@ -184,8 +184,8 @@ func TestShieldModesMonotone(t *testing.T) {
 	if full.Max > none.Max+none.Max/10 {
 		t.Errorf("full shielding must not be worse than no shielding: %v vs %v", full.Max, none.Max)
 	}
-	if full.Mean > none.Mean {
-		t.Errorf("full shielding must improve the mean: %v vs %v", full.Mean, none.Mean)
+	if full.Mean() > none.Mean() {
+		t.Errorf("full shielding must improve the mean: %v vs %v", full.Mean(), none.Mean())
 	}
 }
 
@@ -303,7 +303,7 @@ func TestRunRealfeelReproducible(t *testing.T) {
 		return RunRealfeel(cfg)
 	}
 	a, b := run(), run()
-	if a.Max != b.Max || a.Mean != b.Mean || a.Samples != b.Samples {
-		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.Max, a.Mean, b.Max, b.Mean)
+	if a.Max != b.Max || a.Mean() != b.Mean() || a.Samples != b.Samples {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.Max, a.Mean(), b.Max, b.Mean())
 	}
 }

@@ -4,26 +4,29 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
 // FigureCSV regenerates the plotted data series behind a figure as CSV
 // (bin upper edge, count), so the paper's graphs — not just their
-// legends — can be rebuilt with any plotting tool. Supported ids:
-// fig1..fig7.
-func FigureCSV(id string, scale float64, seed uint64) (string, error) {
-	switch id {
-	case "fig1", "fig2", "fig3", "fig4":
-		return determinismCSV(id, scale, seed)
-	case "fig5", "fig6":
-		return realfeelCSV(id, scale, seed)
-	case "fig7":
-		return rcimCSV(scale, seed)
-	default:
-		return "", fmt.Errorf("core: no CSV series for %q (figures only)", id)
+// legends — can be rebuilt with any plotting tool. The series comes
+// from the same canonical configuration (and seed stream) the
+// experiment registry renders, so the CSV always matches the figure.
+// Supported ids: fig1..fig7.
+func FigureCSV(id string, scale float64, seed uint64, workers int) (string, error) {
+	if cfg, ok := figDeterminismConfig(id, scale, seed, workers); ok {
+		// The paper plots the variance from ideal in milliseconds.
+		return histCSV(RunDeterminism(cfg).Hist, "ms", 1e6), nil
 	}
+	if cfg, ok := figRealfeelConfig(id, scale, seed, workers); ok {
+		return histCSV(RunRealfeel(cfg).Hist, "ms", 1e6), nil
+	}
+	if id == "fig7" {
+		// Figure 7 is plotted in microseconds.
+		return histCSV(RunRCIM(figRCIMConfig(scale, seed, workers)).Hist, "us", float64(sim.Microsecond)), nil
+	}
+	return "", fmt.Errorf("core: no CSV series for %q (figures only)", id)
 }
 
 func histCSV(h *metrics.Histogram, unit string, div float64) string {
@@ -33,47 +36,4 @@ func histCSV(h *metrics.Histogram, unit string, div float64) string {
 		fmt.Fprintf(&b, "%.3f,%d\n", float64(row.Upper)/div, row.Count)
 	}
 	return b.String()
-}
-
-func determinismCSV(id string, scale float64, seed uint64) (string, error) {
-	var cfg DeterminismConfig
-	switch id {
-	case "fig1":
-		cfg = DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
-	case "fig2":
-		cfg = DefaultDeterminism(kernel.RedHawk14(2, 1.4))
-		cfg.Shield = true
-	case "fig3":
-		cfg = DefaultDeterminism(kernel.RedHawk14(2, 1.4))
-	case "fig4":
-		cfg = DefaultDeterminism(kernel.StandardLinux24(2, 1.4, false))
-	}
-	cfg.Runs = scaleRuns(cfg.Runs, scale)
-	cfg.Seed = seed
-	r := RunDeterminism(cfg)
-	// The paper plots the variance from ideal in milliseconds.
-	return histCSV(r.Hist, "ms", 1e6), nil
-}
-
-func realfeelCSV(id string, scale float64, seed uint64) (string, error) {
-	var cfg RealfeelConfig
-	if id == "fig5" {
-		cfg = DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
-	} else {
-		cfg = DefaultRealfeel(kernel.RedHawk14(2, 0.933))
-		cfg.Shield = true
-	}
-	cfg.Samples = scaleSamples(cfg.Samples, scale)
-	cfg.Seed = seed
-	r := RunRealfeel(cfg)
-	return histCSV(r.Hist, "ms", 1e6), nil
-}
-
-func rcimCSV(scale float64, seed uint64) (string, error) {
-	cfg := DefaultRCIM(kernel.RedHawk14(2, 2.0))
-	cfg.Samples = scaleSamples(cfg.Samples, scale)
-	cfg.Seed = seed
-	r := RunRCIM(cfg)
-	// Figure 7 is plotted in microseconds.
-	return histCSV(r.Hist, "us", float64(sim.Microsecond)), nil
 }

@@ -11,7 +11,7 @@ func TestFigureCSVAllFigures(t *testing.T) {
 		t.Skip("integration")
 	}
 	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} {
-		out, err := FigureCSV(id, 0.05, 3)
+		out, err := FigureCSV(id, 0.05, 3, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -44,10 +44,10 @@ func TestFigureCSVAllFigures(t *testing.T) {
 }
 
 func TestFigureCSVUnknownID(t *testing.T) {
-	if _, err := FigureCSV("fig99", 1, 1); err == nil {
+	if _, err := FigureCSV("fig99", 1, 1, 0); err == nil {
 		t.Fatal("unknown figure id should error")
 	}
-	if _, err := FigureCSV("ablate-bkl-ioctl", 1, 1); err == nil {
+	if _, err := FigureCSV("ablate-bkl-ioctl", 1, 1, 0); err == nil {
 		t.Fatal("non-figure experiments have no CSV series")
 	}
 }

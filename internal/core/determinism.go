@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,11 @@ type DeterminismConfig struct {
 	// ShieldCPU is the CPU to shield (default: last CPU).
 	ShieldCPU int
 	Seed      uint64
+	// Workers caps the worker pool the placement replications run on;
+	// <= 0 means GOMAXPROCS. Workers never affects results, only
+	// wall-clock time: placements are merged in replication-index order,
+	// so the result is bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultDeterminism fills the paper's parameters for a given kernel.
@@ -43,6 +49,10 @@ func DefaultDeterminism(cfg kernel.Config) DeterminismConfig {
 type DeterminismResult struct {
 	Name   string
 	Report metrics.JitterReport
+	// Loaded aggregates the loaded runs only (the Report's ideal also
+	// folds in the unloaded calibration pass). It is assembled by
+	// merging per-placement summaries in replication-index order.
+	Loaded metrics.JitterSummary
 	// Hist bins the per-run variance from ideal in 10 ms buckets, the
 	// x-axis of Figures 1–4.
 	Hist *metrics.Histogram
@@ -68,6 +78,12 @@ func (r DeterminismResult) Render() string {
 	return b.String()
 }
 
+// placementShard is one placement replication's worth of loaded runs.
+type placementShard struct {
+	samples []sim.Duration
+	summary metrics.JitterSummary
+}
+
 // RunDeterminism executes the test: first a calibration pass on an
 // unloaded system to establish the ideal time (the paper's method), then
 // the loaded runs.
@@ -86,16 +102,30 @@ func RunDeterminism(cfg DeterminismConfig) DeterminismResult {
 	// happened to park the background tasks (in particular whether one
 	// sits on the measured CPU's hyperthread sibling). Sample several
 	// independent placements and pool all loop timings.
+	//
+	// Each placement is an independent replication — its own system,
+	// its own splitmix64-derived seed — so the set fans out across the
+	// runner's worker pool and merges in index order.
 	const placements = 6
 	perPlacement := cfg.Runs / placements
 	if perPlacement < 3 {
 		perPlacement = 3
 	}
-	var loaded []sim.Duration
-	for i := 0; i < placements; i++ {
+	shards := runner.MapSeeded(cfg.Workers, cfg.Seed, placements, func(i int, seed uint64) placementShard {
 		sub := cfg
-		sub.Seed = cfg.Seed + uint64(i)*1000003
-		loaded = append(loaded, determinismPass(sub, perPlacement, true)...)
+		sub.Seed = seed
+		samples := determinismPass(sub, perPlacement, true)
+		var sum metrics.JitterSummary
+		for _, d := range samples {
+			sum.Add(d)
+		}
+		return placementShard{samples: samples, summary: sum}
+	})
+	var loaded []sim.Duration
+	var summary metrics.JitterSummary
+	for _, sh := range shards {
+		loaded = append(loaded, sh.samples...)
+		summary.Merge(sh.summary)
 	}
 
 	min := ideal[0]
@@ -112,6 +142,7 @@ func RunDeterminism(cfg DeterminismConfig) DeterminismResult {
 	return DeterminismResult{
 		Name:   name,
 		Report: report,
+		Loaded: summary,
 		Hist:   report.VarianceHistogram(10*sim.Millisecond, 40),
 	}
 }

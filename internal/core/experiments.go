@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/kernel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -15,9 +16,12 @@ type Experiment struct {
 	// Paper summarises the published result for side-by-side output.
 	Paper string
 	// Run executes the experiment at the given scale factor (1.0 =
-	// default sample counts; the paper's full size is much larger) and
-	// returns a rendered report.
-	Run func(scale float64, seed uint64) string
+	// default sample counts; the paper's full size is much larger) on up
+	// to workers goroutines (<= 0 means GOMAXPROCS) and returns a
+	// rendered report. The worker count never affects the report's
+	// bytes, only wall-clock time — the determinism-regression tests
+	// hold every experiment to that.
+	Run func(scale float64, seed uint64, workers int) string
 }
 
 // scaleSamples applies the scale factor with a sane floor.
@@ -45,10 +49,8 @@ func Experiments() []Experiment {
 			ID:    "fig1",
 			Title: "Execution determinism, kernel.org 2.4.18 (hyperthreading on)",
 			Paper: "ideal 1.150770s, max 1.451925s, jitter 0.301155s (26.17%)",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
-				cfg.Runs = scaleRuns(cfg.Runs, scale)
-				cfg.Seed = seed + 7919
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figDeterminismConfig("fig1", scale, seed, workers)
 				return RunDeterminism(cfg).Render()
 			},
 		},
@@ -56,11 +58,8 @@ func Experiments() []Experiment {
 			ID:    "fig2",
 			Title: "Execution determinism, RedHawk 1.4, shielded CPU",
 			Paper: "ideal 1.150814s, max 1.172235s, jitter 0.021421s (1.87%)",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultDeterminism(kernel.RedHawk14(2, 1.4))
-				cfg.Runs = scaleRuns(cfg.Runs, scale)
-				cfg.Shield = true
-				cfg.Seed = seed + 15838
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figDeterminismConfig("fig2", scale, seed, workers)
 				return RunDeterminism(cfg).Render()
 			},
 		},
@@ -68,10 +67,8 @@ func Experiments() []Experiment {
 			ID:    "fig3",
 			Title: "Execution determinism, RedHawk 1.4, unshielded CPU",
 			Paper: "ideal 1.150785s, max 1.321399s, jitter 0.170614s (14.82%)",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultDeterminism(kernel.RedHawk14(2, 1.4))
-				cfg.Runs = scaleRuns(cfg.Runs, scale)
-				cfg.Seed = seed + 23757
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figDeterminismConfig("fig3", scale, seed, workers)
 				return RunDeterminism(cfg).Render()
 			},
 		},
@@ -79,10 +76,8 @@ func Experiments() []Experiment {
 			ID:    "fig4",
 			Title: "Execution determinism, kernel.org 2.4.18 (no hyperthreading)",
 			Paper: "ideal 1.150795s, max 1.302139s, jitter 0.151344s (13.15%)",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, false))
-				cfg.Runs = scaleRuns(cfg.Runs, scale)
-				cfg.Seed = seed + 31676
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figDeterminismConfig("fig4", scale, seed, workers)
 				return RunDeterminism(cfg).Render()
 			},
 		},
@@ -90,10 +85,8 @@ func Experiments() []Experiment {
 			ID:    "fig5",
 			Title: "Interrupt response (realfeel), kernel.org 2.4.18 + stress-kernel",
 			Paper: "max 92.3ms; 99.140% < 0.1ms, 99.843% < 1ms, 100% < 100ms",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
-				cfg.Samples = scaleSamples(cfg.Samples, scale)
-				cfg.Seed = seed + 39595
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figRealfeelConfig("fig5", scale, seed, workers)
 				r := RunRealfeel(cfg)
 				return r.Chart(PaperThresholdsFig5(), sim.Millisecond, "ms")
 			},
@@ -102,11 +95,8 @@ func Experiments() []Experiment {
 			ID:    "fig6",
 			Title: "Interrupt response (realfeel), RedHawk 1.4, shielded CPU + stress-kernel",
 			Paper: "max 0.565ms; 8 samples 0.1–0.2ms, 5, 2, 1, 1 in higher bands (of 60M)",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
-				cfg.Samples = scaleSamples(cfg.Samples, scale)
-				cfg.Shield = true
-				cfg.Seed = seed + 47514
+			Run: func(scale float64, seed uint64, workers int) string {
+				cfg, _ := figRealfeelConfig("fig6", scale, seed, workers)
 				r := RunRealfeel(cfg)
 				return r.Chart(PaperThresholdsFig6(), sim.Microsecond, "µs")
 			},
@@ -115,11 +105,8 @@ func Experiments() []Experiment {
 			ID:    "fig7",
 			Title: "Interrupt response (RCIM), RedHawk 1.4, shielded CPU + stress-kernel + x11perf + ttcp",
 			Paper: "min 11µs, max 27µs, avg 11.3µs — all < 30µs",
-			Run: func(scale float64, seed uint64) string {
-				cfg := DefaultRCIM(kernel.RedHawk14(2, 2.0))
-				cfg.Samples = scaleSamples(cfg.Samples, scale)
-				cfg.Seed = seed + 55433
-				r := RunRCIM(cfg)
+			Run: func(scale float64, seed uint64, workers int) string {
+				r := RunRCIM(figRCIMConfig(scale, seed, workers))
 				return r.Name + "\n" + r.Legend(PaperThresholdsFig7())
 			},
 		},
@@ -127,20 +114,24 @@ func Experiments() []Experiment {
 			ID:    "ablate-spinlock-bh",
 			Title: "Ablation §6.2: bottom halves preempting spinlock holders (fix off)",
 			Paper: "pre-fix RedHawk showed multi-millisecond delays via contended spinlocks",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				base := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
 				base.Samples = scaleSamples(base.Samples, scale)
 				base.Shield = true
-				base.Seed = seed + 63352
+				base.Seed = sim.DeriveSeed(seed, streamSpinlockBH)
 				// Wire-interrupt traffic with rx-ring batching makes the
 				// bottom halves big enough to expose the §6.2 window.
 				base.ExtraLoads = []string{LoadScpBurst}
-				fixed := RunRealfeel(base)
 
 				nofix := base
 				nofix.Kernel.FixSpinlockBH = false
 				nofix.Kernel.Name += "-nofix"
-				broken := RunRealfeel(nofix)
+
+				var fixed, broken ResponseResult
+				runner.Do(workers,
+					func() { fixed = RunRealfeel(base) },
+					func() { broken = RunRealfeel(nofix) },
+				)
 				return fmt.Sprintf(
 					"fix ON  (RedHawk ships this): worst fs-lock hold %v, realfeel max %v\n"+
 						"fix OFF (pre-§6.2 kernel):    worst fs-lock hold %v, realfeel max %v\n"+
@@ -154,33 +145,39 @@ func Experiments() []Experiment {
 			ID:    "future-rtc-api",
 			Title: "Extension (§7): /dev/rtc reached through a multithreaded driver API",
 			Paper: "\"remaining multithreading issues to be solved ... for other standard Linux APIs\"",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				legacy := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
 				legacy.Samples = scaleSamples(legacy.Samples, scale)
 				legacy.Shield = true
-				legacy.Seed = seed + 77017
-				a := RunRealfeel(legacy)
+				legacy.Seed = sim.DeriveSeed(seed, streamFutureRTC)
 
 				fixedCfg := legacy
 				fixedCfg.FixedAPI = true
-				b := RunRealfeel(fixedCfg)
+
+				var a, b ResponseResult
+				runner.Do(workers,
+					func() { a = RunRealfeel(legacy) },
+					func() { b = RunRealfeel(fixedCfg) },
+				)
 				return fmt.Sprintf(
 					"read(/dev/rtc) via generic fs layers: min %v avg %v max %v\n"+
 						"ioctl wait, multithreaded driver:     min %v avg %v max %v\n"+
 						"fixing the driver API removes the residual fs-spinlock tail and\n"+
 						"brings the RTC to the RCIM-class guarantee on a shielded CPU.\n",
-					a.Min, a.Mean, a.Max, b.Min, b.Mean, b.Max)
+					a.Min, a.Mean(), a.Max, b.Min, b.Mean(), b.Max)
 			},
 		},
 		{
 			ID:    "ablate-bkl-ioctl",
 			Title: "Ablation §6.3: RCIM ioctl forced through the BKL",
 			Paper: "BKL contention can add several milliseconds of jitter",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				cfg := DefaultRCIM(kernel.RedHawk14(2, 2.0))
 				cfg.ForceBKL = true
 				cfg.Samples = scaleSamples(cfg.Samples, scale)
-				cfg.Seed = seed + 71271
+				cfg.Seed = sim.DeriveSeed(seed, streamBKL)
+				cfg.Replications = figureReplications
+				cfg.Workers = workers
 				r := RunRCIM(cfg)
 				return r.Name + "\n" + r.Legend(PaperThresholdsFig7())
 			},
@@ -189,18 +186,20 @@ func Experiments() []Experiment {
 			ID:    "ablate-shield-modes",
 			Title: "Ablation §3: shield sub-modes (procs / +irqs / +ltmr)",
 			Paper: "each shielding dimension removes one jitter source",
-			Run: func(scale float64, seed uint64) string {
-				return runShieldModes(scale, seed)
+			Run: func(scale float64, seed uint64, workers int) string {
+				return runShieldModes(scale, seed, workers)
 			},
 		},
 		{
 			ID:    "ablate-patches-noshield",
 			Title: "Ablation §6: preemption+low-latency patches, no shielding (Clark Williams)",
 			Paper: "~1.2ms worst-case interrupt response [5]",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				cfg := DefaultRealfeel(kernel.PatchedLinux24(2, 0.933))
 				cfg.Samples = scaleSamples(cfg.Samples, scale)
-				cfg.Seed = seed + 79190
+				cfg.Seed = sim.DeriveSeed(seed, streamPatches)
+				cfg.Replications = figureReplications
+				cfg.Workers = workers
 				r := RunRealfeel(cfg)
 				return r.Name + "\n" + r.Legend(PaperThresholdsFig5())
 			},
@@ -209,7 +208,7 @@ func Experiments() []Experiment {
 			ID:    "ablate-posix-timers",
 			Title: "Ablation §4: the POSIX timers patch (sleep granularity)",
 			Paper: "RedHawk includes the POSIX timers patch [4]; stock 2.4 timers have 10ms jiffy granularity",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				return runPosixTimers(seed)
 			},
 		},
@@ -217,13 +216,15 @@ func Experiments() []Experiment {
 			ID:    "ablate-hyperthreading",
 			Title: "Ablation §5: hyperthreading as a jitter source (fig1 vs fig4 delta)",
 			Paper: "26.17% with HT vs 13.15% without",
-			Run: func(scale float64, seed uint64) string {
+			Run: func(scale float64, seed uint64, workers int) string {
 				ht := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
 				ht.Runs = scaleRuns(ht.Runs, scale)
-				ht.Seed = seed
+				ht.Seed = sim.DeriveSeed(seed, streamHT)
+				ht.Workers = workers
 				noht := DefaultDeterminism(kernel.StandardLinux24(2, 1.4, false))
 				noht.Runs = scaleRuns(noht.Runs, scale)
-				noht.Seed = seed
+				noht.Seed = sim.DeriveSeed(seed, streamHT)
+				noht.Workers = workers
 				a, b := RunDeterminism(ht), RunDeterminism(noht)
 				return fmt.Sprintf("with HT:\n%s\nwithout HT:\n%s", a.Legend(), b.Legend())
 			},
@@ -252,8 +253,9 @@ func ExperimentIDs() []string {
 
 // runShieldModes sweeps the shield sub-masks on the fig6 setup and
 // reports max latency per mode. The RTC follows the measurement task in
-// every mode.
-func runShieldModes(scale float64, seed uint64) string {
+// every mode. The four modes are independent single-replication runs,
+// so they fan out across the worker pool and render in mode order.
+func runShieldModes(scale float64, seed uint64, workers int) string {
 	type mode struct {
 		name                string
 		procs, irqs, ltimer bool
@@ -264,14 +266,18 @@ func runShieldModes(scale float64, seed uint64) string {
 		{"procs+irqs", true, true, false},
 		{"procs+irqs+ltmr (full)", true, true, true},
 	}
-	var b strings.Builder
-	for _, m := range modes {
+	results := runner.Map(workers, len(modes), func(i int) ResponseResult {
+		m := modes[i]
 		cfg := DefaultRealfeel(kernel.RedHawk14(2, 0.933))
 		cfg.Samples = scaleSamples(cfg.Samples/4, scale)
-		cfg.Seed = seed + 87109
-		r := RunRealfeelModes(cfg, m.procs, m.irqs, m.ltimer, true)
+		cfg.Seed = sim.DeriveSeed(seed, streamShieldModes)
+		return RunRealfeelModes(cfg, m.procs, m.irqs, m.ltimer, true)
+	})
+	var b strings.Builder
+	for i, m := range modes {
+		r := results[i]
 		fmt.Fprintf(&b, "%-24s max %-10v mean %-10v >0.1ms: %d/%d\n",
-			m.name, r.Max, r.Mean, r.Samples-r.Hist.CumulativeBelow(100*sim.Microsecond), r.Samples)
+			m.name, r.Max, r.Mean(), r.Samples-r.Hist.CumulativeBelow(100*sim.Microsecond), r.Samples)
 	}
 	return b.String()
 }
@@ -280,7 +286,7 @@ func runShieldModes(scale float64, seed uint64) string {
 // kernels: jiffy-granular stock timers cannot do better than ~50 Hz.
 func runPosixTimers(seed uint64) string {
 	measure := func(cfg kernel.Config) (int, sim.Duration) {
-		k := kernel.New(cfg, seed+90001)
+		k := kernel.New(cfg, sim.DeriveSeed(seed, streamPosixTimers))
 		cycles := 0
 		var worstPeriod sim.Duration
 		var last sim.Time = -1

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Seed streams. Every experiment derives its working seed from the
+// user-visible base seed as sim.DeriveSeed(seed, stream), one stream per
+// experiment, so no two experiments ever replay the same event sequence
+// and — unlike the old additive salts (seed + k*7919) — no pair of
+// nearby base seeds can alias each other's streams.
+const (
+	streamFig1 uint64 = iota + 1
+	streamFig2
+	streamFig3
+	streamFig4
+	streamFig5
+	streamFig6
+	streamFig7
+	streamSpinlockBH
+	streamFutureRTC
+	streamBKL
+	streamShieldModes
+	streamPatches
+	streamPosixTimers
+	streamHT
+	streamChecksDet
+	streamChecksResp
+)
+
+// figureReplications is the fixed replication count the sharded figures
+// (fig5–fig7) run with. It is a constant, never derived from the
+// machine: the replication count shapes the result (each replication is
+// its own seeded system), while the worker count must not.
+const figureReplications = 8
+
+// figDeterminismConfig returns the canonical configuration behind
+// fig1–fig4 at the given scale, base seed and worker cap. One source of
+// truth for the experiment registry, the CSV exporter and the golden
+// determinism-regression tests.
+func figDeterminismConfig(id string, scale float64, seed uint64, workers int) (DeterminismConfig, bool) {
+	var cfg DeterminismConfig
+	var stream uint64
+	switch id {
+	case "fig1":
+		cfg = DefaultDeterminism(kernel.StandardLinux24(2, 1.4, true))
+		stream = streamFig1
+	case "fig2":
+		cfg = DefaultDeterminism(kernel.RedHawk14(2, 1.4))
+		cfg.Shield = true
+		stream = streamFig2
+	case "fig3":
+		cfg = DefaultDeterminism(kernel.RedHawk14(2, 1.4))
+		stream = streamFig3
+	case "fig4":
+		cfg = DefaultDeterminism(kernel.StandardLinux24(2, 1.4, false))
+		stream = streamFig4
+	default:
+		return DeterminismConfig{}, false
+	}
+	cfg.Runs = scaleRuns(cfg.Runs, scale)
+	cfg.Seed = sim.DeriveSeed(seed, stream)
+	cfg.Workers = workers
+	return cfg, true
+}
+
+// figRealfeelConfig returns the canonical configuration behind fig5 and
+// fig6.
+func figRealfeelConfig(id string, scale float64, seed uint64, workers int) (RealfeelConfig, bool) {
+	var cfg RealfeelConfig
+	var stream uint64
+	switch id {
+	case "fig5":
+		cfg = DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
+		stream = streamFig5
+	case "fig6":
+		cfg = DefaultRealfeel(kernel.RedHawk14(2, 0.933))
+		cfg.Shield = true
+		stream = streamFig6
+	default:
+		return RealfeelConfig{}, false
+	}
+	cfg.Samples = scaleSamples(cfg.Samples, scale)
+	cfg.Seed = sim.DeriveSeed(seed, stream)
+	cfg.Replications = figureReplications
+	cfg.Workers = workers
+	return cfg, true
+}
+
+// figRCIMConfig returns the canonical configuration behind fig7.
+func figRCIMConfig(scale float64, seed uint64, workers int) RCIMConfig {
+	cfg := DefaultRCIM(kernel.RedHawk14(2, 2.0))
+	cfg.Samples = scaleSamples(cfg.Samples, scale)
+	cfg.Seed = sim.DeriveSeed(seed, streamFig7)
+	cfg.Replications = figureReplications
+	cfg.Workers = workers
+	return cfg
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Regenerate with: go test ./internal/core -run TestFigureGoldenHashes -update
+var updateGoldens = flag.Bool("update", false, "rewrite testdata golden figure hashes from this run")
+
+// goldenScale/goldenSeed pin the scaled-down runs the golden hashes are
+// computed from. Changing either (or anything that feeds the simulation)
+// legitimately invalidates the goldens; rerun with -update and review the
+// diff like any other behavior change.
+const (
+	goldenScale = 0.05
+	goldenSeed  = 7
+)
+
+var goldenFigures = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+
+func fnv1a(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestFigureResultsReproducible runs every figure's canonical
+// configuration twice with the same seed and requires the full result
+// structs — histograms, summaries, reports — to come out identical. This
+// is the determinism contract at the struct level; the golden-hash test
+// below extends it across sessions and machines.
+func TestFigureResultsReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, id := range goldenFigures {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			a, b := figureResult(t, id), figureResult(t, id)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: same seed, different result structs", id)
+			}
+		})
+	}
+}
+
+// figureResult runs one figure's canonical config and returns the raw
+// result struct (whose concrete type depends on the figure family).
+func figureResult(t *testing.T, id string) interface{} {
+	t.Helper()
+	if cfg, ok := figDeterminismConfig(id, goldenScale, goldenSeed, 0); ok {
+		return RunDeterminism(cfg)
+	}
+	if cfg, ok := figRealfeelConfig(id, goldenScale, goldenSeed, 0); ok {
+		return RunRealfeel(cfg)
+	}
+	if id == "fig7" {
+		return RunRCIM(figRCIMConfig(goldenScale, goldenSeed, 0))
+	}
+	t.Fatalf("unknown figure %q", id)
+	return nil
+}
+
+// TestFigureGoldenHashes regenerates every figure's CSV export at the
+// pinned scale and seed and compares its FNV-1a hash against the
+// committed goldens — a regression tripwire for *any* unintended change
+// to simulation behavior, seed derivation or merge order.
+func TestFigureGoldenHashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	path := filepath.Join("testdata", "figure_hashes.txt")
+	got := map[string]string{}
+	for _, id := range goldenFigures {
+		csv, err := FigureCSV(id, goldenScale, goldenSeed, 0)
+		if err != nil {
+			t.Fatalf("FigureCSV(%s): %v", id, err)
+		}
+		got[id] = fnv1a(csv)
+	}
+
+	if *updateGoldens {
+		var b strings.Builder
+		b.WriteString("# FNV-1a hashes of FigureCSV(id, scale=0.05, seed=7).\n")
+		b.WriteString("# Regenerate: go test ./internal/core -run TestFigureGoldenHashes -update\n")
+		ids := make([]string, 0, len(got))
+		for id := range got {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s %s\n", id, got[id])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (%v); run with -update to create them", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[parts[0]] = parts[1]
+	}
+	for _, id := range goldenFigures {
+		if want[id] == "" {
+			t.Errorf("%s: no committed golden; run with -update", id)
+			continue
+		}
+		if got[id] != want[id] {
+			t.Errorf("%s: CSV hash %s, golden %s — simulation output changed; if intended, rerun with -update",
+				id, got[id], want[id])
+		}
+	}
+}

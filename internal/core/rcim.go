@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,12 @@ type RCIMConfig struct {
 	Shield    bool
 	ShieldCPU int
 	Seed      uint64
+	// Replications, when > 1, shards Samples across independent
+	// replications merged in index order; see
+	// RealfeelConfig.Replications for the determinism contract.
+	Replications int
+	// Workers caps the replication worker pool; <= 0 means GOMAXPROCS.
+	Workers int
 	// ForceBKL makes the RCIM driver claim it needs the BKL, the §6.3
 	// ablation showing why the per-driver flag matters.
 	ForceBKL bool
@@ -46,12 +53,26 @@ func DefaultRCIM(cfg kernel.Config) RCIMConfig {
 // count-register reading at the moment the woken test task is back in
 // user space — time since the interrupt fired, measured by the device
 // itself, exactly as the paper does.
+//
+// With cfg.Replications > 1 the sample budget is sharded across
+// independent replications executed on the runner worker pool and the
+// results merged deterministically.
 func RunRCIM(cfg RCIMConfig) ResponseResult {
 	if cfg.Period <= 0 {
 		cfg.Period = sim.Millisecond
 	}
 	if cfg.Samples <= 0 {
 		cfg.Samples = 400_000
+	}
+	if n := replicationCount(cfg.Replications, cfg.Samples); n > 1 {
+		parts := runner.MapSeeded(cfg.Workers, cfg.Seed, n, func(i int, seed uint64) ResponseResult {
+			sub := cfg
+			sub.Replications = 1
+			sub.Samples = shardSize(cfg.Samples, n, i)
+			sub.Seed = seed
+			return RunRCIM(sub)
+		})
+		return mergeResponses(parts)
 	}
 	s := NewSystem(cfg.Kernel, cfg.Seed, SystemOptions{
 		RCIMPeriod: cfg.Period,
@@ -69,8 +90,7 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 	// microseconds.
 	hist := metrics.NewHistogram(sim.Microsecond, 10000)
 	samples := 0
-	var minL, maxL sim.Duration = 1 << 62, 0
-	var sumL float64
+	var sum metrics.ResponseSummary
 
 	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
 		if samples >= cfg.Samples {
@@ -86,14 +106,8 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 			// Immediately read the mapped count register.
 			lat := s.RCIM.CountElapsed(now)
 			hist.Add(lat)
+			sum.Add(lat)
 			samples++
-			if lat < minL {
-				minL = lat
-			}
-			if lat > maxL {
-				maxL = lat
-			}
-			sumL += float64(lat)
 		}
 		return act
 	})
@@ -112,9 +126,6 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 	horizon := sim.Time(cfg.Samples+cfg.Samples/4+1000) * sim.Time(cfg.Period)
 	k.Eng.Run(horizon)
 
-	if samples == 0 {
-		minL = 0
-	}
 	name := fmt.Sprintf("%s RCIM response", cfg.Kernel.Name)
 	if cfg.Shield {
 		name += " (shielded CPU)"
@@ -123,12 +134,9 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 		name += " [BKL forced]"
 	}
 	return ResponseResult{
-		Name:    name,
-		Hist:    hist,
-		Samples: uint64(samples),
-		Min:     minL,
-		Max:     maxL,
-		Mean:    sim.Duration(sumL / float64(maxInt(samples, 1))),
+		Name:            name,
+		Hist:            hist,
+		ResponseSummary: sum,
 	}
 }
 

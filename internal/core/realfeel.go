@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,16 @@ type RealfeelConfig struct {
 	Shield    bool
 	ShieldCPU int
 	Seed      uint64
+	// Replications, when > 1, splits Samples across that many
+	// independent replications — each a fresh system with a seed derived
+	// via splitmix64 from (Seed, replication index) — whose results are
+	// merged in replication-index order. The merged figure is therefore
+	// bit-identical for any worker count. This is what makes paper-scale
+	// runs practical: replications execute in parallel.
+	Replications int
+	// Workers caps the replication worker pool; <= 0 means GOMAXPROCS.
+	// Workers never affects results, only wall-clock time.
+	Workers int
 	// ExtraLoads adds workloads on top of the stress-kernel suite
 	// (e.g. LoadScpFlood for heavy wire-interrupt traffic in the §6.2
 	// ablation).
@@ -36,6 +47,9 @@ type RealfeelConfig struct {
 	// what it takes for other standard APIs to reach RCIM-class
 	// response.
 	FixedAPI bool
+	// ResidencyCap, when non-zero, overrides the stress-kernel's
+	// heaviest-residency knob (the residency-cap sweep's parameter).
+	ResidencyCap sim.Duration
 }
 
 // DefaultRealfeel fills the paper's parameters.
@@ -50,14 +64,11 @@ func DefaultRealfeel(cfg kernel.Config) RealfeelConfig {
 }
 
 // ResponseResult is an interrupt-response figure: the latency histogram
-// and its extremes.
+// and, via the embedded summary, its extremes and exact mean.
 type ResponseResult struct {
-	Name    string
-	Hist    *metrics.Histogram
-	Samples uint64
-	Min     sim.Duration
-	Max     sim.Duration
-	Mean    sim.Duration
+	Name string
+	Hist *metrics.Histogram
+	metrics.ResponseSummary
 	// WorstFSHold is the longest observed hold of any contended fs
 	// spinlock during the run — the quantity the §6.2 fix bounds
 	// (bottom halves preempting lock holders stretch it to
@@ -69,7 +80,7 @@ type ResponseResult struct {
 func (r ResponseResult) Legend(thresholds []sim.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d measured interrupts\n", r.Samples)
-	fmt.Fprintf(&b, "min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean)
+	fmt.Fprintf(&b, "min latency: %v\nmax latency: %v\navg latency: %v\n", r.Min, r.Max, r.Mean())
 	b.WriteString(r.Hist.Legend(thresholds))
 	return b.String()
 }
@@ -88,6 +99,28 @@ func (r ResponseResult) Chart(thresholds []sim.Duration, unit sim.Duration, unit
 	}.Render(r.Hist))
 	b.WriteString(r.Legend(thresholds))
 	return b.String()
+}
+
+// merge folds other into r in replication-index order: histogram bins,
+// the response summary, and the worst lock hold. Both sides must come
+// from the same experiment configuration (identical histogram shape).
+func (r *ResponseResult) merge(other ResponseResult) {
+	if err := r.Hist.Merge(other.Hist); err != nil {
+		panic(err) // replications share one config; shapes cannot differ
+	}
+	r.ResponseSummary.Merge(other.ResponseSummary)
+	if other.WorstFSHold > r.WorstFSHold {
+		r.WorstFSHold = other.WorstFSHold
+	}
+}
+
+// mergeResponses folds a replication-ordered slice of results into one.
+func mergeResponses(parts []ResponseResult) ResponseResult {
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.merge(p)
+	}
+	return merged
 }
 
 // PaperThresholdsFig5 are the cumulative rows under Figure 5.
@@ -112,14 +145,51 @@ func PaperThresholdsFig6() []sim.Duration {
 // histogram. Latency is measured the way realfeel measures it: the gap
 // between consecutive returns from read(/dev/rtc) minus the expected
 // period; anything beyond the period is response latency.
+//
+// With cfg.Replications > 1 the sample budget is sharded across
+// independent replications executed on the runner worker pool and the
+// results merged deterministically; see RealfeelConfig.Replications.
 func RunRealfeel(cfg RealfeelConfig) ResponseResult {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 400_000
+	}
+	if n := replicationCount(cfg.Replications, cfg.Samples); n > 1 {
+		parts := runner.MapSeeded(cfg.Workers, cfg.Seed, n, func(i int, seed uint64) ResponseResult {
+			sub := cfg
+			sub.Replications = 1
+			sub.Samples = shardSize(cfg.Samples, n, i)
+			sub.Seed = seed
+			return RunRealfeel(sub)
+		})
+		return mergeResponses(parts)
+	}
 	return RunRealfeelModes(cfg, cfg.Shield, cfg.Shield, cfg.Shield, cfg.Shield)
+}
+
+// replicationCount clamps a requested replication count to the sample
+// budget so no replication runs empty.
+func replicationCount(reps, samples int) int {
+	if reps > samples {
+		reps = samples
+	}
+	return reps
+}
+
+// shardSize splits total across n shards in index order; the first
+// total%n shards carry the remainder.
+func shardSize(total, n, i int) int {
+	size := total / n
+	if i < total%n {
+		size++
+	}
+	return size
 }
 
 // RunRealfeelModes is RunRealfeel with each shielding dimension
 // controlled independently (the §3 shield-mode ablation): shield the CPU
 // from processes, from interrupts, from the local timer, and whether the
-// RTC interrupt is affined to the measurement CPU.
+// RTC interrupt is affined to the measurement CPU. It always executes a
+// single replication.
 func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer, affineRTC bool) ResponseResult {
 	if cfg.Hz <= 0 {
 		cfg.Hz = 2048
@@ -129,9 +199,10 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 	}
 	pinned := shieldProcs || shieldIRQs || shieldLTimer || affineRTC
 	s := NewSystem(cfg.Kernel, cfg.Seed, SystemOptions{
-		RTCHz:            cfg.Hz,
-		Loads:            append([]string{LoadStressKernel}, cfg.ExtraLoads...),
-		BroadcastTraffic: true,
+		RTCHz:              cfg.Hz,
+		Loads:              append([]string{LoadStressKernel}, cfg.ExtraLoads...),
+		BroadcastTraffic:   true,
+		StressResidencyCap: cfg.ResidencyCap,
 	})
 	k := s.K
 
@@ -145,8 +216,7 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 	period := s.RTC.Period()
 	var prev sim.Time = -1
 	samples := 0
-	var minL, maxL sim.Duration = 1 << 62, 0
-	var sumL float64
+	var sum metrics.ResponseSummary
 
 	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
 		if samples >= cfg.Samples {
@@ -165,14 +235,8 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 					lat = 0
 				}
 				hist.Add(lat)
+				sum.Add(lat)
 				samples++
-				if lat < minL {
-					minL = lat
-				}
-				if lat > maxL {
-					maxL = lat
-				}
-				sumL += float64(lat)
 			}
 			prev = now
 		}
@@ -201,9 +265,6 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 	horizon := sim.Time(cfg.Samples+cfg.Samples/4+2048) * sim.Time(period)
 	k.Eng.Run(horizon)
 
-	if samples == 0 {
-		minL = 0
-	}
 	name := fmt.Sprintf("%s realfeel @%dHz", cfg.Kernel.Name, cfg.Hz)
 	if shieldProcs && shieldIRQs && shieldLTimer {
 		name += " (shielded CPU)"
@@ -217,21 +278,11 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 		}
 	}
 	return ResponseResult{
-		Name:        name,
-		Hist:        hist,
-		Samples:     uint64(samples),
-		Min:         minL,
-		Max:         maxL,
-		Mean:        sim.Duration(sumL / float64(maxInt(samples, 1))),
-		WorstFSHold: worstHold,
+		Name:            name,
+		Hist:            hist,
+		ResponseSummary: sum,
+		WorstFSHold:     worstHold,
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func mustDo(err error) {

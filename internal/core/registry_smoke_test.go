@@ -31,7 +31,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out := e.Run(0.05, 3)
+			out := e.Run(0.05, 3, 0)
 			if len(out) < 20 {
 				t.Fatalf("output suspiciously short:\n%s", out)
 			}

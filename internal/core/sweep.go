@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/kernel"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -86,7 +87,8 @@ func Sweeps() []Sweep {
 				cfg := DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
 				cfg.Samples = scaleSamples(40_000, scale)
 				cfg.Seed = seed
-				r := runRealfeelWithResidencyCap(cfg, sim.Duration(v*1e6))
+				cfg.ResidencyCap = sim.Duration(v * 1e6)
+				r := RunRealfeel(cfg)
 				return r.Max.Millis(), "max_ms"
 			},
 		},
@@ -103,25 +105,22 @@ func SweepByID(id string) (Sweep, bool) {
 	return Sweep{}, false
 }
 
-// RunSweep evaluates the sweep and renders a table.
-func RunSweep(s Sweep, scale float64, seed uint64) string {
+// RunSweep evaluates the sweep on up to workers goroutines — every
+// point is an independent replication — and renders the table in point
+// order, so the output is identical for any worker count.
+func RunSweep(s Sweep, scale float64, seed uint64, workers int) string {
+	type point struct {
+		metric float64
+		unit   string
+	}
+	points := runner.Map(workers, len(s.Points), func(i int) point {
+		m, u := s.Run(s.Points[i], scale, seed)
+		return point{m, u}
+	})
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", s.Title)
-	var unit string
-	for _, p := range s.Points {
-		m, u := s.Run(p, scale, seed)
-		unit = u
-		fmt.Fprintf(&b, "  %10.3f -> %10.3f %s\n", p, m, u)
+	for i, p := range s.Points {
+		fmt.Fprintf(&b, "  %10.3f -> %10.3f %s\n", p, points[i].metric, points[i].unit)
 	}
-	_ = unit
 	return b.String()
-}
-
-// runRealfeelWithResidencyCap is RunRealfeel with the stress-kernel's
-// heaviest-residency knob overridden (used by the residency-cap sweep).
-func runRealfeelWithResidencyCap(cfg RealfeelConfig, cap sim.Duration) ResponseResult {
-	old := stressResidencyCap
-	stressResidencyCap = cap
-	defer func() { stressResidencyCap = old }()
-	return RunRealfeel(cfg)
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/kernel"
 )
 
 func TestSweepRegistry(t *testing.T) {
@@ -64,18 +66,28 @@ func TestHTSweepMonotone(t *testing.T) {
 	}
 }
 
-func TestResidencyCapSweepRestoresState(t *testing.T) {
+func TestResidencyCapSweepScopedToConfig(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration")
 	}
+	// The residency override lives in the config, not in package state:
+	// running the sweep must not change what an unrelated run sees.
+	baseline := func() ResponseResult {
+		cfg := DefaultRealfeel(kernel.StandardLinux24(2, 0.933, false))
+		cfg.Samples = scaleSamples(40_000, 0.2)
+		cfg.Seed = 1
+		return RunRealfeel(cfg)
+	}
+	before := baseline()
 	s, _ := SweepByID("residency-cap")
 	small, _ := s.Run(10, 0.2, 1)
-	if stressResidencyCap != 0 {
-		t.Fatal("sweep leaked the residency override")
-	}
 	big, _ := s.Run(150, 0.2, 1)
 	if big <= small {
 		t.Fatalf("residency cap sweep flat: %.2f vs %.2f", small, big)
+	}
+	after := baseline()
+	if before.Max != after.Max || before.ResponseSummary != after.ResponseSummary {
+		t.Fatal("sweep leaked the residency override into later runs")
 	}
 }
 
@@ -85,7 +97,7 @@ func TestRunSweepRenders(t *testing.T) {
 	}
 	s, _ := SweepByID("bus-contention")
 	s.Points = []float64{0, 0.1} // trim for test speed
-	out := RunSweep(s, 0.2, 1)
+	out := RunSweep(s, 0.2, 1, 0)
 	if !strings.Contains(out, "jitter_pct") || strings.Count(out, "->") != 2 {
 		t.Fatalf("sweep output:\n%s", out)
 	}

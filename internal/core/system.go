@@ -37,6 +37,12 @@ type SystemOptions struct {
 	// BroadcastTraffic delivers the light background broadcast frames
 	// the paper notes the system kept receiving during §6.1 runs.
 	BroadcastTraffic bool
+	// StressResidencyCap, when non-zero, overrides the stress-kernel's
+	// heaviest-residency knob (the residency-cap sensitivity sweep sets
+	// it). A config field rather than a global so that systems built
+	// concurrently by the replication runner cannot observe each other's
+	// overrides.
+	StressResidencyCap sim.Duration
 }
 
 // Load names accepted by SystemOptions.Loads.
@@ -51,10 +57,6 @@ const (
 	// bottom-half run is large — the §6.2 pre-fix pathology trigger.
 	LoadScpBurst = "scp-burst"
 )
-
-// stressResidencyCap, when non-zero, overrides the stress-kernel's
-// heaviest-residency knob; the residency-cap sensitivity sweep sets it.
-var stressResidencyCap sim.Duration
 
 // NewSystem assembles a machine. The kernel is not started; callers add
 // their measurement tasks first, then call Start.
@@ -84,8 +86,8 @@ func NewSystem(cfg kernel.Config, seed uint64, opts SystemOptions) *System {
 			s.workloads = append(s.workloads, workload.NewDiskNoise(s.Disk))
 		case LoadStressKernel:
 			sk := workload.NewStressKernel(s.Disk)
-			if stressResidencyCap > 0 {
-				sk.ResidencyCap = stressResidencyCap
+			if opts.StressResidencyCap > 0 {
+				sk.ResidencyCap = opts.StressResidencyCap
 			}
 			s.workloads = append(s.workloads, sk)
 		case LoadX11Perf:

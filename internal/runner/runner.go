@@ -1,0 +1,115 @@
+// Package runner is the parallel replication engine behind the
+// experiment harness. It shards independent replications of a
+// deterministic simulation across a bounded pool of goroutines and
+// returns their results in replication-index order, so that any merge
+// the caller performs over the result slice is itself deterministic.
+//
+// # Determinism contract
+//
+// Every simulation in this repository is single-threaded and seeded;
+// parallelism therefore lives strictly *between* replications, never
+// inside one. The runner guarantees that its output depends only on
+// (n, fn) — never on the worker count, GOMAXPROCS, or goroutine
+// scheduling — because each replication writes to its own slot of the
+// result slice and the slice is handed back in index order. Merging
+// results sequentially over that slice (histogram merge, summary merge,
+// sample append) thus produces bit-identical output for workers=1 and
+// workers=N. Tests in this package and in internal/core assert that
+// equivalence byte-for-byte.
+//
+// Seeds for replications are derived with sim.DeriveSeed(base, index)
+// (splitmix64), so replications never share an RNG stream and nearby
+// base seeds cannot collide the way additive offsets can.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines
+// (Workers-resolved) and returns the results in index order. Work is
+// distributed by an atomic counter, so stragglers do not idle the pool;
+// result placement is by index, so the output is independent of which
+// worker computed what. A panic in fn is re-raised on the caller's
+// goroutine after the remaining workers drain.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
+// MapSeeded is Map for seeded replications: replication i runs with
+// seed sim.DeriveSeed(base, i).
+func MapSeeded[T any](workers int, base uint64, n int, fn func(i int, seed uint64) T) []T {
+	return Map(workers, n, func(i int) T {
+		return fn(i, sim.DeriveSeed(base, uint64(i)))
+	})
+}
+
+// Do runs the given heterogeneous jobs on up to workers goroutines and
+// returns when all have completed. Each job communicates through the
+// variables it captures; the WaitGroup inside Map orders those writes
+// before Do returns.
+func Do(workers int, jobs ...func()) {
+	Map(workers, len(jobs), func(i int) struct{} {
+		jobs[i]()
+		return struct{}{}
+	})
+}

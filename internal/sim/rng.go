@@ -21,6 +21,18 @@ func (r *RNG) Fork() *RNG {
 	return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// DeriveSeed derives the seed for sub-stream idx of a run with the given
+// base seed: the splitmix64 output function applied to the idx-th state
+// after base. Replications, experiments and shards must use this instead
+// of additive offsets (seed + i*K), whose streams collide for nearby base
+// seeds — e.g. seed+2K for base s equals seed+K for base s+K.
+func DeriveSeed(base, idx uint64) uint64 {
+	z := base + (idx+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits (splitmix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -220,9 +220,20 @@ type (
 	ResponseResult = core.ResponseResult
 	// JitterReport is the determinism summary.
 	JitterReport = metrics.JitterReport
+	// JitterSummary is the mergeable loaded-run aggregate inside a
+	// DeterminismResult.
+	JitterSummary = metrics.JitterSummary
+	// ResponseSummary is the mergeable latency aggregate inside a
+	// ResponseResult.
+	ResponseSummary = metrics.ResponseSummary
 	// Histogram is a fixed-bucket latency histogram.
 	Histogram = metrics.Histogram
 )
+
+// DeriveSeed derives a decorrelated child seed from a base seed and a
+// replication index via splitmix64 — the derivation every experiment
+// uses to seed independent replications.
+var DeriveSeed = sim.DeriveSeed
 
 // Experiment runners and registry.
 var (
