@@ -1,0 +1,49 @@
+# Local workflow mirroring .github/workflows/ci.yml: `make lint test`
+# runs exactly what CI's lint and test jobs run.
+
+GO ?= go
+
+.PHONY: all build lint fmt vet simlint test race bench fuzz figures clean
+
+all: lint test build
+
+build:
+	$(GO) build ./...
+
+# lint = the CI lint job: formatting gate, go vet, then the determinism
+# analyzers (nondeterminism, maporder, seedderive, floatmerge).
+lint: fmt vet simlint
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+simlint:
+	$(GO) run ./cmd/simlint ./...
+
+test:
+	$(GO) test ./...
+
+# race = the CI test job (replication engine fans out goroutines; the
+# race detector guards against shared state between replications).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# fuzz = the CI fuzz-smoke job, shortened for local runs.
+fuzz:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEngineOps -fuzztime 5s
+	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzParseMask$$' -fuzztime 5s
+	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzEffectiveAffinity$$' -fuzztime 5s
+
+# figures regenerates the full evaluation artifact directory.
+figures:
+	$(GO) run ./cmd/rtsim -outdir artifacts
+
+clean:
+	rm -rf artifacts

@@ -27,6 +27,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores); never affects results, only wall-clock time")
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "reprocheck: -parallel must be >= 0 (0 = all cores), got %d\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !(*scale > 0) { // also rejects NaN
+		fmt.Fprintf(os.Stderr, "reprocheck: -scale must be > 0, got %v\n", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	results := core.RunChecks(*scale, *seed, *parallel)
 	failed := 0

@@ -37,6 +37,17 @@ func main() {
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "rtsim: -parallel must be >= 0 (0 = all cores), got %d\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !(*scale > 0) { // also rejects NaN
+		fmt.Fprintf(os.Stderr, "rtsim: -scale must be > 0, got %v\n", *scale)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *outdir != "" {
 		if err := writeAll(*outdir, *scale, *seed, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "rtsim:", err)

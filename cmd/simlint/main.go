@@ -1,0 +1,90 @@
+// Command simlint is the determinism linter for this repository: a
+// multichecker over the custom analyzers in internal/analysis that
+// mechanically enforce the simulator's reproducibility contract
+// (DESIGN.md, "Determinism rules").
+//
+// Standalone:
+//
+//	simlint ./...              # lint packages under the current module
+//	simlint -list              # describe the analyzers
+//	simlint ./internal/sim     # lint one package
+//
+// As a go vet tool (per-package, build-cached):
+//
+//	go build -o /tmp/simlint ./cmd/simlint
+//	go vet -vettool=/tmp/simlint ./...
+//
+// Findings print as "path:line:col: message (analyzer)" and make the
+// exit status non-zero, so CI treats a determinism violation like a
+// failing test. A finding can be suppressed — visibly and greppably —
+// with a trailing or preceding comment:
+//
+//	//simlint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a reasonless directive is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/floatmerge"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/seedderive"
+)
+
+var analyzers = []*framework.Analyzer{
+	nondeterminism.Analyzer,
+	maporder.Analyzer,
+	seedderive.Analyzer,
+	floatmerge.Analyzer,
+}
+
+func main() {
+	// `go vet -vettool` protocol: -V=full, -flags, or a unit.cfg file.
+	// VetMain exits the process when it recognizes the invocation.
+	if framework.VetMain(os.Args[1:], analyzers) {
+		return
+	}
+
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [package patterns]\n\n")
+		fmt.Fprintf(os.Stderr, "Lints module packages (default ./...) with the determinism analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	n, err := framework.Run(os.Stdout, cwd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSimlint compiles the simlint binary once into a temp dir.
+func buildSimlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build simlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// scratchModule writes a throwaway module whose internal/sim package
+// violates the nondeterminism rule and whose internal/core package
+// violates seedderive, with one suppressed site.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/sim/clock.go", `package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`)
+	write("internal/core/seeds.go", `package core
+
+func Shard(seed uint64, i int) uint64 {
+	return seed + uint64(i)
+}
+
+func Legacy(seed uint64) uint64 {
+	//simlint:allow seedderive scratch fixture exercising the suppression path
+	return seed + 7919
+}
+`)
+	return dir
+}
+
+func TestStandalone(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("simlint exited 0 on a tree with violations\nstdout:\n%s", stdout.String())
+	}
+	out := stdout.String()
+	// Each violation must be attributed to the analyzer that owns the rule.
+	if !strings.Contains(out, "time.Now") || !strings.Contains(out, "(nondeterminism)") {
+		t.Errorf("missing nondeterminism finding for time.Now:\n%s", out)
+	}
+	if !strings.Contains(out, "arithmetic on a seed") || !strings.Contains(out, "(seedderive)") {
+		t.Errorf("missing seedderive finding:\n%s", out)
+	}
+	if strings.Contains(out, "Legacy") || strings.Count(out, "(seedderive)") != 1 {
+		t.Errorf("suppressed site leaked into findings:\n%s", out)
+	}
+}
+
+func TestStandaloneCleanTree(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+	// Lint only a package with no findings: exit status must be 0.
+	cmd := exec.Command(bin, "-list")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("simlint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"nondeterminism", "maporder", "seedderive", "floatmerge"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}
+
+// TestVetTool runs simlint under the real `go vet -vettool` protocol:
+// -V=full for the build cache, -flags for flag discovery, then one
+// .cfg compilation unit per package with compiler export data.
+func TestVetTool(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited 0 on a tree with violations\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "time.Now") || !strings.Contains(s, "(nondeterminism)") {
+		t.Errorf("vettool run missing nondeterminism finding:\n%s", s)
+	}
+	if !strings.Contains(s, "arithmetic on a seed") {
+		t.Errorf("vettool run missing seedderive finding:\n%s", s)
+	}
+}

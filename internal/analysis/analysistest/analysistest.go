@@ -1,0 +1,137 @@
+// Package analysistest runs framework analyzers over fixture packages
+// under testdata/src and checks their diagnostics against `// want`
+// expectations, in the style of golang.org/x/tools/go/analysis/
+// analysistest.
+//
+// A fixture line that should be flagged carries a comment of the form
+//
+//	m[k] = v // want `map order`
+//
+// where each backquoted string is a regular expression that must match
+// the message of exactly one diagnostic reported on that line. Lines
+// without a want comment must produce no diagnostics. Because fixtures
+// run through the same pipeline as the real driver (framework.
+// RunPackage), `//simlint:allow` suppression directives are honored,
+// so a fixture can assert both that a rule fires and that its escape
+// hatch works.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run loads each fixture package testdata/src/<path>, analyzes it with
+// the given analyzers, and reports mismatches between diagnostics and
+// `// want` expectations as test errors.
+func Run(t *testing.T, testdata string, analyzers []*framework.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+			loader, err := framework.NewLoader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loader.IncludeTests = true
+			pkg, err := loader.LoadDirAs(dir, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := framework.RunPackage(pkg, analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, pkg, diags)
+		})
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	// Collect want expectations keyed by file:line.
+	wants := make(map[string][]*expectation)
+	key := func(pos token.Position) string {
+		return pos.Filename + ":" + strconv.Itoa(pos.Line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Errorf("%s: malformed want comment (expectations must be `backquoted` regexps): %s",
+						pkg.Fset.Position(c.Pos()), c.Text)
+					continue
+				}
+				k := key(pkg.Fset.Position(c.Pos()))
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), a[1], err)
+						continue
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key(pos)
+		found := false
+		for _, exp := range wants[k] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matching %q", k, exp.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package floatmerge flags order-dependent floating-point accumulation
+// inside the mergeable-summary pattern. The parallel replication engine
+// merges per-shard summaries in replication-index order and promises
+// bit-identical totals for every worker count; that only holds if
+// Merge (and the Add path that feeds it) is exactly associative.
+// Float addition is not — (a+b)+c differs from a+(b+c) in the last
+// ulp — so summary totals must stay integer-exact (counts, integer
+// nanosecond sums) and any ratio (mean, percentage) must be computed
+// from those integers at read time.
+//
+// A type is considered a mergeable summary when it has both a Merge
+// and an Add method; the rule then applies inside Merge, Add, and any
+// other Merge*-named method of that type.
+package floatmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the floatmerge rule.
+var Analyzer = &framework.Analyzer{
+	Name: "floatmerge",
+	Doc: "flag order-dependent float accumulation in mergeable summaries\n\n" +
+		"In types with both Add and Merge methods (the mergeable-summary pattern of\n" +
+		"internal/metrics), accumulating float64 state (sum += x) makes the merged result\n" +
+		"depend on shard order, breaking cross-worker bit-identity. Keep totals integer-\n" +
+		"exact and compute ratios at read time.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !isMergePathMethod(fn.Name.Name) {
+				continue
+			}
+			if !isMergeableSummary(pass, fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isMergePathMethod(name string) bool {
+	return name == "Add" || name == "Merge" || strings.HasPrefix(name, "Merge")
+}
+
+// isMergeableSummary reports whether fn's receiver type has both an
+// Add and a Merge method — the pattern internal/runner merges across
+// shards. The method set is taken through a pointer so value- and
+// pointer-receiver methods both count.
+func isMergeableSummary(pass *framework.Pass, fn *ast.FuncDecl) bool {
+	if len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.(*types.Named); !ok {
+		return false
+	}
+	mset := types.NewMethodSet(types.NewPointer(t))
+	hasAdd, hasMerge := false, false
+	for i := 0; i < mset.Len(); i++ {
+		switch mset.At(i).Obj().Name() {
+		case "Add":
+			hasAdd = true
+		case "Merge":
+			hasMerge = true
+		}
+	}
+	return hasAdd && hasMerge
+}
+
+func checkBody(pass *framework.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range assign.Lhs {
+				if framework.IsFloat(pass.TypesInfo.TypeOf(lhs)) {
+					pass.Reportf(assign.Pos(),
+						"float accumulation (%s %s) in %s of a mergeable summary: float addition is not associative, so merged totals depend on shard order; keep totals integer-exact and compute ratios at read time",
+						framework.ExprString(lhs), assign.Tok, fn.Name.Name)
+				}
+			}
+		case token.ASSIGN:
+			if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			lhsStr := framework.ExprString(assign.Lhs[0])
+			bin, ok := assign.Rhs[0].(*ast.BinaryExpr)
+			if !ok || lhsStr == "" {
+				return true
+			}
+			if (bin.Op == token.ADD || bin.Op == token.SUB) &&
+				framework.IsFloat(pass.TypesInfo.TypeOf(bin)) &&
+				(framework.ExprString(bin.X) == lhsStr || framework.ExprString(bin.Y) == lhsStr) {
+				pass.Reportf(assign.Pos(),
+					"float accumulation (%s = %s %s ...) in %s of a mergeable summary: float addition is not associative, so merged totals depend on shard order; keep totals integer-exact and compute ratios at read time",
+					lhsStr, lhsStr, bin.Op, fn.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package floatmerge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatmerge"
+	"repro/internal/analysis/framework"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{floatmerge.Analyzer},
+		"repro/internal/metrics",
+	)
+}

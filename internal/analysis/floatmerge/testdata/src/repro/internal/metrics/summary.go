@@ -1,0 +1,74 @@
+// Fixture: mergeable summaries (types with both Add and Merge) must
+// keep their accumulated state integer-exact.
+package metrics
+
+// GoodSummary is the sanctioned shape: integer-exact totals, ratios
+// computed from them at read time.
+type GoodSummary struct {
+	N     int
+	Total int64
+}
+
+func (s *GoodSummary) Add(v int64) {
+	s.N++
+	s.Total += v
+}
+
+func (s *GoodSummary) Merge(o GoodSummary) {
+	s.N += o.N
+	s.Total += o.Total
+}
+
+// Mean is a read-time ratio: floats are fine once accumulation is done.
+func (s GoodSummary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Total) / float64(s.N)
+}
+
+// BadSummary accumulates floats on both the Add and Merge paths.
+type BadSummary struct {
+	N   int
+	Sum float64
+}
+
+func (s *BadSummary) Add(v float64) {
+	s.N++
+	s.Sum += v // want `float accumulation`
+}
+
+func (s *BadSummary) Merge(o BadSummary) {
+	s.N += o.N
+	s.Sum = s.Sum + o.Sum // want `float accumulation`
+}
+
+func (s *BadSummary) MergeScaled(o BadSummary, f float64) {
+	s.Sum += o.Sum * f // want `float accumulation`
+}
+
+// Accumulator has no Merge method, so it is not a mergeable summary:
+// its float state never crosses shard boundaries and stays exempt.
+type Accumulator struct {
+	acc float64
+}
+
+func (a *Accumulator) Add(v float64) {
+	a.acc += v
+}
+
+// Calibrated shows the escape hatch for a summary whose float field is
+// provably rebuilt from integers before any merge.
+type Calibrated struct {
+	N     int
+	Scale float64
+}
+
+func (c *Calibrated) Add(v float64) {
+	//simlint:allow floatmerge Scale is recomputed from N before every merge, never accumulated across shards
+	c.Scale += v
+}
+
+func (c *Calibrated) Merge(o Calibrated) {
+	c.N += o.N
+}

@@ -1,0 +1,79 @@
+// Package framework is a self-contained analysis driver modelled on
+// golang.org/x/tools/go/analysis, built only from the standard library
+// so the repository stays dependency-free (the container this project
+// grows in has no module proxy). It provides the Analyzer/Pass/
+// Diagnostic vocabulary, a module-aware package loader, the
+// `//simlint:allow` suppression directive, a standalone multichecker
+// driver, and the `go vet -vettool` compilation-unit protocol.
+//
+// The API shapes match x/tools closely enough that the analyzers in
+// sibling packages could be ported to the real framework by changing
+// imports, should a vendored copy of x/tools ever become available.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis rule and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//simlint:allow <name> <reason>` suppression directives.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by `simlint -list`.
+	Doc string
+
+	// Run applies the analyzer to one package and reports diagnostics
+	// via pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // syntax trees, comments included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a diagnostic. The driver installs it; analyzers
+	// must not replace it.
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, tied to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// sortDiagnostics orders diagnostics by position for stable output —
+// the driver's own output has to be deterministic too.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) func(i, j int) bool {
+	return func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	}
+}

@@ -1,0 +1,116 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// PkgFunc resolves a call of the form pkgname.Func where pkgname is an
+// imported package (possibly renamed). It returns the imported
+// package's path and the function name, or ("", "") if the expression
+// is not a package-level selector.
+func PkgFunc(info *types.Info, fun ast.Expr) (pkgPath, name string) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// IsTestFile reports whether the file's name ends in _test.go. The
+// determinism contract covers shipped simulation code, not its tests
+// (which may time things, spawn goroutines, or pick ad-hoc seeds).
+func IsTestFile(pass *Pass, f *ast.File) bool {
+	name := pass.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(filepath.Base(name), "_test.go")
+}
+
+// PathHasSegments reports whether pkgPath contains pattern as a run of
+// complete, consecutive path segments — e.g. "internal/sim" matches
+// "repro/internal/sim" and "repro/internal/sim/sub" but not
+// "repro/internal/simulator".
+func PathHasSegments(pkgPath, pattern string) bool {
+	segs := strings.Split(pkgPath, "/")
+	want := strings.Split(pattern, "/")
+	if len(want) == 0 || len(want) > len(segs) {
+		return false
+	}
+outer:
+	for i := 0; i+len(want) <= len(segs); i++ {
+		for j := range want {
+			if segs[i+j] != want[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t's underlying type is a floating-point
+// basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsInteger reports whether t's underlying type is an integer basic
+// type (including named integer types such as sim.Duration).
+func IsInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// IsMap reports whether t's underlying type is a map.
+func IsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// ExprString renders a (small) expression back to source, used to
+// compare "the slice appended to" against "the slice later sorted".
+// It intentionally covers only the identifier/selector/index shapes
+// such targets take; anything else yields "" (never equal).
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		x := ExprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return x + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		x := ExprString(e.X)
+		i := ExprString(e.Index)
+		if x == "" || i == "" {
+			return ""
+		}
+		return x + "[" + i + "]"
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.StarExpr:
+		x := ExprString(e.X)
+		if x == "" {
+			return ""
+		}
+		return "*" + x
+	}
+	return ""
+}

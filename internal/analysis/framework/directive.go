@@ -1,0 +1,89 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed `//simlint:allow <analyzer> <reason>`
+// comment. Suppressions are deliberately loud in the source — they are
+// greppable, they name the rule they disable, and they are invalid
+// without a stated reason — so every escape from the determinism
+// contract stays visible in review.
+type directive struct {
+	line     int
+	analyzer string // analyzer name, or "all"
+	reason   string
+	pos      token.Pos
+}
+
+const directivePrefix = "simlint:allow"
+
+// parseDirectives extracts suppression directives from the files'
+// comments. Malformed directives (no analyzer, or no reason) are
+// reported as diagnostics of the pseudo-analyzer "simlint" and never
+// suppress anything — a reasonless escape hatch is itself a finding.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (map[string][]directive, []Diagnostic) {
+	byFile := make(map[string][]directive)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// The reason runs to the end of the comment, except that
+				// an embedded "//" ends it (so tooling comments like the
+				// analysistest kit's "// want" can follow a directive).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "simlint:allow needs an analyzer name and a reason: //simlint:allow <analyzer> <reason>",
+						Analyzer: "simlint",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "simlint:allow " + fields[0] + " needs a reason stating why the rule is safe to break here",
+						Analyzer: "simlint",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile[pos.Filename] = append(byFile[pos.Filename], directive{
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// the given position is covered by a directive on the same line or on
+// the line directly above it.
+func suppressed(dirs map[string][]directive, fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range dirs[p.Filename] {
+		if d.analyzer != analyzer && d.analyzer != "all" {
+			continue
+		}
+		if d.line == p.Line || d.line == p.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestPathHasSegments(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"repro/internal/sim", "internal/sim", true},
+		{"repro/internal/sim/sub", "internal/sim", true},
+		{"internal/sim", "internal/sim", true},
+		{"repro/internal/simulator", "internal/sim", false},
+		{"repro/internal", "internal/sim", false},
+		{"scratch/internal/kernel", "internal/kernel", true},
+		{"repro/internal/runner", "internal/runner", true},
+		{"repro", "internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSegments(c.path, c.pattern); got != c.want {
+			t.Errorf("PathHasSegments(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x", "x"},
+		{"a.b.c", "a.b.c"},
+		{"m[k]", "m[k]"},
+		{"(x)", "x"},
+		{"*p", "*p"},
+		{"f()", ""},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ExprString(e); got != c.want {
+			t.Errorf("ExprString(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	src := `package p
+
+func a() {
+	//simlint:allow maporder order is irrelevant here
+	_ = 1
+}
+
+func b() {
+	//simlint:allow maporder
+	_ = 2
+}
+
+func c() {
+	//simlint:allow
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := parseDirectives(fset, []*ast.File{f})
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 2: %v", len(bad), bad)
+	}
+	if len(dirs["fixture.go"]) != 1 {
+		t.Fatalf("got %d valid directives, want 1", len(dirs["fixture.go"]))
+	}
+	d := dirs["fixture.go"][0]
+	if d.analyzer != "maporder" || d.reason != "order is irrelevant here" {
+		t.Errorf("directive = %+v", d)
+	}
+
+	// The valid directive covers its own line and the line below.
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !suppressed(dirs, fset, "maporder", pos(d.line)) {
+		t.Error("directive does not suppress its own line")
+	}
+	if !suppressed(dirs, fset, "maporder", pos(d.line+1)) {
+		t.Error("directive does not suppress the next line")
+	}
+	if suppressed(dirs, fset, "maporder", pos(d.line+2)) {
+		t.Error("directive suppresses two lines below")
+	}
+	if suppressed(dirs, fset, "seedderive", pos(d.line+1)) {
+		t.Error("directive for maporder suppresses seedderive")
+	}
+}
+
+func TestModulePathAndLoader(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModPath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModPath)
+	}
+	pkg, err := loader.LoadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "repro/internal/analysis/framework" {
+		t.Errorf("import path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || len(pkg.Files) == 0 {
+		t.Error("package not type-checked")
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand(loader.ModRoot, []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand included testdata dir %s", d)
+		}
+	}
+	if len(dirs) < 5 {
+		t.Errorf("Expand found only %d analysis packages: %v", len(dirs), dirs)
+	}
+}

@@ -1,0 +1,80 @@
+package framework
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// RunPackage applies the analyzers to one loaded package, filters the
+// results through `//simlint:allow` directives, and returns the
+// surviving diagnostics in position order. Both the standalone driver
+// and the analysistest kit go through this single pipeline, so the
+// suppression semantics the tests exercise are exactly the semantics
+// CI enforces.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
+	diags := bad
+	for _, a := range analyzers {
+		var found []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				found = append(found, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range found {
+			if !suppressed(dirs, pkg.Fset, a.Name, d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, sortDiagnostics(pkg.Fset, diags))
+	return diags, nil
+}
+
+// Run is the standalone driver: it expands patterns relative to dir,
+// loads and analyzes every matched package, prints diagnostics to w as
+// "path:line:col: message (analyzer)", and returns the number of
+// diagnostics. Load or type-check failures return an error (the tree
+// must compile for the lint to mean anything).
+func Run(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgDirs, err := loader.Expand(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pd := range pkgDirs {
+		pkg, err := loader.LoadDir(pd)
+		if err != nil {
+			return total, err
+		}
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// unitConfig mirrors the JSON compilation-unit description that
+// `go vet` writes for its -vettool (the x/tools unitchecker Config;
+// the field set is the protocol, see $GOROOT/src/cmd/vendor/.../
+// unitchecker/unitchecker.go). Fields the framework does not need are
+// still declared so unknown-field additions on the go side stay
+// non-breaking.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the command-line protocol `go vet -vettool`
+// requires of an analysis tool:
+//
+//	-V=full    print an identity/buildID line for the build cache
+//	-flags     describe tool flags as JSON (we expose none)
+//	unit.cfg   analyze the single compilation unit described by cfg
+//
+// It returns false if args match none of the above, in which case the
+// caller should proceed with its own (standalone) argument handling.
+// On a cfg argument it runs the analyzers and exits: 0 for clean,
+// 1 for diagnostics (printed to stderr, one per line, like cmd/vet).
+func VetMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 0 {
+		return false
+	}
+	switch args[0] {
+	case "-V=full", "-V":
+		fmt.Printf("simlint version %s\n", executableID())
+		os.Exit(0)
+	case "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg" {
+		n, err := runUnit(os.Stderr, args[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	return false
+}
+
+// executableID hashes the running binary so `go vet`'s result cache is
+// invalidated whenever the tool itself changes.
+func executableID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("sha256-%x", h.Sum(nil)[:12])
+}
+
+func runUnit(w io.Writer, cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode config %s: %v", cfgFile, err)
+	}
+
+	// go vet expects the vetx (analysis facts) output file to exist so
+	// it can cache it; the framework keeps no cross-package facts, so
+	// an empty file is the correct, stable content.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: facts were the sole purpose.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil // the compiler will report it
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	pkg := &Package{
+		Dir:       cfg.Dir,
+		Path:      cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	sort.Slice(diags, sortDiagnostics(fset, diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}

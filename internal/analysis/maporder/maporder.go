@@ -1,0 +1,237 @@
+// Package maporder flags iteration over maps whose loop body is
+// order-sensitive: Go randomizes map iteration order per run, so a
+// range-over-map that appends to a slice, writes output (CSV rows,
+// trace records, printed report lines), feeds a hash, or accumulates
+// floating-point values produces byte-different artifacts run to run —
+// exactly how cross-worker bit-identity dies in a merge path.
+//
+// Order-insensitive bodies are allowed: lookups, counting, integer
+// sums, min/max scans, and deletes are commutative and exact. The one
+// sanctioned emission idiom is collect-then-sort — append the keys (or
+// derived names) to a slice inside the loop and pass that slice to
+// sort.* / slices.Sort* later in the same function before using it.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map whose body is iteration-order-sensitive\n\n" +
+		"Map iteration order is randomized per run. Bodies that append to a slice, print or\n" +
+		"write records, feed a hash/accumulator, send on a channel, or accumulate floats are\n" +
+		"order-sensitive and make output bytes depend on the iteration order. Collect keys\n" +
+		"into a slice and sort it (sort.* or slices.Sort*) before emitting. Integer sums,\n" +
+		"counts, min/max scans and lookups are commutative-exact and stay allowed.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		// Visit function by function so the collect-then-sort check can
+		// look for a later sort call in the same function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines every range-over-map statement directly inside
+// fn's body (nested function literals are visited separately by run).
+func checkFunc(pass *framework.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // handled by its own checkFunc visit
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !framework.IsMap(pass.TypesInfo.TypeOf(rng.X)) {
+			return true
+		}
+		checkRange(pass, fnBody, rng)
+		return true
+	})
+}
+
+func checkRange(pass *framework.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	mapName := framework.ExprString(rng.X)
+	if mapName == "" {
+		mapName = "map"
+	}
+	var appendTargets []string // slices appended to inside the body
+	reported := false
+	report := func(what string) {
+		if !reported {
+			pass.Reportf(rng.Pos(), "iteration over %s is randomly ordered but its body %s; collect the keys, sort them, then iterate the sorted slice", mapName, what)
+			reported = true
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Float accumulation: s += x, s -= x, s *= x, s /= x.
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(n.Lhs) == 1 && framework.IsFloat(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+					report("accumulates a float (addition is not associative, so the total depends on order)")
+				}
+			case token.ASSIGN, token.DEFINE:
+				for _, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && isAppend(call) {
+						if t := appendTarget(n, call); t != "" {
+							appendTargets = append(appendTargets, t)
+						} else {
+							report("appends to a slice (element order follows map order)")
+						}
+					}
+					// s = s + x on floats.
+					if bin, ok := rhs.(*ast.BinaryExpr); ok {
+						if (bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) &&
+							framework.IsFloat(pass.TypesInfo.TypeOf(bin)) && len(n.Lhs) == 1 &&
+							framework.ExprString(n.Lhs[0]) != "" &&
+							containsExpr(bin, framework.ExprString(n.Lhs[0])) {
+							report("accumulates a float (addition is not associative, so the total depends on order)")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if why := sinkCall(pass, n); why != "" {
+				report(why)
+			}
+		case *ast.SendStmt:
+			report("sends on a channel (receive order follows map order)")
+		}
+		return true
+	})
+
+	if reported {
+		return
+	}
+	// Collect-then-sort check: every appended-to slice must be sorted
+	// later in the enclosing function.
+	for _, target := range appendTargets {
+		if !sortedLater(pass, fnBody, rng, target) {
+			pass.Reportf(rng.Pos(), "keys of %s are collected into %s but never sorted; call sort.* (or slices.Sort*) on %s before using it", mapName, target, target)
+		}
+	}
+}
+
+// isAppend reports whether call is the builtin append.
+func isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// appendTarget returns the rendered expression of the slice being
+// grown when the assignment is the canonical x = append(x, ...) form,
+// or "" otherwise.
+func appendTarget(assign *ast.AssignStmt, call *ast.CallExpr) string {
+	if len(assign.Lhs) != 1 || len(call.Args) < 1 {
+		return ""
+	}
+	lhs := framework.ExprString(assign.Lhs[0])
+	arg0 := framework.ExprString(call.Args[0])
+	if lhs == "" || lhs != arg0 {
+		return ""
+	}
+	return lhs
+}
+
+// sinkCall classifies calls that emit ordered output: fmt printing,
+// Write*-style methods (io.Writer, csv.Writer, hash.Hash, trace
+// buffers), and accumulator methods (Add/Record/Observe/Emit/Merge).
+func sinkCall(pass *framework.Pass, call *ast.CallExpr) string {
+	if pkg, name := framework.PkgFunc(pass.TypesInfo, call.Fun); pkg != "" {
+		if pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "prints (line order follows map order)"
+		}
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "Write"):
+		return "writes records (record order follows map order)"
+	case strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print"):
+		return "prints (line order follows map order)"
+	case strings.HasPrefix(name, "Emit"):
+		return "emits trace records (record order follows map order)"
+	case name == "Add" || name == "Record" || name == "Observe" || name == "Merge":
+		return "feeds an accumulator (merge order follows map order)"
+	}
+	return ""
+}
+
+// sortedLater reports whether target is passed to a sort call
+// somewhere in the enclosing function after the range statement.
+func sortedLater(pass *framework.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkg, name := framework.PkgFunc(pass.TypesInfo, call.Fun)
+		isSort := (pkg == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" ||
+			name == "Slice" || name == "SliceStable" || name == "Sort" || name == "Stable")) ||
+			(pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort || len(call.Args) == 0 {
+			return true
+		}
+		if framework.ExprString(call.Args[0]) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsExpr reports whether the rendered form of any identifier/
+// selector inside e equals s — a cheap "LHS appears on the RHS" test.
+func containsExpr(e ast.Expr, s string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && framework.ExprString(ex) == s {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/maporder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{maporder.Analyzer},
+		"repro/internal/report",
+	)
+}

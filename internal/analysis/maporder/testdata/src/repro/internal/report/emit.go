@@ -1,0 +1,96 @@
+// Fixture: order-sensitive and order-insensitive map iteration bodies.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func printUnsorted(m map[string]int) {
+	for k, v := range m { // want `prints`
+		fmt.Println(k, v)
+	}
+}
+
+func writeUnsorted(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `writes records`
+		b.WriteString(k)
+	}
+}
+
+func collectNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned emission idiom: keys out, sort,
+// then iterate the slice.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// derivedNamesThenSort mirrors procfs.List: the appended value is
+// derived from the key, which is still fine once the slice is sorted.
+func derivedNamesThenSort(m map[string]int) []string {
+	var names []string
+	for k, v := range m {
+		name := k
+		if v > 0 {
+			name += "/"
+		}
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates a float`
+		total += v
+	}
+	return total
+}
+
+// Integer sums, counts, min/max scans and lookups commute exactly, so
+// iteration order cannot show in the result.
+func integerSum(m map[string]int) (n, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+func maxScan(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func suppressedDump(m map[string]int) {
+	//simlint:allow maporder debug dump, byte order never reaches a golden artifact
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func reasonlessDirective(m map[string]int) {
+	//simlint:allow maporder // want `needs a reason`
+	for k, v := range m { // want `prints`
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,135 @@
+// Package nondeterminism forbids sources of run-to-run variation
+// inside the simulation packages: wall clocks, the global math/rand
+// stream, environment lookups, and in-package concurrency.
+//
+// The simulator's reproducibility contract (DESIGN.md, "Determinism
+// rules") is that a run is a pure function of (config, seed). Wall
+// clocks and math/rand break that directly; os.Getenv makes behaviour
+// depend on the invoking shell; goroutines, channels and sync
+// primitives make it depend on the Go scheduler. Concurrency lives in
+// exactly one place — internal/runner, which shards whole replications
+// and merges them in index order — so every simulation package can stay
+// single-threaded and bit-stable.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis/framework"
+)
+
+// Protected lists the package trees (as path segments) the rule covers.
+var Protected = []string{
+	"internal/sim",
+	"internal/kernel",
+	"internal/core",
+	"internal/metrics",
+	"internal/workload",
+	"internal/dev",
+}
+
+// Allowed lists trees exempt even if nested under a protected match;
+// internal/runner is where cross-replication concurrency belongs.
+var Allowed = []string{
+	"internal/runner",
+}
+
+// forbiddenCalls maps package path -> function names whose call sites
+// are reported. Types from these packages (time.Duration and friends)
+// remain fine; only the nondeterministic entry points are banned.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock time varies run to run; use the engine's virtual clock (sim.Time)",
+		"Since":     "wall-clock time varies run to run; use the engine's virtual clock (sim.Time)",
+		"Until":     "wall-clock time varies run to run; use the engine's virtual clock (sim.Time)",
+		"Sleep":     "real sleeping has no place in a discrete-event simulation; schedule an event instead",
+		"After":     "wall-clock timers vary run to run; schedule a simulation event instead",
+		"AfterFunc": "wall-clock timers vary run to run; schedule a simulation event instead",
+		"Tick":      "wall-clock tickers vary run to run; schedule simulation events instead",
+		"NewTimer":  "wall-clock timers vary run to run; schedule a simulation event instead",
+		"NewTicker": "wall-clock tickers vary run to run; schedule simulation events instead",
+	},
+	"os": {
+		"Getenv":    "environment-dependent behaviour breaks (config, seed) reproducibility; thread configuration explicitly",
+		"LookupEnv": "environment-dependent behaviour breaks (config, seed) reproducibility; thread configuration explicitly",
+		"Environ":   "environment-dependent behaviour breaks (config, seed) reproducibility; thread configuration explicitly",
+		"ExpandEnv": "environment-dependent behaviour breaks (config, seed) reproducibility; thread configuration explicitly",
+	},
+}
+
+// forbiddenImports are packages whose mere import into a simulation
+// package is a finding.
+var forbiddenImports = map[string]string{
+	"math/rand":    "math/rand's stream is unseeded-by-default and not stable across Go releases; use sim.RNG (splitmix64)",
+	"math/rand/v2": "math/rand/v2 is seeded per-process; use sim.RNG (splitmix64) so streams are part of the contract",
+	"sync":         "sync primitives imply shared-state concurrency; simulation packages are single-threaded, concurrency belongs in internal/runner",
+	"sync/atomic":  "atomics imply shared-state concurrency; simulation packages are single-threaded, concurrency belongs in internal/runner",
+}
+
+// Analyzer is the nondeterminism rule.
+var Analyzer = &framework.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid wall clocks, math/rand, env lookups, and concurrency in simulation packages\n\n" +
+		"A simulation run must be a pure function of (config, seed): no time.Now/Sleep/timers,\n" +
+		"no math/rand, no os.Getenv, and no goroutines, channels, selects or sync primitives\n" +
+		"inside internal/{sim,kernel,core,metrics,workload,dev}. internal/runner is exempt:\n" +
+		"it is the one place that may fan replications out across goroutines.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	for _, allow := range Allowed {
+		if framework.PathHasSegments(path, allow) {
+			return nil
+		}
+	}
+	covered := false
+	for _, p := range Protected {
+		if framework.PathHasSegments(path, p) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			ipath := imp.Path.Value
+			ipath = ipath[1 : len(ipath)-1] // unquote
+			if why, ok := forbiddenImports[ipath]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in simulation package: %s", ipath, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name := framework.PkgFunc(pass.TypesInfo, n.Fun); pkg != "" {
+					if why, ok := forbiddenCalls[pkg][name]; ok {
+						pass.Reportf(n.Pos(), "%s.%s in simulation package: %s", pkg, name, why)
+					}
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in simulation package: execution order would depend on the Go scheduler; fan out whole replications via internal/runner instead")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in simulation package: channel readiness depends on the Go scheduler; simulation packages must stay single-threaded")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in simulation package: cross-goroutine communication belongs in internal/runner")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in simulation package: cross-goroutine communication belongs in internal/runner")
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in simulation package: cross-goroutine communication belongs in internal/runner")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/nondeterminism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{nondeterminism.Analyzer},
+		"repro/internal/sim",    // protected: every rule fires, suppression honored
+		"repro/internal/runner", // allowlisted: concurrency is the point
+		"repro/internal/report", // unprotected: wall clocks allowed
+	)
+}

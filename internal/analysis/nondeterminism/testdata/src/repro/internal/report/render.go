@@ -1,0 +1,10 @@
+// Fixture: internal/report is outside the protected trees, so the
+// nondeterminism rules do not apply (it renders human-facing output
+// after the simulation has produced its deterministic results).
+package report
+
+import "time"
+
+func stamp() string {
+	return time.Now().Format(time.RFC3339)
+}

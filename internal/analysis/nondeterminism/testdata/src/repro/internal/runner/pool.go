@@ -1,0 +1,24 @@
+// Fixture: internal/runner is the sanctioned home for concurrency —
+// the allowlist exempts it from every nondeterminism rule.
+package runner
+
+import "sync"
+
+func fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

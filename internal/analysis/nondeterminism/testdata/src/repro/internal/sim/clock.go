@@ -1,0 +1,52 @@
+// Fixture: a protected simulation package exercising every
+// nondeterminism rule, plus the suppression directive.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in simulation package`
+	"os"
+	"time"
+)
+
+// Duration-typed declarations are fine: only the nondeterministic
+// entry points of package time are banned, not its types.
+var tick time.Duration = time.Millisecond
+
+func wallclock() time.Duration {
+	start := time.Now()      // want `time\.Now in simulation package`
+	time.Sleep(tick)         // want `time\.Sleep in simulation package`
+	return time.Since(start) // want `time\.Since in simulation package`
+}
+
+func environment() string {
+	if v, ok := os.LookupEnv("SIM_MODE"); ok { // want `os\.LookupEnv in simulation package`
+		return v
+	}
+	return os.Getenv("SIM_SEED") // want `os\.Getenv in simulation package`
+}
+
+func globalRand() int {
+	return rand.Intn(6)
+}
+
+func spawn() int {
+	results := make(chan int) // want `channel type in simulation package`
+	go func() {               // want `goroutine spawned in simulation package`
+		results <- rand.Intn(6) // want `channel send in simulation package`
+	}()
+	return <-results // want `channel receive in simulation package`
+}
+
+func selecting(a, b chan int) int { // want `channel type in simulation package`
+	select { // want `select in simulation package`
+	case v := <-a: // want `channel receive in simulation package`
+		return v
+	case v := <-b: // want `channel receive in simulation package`
+		return v
+	}
+}
+
+func suppressedClock() time.Duration {
+	//simlint:allow nondeterminism progress logging only, value never reaches simulation state
+	return time.Duration(time.Now().UnixNano())
+}

@@ -1,0 +1,13 @@
+// Fixture: _test.go files are exempt from the determinism contract —
+// tests may time things and spawn goroutines freely.
+package sim
+
+import "time"
+
+func timeThings() time.Duration {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return time.Since(start)
+}

@@ -1,0 +1,95 @@
+// Package seedderive forbids deriving RNG seeds by arithmetic salting
+// (seed + k, seed * k, seed ^ k, seed++). Additive and multiplicative
+// offsets produce overlapping streams for nearby base seeds — for base
+// s the stream seeded s+2k is exactly the stream s+k of base s+k — and
+// XOR salts collide pairwise the same way. Replications, shards and
+// experiments must derive sub-stream seeds with sim.DeriveSeed(base,
+// idx), the splitmix64 sequence generator, which PR 1 introduced after
+// cleaning up exactly this bug class.
+package seedderive
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the seedderive rule.
+var Analyzer = &framework.Analyzer{
+	Name: "seedderive",
+	Doc: "forbid arithmetic seed salting; require sim.DeriveSeed\n\n" +
+		"Any +, -, *, ^ or | expression (or op-assign, or ++/--) with an integer operand whose\n" +
+		"name contains \"seed\" is flagged: offset seeds collide across nearby base seeds.\n" +
+		"Derive sub-stream seeds with sim.DeriveSeed(base, idx) instead.",
+	Run: run,
+}
+
+var seedName = regexp.MustCompile(`(?i)seed`)
+
+const fix = "derive sub-stream seeds with sim.DeriveSeed(base, idx) instead: offset/XOR salts produce colliding streams for nearby base seeds"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.XOR, token.OR:
+					if operandIsSeed(pass, n.X) || operandIsSeed(pass, n.Y) {
+						pass.Reportf(n.Pos(), "arithmetic on a seed (%s %s %s): %s",
+							describe(n.X), n.Op, describe(n.Y), fix)
+					}
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.XOR_ASSIGN, token.OR_ASSIGN:
+					for _, lhs := range n.Lhs {
+						if operandIsSeed(pass, lhs) {
+							pass.Reportf(n.Pos(), "in-place arithmetic on a seed (%s %s): %s",
+								describe(lhs), n.Tok, fix)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if operandIsSeed(pass, n.X) {
+					pass.Reportf(n.Pos(), "increment of a seed (%s%s): %s", describe(n.X), n.Tok, fix)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// operandIsSeed reports whether e is an integer-typed identifier or
+// field selector whose name contains "seed" (case-insensitive).
+func operandIsSeed(pass *framework.Pass, e ast.Expr) bool {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.ParenExpr:
+		return operandIsSeed(pass, e.X)
+	default:
+		return false
+	}
+	if !seedName.MatchString(name) {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && framework.IsInteger(t)
+}
+
+func describe(e ast.Expr) string {
+	if s := framework.ExprString(e); s != "" {
+		return s
+	}
+	return "expr"
+}

@@ -1,0 +1,16 @@
+package seedderive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/seedderive"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{seedderive.Analyzer},
+		"repro/internal/core",
+	)
+}

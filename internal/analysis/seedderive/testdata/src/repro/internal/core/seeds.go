@@ -1,0 +1,67 @@
+// Fixture: arithmetic seed salting in its common disguises, plus the
+// sanctioned DeriveSeed route and the suppression directive.
+package core
+
+// deriveSeed stands in for sim.DeriveSeed: a sequence generator, not a
+// salt, so calling it is the sanctioned derivation path.
+func deriveSeed(base, idx uint64) uint64 {
+	z := base + (idx+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+func additiveSalt(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = seed + uint64(i)*7919 // want `arithmetic on a seed`
+	}
+	return out
+}
+
+func xorSalt(seed, k uint64) uint64 {
+	return seed ^ k // want `arithmetic on a seed`
+}
+
+func mulSalt(baseSeed uint64) uint64 {
+	return baseSeed * 31 // want `arithmetic on a seed`
+}
+
+func inPlaceSalt(seed uint64) uint64 {
+	seed += 104729 // want `in-place arithmetic on a seed`
+	seed++         // want `increment of a seed`
+	return seed
+}
+
+type runConfig struct {
+	Seed uint64
+	Name string
+}
+
+func fieldSalt(c runConfig, shard uint64) uint64 {
+	return c.Seed + shard // want `arithmetic on a seed`
+}
+
+// derived is the correct pattern: every sub-stream seed goes through
+// the sequence generator.
+func derived(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = deriveSeed(seed, uint64(i))
+	}
+	return out
+}
+
+// seedling is not a seed count; non-integer operands never match.
+func labels(seedCorpus string) string {
+	return seedCorpus + "-v2"
+}
+
+// Comparisons and shifts are not salts.
+func isDefault(seed uint64) bool {
+	return seed == 1 || seed>>63 == 1
+}
+
+func documentedLegacy(seed uint64) uint64 {
+	//simlint:allow seedderive reproduces the seed schedule of the PR0 golden files byte-for-byte
+	return seed + 7919
+}

@@ -22,7 +22,7 @@ type Histogram struct {
 	bins     []uint64
 	overflow uint64
 	count    uint64
-	sum      float64
+	sum      sim.Duration // exact integer-nanosecond sum, so Merge stays order-independent
 	min, max sim.Duration
 }
 
@@ -45,7 +45,7 @@ func (h *Histogram) Add(d sim.Duration) {
 		d = 0
 	}
 	h.count++
-	h.sum += float64(d)
+	h.sum += d
 	if d < h.min {
 		h.min = d
 	}
@@ -79,7 +79,7 @@ func (h *Histogram) Mean() sim.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	return sim.Duration(h.sum / float64(h.count))
+	return sim.Duration(float64(h.sum) / float64(h.count))
 }
 
 // Bin returns the count in bin i (0-based).

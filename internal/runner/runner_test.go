@@ -99,7 +99,7 @@ func TestMapSeededDistinctStreams(t *testing.T) {
 func TestDeriveSeedBeatsAdditiveOffsets(t *testing.T) {
 	const k = 1000003
 	// Old scheme: base=1 replication 2 == base=1+k replication 1.
-	if (1+2*k) != (1+k)+1*k {
+	if (1 + 2*k) != (1+k)+1*k {
 		t.Fatal("arithmetic sanity")
 	}
 	if sim.DeriveSeed(1, 2) == sim.DeriveSeed(1+k, 1) {
