@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint test race bench fuzz figures clean
+.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench fuzz figures clean
 
 all: lint test build
 
@@ -11,7 +11,8 @@ build:
 	$(GO) build ./...
 
 # lint = the CI lint job: formatting gate, go vet, then the determinism
-# analyzers (nondeterminism, maporder, seedderive, floatmerge).
+# analyzers (nondeterminism, maporder, seedderive, floatmerge, purity,
+# globalstate).
 lint: fmt vet simlint
 
 fmt:
@@ -23,6 +24,20 @@ vet:
 
 simlint:
 	$(GO) run ./cmd/simlint ./...
+
+# sarif mirrors the CI code-scanning artifact.
+sarif:
+	$(GO) run ./cmd/simlint -format=sarif ./... > simlint.sarif || true
+
+# sanitize = the CI sanitize job: the whole suite with the engine's
+# simsan shadow checker armed (clock monotonicity, heap pop order).
+sanitize:
+	$(GO) test -tags simsan ./...
+
+# perturb re-runs every figure under seeded permutations of
+# same-timestamp tie-breaks; any hash divergence is a tie-break race.
+perturb:
+	$(GO) run ./cmd/reprocheck -scale 0.15 -perturb 4 -checkinv
 
 test:
 	$(GO) test ./...

@@ -5,11 +5,23 @@
 //
 // Usage:
 //
-//	reprocheck [-scale 1.0] [-seed 1] [-parallel N]
+//	reprocheck [-scale 1.0] [-seed 1] [-parallel N] [-perturb N] [-checkinv]
 //
 // -parallel caps the worker pool the independent experiment runs fan
 // out on (0 = all cores); it never changes the verdicts, only the
 // wall-clock time of the pass.
+//
+// -perturb N additionally re-runs every figure under N seeded
+// permutations of same-timestamp event tie-breaks
+// (sim.Engine.PerturbTiebreaks) and fails if any figure's data series
+// diverges from the FIFO baseline — a tie-break race: a published
+// number that depends on the arbitrary dispatch order of simultaneous
+// events rather than on the model.
+//
+// -checkinv arms a periodic machine-state invariant sampler
+// (kernel.CheckInvariants) on every machine the checks build, so state
+// corruption panics at the first sampling instant after it appears
+// instead of surfacing as a wrong verdict at the end.
 package main
 
 import (
@@ -19,12 +31,15 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "sample-count scale factor")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores); never affects results, only wall-clock time")
+	perturb := flag.Int("perturb", 0, "re-run every figure under N tie-break perturbations and fail on divergence (0 = off)")
+	checkinv := flag.Bool("checkinv", false, "periodically sample kernel.CheckInvariants on every machine (panic on corruption)")
 	flag.Parse()
 
 	if *parallel < 0 {
@@ -37,9 +52,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *perturb < 0 {
+		fmt.Fprintf(os.Stderr, "reprocheck: -perturb must be >= 0, got %d\n", *perturb)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts core.CheckOptions
+	if *checkinv {
+		// 1 ms of virtual time between samples: dense enough to pin a
+		// corruption near its cause, cheap enough to leave run time
+		// dominated by the experiments themselves.
+		opts.InvariantPeriod = sim.Millisecond
+	}
 
 	start := time.Now()
-	results := core.RunChecks(*scale, *seed, *parallel)
+	results := core.RunChecksOpts(*scale, *seed, *parallel, opts)
 	failed := 0
 	fmt.Println("reproduction conformance checks (Brosky & Rotolo, IPPS 2003):")
 	fmt.Println()
@@ -53,6 +81,21 @@ func main() {
 		fmt.Printf("       %-13s %s\n", "", r.Detail)
 	}
 	fmt.Printf("\n%d/%d claims hold (%.1fs)\n", len(results)-failed, len(results), time.Since(start).Seconds())
+
+	if *perturb > 0 {
+		pstart := time.Now()
+		fmt.Printf("\ntie-break perturbation sweep (%d salts per figure):\n\n", *perturb)
+		for _, fp := range core.RunPerturbFigures(*scale, *seed, *parallel, *perturb) {
+			status := "PASS"
+			if !fp.Report.OK() {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-13s %s\n", status, fp.ID, fp.Report)
+		}
+		fmt.Printf("\nperturbation sweep done (%.1fs)\n", time.Since(pstart).Seconds())
+	}
+
 	if failed > 0 {
 		os.Exit(1)
 	}

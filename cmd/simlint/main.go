@@ -5,14 +5,19 @@
 //
 // Standalone:
 //
-//	simlint ./...              # lint packages under the current module
-//	simlint -list              # describe the analyzers
-//	simlint ./internal/sim     # lint one package
+//	simlint ./...               # lint packages under the current module
+//	simlint -list               # describe the analyzers
+//	simlint ./internal/sim      # lint one package
+//	simlint -format=sarif ./... # SARIF 2.1.0 on stdout (code scanning)
 //
 // As a go vet tool (per-package, build-cached):
 //
 //	go build -o /tmp/simlint ./cmd/simlint
 //	go vet -vettool=/tmp/simlint ./...
+//
+// The vet protocol hands the tool one compilation unit at a time, so
+// module-wide analyzers (purity) run only in standalone mode; CI runs
+// both.
 //
 // Findings print as "path:line:col: message (analyzer)" and make the
 // exit status non-zero, so CI treats a determinism violation like a
@@ -32,17 +37,25 @@ import (
 
 	"repro/internal/analysis/floatmerge"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/globalstate"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/purity"
 	"repro/internal/analysis/seedderive"
 )
 
-var analyzers = []*framework.Analyzer{
+// analyzers is normalized at registration — sorted by name with
+// duplicates dropped — so -list, usage, text output and the vet
+// protocol all present the same stable set no matter how this list is
+// assembled.
+var analyzers = framework.Normalize([]*framework.Analyzer{
 	nondeterminism.Analyzer,
 	maporder.Analyzer,
 	seedderive.Analyzer,
 	floatmerge.Analyzer,
-}
+	purity.Analyzer,
+	globalstate.Analyzer,
+})
 
 func main() {
 	// `go vet -vettool` protocol: -V=full, -flags, or a unit.cfg file.
@@ -52,8 +65,9 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	format := flag.String("format", "text", `output format: "text" or "sarif" (SARIF 2.1.0 on stdout, for code-scanning upload)`)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [package patterns]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format=text|sarif] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Lints module packages (default ./...) with the determinism analyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
@@ -78,7 +92,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	n, err := framework.Run(os.Stdout, cwd, patterns, analyzers)
+	var n int
+	switch *format {
+	case "text":
+		n, err = framework.Run(os.Stdout, cwd, patterns, analyzers)
+	case "sarif":
+		var a *framework.Analysis
+		a, err = framework.Analyze(cwd, patterns, analyzers)
+		if err == nil {
+			err = writeSARIF(os.Stdout, a, analyzers)
+			n = len(a.Diags)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "simlint: unknown -format %q (want text or sarif)\n", *format)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -94,10 +96,128 @@ func TestStandaloneCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("simlint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"nondeterminism", "maporder", "seedderive", "floatmerge"} {
-		if !strings.Contains(string(out), name) {
+	names := []string{"floatmerge", "globalstate", "maporder", "nondeterminism", "purity", "seedderive"}
+	last := -1
+	for _, name := range names {
+		i := strings.Index(string(out), name+":")
+		if i < 0 {
 			t.Errorf("-list output missing analyzer %s", name)
+			continue
 		}
+		// The registration list is normalized, so -list is sorted by
+		// name regardless of registration order.
+		if i < last {
+			t.Errorf("-list output not sorted: %s appears before a lexically smaller name", name)
+		}
+		last = i
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("test bug: expected names must be given sorted")
+	}
+}
+
+// TestSARIF runs simlint -format=sarif over the scratch module and
+// checks the document shape GitHub code scanning requires: SARIF
+// 2.1.0, one run, a rules table naming every analyzer, and results
+// with ruleId + physical locations carrying line numbers.
+func TestSARIF(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+
+	cmd := exec.Command(bin, "-format=sarif", "./...")
+	cmd.Dir = mod
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("simlint -format=sarif exited 0 on a tree with violations\n%s", stdout.String())
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version = %q, $schema = %q; want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "simlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	var ruleIDs []string
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs = append(ruleIDs, r.ID)
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has empty shortDescription", r.ID)
+		}
+	}
+	for _, name := range []string{"floatmerge", "globalstate", "maporder", "nondeterminism", "purity", "seedderive"} {
+		found := false
+		for _, id := range ruleIDs {
+			found = found || id == name
+		}
+		if !found {
+			t.Errorf("rules table missing %s (got %v)", name, ruleIDs)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results for a module with seeded violations")
+	}
+	sawNondet := false
+	for _, r := range run.Results {
+		if r.RuleID == "" || r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("malformed result: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result missing startLine: %+v", r)
+		}
+		if filepath.IsAbs(loc.ArtifactLocation.URI) || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+			t.Errorf("artifact URI %q is not a relative slash path", loc.ArtifactLocation.URI)
+		}
+		if r.RuleID == "nondeterminism" && strings.Contains(r.Message.Text, "time.Now") {
+			sawNondet = true
+		}
+	}
+	if !sawNondet {
+		t.Error("no nondeterminism time.Now result in SARIF output")
 	}
 }
 

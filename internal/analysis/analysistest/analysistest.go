@@ -69,6 +69,48 @@ func Run(t *testing.T, testdata string, analyzers []*framework.Analyzer, paths .
 	}
 }
 
+// RunModule loads every fixture package testdata/src/<path> into one
+// shared Loader (so cross-fixture imports resolve to the same
+// type-checker universe), analyzes the whole set with the given
+// analyzers — including module (RunModule) analyzers, which see the
+// full call graph across the fixtures — and checks `// want`
+// expectations across all of them at once. Fixtures may import each
+// other by their fictional paths: every path is registered as a loader
+// overlay before any package is loaded. Fixtures may also import real
+// module packages (e.g. repro/internal/sim), which load from the
+// actual tree.
+func RunModule(t *testing.T, testdata string, analyzers []*framework.Analyzer, paths ...string) {
+	t.Helper()
+	if len(paths) == 0 {
+		t.Fatal("analysistest.RunModule: no fixture paths given")
+	}
+	dirFor := func(path string) string {
+		return filepath.Join(testdata, "src", filepath.FromSlash(path))
+	}
+	loader, err := framework.NewLoader(dirFor(paths[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = true
+	loader.Overlay = make(map[string]string, len(paths))
+	for _, path := range paths {
+		loader.Overlay[path] = dirFor(path)
+	}
+	var pkgs []*framework.Package
+	for _, path := range paths {
+		pkg, err := loader.LoadDirAs(dirFor(path), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := framework.AnalyzePackages(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, loader.Fset, pkgs, diags)
+}
+
 type expectation struct {
 	re      *regexp.Regexp
 	matched bool
@@ -76,39 +118,50 @@ type expectation struct {
 
 func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
 	t.Helper()
+	checkAll(t, pkg.Fset, []*framework.Package{pkg}, diags)
+}
+
+// checkAll verifies diagnostics against the `// want` expectations of
+// every given package at once. Diagnostics landing in files outside the
+// given packages (e.g. a real module package a fixture imports) are
+// reported as unexpected, like any unmatched diagnostic.
+func checkAll(t *testing.T, fset *token.FileSet, pkgs []*framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
 	// Collect want expectations keyed by file:line.
 	wants := make(map[string][]*expectation)
 	key := func(pos token.Position) string {
 		return pos.Filename + ":" + strconv.Itoa(pos.Line)
 	}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
-				if len(args) == 0 {
-					t.Errorf("%s: malformed want comment (expectations must be `backquoted` regexps): %s",
-						pkg.Fset.Position(c.Pos()), c.Text)
-					continue
-				}
-				k := key(pkg.Fset.Position(c.Pos()))
-				for _, a := range args {
-					re, err := regexp.Compile(a[1])
-					if err != nil {
-						t.Errorf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), a[1], err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
 						continue
 					}
-					wants[k] = append(wants[k], &expectation{re: re})
+					args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+					if len(args) == 0 {
+						t.Errorf("%s: malformed want comment (expectations must be `backquoted` regexps): %s",
+							fset.Position(c.Pos()), c.Text)
+						continue
+					}
+					k := key(fset.Position(c.Pos()))
+					for _, a := range args {
+						re, err := regexp.Compile(a[1])
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", fset.Position(c.Pos()), a[1], err)
+							continue
+						}
+						wants[k] = append(wants[k], &expectation{re: re})
+					}
 				}
 			}
 		}
 	}
 
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		k := key(pos)
 		found := false
 		for _, exp := range wants[k] {

@@ -16,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // An Analyzer describes one analysis rule and how to run it.
@@ -29,8 +30,17 @@ type Analyzer struct {
 	Doc string
 
 	// Run applies the analyzer to one package and reports diagnostics
-	// via pass.Report / pass.Reportf.
+	// via pass.Report / pass.Reportf. Exactly one of Run and RunModule
+	// must be set.
 	Run func(*Pass) error
+
+	// RunModule applies the analyzer to the whole set of loaded
+	// packages at once, with a module-wide call graph. Module analyzers
+	// run only under the standalone driver (and analysistest): the
+	// `go vet -vettool` protocol hands tools one compilation unit at a
+	// time with export data instead of dependency syntax, so there is
+	// nothing cross-package to traverse there.
+	RunModule func(*ModulePass) error
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -53,11 +63,51 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// A ModulePass provides one module analyzer run with every loaded
+// package and the call graph over them.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the analyzed packages, sorted by import path.
+	Pkgs []*Package
+	// Graph is the call graph over Pkgs.
+	Graph *CallGraph
+
+	// Report records a diagnostic. The driver installs it; analyzers
+	// must not replace it.
+	Report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // A Diagnostic is one finding, tied to a source position.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the driver
+}
+
+// Normalize returns the analyzers sorted by name with duplicates (by
+// name) removed, keeping the first registration. Every driver entry
+// point (standalone Run, VetMain, the SARIF exporter) normalizes its
+// analyzer list, so registering an analyzer twice — easy to do when a
+// list is assembled from several packages — cannot double-report
+// findings or flip output order between entry points.
+func Normalize(analyzers []*Analyzer) []*Analyzer {
+	seen := make(map[string]bool, len(analyzers))
+	out := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil || seen[a.Name] {
+			continue
+		}
+		seen[a.Name] = true
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // sortDiagnostics orders diagnostics by position for stable output —

@@ -35,6 +35,46 @@ func IsTestFile(pass *Pass, f *ast.File) bool {
 	return strings.HasSuffix(filepath.Base(name), "_test.go")
 }
 
+// RootPkgVar resolves an lvalue-ish expression to the package-level
+// variable at its root, unwrapping indexing, dereferences and field
+// selections: g, g.f, g[i], (*g).f, pkg.G. It returns the identifier
+// naming the variable and the variable itself, or nils when the root
+// is a local, a package name alone, or not a variable at all. Both the
+// purity and globalstate analyzers use this to decide whether a write
+// ultimately lands in package state.
+func RootPkgVar(info *types.Info, e ast.Expr) (*ast.Ident, *types.Var) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && IsPkgLevel(v) {
+				return x, v
+			}
+			return nil, nil
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					if v, ok := info.Uses[x.Sel].(*types.Var); ok && IsPkgLevel(v) {
+						return x.Sel, v
+					}
+					return nil, nil
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// IsPkgLevel reports whether v is declared at package scope.
+func IsPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
 // PathHasSegments reports whether pkgPath contains pattern as a run of
 // complete, consecutive path segments — e.g. "internal/sim" matches
 // "repro/internal/sim" and "repro/internal/sim/sub" but not

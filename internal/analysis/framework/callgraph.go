@@ -1,0 +1,396 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies a call-graph edge.
+type EdgeKind int
+
+const (
+	// EdgeCall is a static call: f() or x.M() where the callee resolves
+	// to a declared function or method.
+	EdgeCall EdgeKind = iota
+	// EdgeRef is a conservative edge: the function's value is
+	// referenced outside call position (stored, passed, returned), so
+	// it may be called later by whoever receives it.
+	EdgeRef
+	// EdgeEncloses links a function to a function literal defined in
+	// its body. The literal usually escapes through whatever the
+	// encloser does with it (schedules it, returns it), so reachability
+	// treats definition as a potential call — conservative, like
+	// EdgeRef.
+	EdgeEncloses
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeRef:
+		return "ref"
+	case EdgeEncloses:
+		return "encloses"
+	}
+	return "?"
+}
+
+// A CGNode is one function in the module call graph: a declared
+// function or method (Fn != nil) or a function literal (Lit != nil).
+// Only functions with bodies in the analyzed packages get nodes;
+// calls out of the analyzed set (standard library, unanalyzed
+// packages) are visible as edges with To == nil via scanning, but are
+// not traversed.
+type CGNode struct {
+	Pkg *Package
+	Fn  *types.Func   // declared function/method; nil for literals
+	Lit *ast.FuncLit  // function literal; nil for declared functions
+	Dcl *ast.FuncDecl // declaration syntax; nil for literals
+	Out []CGEdge      // outgoing edges in source order
+}
+
+// Body returns the function's body block (nil only for bodyless
+// declarations, which never get nodes).
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Dcl.Body
+}
+
+// Pos returns the function's declaration position.
+func (n *CGNode) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Dcl.Pos()
+}
+
+// Name returns a human-readable name: the declared name, or
+// "func literal" for anonymous functions.
+func (n *CGNode) Name() string {
+	if n.Fn != nil {
+		return n.Fn.Name()
+	}
+	return "func literal"
+}
+
+// A CGEdge is one outgoing call-graph edge.
+type CGEdge struct {
+	To   *CGNode
+	Pos  token.Pos // the call or reference site
+	Kind EdgeKind
+}
+
+// A CallGraph is the module-wide call graph over a set of loaded
+// packages: static call edges, conservative referenced-function-value
+// edges, and encloser→literal edges. It is the substrate for
+// summary-based interprocedural analyses (RunModule analyzers).
+type CallGraph struct {
+	// Funcs maps declared functions and methods to their nodes.
+	// Object identity works across packages because all packages in
+	// one load share a single type-checker universe (one Loader).
+	Funcs map[*types.Func]*CGNode
+	// Lits maps function literals to their nodes.
+	Lits map[*ast.FuncLit]*CGNode
+	// FuncAssigns maps function-typed variables (and fields) to every
+	// function node whose value is assigned to them anywhere in the
+	// analyzed set — a flow-insensitive points-to set for function
+	// values. Calls through such a variable get edges to every
+	// candidate; so does resolving a variable passed as a callback.
+	FuncAssigns map[*types.Var][]*CGNode
+}
+
+// pendingVarCall is a call through a function-typed variable recorded
+// during body walking, resolved against FuncAssigns once every
+// assignment has been seen.
+type pendingVarCall struct {
+	from *CGNode
+	v    *types.Var
+	pos  token.Pos
+}
+
+// NodeFor returns the node for a callee expression — an identifier or
+// selector resolving to a declared function, or a function literal —
+// or nil when the expression's target has no body in the analyzed set.
+func (g *CallGraph) NodeFor(info *types.Info, e ast.Expr) *CGNode {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return g.Lits[e]
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			return g.Funcs[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return g.Funcs[fn]
+		}
+	}
+	return nil
+}
+
+// varFor resolves an expression to the variable object it names (an
+// identifier or a field selector), or nil.
+func varFor(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// NodesForValue resolves a function-valued expression to candidate
+// function nodes: a literal or named function directly, or — for a
+// variable or field — every function value assigned to that variable
+// anywhere in the analyzed set (FuncAssigns). An empty result means
+// the value's origin is outside the analyzed packages.
+func (g *CallGraph) NodesForValue(info *types.Info, e ast.Expr) []*CGNode {
+	if n := g.NodeFor(info, e); n != nil {
+		return []*CGNode{n}
+	}
+	if v := varFor(info, e); v != nil {
+		return g.FuncAssigns[v]
+	}
+	return nil
+}
+
+// BuildCallGraph constructs the call graph over the given packages.
+// Test files are included when the loader loaded them; analyzers that
+// exempt tests filter at the root-selection level instead.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Funcs:       make(map[*types.Func]*CGNode),
+		Lits:        make(map[*ast.FuncLit]*CGNode),
+		FuncAssigns: make(map[*types.Var][]*CGNode),
+	}
+	// Pass 1: a node per declared function with a body, so cross-package
+	// edges resolve no matter the package visit order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					g.Funcs[fn] = &CGNode{Pkg: pkg, Fn: fn, Dcl: fd}
+				}
+			}
+		}
+	}
+	// Pass 2: walk each body, creating literal nodes and direct edges;
+	// calls through function-typed variables are held back until the
+	// assignment map is complete.
+	var pending []pendingVarCall
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				pending = g.walkBody(pkg, g.Funcs[fn], fd.Body, pending)
+			}
+		}
+	}
+	// Pass 3: collect function-value assignments (var f = tick,
+	// f = func(){...}, f := helper, struct fields) module-wide. Literal
+	// nodes all exist now, so every resolvable RHS finds its node.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			g.collectFuncAssigns(pkg, f)
+		}
+	}
+	// Pass 4: resolve calls through variables against the assignment
+	// map — every candidate gets a call edge (flow-insensitive, so
+	// conservative in the "may call" direction).
+	for _, pc := range pending {
+		for _, to := range g.FuncAssigns[pc.v] {
+			pc.from.Out = append(pc.from.Out, CGEdge{To: to, Pos: pc.pos, Kind: EdgeCall})
+		}
+	}
+	return g
+}
+
+// collectFuncAssigns records function values assigned to variables or
+// fields anywhere in the file, including package-level var specs and
+// composite literal fields.
+func (g *CallGraph) collectFuncAssigns(pkg *Package, f *ast.File) {
+	info := pkg.TypesInfo
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		v := varFor(info, lhs)
+		if v == nil {
+			return
+		}
+		if to := g.NodeFor(info, rhs); to != nil {
+			g.FuncAssigns[v] = append(g.FuncAssigns[v], to)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						if v, ok := info.Uses[key].(*types.Var); ok {
+							if to := g.NodeFor(info, kv.Value); to != nil {
+								g.FuncAssigns[v] = append(g.FuncAssigns[v], to)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkBody adds edges from node for every call, function-value
+// reference, and nested literal in body, and returns pending grown by
+// any calls through function-typed variables (resolved in pass 4).
+// Nested literal bodies are walked under their own node, not the
+// encloser's.
+func (g *CallGraph) walkBody(pkg *Package, node *CGNode, body *ast.BlockStmt, pending []pendingVarCall) []pendingVarCall {
+	info := pkg.TypesInfo
+	// Direct callee expressions, so the same identifier is not also
+	// counted as a function-value reference.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &CGNode{Pkg: pkg, Lit: n}
+			g.Lits[n] = lit
+			node.Out = append(node.Out, CGEdge{To: lit, Pos: n.Pos(), Kind: EdgeEncloses})
+			pending = g.walkBody(pkg, lit, n.Body, pending)
+			return false // literal body walked under its own node
+		case *ast.CallExpr:
+			if to := g.NodeFor(info, n.Fun); to != nil {
+				node.Out = append(node.Out, CGEdge{To: to, Pos: n.Pos(), Kind: EdgeCall})
+			} else if v := varFor(info, n.Fun); v != nil {
+				// Call through a function-typed variable (tick := func…;
+				// tick()): resolve once every assignment is known.
+				pending = append(pending, pendingVarCall{from: node, v: v, pos: n.Pos()})
+			}
+			// Arguments may reference functions; recurse normally (the
+			// Fun expression is in callFuns, so it is not double-counted
+			// as a reference below).
+		case *ast.Ident:
+			if callFuns[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				if to := g.Funcs[fn]; to != nil {
+					node.Out = append(node.Out, CGEdge{To: to, Pos: n.Pos(), Kind: EdgeRef})
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[n] {
+				// Still visit n.X (e.g. a method value's receiver).
+				ast.Inspect(n.X, walk)
+				return false
+			}
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok {
+				if to := g.Funcs[fn]; to != nil {
+					node.Out = append(node.Out, CGEdge{To: to, Pos: n.Pos(), Kind: EdgeRef})
+				}
+				ast.Inspect(n.X, walk)
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return pending
+}
+
+// A ReachEdge records how a node was first discovered during Reach:
+// the predecessor it was reached from and the site of the edge. Roots
+// have From == nil.
+type ReachEdge struct {
+	From *CGNode
+	Pos  token.Pos
+	Kind EdgeKind
+}
+
+// Reach performs a breadth-first traversal from the given roots and
+// returns, for every reachable node, the predecessor edge it was first
+// discovered through — i.e. a shortest call chain back to some root.
+// Traversal order is deterministic: roots in the given order,
+// out-edges in source order.
+func (g *CallGraph) Reach(roots []*CGNode) map[*CGNode]ReachEdge {
+	seen := make(map[*CGNode]ReachEdge)
+	queue := make([]*CGNode, 0, len(roots))
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, ok := seen[r]; !ok {
+			seen[r] = ReachEdge{}
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if e.To == nil {
+				continue
+			}
+			if _, ok := seen[e.To]; !ok {
+				seen[e.To] = ReachEdge{From: n, Pos: e.Pos, Kind: e.Kind}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Chain reconstructs the discovery path from a root to n as a list of
+// node names, using the predecessor map Reach returned. The root comes
+// first.
+func Chain(seen map[*CGNode]ReachEdge, n *CGNode) []string {
+	var rev []string
+	for cur := n; cur != nil; {
+		rev = append(rev, cur.Name())
+		cur = seen[cur].From
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+type memPkg struct {
+	path, src string
+}
+
+// loadMemPkgs type-checks in-memory sources in order; later packages
+// may import earlier ones by path. All share one FileSet, like a real
+// Loader run.
+func loadMemPkgs(t *testing.T, fset *token.FileSet, in []memPkg) []*Package {
+	t.Helper()
+	done := map[string]*Package{}
+	var pkgs []*Package
+	for _, mp := range in {
+		f, err := parser.ParseFile(fset, mp.path+"/x.go", mp.src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+			if d, ok := done[p]; ok {
+				return d.Types, nil
+			}
+			return nil, fmt.Errorf("unknown import %q", p)
+		})}
+		tpkg, err := conf.Check(mp.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", mp.path, err)
+		}
+		pkg := &Package{Path: mp.path, Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+		done[mp.path] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+func nodeByName(t *testing.T, g *CallGraph, pkgPath, name string) *CGNode {
+	t.Helper()
+	for fn, n := range g.Funcs {
+		if fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node for %s.%s", pkgPath, name)
+	return nil
+}
+
+func edgesTo(from *CGNode, kind EdgeKind) []string {
+	var out []string
+	for _, e := range from.Out {
+		if e.Kind == kind && e.To != nil {
+			out = append(out, e.To.Name())
+		}
+	}
+	return out
+}
+
+func hasEdgeTo(from *CGNode, kind EdgeKind, name string) bool {
+	for _, got := range edgesTo(from, kind) {
+		if got == name {
+			return true
+		}
+	}
+	return false
+}
+
+const cgSrcA = `package a
+
+func Leaf() {}
+
+func Direct() { Leaf() }
+
+func Literal() {
+	f := func() { Leaf() }
+	f()
+}
+
+var Global func()
+
+func SetGlobal() {
+	Global = func() { Leaf() }
+}
+
+func CallGlobal() { Global() }
+
+func PassValue(run func(func())) { run(Leaf) }
+
+type S struct{ F func() }
+
+func Field() {
+	s := S{F: Leaf}
+	s.F()
+}
+`
+
+const cgSrcB = `package b
+
+import "a"
+
+func Cross() { a.Direct() }
+
+func Ref() {
+	g := a.Leaf
+	g()
+}
+
+func MethodValueLike() {
+	use(a.Leaf)
+}
+
+func use(func()) {}
+`
+
+func buildTestGraph(t *testing.T) (*CallGraph, []*Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"a", cgSrcA}, {"b", cgSrcB}})
+	return BuildCallGraph(pkgs), pkgs
+}
+
+func TestCallGraphDirectCall(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	if !hasEdgeTo(nodeByName(t, g, "a", "Direct"), EdgeCall, "Leaf") {
+		t.Error("Direct has no call edge to Leaf")
+	}
+}
+
+func TestCallGraphLiteralEnclosureAndVarCall(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	lit := nodeByName(t, g, "a", "Literal")
+	// Defining the literal yields an encloses edge...
+	if got := edgesTo(lit, EdgeEncloses); len(got) != 1 || got[0] != "func literal" {
+		t.Errorf("Literal encloses edges = %v", got)
+	}
+	// ...and calling it through f yields a call edge to the same literal.
+	if !hasEdgeTo(lit, EdgeCall, "func literal") {
+		t.Error("Literal has no call edge to its literal through the f variable")
+	}
+	// The literal's own body calls Leaf.
+	for _, e := range lit.Out {
+		if e.Kind == EdgeEncloses {
+			if !hasEdgeTo(e.To, EdgeCall, "Leaf") {
+				t.Error("literal body has no call edge to Leaf")
+			}
+		}
+	}
+}
+
+func TestCallGraphFuncVarResolvesThroughAssignment(t *testing.T) {
+	// The machine.go globalTick pattern: a package-level func-typed var
+	// assigned a literal elsewhere, called somewhere else entirely.
+	g, _ := buildTestGraph(t)
+	cg := nodeByName(t, g, "a", "CallGlobal")
+	if !hasEdgeTo(cg, EdgeCall, "func literal") {
+		t.Errorf("CallGlobal edges = %+v; want call edge to SetGlobal's literal", edgesTo(cg, EdgeCall))
+	}
+	// And reachability flows through it to Leaf.
+	seen := g.Reach([]*CGNode{cg})
+	leaf := nodeByName(t, g, "a", "Leaf")
+	if _, ok := seen[leaf]; !ok {
+		t.Error("Leaf not reachable from CallGlobal through the func var")
+	}
+}
+
+func TestCallGraphRefEdges(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	if !hasEdgeTo(nodeByName(t, g, "a", "PassValue"), EdgeRef, "Leaf") {
+		t.Error("PassValue has no ref edge to Leaf for the passed value")
+	}
+	if !hasEdgeTo(nodeByName(t, g, "b", "MethodValueLike"), EdgeRef, "Leaf") {
+		t.Error("cross-package function value has no ref edge")
+	}
+}
+
+func TestCallGraphCrossPackageCall(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	if !hasEdgeTo(nodeByName(t, g, "b", "Cross"), EdgeCall, "Direct") {
+		t.Error("Cross has no call edge to a.Direct")
+	}
+	ref := nodeByName(t, g, "b", "Ref")
+	if !hasEdgeTo(ref, EdgeCall, "Leaf") {
+		t.Error("call through g := a.Leaf did not resolve to Leaf")
+	}
+}
+
+func TestCallGraphStructFieldAssignment(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	fieldFn := nodeByName(t, g, "a", "Field")
+	if !hasEdgeTo(fieldFn, EdgeCall, "Leaf") {
+		t.Errorf("s.F() did not resolve through the composite literal; edges = %v", edgesTo(fieldFn, EdgeCall))
+	}
+}
+
+func TestCallGraphChain(t *testing.T) {
+	g, _ := buildTestGraph(t)
+	cross := nodeByName(t, g, "b", "Cross")
+	leaf := nodeByName(t, g, "a", "Leaf")
+	seen := g.Reach([]*CGNode{cross})
+	chain := Chain(seen, leaf)
+	if want := "Cross -> Direct -> Leaf"; strings.Join(chain, " -> ") != want {
+		t.Errorf("chain = %v, want %s", chain, want)
+	}
+}
+
+func TestNodesForValue(t *testing.T) {
+	g, pkgs := buildTestGraph(t)
+	// Find the expression `Global` inside CallGlobal's call and resolve it.
+	a := pkgs[0]
+	var got []*CGNode
+	for _, f := range a.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "Global" {
+				got = g.NodesForValue(a.TypesInfo, call.Fun)
+			}
+			return true
+		})
+	}
+	if len(got) != 1 || got[0].Lit == nil {
+		t.Fatalf("NodesForValue(Global) = %v, want the one assigned literal", got)
+	}
+}

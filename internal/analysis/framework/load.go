@@ -41,6 +41,13 @@ type Loader struct {
 	// that analyzers exempt test files.
 	IncludeTests bool
 
+	// Overlay maps import paths to directories, consulted before the
+	// module's on-disk layout. The analysistest kit registers every
+	// fixture package here, so a fixture under testdata/src can import
+	// a sibling fixture by its fictional path — which is what makes
+	// cross-package (laundering) fixtures for module analyzers possible.
+	Overlay map[string]string
+
 	std  types.Importer
 	pkgs map[string]*Package // by import path; nil entry = load in progress
 }
@@ -198,6 +205,9 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 }
 
 func (l *Loader) dirForImport(path string) (string, error) {
+	if dir, ok := l.Overlay[path]; ok {
+		return dir, nil
+	}
 	if path == l.ModPath {
 		return l.ModRoot, nil
 	}

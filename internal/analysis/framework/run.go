@@ -2,21 +2,40 @@ package framework
 
 import (
 	"fmt"
+	"go/token"
 	"io"
 	"path/filepath"
 	"sort"
 )
 
-// RunPackage applies the analyzers to one loaded package, filters the
-// results through `//simlint:allow` directives, and returns the
-// surviving diagnostics in position order. Both the standalone driver
-// and the analysistest kit go through this single pipeline, so the
-// suppression semantics the tests exercise are exactly the semantics
-// CI enforces.
+// RunPackage applies the (package-level) analyzers to one loaded
+// package, filters the results through `//simlint:allow` directives,
+// and returns the surviving diagnostics in position order. Both the
+// standalone driver and the analysistest kit go through this single
+// pipeline, so the suppression semantics the tests exercise are exactly
+// the semantics CI enforces. Module analyzers (RunModule) are skipped
+// here; they need every package at once and run via Analyze.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
-	diags := bad
+	diags, err := runPackageAnalyzers(pkg, analyzers, dirs)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, bad...)
+	sort.Slice(diags, sortDiagnostics(pkg.Fset, diags))
+	return diags, nil
+}
+
+// runPackageAnalyzers runs the package-level analyzers against pkg,
+// suppressing through the given directives. Bad-directive diagnostics
+// are the caller's concern (so a module run does not double-report
+// them).
+func runPackageAnalyzers(pkg *Package, analyzers []*Analyzer, dirs map[string][]directive) ([]Diagnostic, error) {
+	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		var found []Diagnostic
 		pass := &Pass{
 			Analyzer:  a,
@@ -38,43 +57,143 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(diags, sortDiagnostics(pkg.Fset, diags))
 	return diags, nil
 }
 
-// Run is the standalone driver: it expands patterns relative to dir,
-// loads and analyzes every matched package, prints diagnostics to w as
-// "path:line:col: message (analyzer)", and returns the number of
-// diagnostics. Load or type-check failures return an error (the tree
-// must compile for the lint to mean anything).
-func Run(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+// RunModuleAnalyzers applies the module analyzers to the full package
+// set, building the call graph once, and filters results through the
+// merged `//simlint:allow` directives of every package. The pkgs slice
+// is sorted by import path; dirs must be the union of all packages'
+// directives keyed by filename (filenames are globally unique within
+// one FileSet).
+func RunModuleAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, dirs map[string][]directive) ([]Diagnostic, error) {
+	var mods []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			mods = append(mods, a)
+		}
+	}
+	if len(mods) == 0 {
+		return nil, nil
+	}
+	graph := BuildCallGraph(pkgs)
+	var diags []Diagnostic
+	for _, a := range mods {
+		var found []Diagnostic
+		pass := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				found = append(found, d)
+			},
+		}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("module analyzer %s: %v", a.Name, err)
+		}
+		for _, d := range found {
+			if !suppressed(dirs, fset, a.Name, d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, nil
+}
+
+// An Analysis is the structured result of one driver run: every
+// surviving diagnostic across every analyzed package, globally sorted
+// by position, plus what a renderer needs to resolve positions. The
+// plain-text printer and the SARIF exporter are both views of this.
+type Analysis struct {
+	Fset  *token.FileSet
+	Dir   string // base directory for relative paths in output
+	Diags []Diagnostic
+}
+
+// AnalyzePackages runs package-level analyzers per package and
+// module-level analyzers over the whole pre-loaded set, applying
+// `//simlint:allow` suppression throughout, and returns every surviving
+// diagnostic globally sorted by position. All packages must share fset
+// (one Loader). The analyzer list is normalized (sorted, deduplicated)
+// first. Both the standalone driver and the analysistest kit's module
+// mode go through this pipeline.
+func AnalyzePackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	analyzers = Normalize(analyzers)
+	pkgs = append([]*Package{}, pkgs...)
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+
+	var diags []Diagnostic
+	allDirs := make(map[string][]directive)
+	for _, pkg := range pkgs {
+		dirs, bad := parseDirectives(pkg.Fset, pkg.Files)
+		files := make([]string, 0, len(dirs))
+		for file := range dirs {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			allDirs[file] = append(allDirs[file], dirs[file]...)
+		}
+		diags = append(diags, bad...)
+		got, err := runPackageAnalyzers(pkg, analyzers, dirs)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, got...)
+	}
+	got, err := RunModuleAnalyzers(fset, pkgs, analyzers, allDirs)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, got...)
+	sort.Slice(diags, sortDiagnostics(fset, diags))
+	return diags, nil
+}
+
+// Analyze is the standalone pipeline: expand patterns relative to dir,
+// load and type-check every matched package, then AnalyzePackages.
+func Analyze(dir string, patterns []string, analyzers []*Analyzer) (*Analysis, error) {
 	loader, err := NewLoader(dir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	pkgDirs, err := loader.Expand(dir, patterns)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	total := 0
+	var pkgs []*Package
 	for _, pd := range pkgDirs {
 		pkg, err := loader.LoadDir(pd)
 		if err != nil {
-			return total, err
+			return nil, err
 		}
-		diags, err := RunPackage(pkg, analyzers)
-		if err != nil {
-			return total, err
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			name := pos.Filename
-			if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
-			}
-			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
-		}
-		total += len(diags)
+		pkgs = append(pkgs, pkg)
 	}
-	return total, nil
+	diags, err := AnalyzePackages(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Fset: loader.Fset, Dir: dir, Diags: diags}, nil
+}
+
+// Run is the standalone driver: Analyze, then print diagnostics to w
+// as "path:line:col: message (analyzer)", returning their count. Load
+// or type-check failures return an error (the tree must compile for
+// the lint to mean anything).
+func Run(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	a, err := Analyze(dir, patterns, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range a.Diags {
+		pos := a.Fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	return len(a.Diags), nil
 }

@@ -50,7 +50,12 @@ type unitConfig struct {
 // caller should proceed with its own (standalone) argument handling.
 // On a cfg argument it runs the analyzers and exits: 0 for clean,
 // 1 for diagnostics (printed to stderr, one per line, like cmd/vet).
+// Module analyzers (RunModule) are skipped under this protocol: a unit
+// carries only its own syntax plus export data for dependencies, so
+// there is no cross-package syntax to build a call graph from. They run
+// under the standalone driver, which CI invokes separately.
 func VetMain(args []string, analyzers []*Analyzer) bool {
+	analyzers = Normalize(analyzers)
 	if len(args) == 0 {
 		return false
 	}

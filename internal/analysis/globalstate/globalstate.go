@@ -1,0 +1,106 @@
+// Package globalstate flags mutable package-level state inside the
+// simulation packages. A package-level variable that any shipped file
+// mutates is shared state across every Engine and every replication in
+// the process: two simulations in one test binary would interleave
+// writes, and the parallel replication runner would make results
+// depend on goroutine scheduling. Simulation state must hang off the
+// Engine (or structures rooted in it) so each run stays a pure
+// function of (config, seed).
+//
+// Read-only package variables — error sentinels, lookup tables —
+// are fine and are not reported; only variables the package itself
+// assigns, increments, or takes the address of outside their
+// declaration are findings. The report lands on the declaration, with
+// the first mutation site named, so `//simlint:allow globalstate` at
+// the declaration waives a vetted exception.
+package globalstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/nondeterminism"
+)
+
+// Analyzer is the mutable-package-state rule.
+var Analyzer = &framework.Analyzer{
+	Name: "globalstate",
+	Doc: "forbid mutated package-level variables in simulation packages\n\n" +
+		"A package-level variable written by shipped code is state shared across every Engine\n" +
+		"in the process, breaking replication isolation and (config, seed) purity. Covers the\n" +
+		"same protected trees as nondeterminism (internal/runner exempt). Read-only sentinels\n" +
+		"and lookup tables are not reported.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	for _, allow := range nondeterminism.Allowed {
+		if framework.PathHasSegments(path, allow) {
+			return nil
+		}
+	}
+	covered := false
+	for _, p := range nondeterminism.Protected {
+		if framework.PathHasSegments(path, p) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+
+	// First mutation site per package-level variable, shipped files only.
+	mutated := make(map[*types.Var]token.Pos)
+	mark := func(v *types.Var, pos token.Pos) {
+		if v == nil || v.Pkg() != pass.Pkg {
+			return // another package's state is that package's finding
+		}
+		if old, ok := mutated[v]; !ok || pos < old {
+			mutated[v] = pos
+		}
+	}
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if _, v := framework.RootPkgVar(pass.TypesInfo, lhs); v != nil {
+						mark(v, n.Pos())
+					}
+				}
+			case *ast.IncDecStmt:
+				if _, v := framework.RootPkgVar(pass.TypesInfo, n.X); v != nil {
+					mark(v, n.Pos())
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, v := framework.RootPkgVar(pass.TypesInfo, n.X); v != nil {
+						mark(v, n.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	vars := make([]*types.Var, 0, len(mutated))
+	for v := range mutated {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for _, v := range vars {
+		site := pass.Fset.Position(mutated[v])
+		pass.Reportf(v.Pos(), "package-level var %s is mutated in a simulation package (first write at %s:%d): state shared across engines breaks replication isolation; hang it off the Engine or Kernel instead",
+			v.Name(), filepath.Base(site.Filename), site.Line)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package globalstate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/globalstate"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{globalstate.Analyzer},
+		"repro/internal/sim",    // protected: mutated globals fire, suppression honored
+		"repro/internal/runner", // allowlisted: runner owns shared machinery
+		"repro/tools",           // unprotected: out of scope
+	)
+}

@@ -1,0 +1,8 @@
+// Package runnerfix sits in the allowlisted runner tree: the runner
+// owns cross-replication machinery, so the rule stays silent even for
+// mutated package state.
+package runnerfix
+
+var pool int
+
+func Grow() { pool++ }

@@ -1,0 +1,50 @@
+// Package simfix exercises the globalstate rule inside a protected
+// tree: only package-level variables that shipped code mutates are
+// findings.
+package simfix
+
+var seq int // want `package-level var seq is mutated in a simulation package \(first write at simfix\.go:\d+\)`
+
+// Next hands out identifiers from process-global state — exactly the
+// cross-engine sharing the rule exists to stop.
+func Next() int {
+	seq++
+	return seq
+}
+
+// Sentinel is read-only: not a finding.
+var Sentinel = "ok"
+
+func Read() string { return Sentinel }
+
+var table = map[string]int{"a": 1} // want `package-level var table is mutated`
+
+// Put writes through an index expression; the root variable is still
+// package state.
+func Put(k string, v int) { table[k] = v }
+
+// shadow is only ever shadowed by a local; the package variable itself
+// is never written.
+var shadow int
+
+func Shadow() int {
+	shadow := 3
+	return shadow
+}
+
+// testOnly is mutated solely from the package's test file; the
+// contract covers shipped code, so no finding.
+var testOnly int
+
+func TestOnlyValue() int { return testOnly }
+
+//simlint:allow globalstate vetted: documented fixture exception
+var waived int
+
+func Bump() { waived++ }
+
+var addr int // want `package-level var addr is mutated`
+
+// Addr leaks a pointer to package state; address-taking counts as
+// mutation conservatively.
+func Addr() *int { return &addr }

@@ -1,0 +1,7 @@
+package simfix
+
+// Mutating package state from a test file is outside the determinism
+// contract; the analyzer must not count this write.
+func resetForTest() { testOnly = 7 }
+
+var _ = resetForTest

@@ -1,0 +1,7 @@
+// Package tools is outside the protected trees; mutable globals here
+// are someone else's problem.
+package tools
+
+var count int
+
+func Inc() { count++ }

@@ -67,6 +67,15 @@ var forbiddenImports = map[string]string{
 	"sync/atomic":  "atomics imply shared-state concurrency; simulation packages are single-threaded, concurrency belongs in internal/runner",
 }
 
+// ForbiddenCalls exposes the banned (package, function) table, with
+// reasons, so the interprocedural purity analyzer can apply the same
+// rules transitively through helper functions in any package.
+func ForbiddenCalls() map[string]map[string]string { return forbiddenCalls }
+
+// ForbiddenImports exposes the banned import table, with reasons, for
+// the same transitive reuse.
+func ForbiddenImports() map[string]string { return forbiddenImports }
+
 // Analyzer is the nondeterminism rule.
 var Analyzer = &framework.Analyzer{
 	Name: "nondeterminism",

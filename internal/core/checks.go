@@ -16,6 +16,16 @@ type CheckResult struct {
 	Pass   bool
 }
 
+// CheckOptions selects the verification instrumentation RunChecksOpts
+// arms on the machines it builds. The zero value runs plain checks.
+type CheckOptions struct {
+	// InvariantPeriod, when non-zero, arms the periodic machine-state
+	// invariant sampler (kernel.Config.InvariantPeriod) on every
+	// machine: a corrupt machine state panics at the first sampling
+	// instant after it appears instead of surfacing as a wrong verdict.
+	InvariantPeriod sim.Duration
+}
+
 // RunChecks executes a conformance pass over the paper's quantitative
 // claims at the given scale and seed. Each check runs scaled-down
 // experiments and asserts the claim's *shape* (orderings and bounds), the
@@ -26,9 +36,15 @@ type CheckResult struct {
 // assertions are then evaluated in a fixed order, so the report is
 // identical for any worker count.
 func RunChecks(scale float64, seed uint64, workers int) []CheckResult {
+	return RunChecksOpts(scale, seed, workers, CheckOptions{})
+}
+
+// RunChecksOpts is RunChecks with verification instrumentation.
+func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) []CheckResult {
 	// --- phase 1: run every experiment the claims need, in parallel ---
 	var jobs []func()
 	det := func(cfg kernel.Config, shield bool) func() float64 {
+		cfg.InvariantPeriod = opts.InvariantPeriod
 		var out float64
 		run := func() {
 			d := DefaultDeterminism(cfg)
@@ -45,6 +61,7 @@ func RunChecks(scale float64, seed uint64, workers int) []CheckResult {
 		return func() float64 { return out }
 	}
 	rf := func(cfg kernel.Config, shield bool, mutate func(*RealfeelConfig)) func() ResponseResult {
+		cfg.InvariantPeriod = opts.InvariantPeriod
 		var out ResponseResult
 		jobs = append(jobs, func() {
 			r := DefaultRealfeel(cfg)
@@ -61,7 +78,9 @@ func RunChecks(scale float64, seed uint64, workers int) []CheckResult {
 	rc := func(forceBKL bool) func() ResponseResult {
 		var out ResponseResult
 		jobs = append(jobs, func() {
-			c := DefaultRCIM(kernel.RedHawk14(2, 2.0))
+			kc := kernel.RedHawk14(2, 2.0)
+			kc.InvariantPeriod = opts.InvariantPeriod
+			c := DefaultRCIM(kc)
 			c.Samples = scaleSamples(60_000, scale)
 			c.Seed = sim.DeriveSeed(seed, streamChecksResp)
 			c.ForceBKL = forceBKL

@@ -15,16 +15,30 @@ import (
 // experiment registry renders, so the CSV always matches the figure.
 // Supported ids: fig1..fig7.
 func FigureCSV(id string, scale float64, seed uint64, workers int) (string, error) {
+	return FigureCSVSalted(id, scale, seed, workers, 0)
+}
+
+// FigureCSVSalted is FigureCSV with a tie-break perturbation salt
+// applied to every machine the figure runs
+// (kernel.Config.TiebreakSalt). Salt 0 is plain FIFO, i.e. FigureCSV.
+// The determinism contract requires the output to be bit-identical for
+// every salt; RunPerturbFigures (cmd/reprocheck -perturb) sweeps salts
+// and fails on any divergence.
+func FigureCSVSalted(id string, scale float64, seed uint64, workers int, salt uint64) (string, error) {
 	if cfg, ok := figDeterminismConfig(id, scale, seed, workers); ok {
+		cfg.Kernel.TiebreakSalt = salt
 		// The paper plots the variance from ideal in milliseconds.
 		return histCSV(RunDeterminism(cfg).Hist, "ms", 1e6), nil
 	}
 	if cfg, ok := figRealfeelConfig(id, scale, seed, workers); ok {
+		cfg.Kernel.TiebreakSalt = salt
 		return histCSV(RunRealfeel(cfg).Hist, "ms", 1e6), nil
 	}
 	if id == "fig7" {
+		cfg := figRCIMConfig(scale, seed, workers)
+		cfg.Kernel.TiebreakSalt = salt
 		// Figure 7 is plotted in microseconds.
-		return histCSV(RunRCIM(figRCIMConfig(scale, seed, workers)).Hist, "us", float64(sim.Microsecond)), nil
+		return histCSV(RunRCIM(cfg).Hist, "us", float64(sim.Microsecond)), nil
 	}
 	return "", fmt.Errorf("core: no CSV series for %q (figures only)", id)
 }

@@ -84,6 +84,25 @@ type Config struct {
 	// so preemption is disabled for shorter stretches (§6).
 	CritSectionCap sim.Duration
 
+	// TiebreakSalt, when non-zero, installs a tie-break perturbation on
+	// the machine's event engine (sim.Engine.PerturbTiebreaks):
+	// same-instant events without a pinned arbitration dispatch in a
+	// seeded permutation of their FIFO order. It is a verification
+	// knob, not a model parameter — a correct model produces
+	// bit-identical figures for every salt, and cmd/reprocheck -perturb
+	// fails if one does not. The default (0) is plain FIFO.
+	TiebreakSalt uint64
+
+	// InvariantPeriod, when non-zero, arms a periodic machine-state
+	// invariant sampler at Start: every period the whole machine is
+	// walked with CheckInvariants and a violation panics with the
+	// evidence. Like TiebreakSalt this is a verification knob
+	// (cmd/reprocheck -checkinv), not a model parameter: the sampler is
+	// read-only and draws no randomness, so it cannot change results —
+	// it only moves invariant detection from "wrong figure at the end"
+	// to "panic at the first corrupt state".
+	InvariantPeriod sim.Duration
+
 	// Timing holds the calibration constants.
 	Timing Timing
 }

@@ -697,7 +697,12 @@ func (c *CPU) requestMigration(t *Task) {
 func (c *CPU) kick(t *Task) {
 	if c.Idle() {
 		if c.dispatchEv == nil {
-			c.dispatchEv = c.kern.Eng.After(c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit), func() {
+			// Pinned: when several idle CPUs are kicked at the same
+			// instant, their idle-exit dispatches race for the shared
+			// runqueue; the model arbitrates that bus contention in
+			// kick order (FIFO), the way a fixed-priority memory bus
+			// arbiter would. See "Tie-break determinism" in DESIGN.md §8.
+			c.dispatchEv = c.kern.Eng.AfterPinned(c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit), func() {
 				c.dispatchEv = nil
 				c.settle()
 			})
@@ -1017,7 +1022,11 @@ func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, then func()) {
 func (c *CPU) startLocalTimer() {
 	period := c.tickPeriod()
 	offset := sim.Duration(int64(period) * int64(c.ID) / int64(len(c.kern.cpus)))
-	c.tickEv = c.kern.Eng.After(offset, c.tick)
+	// Pinned: CPU 0's local tick is phase-locked with the global timer
+	// (both fire at exact multiples of the tick period), and the model
+	// resolves that simultaneity as local-APIC-before-PIT, in schedule
+	// order. See "Tie-break determinism" in DESIGN.md §8.
+	c.tickEv = c.kern.Eng.AfterPinned(offset, c.tick)
 }
 
 func (c *CPU) tickPeriod() sim.Duration {
@@ -1032,7 +1041,9 @@ func (c *CPU) tick() {
 		// mechanism allows this interrupt to be disabled").
 		return
 	}
-	c.tickEv = c.kern.Eng.After(c.tickPeriod(), c.tick)
+	// Pinned for the same reason as startLocalTimer: the re-armed tick
+	// stays ordered before the phase-locked global timer interrupt.
+	c.tickEv = c.kern.Eng.AfterPinned(c.tickPeriod(), c.tick)
 	c.raiseIRQ(c.localTimer)
 }
 

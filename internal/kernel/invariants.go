@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // CheckInvariants walks the whole machine state and returns an error
@@ -108,6 +110,31 @@ func (k *Kernel) checkLockInvariants(l *SpinLock) error {
 		}
 	}
 	return nil
+}
+
+// SampleInvariants arms a self-rescheduling event that runs
+// CheckInvariants every period and hands the first violation to fail.
+// When fail is nil a violation panics. The sampler is observationally
+// neutral: it reads machine state, draws no randomness, and only
+// consumes event sequence numbers — which shifts later events' numbers
+// uniformly and so preserves their relative FIFO order. It keeps
+// re-arming forever; experiments bound it with Engine.Run(until).
+func (k *Kernel) SampleInvariants(period sim.Duration, fail func(error)) {
+	if period <= 0 {
+		panic("kernel: SampleInvariants needs a positive period")
+	}
+	if fail == nil {
+		fail = func(err error) { panic(fmt.Sprintf("kernel: invariant violated at %v: %v", k.Now(), err)) }
+	}
+	var sample func()
+	sample = func() {
+		if err := k.CheckInvariants(); err != nil {
+			fail(err)
+			return
+		}
+		k.Eng.After(period, sample)
+	}
+	k.Eng.After(period, sample)
 }
 
 // ProcTasks renders a ps-style listing for /proc/tasks.

@@ -92,6 +92,82 @@ func TestProcTasksFile(t *testing.T) {
 	}
 }
 
+// samplerKernel builds a small started machine with a couple of tasks,
+// enough live state for the periodic invariant sampler to walk.
+func samplerKernel(seed uint64) *Kernel {
+	k := New(testConfig(2), seed)
+	for i := 0; i < 2; i++ {
+		k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(tk *Task) Action {
+			return Compute(tk.RNG().Uniform(50*sim.Microsecond, 500*sim.Microsecond))
+		}))
+	}
+	return k
+}
+
+// corruptFirstTask makes task 0 claim TaskRunning with no CPU — a state
+// CheckInvariants must reject.
+func corruptFirstTask(k *Kernel) {
+	victim := k.Tasks()[0]
+	victim.state = TaskRunning
+	victim.cpu = nil
+}
+
+func TestSampleInvariantsCleanRun(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.InvariantPeriod = 200 * sim.Microsecond
+	k := New(cfg, 7)
+	k.NewTask("w", SchedOther, 0, 0, BehaviorFunc(func(*Task) Action {
+		return Compute(300 * sim.Microsecond)
+	}))
+	k.Start() // arms the sampler via cfg.InvariantPeriod
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+	// ~100 sampling instants passed without the default handler panicking.
+}
+
+func TestSampleInvariantsCatchesCorruption(t *testing.T) {
+	k := samplerKernel(11)
+	var caught error
+	k.SampleInvariants(100*sim.Microsecond, func(err error) { caught = err })
+	k.Start()
+	// Run cleanly for a while, then corrupt the machine mid-flight; the
+	// next sampling instant must report it.
+	k.Eng.Schedule(sim.Time(5*sim.Millisecond), func() { corruptFirstTask(k) })
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+	if caught == nil {
+		t.Fatal("sampler never reported the injected state corruption")
+	}
+	if !strings.Contains(caught.Error(), "claims running but cpu disagrees") {
+		t.Fatalf("sampler reported %q, want the running/cpu mismatch", caught)
+	}
+}
+
+func TestSampleInvariantsDefaultFailPanics(t *testing.T) {
+	k := samplerKernel(13)
+	k.SampleInvariants(100*sim.Microsecond, nil)
+	k.Start()
+	k.Eng.Schedule(sim.Time(2*sim.Millisecond), func() { corruptFirstTask(k) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("default fail handler did not panic on corruption")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invariant violated") {
+			t.Fatalf("panic = %v, want an invariant-violated message", r)
+		}
+	}()
+	k.Eng.Run(sim.Time(20 * sim.Millisecond))
+}
+
+func TestSampleInvariantsRejectsBadPeriod(t *testing.T) {
+	k := New(testConfig(1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleInvariants(0) did not panic")
+		}
+	}()
+	k.SampleInvariants(0, nil)
+}
+
 func TestInvariantsCatchCorruption(t *testing.T) {
 	// Sanity: the checker actually detects a violation.
 	k := New(testConfig(1), 42)

@@ -54,9 +54,13 @@ func New(cfg Config, seed uint64) *Kernel {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	eng := sim.NewEngine(seed)
+	if cfg.TiebreakSalt != 0 {
+		eng.PerturbTiebreaks(cfg.TiebreakSalt)
+	}
 	k := &Kernel{
 		Cfg:        cfg,
-		Eng:        sim.NewEngine(seed),
+		Eng:        eng,
 		FS:         procfs.New(),
 		online:     cfg.OnlineMask(),
 		byPID:      map[int]*Task{},
@@ -209,14 +213,20 @@ func (k *Kernel) Start() {
 		c.startBusSampling()
 	}
 	// The global timer (IRQ0) fires at HZ, independent of the per-CPU
-	// local APIC timers.
+	// local APIC timers — but phase-locked with CPU 0's local tick
+	// (both at exact multiples of the period), so the simultaneity is
+	// pinned: the local APIC tick is dispatched before the PIT's IRQ0,
+	// in schedule order. See "Tie-break determinism" in DESIGN.md §8.
 	period := sim.Duration(int64(sim.Second) / int64(k.Cfg.LocalTimerHz))
 	var globalTick func()
 	globalTick = func() {
 		k.Raise(k.timerIRQ)
-		k.Eng.After(period, globalTick)
+		k.Eng.AfterPinned(period, globalTick)
 	}
-	k.Eng.After(period, globalTick)
+	k.Eng.AfterPinned(period, globalTick)
+	if k.Cfg.InvariantPeriod > 0 {
+		k.SampleInvariants(k.Cfg.InvariantPeriod, nil)
+	}
 	// Make the pre-created tasks runnable in creation order.
 	for _, t := range k.tasks {
 		if t.state == TaskRunnable {

@@ -1,0 +1,82 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PerturbRun is the outcome of one perturbed re-run of a scenario.
+type PerturbRun struct {
+	// Salt is the tie-break salt the scenario ran under (never 0).
+	Salt uint64
+	// Fingerprint is the scenario's result digest under that salt.
+	Fingerprint string
+}
+
+// PerturbReport is the verdict of a schedule-perturbation sweep: one
+// baseline (FIFO) run plus n perturbed re-runs of the same scenario.
+type PerturbReport struct {
+	// Baseline is the fingerprint at salt 0, i.e. plain FIFO tie-breaks.
+	Baseline string
+	// Runs holds the perturbed re-runs in salt-derivation order.
+	Runs []PerturbRun
+}
+
+// Diverged returns the perturbed runs whose fingerprint differs from
+// the baseline. A non-empty result is a tie-break race: the scenario's
+// output depends on the dispatch order of simultaneous events, which
+// the determinism contract forbids (same config + seed must give
+// bit-identical results).
+func (r PerturbReport) Diverged() []PerturbRun {
+	var out []PerturbRun
+	for _, run := range r.Runs {
+		if run.Fingerprint != r.Baseline {
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// OK reports whether every perturbed run matched the baseline.
+func (r PerturbReport) OK() bool { return len(r.Diverged()) == 0 }
+
+// String renders a one-line verdict.
+func (r PerturbReport) String() string {
+	if d := r.Diverged(); len(d) > 0 {
+		return fmt.Sprintf("TIE-BREAK RACE: %d/%d perturbed runs diverged from baseline %s (first: salt %#x -> %s)",
+			len(d), len(r.Runs), r.Baseline, d[0].Salt, d[0].Fingerprint)
+	}
+	return fmt.Sprintf("ok: %d/%d perturbed runs match baseline %s", len(r.Runs), len(r.Runs), r.Baseline)
+}
+
+// Perturb runs fn once with salt 0 (the FIFO baseline) and n more times
+// with distinct non-zero salts derived from base, fanning the runs out
+// across up to workers goroutines. fn must run the scenario with the
+// given tie-break salt (kernel.Config.TiebreakSalt or
+// sim.Engine.PerturbTiebreaks) and return a result fingerprint. The
+// report compares every perturbed fingerprint against the baseline.
+//
+// Salts are derived with sim.DeriveSeed(base, 1+i); a derived salt of 0
+// (which would silently mean "no perturbation") is remapped.
+func Perturb(workers int, base uint64, n int, fn func(salt uint64) string) PerturbReport {
+	salts := make([]uint64, n)
+	for i := range salts {
+		s := sim.DeriveSeed(base, uint64(1+i))
+		if s == 0 {
+			s = sim.DeriveSeed(base+1, uint64(1+i))
+		}
+		salts[i] = s
+	}
+	prints := Map(workers, n+1, func(i int) string {
+		if i == 0 {
+			return fn(0)
+		}
+		return fn(salts[i-1])
+	})
+	rep := PerturbReport{Baseline: prints[0]}
+	for i, s := range salts {
+		rep.Runs = append(rep.Runs, PerturbRun{Salt: s, Fingerprint: prints[1+i]})
+	}
+	return rep
+}

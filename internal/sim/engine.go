@@ -14,11 +14,33 @@ type Engine struct {
 	stopped bool
 	// fired counts events dispatched, for diagnostics and budget checks.
 	fired uint64
+	// san is the build-tag-gated sanitizer state: a zero-size no-op
+	// under the default build, shadow-check state under -tags simsan.
+	san sanState
 }
 
 // NewEngine returns an engine at time 0 with an RNG seeded from seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRNG(seed)}
+}
+
+// PerturbTiebreaks installs a tie-break perturbation: same-instant
+// events whose arbitration order is not pinned (Schedule/After) dispatch
+// in a seeded pseudo-random permutation of their FIFO order instead of
+// FIFO. salt == 0 restores plain FIFO. A perturbation-invariant model
+// produces bit-identical results for every salt; a divergence under some
+// salt is a tie-break race — a result that silently depends on the
+// processing order of simultaneous events. The harness around this knob
+// lives in internal/runner (Perturb) and cmd/reprocheck (-perturb).
+//
+// The perturbation must be installed before anything is scheduled (the
+// heap is ordered by the tie-break key, so changing the key under queued
+// events would corrupt it); installing it later panics.
+func (e *Engine) PerturbTiebreaks(salt uint64) {
+	if len(e.heap.items) > 0 {
+		panic("sim: PerturbTiebreaks after events were scheduled")
+	}
+	e.heap.salt = salt
 }
 
 // Now returns the current virtual time.
@@ -32,16 +54,38 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Schedule queues fn to run at time at. Scheduling in the past panics:
 // it always indicates a model bug, never valid input.
+//
+// If another event is already queued for the same instant, the two fire
+// in FIFO order by default — but that order is NOT part of the model's
+// contract: under a tie-break perturbation (PerturbTiebreaks) it is
+// permuted, and results must not change. A schedule site whose
+// same-instant ordering is semantically meaningful (it models a concrete
+// hardware arbitration) must use SchedulePinned instead.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.schedule(at, fn, false)
+}
+
+// SchedulePinned is Schedule for events whose same-instant FIFO
+// arbitration is a declared part of the model: tie-break perturbation
+// leaves the relative order of pinned events untouched. Use it
+// sparingly, and document at the call site which hardware arbitration
+// the FIFO order stands in for — pinned sites are exactly the schedule
+// points the tie-break race detector cannot check.
+func (e *Engine) SchedulePinned(at Time, fn func()) *Event {
+	return e.schedule(at, fn, true)
+}
+
+func (e *Engine) schedule(at Time, fn func(), pinned bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule nil callback")
 	}
-	ev := &Event{At: at, seq: e.nextSeq, fn: fn, index: -1}
+	ev := &Event{At: at, seq: e.nextSeq, fn: fn, index: -1, pinned: pinned}
 	e.nextSeq++
 	e.heap.push(ev)
+	e.sanOnSchedule(ev)
 	return ev
 }
 
@@ -51,6 +95,15 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 		d = 0
 	}
 	return e.Schedule(e.now.Add(d), fn)
+}
+
+// AfterPinned is After with pinned same-instant arbitration; see
+// SchedulePinned.
+func (e *Engine) AfterPinned(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.SchedulePinned(e.now.Add(d), fn)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
@@ -66,22 +119,31 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// Reschedule moves a pending event to a new time, preserving its callback.
-// If the event already fired or was cancelled it returns nil; otherwise it
-// returns the (new) event handle.
+// Reschedule moves a pending event to a new time, preserving its callback
+// and its pinned/unpinned arbitration class. If the event already fired or
+// was cancelled it returns nil; otherwise it returns the (new) event
+// handle.
 func (e *Engine) Reschedule(ev *Event, at Time) *Event {
 	if ev == nil || ev.fn == nil {
 		return nil
 	}
-	fn := ev.fn
+	fn, pinned := ev.fn, ev.pinned
 	e.Cancel(ev)
-	return e.Schedule(at, fn)
+	return e.schedule(at, fn, pinned)
+}
+
+// pop removes the heap minimum, routing every removal through the
+// sanitizer's pop-order shadow check (a no-op in the default build).
+func (e *Engine) pop() *Event {
+	ev := e.heap.pop()
+	e.sanOnPop(ev)
+	return ev
 }
 
 // Step dispatches the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
 	for e.heap.len() > 0 {
-		ev := e.heap.pop()
+		ev := e.pop()
 		if ev.fn == nil {
 			continue // cancelled
 		}
@@ -104,7 +166,7 @@ func (e *Engine) Run(until Time) Time {
 		// Peek without popping so an event after `until` stays queued.
 		next := e.heap.items[0]
 		if next.fn == nil {
-			e.heap.pop()
+			e.pop()
 			continue
 		}
 		if next.At > until {

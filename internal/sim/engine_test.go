@@ -264,3 +264,32 @@ func BenchmarkScheduleDispatch(b *testing.B) {
 		e.Step()
 	}
 }
+
+// BenchmarkScheduleDispatchPinned covers the pinned-arbitration path
+// plus the sanitizer hooks on the hot schedule/pop sequence. In the
+// default (untagged) build sanState is a zero-size no-op whose methods
+// compile away, so this bench doubles as the guard that enabling the
+// simsan plumbing costs nothing unless `-tags simsan` asks for it:
+// compare `go test -bench ScheduleDispatch ./internal/sim` against the
+// same with `-tags simsan` to see the (opt-in) overhead.
+func BenchmarkScheduleDispatchPinned(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterPinned(Duration(i%64), func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleDispatchSalted measures the perturbed tie-break
+// path: key() mixes the sequence through splitmix64 instead of using
+// it raw, which is the only per-event cost -perturb adds.
+func BenchmarkScheduleDispatchSalted(b *testing.B) {
+	e := NewEngine(1)
+	e.PerturbTiebreaks(0x5eed)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%64), func() {})
+		e.Step()
+	}
+}

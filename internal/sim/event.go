@@ -7,31 +7,71 @@ type Event struct {
 	// At is the virtual time the event fires.
 	At Time
 	// seq breaks ties between events scheduled for the same instant:
-	// earlier-scheduled events fire first (FIFO at equal time), which the
-	// kernel model relies on for determinism.
+	// earlier-scheduled events fire first (FIFO at equal time).
 	seq uint64
 	// fn is the callback; nil marks a cancelled event.
 	fn func()
 	// index is the position in the heap, or -1 when not queued.
 	index int
+	// pinned declares that this event's same-instant arbitration order
+	// (FIFO) is part of the model, not an accident: under a tie-break
+	// perturbation (Engine.PerturbTiebreaks) pinned events keep their
+	// FIFO order among themselves while unpinned ties are permuted. The
+	// few pinned sites in internal/kernel are the dynamic analogue of a
+	// //simlint:allow directive — each one documents the hardware
+	// arbitration it models.
+	pinned bool
 }
 
 // Cancelled reports whether the event has been cancelled.
 func (e *Event) Cancelled() bool { return e.fn == nil }
 
-// eventHeap is a binary min-heap ordered by (At, seq). It implements the
-// operations directly instead of going through container/heap to avoid the
-// interface-call overhead on the simulator's hottest path.
+// eventHeap is a binary min-heap ordered by (At, tie-break key). It
+// implements the operations directly instead of going through
+// container/heap to avoid the interface-call overhead on the simulator's
+// hottest path.
+//
+// With salt == 0 (the default) the tie-break key is the scheduling
+// sequence number, i.e. FIFO at equal time. With salt != 0 the key of an
+// unpinned event is a splitmix64 mix of (salt, seq) — a seeded
+// pseudo-random permutation of same-instant dispatch order — while
+// pinned events keep their raw seq. The perturbation harness
+// (cmd/reprocheck -perturb) uses this to detect tie-break races: results
+// that depend on the arbitrary FIFO order of simultaneous events.
 type eventHeap struct {
 	items []*Event
+	salt  uint64
 }
 
 func (h *eventHeap) len() int { return len(h.items) }
+
+// tiebreakMix is the splitmix64 output function over salt ^ seq. It is a
+// bijection on uint64 for a fixed salt, so distinct seqs keep distinct
+// keys and the permuted order is total.
+func tiebreakMix(salt, seq uint64) uint64 {
+	z := (salt ^ seq) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// key returns the tie-break key used at equal At.
+func (h *eventHeap) key(e *Event) uint64 {
+	if h.salt == 0 || e.pinned {
+		return e.seq
+	}
+	return tiebreakMix(h.salt, e.seq)
+}
 
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.At != b.At {
 		return a.At < b.At
+	}
+	if h.salt != 0 {
+		if ka, kb := h.key(a), h.key(b); ka != kb {
+			return ka < kb
+		}
 	}
 	return a.seq < b.seq
 }

@@ -1,0 +1,11 @@
+//go:build !simsan
+
+package sim
+
+import "testing"
+
+func TestSanitizerDisabledByDefault(t *testing.T) {
+	if SanitizerEnabled() {
+		t.Fatal("SanitizerEnabled() = true without -tags simsan")
+	}
+}

@@ -1,0 +1,94 @@
+//go:build simsan
+
+package sim
+
+import "fmt"
+
+// sanState is the simsan shadow checker (-tags simsan): a second,
+// independent bookkeeper of the engine's ordering contract. The event
+// heap is the simulator's one piece of load-bearing cleverness (a
+// hand-rolled min-heap on the hottest path), so the sanitizer re-checks
+// its externally visible guarantees on every operation instead of
+// trusting it:
+//
+//   - virtual time is monotone: no event fires before the clock,
+//   - pops are globally ordered: every heap minimum removed is >= the
+//     previous one in (At, tie-break key),
+//   - the heap shape itself stays valid (checked in full periodically,
+//     so corruption is caught near its cause rather than at the end).
+//
+// A violation panics with the evidence; simsan is a test configuration
+// (CI's sanitize job runs `go test -tags simsan ./...`), so failing loud
+// and early is the point.
+type sanState struct {
+	popped  bool
+	lastAt  Time
+	lastKey uint64
+	pops    uint64
+}
+
+// sanValidateEvery is how many pops pass between full O(n) heap-shape
+// validations. Power of two so the modulo folds to a mask.
+const sanValidateEvery = 1024
+
+func (e *Engine) sanOnSchedule(ev *Event) {
+	if ev.At < e.now {
+		panic(fmt.Sprintf("simsan: event scheduled at %v, before now %v", ev.At, e.now))
+	}
+	if ev.index < 0 || ev.index >= len(e.heap.items) || e.heap.items[ev.index] != ev {
+		panic(fmt.Sprintf("simsan: scheduled event has bad heap index %d (heap len %d)", ev.index, len(e.heap.items)))
+	}
+	// A callback may legally schedule a new event for the current
+	// instant whose perturbed tie-break key sorts below the event just
+	// popped; lower the pop-order floor so that is not misreported.
+	// (With salt == 0 keys are sequence numbers, which only grow, so the
+	// floor never moves.)
+	if e.san.popped && ev.At == e.san.lastAt {
+		if k := e.heap.key(ev); k < e.san.lastKey {
+			e.san.lastKey = k
+		}
+	}
+}
+
+func (e *Engine) sanOnPop(ev *Event) {
+	if ev.At < e.now {
+		panic(fmt.Sprintf("simsan: popped event at %v, before now %v — virtual clock would regress", ev.At, e.now))
+	}
+	key := e.heap.key(ev)
+	if e.san.popped && (ev.At < e.san.lastAt || (ev.At == e.san.lastAt && key < e.san.lastKey)) {
+		panic(fmt.Sprintf("simsan: pop order violation: (%v, key %d) after (%v, key %d)",
+			ev.At, key, e.san.lastAt, e.san.lastKey))
+	}
+	e.san.popped = true
+	e.san.lastAt = ev.At
+	e.san.lastKey = key
+	e.san.pops++
+	if e.san.pops%sanValidateEvery == 0 {
+		e.sanValidateHeap()
+	}
+}
+
+// sanValidateHeap walks the whole heap checking the min-heap property
+// and the items' back-indices.
+func (e *Engine) sanValidateHeap() {
+	h := &e.heap
+	for i, ev := range h.items {
+		if ev == nil {
+			panic(fmt.Sprintf("simsan: nil event at heap index %d", i))
+		}
+		if ev.index != i {
+			panic(fmt.Sprintf("simsan: heap index desync: items[%d].index = %d", i, ev.index))
+		}
+		if i > 0 {
+			parent := (i - 1) / 2
+			if h.less(i, parent) {
+				panic(fmt.Sprintf("simsan: heap property violated: items[%d] (%v) < parent items[%d] (%v)",
+					i, ev.At, parent, h.items[parent].At))
+			}
+		}
+	}
+}
+
+// SanitizerEnabled reports whether this binary was built with the
+// simsan shadow checker (-tags simsan).
+func SanitizerEnabled() bool { return true }
