@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench fuzz figures clean
+.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench fuzz figures trace clean
 
 all: lint test build
 
@@ -12,7 +12,7 @@ build:
 
 # lint = the CI lint job: formatting gate, go vet, then the determinism
 # analyzers (nondeterminism, maporder, seedderive, floatmerge, purity,
-# globalstate).
+# globalstate, tracefmt).
 lint: fmt vet simlint
 
 fmt:
@@ -59,6 +59,14 @@ fuzz:
 # figures regenerates the full evaluation artifact directory.
 figures:
 	$(GO) run ./cmd/rtsim -outdir artifacts
+
+# trace captures a shielded RCIM run with all typed tracepoints armed:
+# a Perfetto-loadable Chrome trace (ui.perfetto.dev) and a dmesg-style
+# text log.
+trace:
+	mkdir -p artifacts
+	$(GO) run ./cmd/rtsim -trace artifacts/rcim-shielded.json -scale 0.1
+	$(GO) run ./cmd/rtsim -trace artifacts/rcim-shielded.txt -scale 0.1
 
 clean:
 	rm -rf artifacts

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchSeed keeps benchmark iterations deterministic but distinct; the
@@ -289,6 +290,38 @@ func BenchmarkParallel_Fig5Realfeel(b *testing.B) {
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}
+
+// --- Typed tracepoints (internal/trace) ---
+
+// BenchmarkTracingDisabled guards the observability layer's zero-cost
+// contract: with no trace buffer attached (the default in every
+// figure), a typed tracepoint is a nil check and nothing else — the
+// allocs/op column must read 0. TestDisabledTypedEmitZeroAlloc in
+// internal/trace enforces the same bound as a hard test failure.
+func BenchmarkTracingDisabled(b *testing.B) {
+	var buf *trace.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.IRQEnter(sim.Time(i), 0, 5, "rcim")
+		buf.Switch(sim.Time(i), 1, 9, "rcim-response", 90)
+		buf.Migrate(sim.Time(i), 0, 9, "rcim-response", 0, 1)
+		buf.LockRelease(sim.Time(i), 0, "BKL", 100)
+	}
+}
+
+// BenchmarkTracingEnabled is the armed counterpart: once the rings and
+// the intern table are warm, emitting is a fixed-size record copy —
+// still 0 allocs/op.
+func BenchmarkTracingEnabled(b *testing.B) {
+	buf := trace.NewBuffer(1 << 12)
+	buf.IRQEnter(0, 0, 5, "rcim") // warm the ring and the name table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.IRQEnter(sim.Time(i), 0, 5, "rcim")
+		buf.IRQExit(sim.Time(i), 0, 5, "rcim")
+	}
 }
 
 // BenchmarkEngineThroughput measures raw simulator event throughput, the

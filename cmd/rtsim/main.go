@@ -5,6 +5,11 @@
 //	rtsim -list
 //	rtsim -exp fig5 [-scale 1.0] [-seed 1] [-parallel N]
 //	rtsim -exp all
+//	rtsim -trace trace.json
+//
+// -trace captures a shielded RCIM run with every typed tracepoint armed
+// and writes it as a Chrome trace-event file (load it in
+// ui.perfetto.dev) or, for non-.json paths, as dmesg-style text.
 //
 // -scale multiplies the default sample counts; the paper's full-size runs
 // (60,000,000 samples, ~8 hours of virtual time) correspond to roughly
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -32,9 +38,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "sample-count scale factor (1.0 = default, paper-size ≈ 150)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines per experiment (0 = all cores); never affects results, only wall-clock time")
-	csv := flag.Bool("csv", false, "emit the figure's plotted data series as CSV (fig1..fig7)")
+	csv := flag.Bool("csv", false, "emit the figure's plotted data series as CSV (fig1..fig7, attrib-causes)")
 	sweep := flag.String("sweep", "", "run a sensitivity sweep by id, or 'list'")
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
+	traceOut := flag.String("trace", "", "capture a shielded RCIM trace into this file (.json = Chrome trace-event format for Perfetto, anything else = dmesg-style text)")
 	flag.Parse()
 
 	if *parallel < 0 {
@@ -46,6 +53,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtsim: -scale must be > 0, got %v\n", *scale)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rtsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *outdir != "" {
@@ -119,6 +134,28 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// writeTrace captures a shielded RCIM run with all tracepoints armed
+// and exports it: Chrome trace-event JSON (open in ui.perfetto.dev or
+// chrome://tracing) for .json paths, dmesg-style text otherwise.
+func writeTrace(path string, scale float64, seed uint64) error {
+	buf := core.CaptureTrace(scale, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = buf.WriteChromeTrace(f)
+	} else {
+		err = buf.WriteText(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records, %d dropped)\n", path, buf.Len(), buf.Dropped())
+	return f.Close()
 }
 
 // writeAll regenerates every experiment report, figure CSV series and

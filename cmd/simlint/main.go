@@ -42,6 +42,7 @@ import (
 	"repro/internal/analysis/nondeterminism"
 	"repro/internal/analysis/purity"
 	"repro/internal/analysis/seedderive"
+	"repro/internal/analysis/tracefmt"
 )
 
 // analyzers is normalized at registration — sorted by name with
@@ -55,6 +56,7 @@ var analyzers = framework.Normalize([]*framework.Analyzer{
 	floatmerge.Analyzer,
 	purity.Analyzer,
 	globalstate.Analyzer,
+	tracefmt.Analyzer,
 })
 
 func main() {

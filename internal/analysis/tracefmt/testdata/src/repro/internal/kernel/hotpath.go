@@ -1,0 +1,35 @@
+// Fixture: tracepoint call sites in a protected hot-path tree. The
+// trace import resolves to the real repro/internal/trace package, so
+// the receiver type check matches production code exactly.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+type CPU struct {
+	ID    int
+	Trace *trace.Buffer
+}
+
+func (c *CPU) dispatch(pid int, name string, prio int) {
+	c.Trace.Switch(0, c.ID, pid, name, prio) // ok: typed, renders lazily
+
+	c.Trace.Emitf(0, c.ID, trace.KindSwitch, "to %s/%d", name, pid) // want `Emitf in a hot path formats eagerly`
+	c.Trace.Emit(0, c.ID, trace.KindSwitch, "switch")               // want `Emit takes a pre-rendered string`
+
+	c.Trace.Switch(0, c.ID, pid, fmt.Sprintf("%s!", name), prio) // want `fmt.Sprintf runs before the tracepoint's enabled check`
+
+	//simlint:allow tracefmt cold shutdown path, runs once per simulation
+	c.Trace.Emitf(0, c.ID, trace.KindUser, "halt %s", name)
+}
+
+// value receivers and local variables must match too, not just fields.
+func emitVia(b trace.Buffer, line int, dev string) {
+	b.IRQEnter(0, 0, line, dev)                      // ok
+	b.IRQEnter(0, 0, line, fmt.Sprint("irq-", dev))  // want `fmt.Sprint runs before the tracepoint's enabled check`
+	b.Emitf(0, 0, trace.KindIRQEnter, "irq %s", dev) // want `Emitf in a hot path formats eagerly`
+	_ = fmt.Sprintf("unrelated %d", line)            // ok: not a tracepoint argument
+}

@@ -1,0 +1,14 @@
+// Fixture: an unprotected tree. The legacy string API is allowed in
+// cold tooling code (CLIs, diagnostics); no diagnostics expected.
+package tools
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+func Dump(b *trace.Buffer, reason string) {
+	b.Emitf(0, -1, trace.KindUser, "dump: %s", reason)
+	b.Emit(0, -1, trace.KindUser, fmt.Sprintf("because %s", reason))
+}

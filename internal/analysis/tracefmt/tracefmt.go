@@ -1,0 +1,106 @@
+// Package tracefmt forbids eager string formatting at tracepoint call
+// sites in the simulation hot paths.
+//
+// The typed tracepoint layer (internal/trace) is designed so that a
+// disabled tracepoint costs one nil/filter check and nothing else — no
+// allocation, no formatting. Two idioms defeat that design from the
+// call site: the legacy Emitf/Emit string API (whose variadic
+// ...interface{} arguments box on the heap before the enabled check can
+// run), and passing a fmt.Sprintf result into a typed emitter (the
+// rendering happens whether or not the record is kept). Both belong in
+// the trace layer's lazy Format path, not in kernel code that runs
+// millions of times per simulated second.
+package tracefmt
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Protected lists the package trees (as path segments) the rule covers:
+// the simulation hot paths where tracepoints sit on dispatch, interrupt
+// and lock code.
+var Protected = []string{
+	"internal/kernel",
+	"internal/dev",
+	"internal/workload",
+}
+
+// Analyzer is the tracefmt rule.
+var Analyzer = &framework.Analyzer{
+	Name: "tracefmt",
+	Doc: "forbid eager formatting at tracepoints in simulation hot paths\n\n" +
+		"Disabled tracepoints must cost a nil check and nothing else. The legacy\n" +
+		"Emitf/Emit string API boxes its arguments before the enabled check can run, and\n" +
+		"fmt.Sprint* arguments to typed emitters render whether or not the record is kept.\n" +
+		"Emit typed records (trace.Buffer.Switch, .IRQEnter, ...) with raw integer/string\n" +
+		"arguments; rendering happens lazily in trace.Buffer.Format.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	covered := false
+	for _, p := range Protected {
+		if framework.PathHasSegments(pass.Pkg.Path(), p) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isTraceBuffer(pass.TypesInfo.TypeOf(sel.X)) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Emitf":
+				pass.Reportf(call.Pos(), "Emitf in a hot path formats eagerly: its variadic arguments box on the heap even when tracing is disabled; emit a typed record (trace.Buffer.Switch, .IRQEnter, ...) instead")
+			case "Emit":
+				pass.Reportf(call.Pos(), "Emit takes a pre-rendered string in a hot path; emit a typed record so rendering stays lazy (trace.Buffer.Format)")
+			default:
+				for _, arg := range call.Args {
+					inner, ok := arg.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if pkg, name := framework.PkgFunc(pass.TypesInfo, inner.Fun); pkg == "fmt" &&
+						(name == "Sprintf" || name == "Sprint" || name == "Sprintln") {
+						pass.Reportf(inner.Pos(), "fmt.%s runs before the tracepoint's enabled check; pass the raw arguments and let trace.Buffer.Format render lazily", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTraceBuffer reports whether t is repro/internal/trace.Buffer or a
+// pointer to it.
+func isTraceBuffer(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "repro/internal/trace" && obj.Name() == "Buffer"
+}

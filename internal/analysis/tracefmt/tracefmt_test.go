@@ -1,0 +1,20 @@
+package tracefmt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/tracefmt"
+)
+
+// TestAnalyzer loads the fixtures as module packages so the kernel
+// fixture's trace import resolves to the real repro/internal/trace and
+// the receiver-type check runs against the production Buffer type.
+func TestAnalyzer(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(t),
+		[]*framework.Analyzer{tracefmt.Analyzer},
+		"repro/internal/kernel",
+		"repro/internal/tools",
+	)
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/trace/attrib"
 )
 
 // CheckResult is one verified claim from the paper.
@@ -89,6 +90,20 @@ func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) [
 		return func() ResponseResult { return out }
 	}
 
+	att := func(kc kernel.Config, shield bool) func() attrib.Summary {
+		kc.InvariantPeriod = opts.InvariantPeriod
+		var out ResponseResult
+		jobs = append(jobs, func() {
+			c := DefaultRCIM(kc)
+			c.Samples = scaleSamples(30_000, scale)
+			c.Seed = sim.DeriveSeed(seed, streamChecksResp)
+			c.Shield = shield
+			c.Attribute = true
+			out = RunRCIM(c)
+		})
+		return func() attrib.Summary { return out.Attribution }
+	}
+
 	j1 := det(kernel.StandardLinux24(2, 1.4, true), false)
 	j2 := det(kernel.RedHawk14(2, 1.4), true)
 	j3 := det(kernel.RedHawk14(2, 1.4), false)
@@ -99,6 +114,8 @@ func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) [
 	future := rf(kernel.RedHawk14(2, 0.933), true, func(r *RealfeelConfig) { r.FixedAPI = true })
 	fig7 := rc(false)
 	bkl := rc(true)
+	attStock := att(kernel.StandardLinux24(2, 2.0, false), false)
+	attShield := att(kernel.RedHawk14(2, 2.0), true)
 
 	runner.Do(workers, jobs...)
 
@@ -136,6 +153,29 @@ func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) [
 	add("resp-future", "a multithreaded RTC driver API removes the residual fs-lock tail (§7)",
 		future().Max < fig6().Max && future().Max < 50*sim.Microsecond,
 		"fixed API max %v vs read(2) max %v", future().Max, fig6().Max)
+
+	// --- trace-derived latency attribution ---
+	sumCauses := func(b [attrib.NumCauses]sim.Duration) sim.Duration {
+		var s sim.Duration
+		for _, d := range b {
+			s += d
+		}
+		return s
+	}
+	removable := func(s attrib.Summary) sim.Duration {
+		return s.Total[attrib.CauseSched] + s.Total[attrib.CauseSoftirq] + s.Total[attrib.CauseLock]
+	}
+	as, bs := attStock(), attShield()
+	add("attrib-partition", "latency attribution partitions every sample exactly (no unexplained time)",
+		sumCauses(as.Total) == as.TotalLatency && sumCauses(bs.Total) == bs.TotalLatency &&
+			sumCauses(as.WorstBreakdown) == as.MaxLatency && sumCauses(bs.WorstBreakdown) == bs.MaxLatency &&
+			as.LostRecords == 0 && bs.LostRecords == 0,
+		"stock %v over %d samples, shielded %v over %d samples, lost %d/%d",
+		as.TotalLatency, as.Samples, bs.TotalLatency, bs.Samples, as.LostRecords, bs.LostRecords)
+	add("attrib-shield", "shielding removes the competing causes (sched, softirq, locks), not the handler itself",
+		removable(bs) < removable(as)/10 &&
+			bs.WorstBreakdown[attrib.CauseSched]+bs.WorstBreakdown[attrib.CauseSoftirq]+bs.WorstBreakdown[attrib.CauseLock] < bs.MaxLatency/2,
+		"removable delay: stock %v vs shielded %v; shielded worst %v", removable(as), removable(bs), bs.MaxLatency)
 
 	return out
 }

@@ -13,7 +13,8 @@ import (
 // legends — can be rebuilt with any plotting tool. The series comes
 // from the same canonical configuration (and seed stream) the
 // experiment registry renders, so the CSV always matches the figure.
-// Supported ids: fig1..fig7.
+// Supported ids: fig1..fig7, plus attrib-causes (whose series is the
+// per-cause latency decomposition rather than a histogram).
 func FigureCSV(id string, scale float64, seed uint64, workers int) (string, error) {
 	return FigureCSVSalted(id, scale, seed, workers, 0)
 }
@@ -39,6 +40,9 @@ func FigureCSVSalted(id string, scale float64, seed uint64, workers int, salt ui
 		cfg.Kernel.TiebreakSalt = salt
 		// Figure 7 is plotted in microseconds.
 		return histCSV(RunRCIM(cfg).Hist, "us", float64(sim.Microsecond)), nil
+	}
+	if id == "attrib-causes" {
+		return attribCSV(runAttributionSalted(scale, seed, workers, salt)), nil
 	}
 	return "", fmt.Errorf("core: no CSV series for %q (figures only)", id)
 }

@@ -111,6 +111,14 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			ID:    "attrib-causes",
+			Title: "Causes of delay: trace-derived latency attribution, stock vs shielded",
+			Paper: "§2: program execution, interrupts, bottom halves and locks each delay response; shielding removes them",
+			Run: func(scale float64, seed uint64, workers int) string {
+				return RunAttribution(scale, seed, workers).Render()
+			},
+		},
+		{
 			ID:    "ablate-spinlock-bh",
 			Title: "Ablation §6.2: bottom halves preempting spinlock holders (fix off)",
 			Paper: "pre-fix RedHawk showed multi-millisecond delays via contended spinlocks",

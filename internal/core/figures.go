@@ -27,6 +27,8 @@ const (
 	streamHT
 	streamChecksDet
 	streamChecksResp
+	streamAttrib
+	streamTraceCap
 )
 
 // figureReplications is the fixed replication count the sharded figures

@@ -24,7 +24,7 @@ const (
 	goldenSeed  = 7
 )
 
-var goldenFigures = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+var goldenFigures = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "attrib-causes"}
 
 func fnv1a(s string) string {
 	h := fnv.New64a()
@@ -64,6 +64,9 @@ func figureResult(t *testing.T, id string) interface{} {
 	}
 	if id == "fig7" {
 		return RunRCIM(figRCIMConfig(goldenScale, goldenSeed, 0))
+	}
+	if id == "attrib-causes" {
+		return RunAttribution(goldenScale, goldenSeed, 0)
 	}
 	t.Fatalf("unknown figure %q", id)
 	return nil

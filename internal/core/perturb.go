@@ -9,7 +9,7 @@ import (
 
 // PerturbFigureIDs are the scenarios the schedule-perturbation sweep
 // re-runs: every figure the golden determinism-regression tests pin.
-var PerturbFigureIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"}
+var PerturbFigureIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "attrib-causes"}
 
 // FigurePerturbation is the perturbation verdict for one figure.
 type FigurePerturbation struct {

@@ -7,6 +7,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/attrib"
 )
 
 // RCIMConfig parameterises the §6.3 interrupt response test: the RCIM
@@ -35,6 +37,10 @@ type RCIMConfig struct {
 	// ForceBKL makes the RCIM driver claim it needs the BKL, the §6.3
 	// ablation showing why the per-driver flag matters.
 	ForceBKL bool
+	// Attribute arms the typed tracepoint buffer and decomposes every
+	// response sample's latency into causes; see
+	// RealfeelConfig.Attribute for the determinism guarantee.
+	Attribute bool
 }
 
 // DefaultRCIM fills the paper's parameters.
@@ -80,6 +86,9 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 		Loads:      []string{LoadStressKernel, LoadX11Perf, LoadTTCPNet},
 	})
 	k := s.K
+	if cfg.Attribute {
+		k.Trace = trace.NewBuffer(attribTraceCapacity)
+	}
 
 	affinity := kernel.CPUMask(0)
 	if cfg.Shield {
@@ -91,6 +100,8 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 	hist := metrics.NewHistogram(sim.Microsecond, 10000)
 	samples := 0
 	var sum metrics.ResponseSummary
+	var mt *kernel.Task
+	var attr *attrib.Attributor
 
 	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
 		if samples >= cfg.Samples {
@@ -108,11 +119,19 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 			hist.Add(lat)
 			sum.Add(lat)
 			samples++
+			if attr != nil {
+				// The count register dates the interrupt itself, so the
+				// sample window opens at the device's raise instant.
+				attr.Sample(now.Add(-lat), now, mt.CPU())
+			}
 		}
 		return act
 	})
-	mt := k.NewTask("rcim-response", kernel.SchedFIFO, 90, affinity, behavior)
+	mt = k.NewTask("rcim-response", kernel.SchedFIFO, 90, affinity, behavior)
 	mt.MemLocked = true
+	if cfg.Attribute {
+		attr = attrib.New(k.Trace, mt.PID)
+	}
 
 	s.Start()
 	if cfg.Shield {
@@ -133,11 +152,15 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 	if cfg.ForceBKL {
 		name += " [BKL forced]"
 	}
-	return ResponseResult{
+	res := ResponseResult{
 		Name:            name,
 		Hist:            hist,
 		ResponseSummary: sum,
 	}
+	if attr != nil {
+		res.Attribution = attr.Summary()
+	}
+	return res
 }
 
 // PaperThresholdsFig7 are the cumulative rows under Figure 7.

@@ -9,6 +9,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/trace/attrib"
 )
 
 // RealfeelConfig parameterises the §6.1 interrupt response test: the
@@ -50,6 +52,13 @@ type RealfeelConfig struct {
 	// ResidencyCap, when non-zero, overrides the stress-kernel's
 	// heaviest-residency knob (the residency-cap sweep's parameter).
 	ResidencyCap sim.Duration
+	// Attribute arms the typed tracepoint buffer and charges every
+	// response sample's latency to a cause (irq-off, softirq, spinlock,
+	// sched, migration, run); the decomposition lands in
+	// ResponseResult.Attribution. Tracing never perturbs the simulation —
+	// emitting draws no randomness and schedules no events — so the
+	// histogram is byte-identical with or without it.
+	Attribute bool
 }
 
 // DefaultRealfeel fills the paper's parameters.
@@ -74,6 +83,9 @@ type ResponseResult struct {
 	// (bottom halves preempting lock holders stretch it to
 	// milliseconds on unfixed kernels).
 	WorstFSHold sim.Duration
+	// Attribution is the trace-derived per-cause latency decomposition,
+	// populated when the config's Attribute flag is set; zero otherwise.
+	Attribution attrib.Summary
 }
 
 // Legend renders the cumulative table the paper prints under Figures 5–6.
@@ -109,6 +121,7 @@ func (r *ResponseResult) merge(other ResponseResult) {
 		panic(err) // replications share one config; shapes cannot differ
 	}
 	r.ResponseSummary.Merge(other.ResponseSummary)
+	r.Attribution.Merge(other.Attribution)
 	if other.WorstFSHold > r.WorstFSHold {
 		r.WorstFSHold = other.WorstFSHold
 	}
@@ -205,6 +218,9 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 		StressResidencyCap: cfg.ResidencyCap,
 	})
 	k := s.K
+	if cfg.Attribute {
+		k.Trace = trace.NewBuffer(attribTraceCapacity)
+	}
 
 	affinity := kernel.CPUMask(0)
 	if pinned {
@@ -217,6 +233,8 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 	var prev sim.Time = -1
 	samples := 0
 	var sum metrics.ResponseSummary
+	var mt *kernel.Task
+	var attr *attrib.Attributor
 
 	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
 		if samples >= cfg.Samples {
@@ -237,13 +255,19 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 				hist.Add(lat)
 				sum.Add(lat)
 				samples++
+				if attr != nil {
+					attr.Sample(now.Add(-lat), now, mt.CPU())
+				}
 			}
 			prev = now
 		}
 		return act
 	})
-	mt := k.NewTask("realfeel", kernel.SchedFIFO, 90, affinity, behavior)
+	mt = k.NewTask("realfeel", kernel.SchedFIFO, 90, affinity, behavior)
 	mt.MemLocked = true
+	if cfg.Attribute {
+		attr = attrib.New(k.Trace, mt.PID)
+	}
 
 	s.Start()
 	mask := kernel.MaskOf(cfg.ShieldCPU)
@@ -277,12 +301,16 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 			worstHold = h
 		}
 	}
-	return ResponseResult{
+	res := ResponseResult{
 		Name:            name,
 		Hist:            hist,
 		ResponseSummary: sum,
 		WorstFSHold:     worstHold,
 	}
+	if attr != nil {
+		res.Attribution = attr.Summary()
+	}
+	return res
 }
 
 func mustDo(err error) {

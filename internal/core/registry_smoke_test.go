@@ -20,6 +20,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 		"fig5":                    {"max latency", "samples <"},
 		"fig6":                    {"max latency", "shielded"},
 		"fig7":                    {"max latency", "RCIM"},
+		"attrib-causes":           {"worst-case breakdown", "irq-off", "sched", "trace records lost"},
 		"ablate-spinlock-bh":      {"fix ON", "fix OFF", "worst fs-lock hold"},
 		"future-rtc-api":          {"multithreaded driver", "max"},
 		"ablate-bkl-ioctl":        {"BKL", "max latency"},

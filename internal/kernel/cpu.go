@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // frameKind classifies what a CPU is executing.
@@ -335,6 +334,7 @@ func (c *CPU) settle() {
 			f.spin.retryAcquire(c, c.kern.Now(), f.spinSince) {
 			// The spin was preempted by interrupt work and the lock was
 			// freed meanwhile; the surfacing test-and-set wins it.
+			c.kern.Trace.LockAcquire(c.kern.Now(), c.ID, f.spin.Name, c.kern.Now().Sub(f.spinSince))
 			c.pop(f)
 			if f.onDone != nil {
 				f.onDone()
@@ -422,7 +422,7 @@ func (c *CPU) deliverPendingIRQ() bool {
 func (c *CPU) pushISR(l *IRQLine) {
 	t := &c.kern.Cfg.Timing
 	work := c.kern.Cfg.scale(t.IRQEntry+t.IRQExit) + l.HandlerWork(l.rng)
-	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindIRQEnter, "%s", l.Name)
+	c.kern.Trace.IRQEnter(c.kern.Now(), c.ID, l.Num, l.Name)
 	f := &frame{kind: frameISR, irq: l, workLeft: float64(work)}
 	f.onDone = func() {
 		l.Handled++
@@ -438,7 +438,7 @@ func (c *CPU) pushISR(l *IRQLine) {
 		if b := c.top(); b != nil {
 			b.workLeft += float64(l.rng.Jitter(c.kern.Cfg.scale(t.ISRCachePenalty), 0.5))
 		}
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindIRQExit, "%s", l.Name)
+		c.kern.Trace.IRQExit(c.kern.Now(), c.ID, l.Num, l.Name)
 	}
 	c.push(f)
 }
@@ -522,11 +522,12 @@ func (c *CPU) maybeRunSoftirq() bool {
 		left -= d
 	}
 	start := c.kern.Now()
+	c.kern.Trace.SoftirqEnter(start, c.ID, take)
 	f := &frame{kind: frameSoftirq, workLeft: float64(take)}
 	f.onDone = func() {
 		c.SoftirqRuns++
 		c.SoftirqTime += c.kern.Now().Sub(start)
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSoftirq, "ran %v", take)
+		c.kern.Trace.SoftirqExit(c.kern.Now(), c.ID, c.kern.Now().Sub(start))
 		// Budget exhausted with work left over: stock kernels retry in
 		// interrupt context (the next settle runs another pass);
 		// SoftirqDaemon kernels hand the REMAINDER to ksoftirqd, which
@@ -647,7 +648,7 @@ func (c *CPU) preemptTop() {
 	// still runs, so the action is never silently dropped or redone.
 	t.saved = f
 	c.Preemptions++
-	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "preempt %s", t)
+	c.kern.Trace.Preempt(c.kern.Now(), c.ID, t.PID, t.Name, false)
 	c.requeuePreempted(t)
 	c.dispatch()
 }
@@ -656,7 +657,7 @@ func (c *CPU) preemptTop() {
 // boundary (no active frame).
 func (c *CPU) preemptBetween(t *Task) {
 	c.Preemptions++
-	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "boundary preempt %s", t)
+	c.kern.Trace.Preempt(c.kern.Now(), c.ID, t.PID, t.Name, true)
 	c.requeuePreempted(t)
 	c.dispatch()
 }
@@ -673,7 +674,7 @@ func (c *CPU) requeuePreempted(t *Task) {
 	if eff != 0 && !eff.Has(c.ID) {
 		t.Migrated++
 		t.cpu = nil
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindMigrate, "%s off cpu%d", t, c.ID)
+		c.kern.Trace.Migrate(c.kern.Now(), c.ID, t.PID, t.Name, c.ID, -1)
 		c.kern.makeRunnable(t, nil)
 		return
 	}
@@ -745,7 +746,7 @@ func (c *CPU) dispatch() {
 	next.state = TaskRunning
 	next.Switches++
 	c.cur = next
-	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSwitch, "switch to %s", next)
+	c.kern.Trace.Switch(c.kern.Now(), c.ID, next.PID, next.Name, next.rtEffective())
 	f := &frame{kind: frameSwitch, workLeft: float64(cost)}
 	f.onDone = func() { c.beginTask(next) }
 	c.push(f)
@@ -801,7 +802,7 @@ func (c *CPU) nextAction(t *Task) {
 			panic("kernel: ActSyscall without call definition")
 		}
 		t.call = newSyscallState(act, &c.kern.Cfg)
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSyscallEnter, "%s %s", t, act.Call.Name)
+		c.kern.Trace.SyscallEnter(c.kern.Now(), c.ID, t.PID, t.Name, act.Call.Name)
 		c.execSyscall(t)
 	case ActSleep:
 		t.state = TaskBlocked
@@ -905,12 +906,12 @@ func (c *CPU) execSyscall(t *Task) {
 	if call.idx >= len(call.segs) {
 		// Syscall exit: back to user mode.
 		if call.heldBKL {
-			c.kern.BKL.release(c.kern.Now())
+			c.kern.BKL.release(c.kern.Now(), c)
 			call.heldBKL = false
 		}
 		onComplete := call.onComplete
 		t.call = nil
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindSyscallExit, "%s %s", t, call.def.Name)
+		c.kern.Trace.SyscallExit(c.kern.Now(), c.ID, t.PID, t.Name, call.def.Name)
 		if onComplete != nil {
 			onComplete(c.kern.Now())
 		}
@@ -925,7 +926,7 @@ func (c *CPU) execSyscall(t *Task) {
 		if call.heldBKL {
 			// 2.4 semantics: the BKL is dropped across a sleep and
 			// reacquired on wakeup.
-			c.kern.BKL.release(c.kern.Now())
+			c.kern.BKL.release(c.kern.Now(), c)
 			call.heldBKL = false
 		}
 		t.state = TaskBlocked
@@ -962,7 +963,7 @@ func (c *CPU) execSyscall(t *Task) {
 func (c *CPU) segDone(t *Task, call *syscallCall, seg *Segment, f *frame) {
 	now := c.kern.Now()
 	for _, l := range f.locks {
-		l.release(now)
+		l.release(now, c)
 	}
 	if seg.OnDone != nil {
 		seg.OnDone()
@@ -972,7 +973,7 @@ func (c *CPU) segDone(t *Task, call *syscallCall, seg *Segment, f *frame) {
 	// BKL around the schedule check (the rewritten long paths release it
 	// periodically); execSyscall reacquires it before the next region.
 	if seg.SchedPoint && call.heldBKL {
-		c.kern.BKL.release(now)
+		c.kern.BKL.release(now, c)
 		call.heldBKL = false
 	}
 	// A boundary is a legal preemption point on a preemptible kernel, or
@@ -997,11 +998,11 @@ func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, then func()) {
 		then()
 		return
 	}
-	c.kern.Trace.Emitf(now, c.ID, trace.KindLockContend, "%s spins on %s (holder cpu%d)", t, l.Name, l.holder.ID)
+	c.kern.Trace.LockContend(now, c.ID, l.Name, l.holder.ID)
 	f := &frame{kind: frameSpin, task: t, spin: l, irqsOff: irqsOff, spinSince: now, onDone: then}
 	l.addWaiter(c, now, func() bool { return c.top() == f }, func() {
 		f.acquired = true
-		c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindLockAcquire, "%s granted %s", t, l.Name)
+		c.kern.Trace.LockAcquire(c.kern.Now(), c.ID, l.Name, c.kern.Now().Sub(f.spinSince))
 		if c.top() == f {
 			c.pop(f)
 			if f.onDone != nil {
@@ -1052,7 +1053,7 @@ func (c *CPU) tick() {
 func (c *CPU) timerTick() {
 	c.TicksHandled++
 	c.sampleTick()
-	c.kern.Trace.Emitf(c.kern.Now(), c.ID, trace.KindTimerTick, "tick")
+	c.kern.Trace.TimerTick(c.kern.Now(), c.ID)
 	t := c.cur
 	if t == nil || t.Policy == SchedFIFO {
 		return

@@ -106,6 +106,7 @@ func (k *Kernel) Raise(l *IRQLine) {
 	} else {
 		c = k.cpus[eff.First()]
 	}
+	k.Trace.IRQRaise(k.Now(), c.ID, l.Num, l.Name, c.ID)
 	c.raiseIRQ(l)
 }
 
@@ -113,6 +114,7 @@ func (k *Kernel) Raise(l *IRQLine) {
 // and for devices modelling per-CPU delivery.
 func (k *Kernel) RaiseOn(l *IRQLine, cpu int) {
 	l.Raised++
+	k.Trace.IRQRaise(k.Now(), cpu, l.Num, l.Name, cpu)
 	k.cpus[cpu].raiseIRQ(l)
 }
 

@@ -108,14 +108,18 @@ func (l *SpinLock) removeWaiter(cpu *CPU) bool {
 // virtual instant): spinners observe the release without delay. Waiters
 // whose spin was preempted by interrupt work are skipped — the lock stays
 // free for them to retry when they surface (retryAcquire), exactly like a
-// real test-and-set loop.
-func (l *SpinLock) release(now sim.Time) {
+// real test-and-set loop. c is the releasing CPU (always the holder's
+// context in this model); it carries the trace buffer for the release
+// tracepoint.
+func (l *SpinLock) release(now sim.Time, c *CPU) {
 	if l.holder == nil {
 		panic("kernel: release of unheld lock " + l.Name)
 	}
-	if hold := now.Sub(l.heldAt); hold > l.MaxHold {
+	hold := now.Sub(l.heldAt)
+	if hold > l.MaxHold {
 		l.MaxHold = hold
 	}
+	c.kern.Trace.LockRelease(now, c.ID, l.Name, hold)
 	l.holder = nil
 	for i, w := range l.waiters {
 		if w.active != nil && !w.active() {

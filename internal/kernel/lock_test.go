@@ -252,5 +252,5 @@ func TestReleaseUnheldPanics(t *testing.T) {
 			t.Fatal("release of unheld lock did not panic")
 		}
 	}()
-	NewSpinLock("x").release(0)
+	NewSpinLock("x").release(0, nil)
 }

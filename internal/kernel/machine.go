@@ -246,7 +246,7 @@ func (k *Kernel) makeRunnable(t *Task, preferred *CPU) {
 	}
 	t.cpu = c
 	k.sched.Enqueue(t, c)
-	k.Trace.Emitf(k.Now(), c.ID, trace.KindWakeup, "%s -> cpu%d", t, c.ID)
+	k.Trace.Wakeup(k.Now(), c.ID, t.PID, t.Name, c.ID)
 	c.kick(t)
 }
 
@@ -314,7 +314,7 @@ func (k *Kernel) enforceTaskPlacement(t *Task) {
 		if t.cpu != nil && !eff.Has(t.cpu.ID) {
 			k.sched.Dequeue(t)
 			t.Migrated++
-			k.Trace.Emitf(k.Now(), t.cpu.ID, trace.KindMigrate, "%s off cpu%d", t, t.cpu.ID)
+			k.Trace.Migrate(k.Now(), t.cpu.ID, t.PID, t.Name, t.cpu.ID, -1)
 			k.makeRunnable(t, nil)
 		}
 	}

@@ -66,6 +66,11 @@ func (s *legacyScheduler) Pick(c *CPU) *Task {
 	}
 	t := s.run[i]
 	s.run = append(s.run[:i], s.run[i+1:]...)
+	if t.cpu != nil && t.cpu != c {
+		// Cross-CPU pull off the global runqueue: the task loses its
+		// cache-affinity bonus and runs here.
+		s.k.Trace.Migrate(s.k.Now(), c.ID, t.PID, t.Name, t.cpu.ID, c.ID)
+	}
 	return t
 }
 

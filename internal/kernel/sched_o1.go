@@ -136,17 +136,19 @@ func (s *o1Scheduler) Pick(c *CPU) *Task {
 		return t
 	}
 	var victim *o1Runqueue
+	victimID := -1
 	for i, rq := range s.rqs {
 		if i == c.ID || rq.nr == 0 {
 			continue
 		}
 		if victim == nil || rq.nr > victim.nr {
-			victim = rq
+			victim, victimID = rq, i
 		}
 	}
 	if victim != nil {
 		if t := victim.best(c, true); t != nil {
 			t.Migrated++
+			s.k.Trace.Migrate(s.k.Now(), c.ID, t.PID, t.Name, victimID, c.ID)
 			return t
 		}
 	}

@@ -1,10 +1,6 @@
 package kernel
 
-import (
-	"fmt"
-
-	"repro/internal/trace"
-)
+import "fmt"
 
 // This file implements the paper's contribution (§3): shielded
 // processors. A CPU can be shielded from processes, from device
@@ -52,7 +48,7 @@ func (k *Kernel) SetShieldProcs(m CPUMask) error {
 	}
 	old := k.shieldProcs
 	k.shieldProcs = m
-	k.Trace.Emitf(k.Now(), -1, trace.KindShield, "procs %s -> %s", old, m)
+	k.Trace.Shield(k.Now(), "procs", uint64(old), uint64(m))
 	// Dynamic enable: examine every task and push it off CPUs it may no
 	// longer use (and allow it back onto ones it now may).
 	for _, t := range k.tasks {
@@ -76,7 +72,7 @@ func (k *Kernel) SetShieldIRQs(m CPUMask) error {
 	if err := k.checkShieldMask(m); err != nil {
 		return err
 	}
-	k.Trace.Emitf(k.Now(), -1, trace.KindShield, "irqs %s -> %s", k.shieldIRQs, m)
+	k.Trace.Shield(k.Now(), "irqs", uint64(k.shieldIRQs), uint64(m))
 	k.shieldIRQs = m
 	return nil
 }
@@ -90,7 +86,7 @@ func (k *Kernel) SetShieldLTimer(m CPUMask) error {
 	}
 	old := k.shieldLTimer
 	k.shieldLTimer = m
-	k.Trace.Emitf(k.Now(), -1, trace.KindShield, "ltmr %s -> %s", old, m)
+	k.Trace.Shield(k.Now(), "ltmr", uint64(old), uint64(m))
 	for _, c := range k.cpus {
 		switch {
 		case m.Has(c.ID) && c.tickEv != nil:

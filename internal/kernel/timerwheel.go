@@ -211,6 +211,7 @@ func (c *CPU) runWheelTick() {
 	if len(expired) == 0 {
 		return
 	}
+	c.kern.Trace.TimerExpire(c.kern.Now(), c.ID, len(expired), w.jiffies)
 	w.pendingRun = append(w.pendingRun, expired...)
 	// The timer bottom half costs real CPU per expired timer and then
 	// runs the callbacks. Callbacks execute at softirq completion on

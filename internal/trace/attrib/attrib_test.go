@@ -1,0 +1,209 @@
+package attrib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func sumOf(b [NumCauses]sim.Duration) sim.Duration {
+	var s sim.Duration
+	for _, d := range b {
+		s += d
+	}
+	return s
+}
+
+// TestAttributeShieldedResponse walks the canonical shielded sample:
+// delivery, handler, wakeup inside the handler, dispatch, run.
+func TestAttributeShieldedResponse(t *testing.T) {
+	b := trace.NewBuffer(64)
+	b.IRQRaise(1000, 1, 5, "rcim", 1)
+	b.IRQEnter(1200, 1, 5, "rcim")
+	b.Wakeup(2000, 1, 9, "rcim-response", 1)
+	b.IRQExit(2200, 1, 5, "rcim")
+	b.Switch(3000, 1, 9, "rcim-response", 90)
+	got, migrations := Attribute(b.Records(), 1000, 5000, 1, 9)
+	want := [NumCauses]sim.Duration{}
+	want[CauseIRQOff] = 1200 // delivery wait + handler
+	want[CauseSched] = 800   // irq-exit to switch
+	want[CauseRun] = 2000    // the task itself
+	if got != want {
+		t.Fatalf("breakdown = %v, want %v", got, want)
+	}
+	if migrations != 0 {
+		t.Fatalf("migrations = %d", migrations)
+	}
+	if sumOf(got) != 4000 {
+		t.Fatalf("breakdown sums to %v, want window length 4000", sumOf(got))
+	}
+}
+
+// TestAttributeSoftirqAndLock covers bottom-half and spin charging.
+func TestAttributeSoftirqAndLock(t *testing.T) {
+	b := trace.NewBuffer(64)
+	b.SoftirqEnter(100, 0, 300)
+	b.SoftirqExit(400, 0, 300)
+	b.LockContend(500, 0, "dcache", 1)
+	b.LockAcquire(650, 0, "dcache", 150)
+	b.Wakeup(650, 0, 7, "realfeel", 0)
+	b.Switch(700, 0, 7, "realfeel", 90)
+	got, _ := Attribute(b.Records(), 0, 1000, 0, 7)
+	want := [NumCauses]sim.Duration{}
+	want[CauseIRQOff] = 200 // [0,100) delivery + [400,500) quiet
+	want[CauseSoftirq] = 300
+	want[CauseLock] = 150
+	want[CauseSched] = 50
+	want[CauseRun] = 300
+	if got != want {
+		t.Fatalf("breakdown = %v, want %v", got, want)
+	}
+}
+
+// TestAttributePreWindowState: activity entered before the window must
+// still be charged inside it (records before start update state).
+func TestAttributePreWindowState(t *testing.T) {
+	b := trace.NewBuffer(64)
+	b.SoftirqEnter(50, 0, 250)
+	b.SoftirqExit(300, 0, 250)
+	got, _ := Attribute(b.Records(), 100, 400, 0, 7)
+	if got[CauseSoftirq] != 200 {
+		t.Fatalf("softirq charge = %v, want 200 (in-flight pass)", got[CauseSoftirq])
+	}
+	if sumOf(got) != 300 {
+		t.Fatalf("breakdown sums to %v, want 300", sumOf(got))
+	}
+}
+
+// TestAttributeMigration follows the sample across a CPU move.
+func TestAttributeMigration(t *testing.T) {
+	b := trace.NewBuffer(64)
+	b.Wakeup(100, 0, 7, "task", 0)
+	b.Migrate(300, 0, 7, "task", 0, -1)
+	b.Wakeup(450, 1, 7, "task", 1)
+	b.Switch(600, 1, 7, "task", 90)
+	got, migrations := Attribute(b.Records(), 0, 1000, 0, 7)
+	if migrations != 1 {
+		t.Fatalf("migrations = %d", migrations)
+	}
+	want := [NumCauses]sim.Duration{}
+	want[CauseIRQOff] = 100
+	want[CauseSched] = 200 + 150 // wake→migrate, re-wake→switch
+	want[CauseMigrate] = 150     // migrate→re-wake
+	want[CauseRun] = 400
+	if got != want {
+		t.Fatalf("breakdown = %v, want %v", got, want)
+	}
+}
+
+// TestAttributePartition: whatever the event mix, the breakdown is an
+// exact partition of the window.
+func TestAttributePartition(t *testing.T) {
+	b := trace.NewBuffer(256)
+	at := sim.Time(0)
+	step := func(d sim.Duration) sim.Time { at = at.Add(d); return at }
+	for i := 0; i < 20; i++ {
+		b.IRQEnter(step(137), 1, 3, "nic")
+		b.SoftirqEnter(step(59), 1, 100)
+		b.SoftirqExit(step(100), 1, 100)
+		b.IRQExit(step(71), 1, 3, "nic")
+		b.Wakeup(step(13), 1, 9, "t", 1)
+		b.Switch(step(211), 1, 9, "t", 50)
+		b.Preempt(step(97), 1, 9, "t", false)
+	}
+	for _, win := range []struct{ s, e sim.Time }{
+		{0, at}, {100, 5000}, {3000, 3001}, {at, at.Add(500)},
+	} {
+		got, _ := Attribute(b.Records(), win.s, win.e, 1, 9)
+		if sumOf(got) != win.e.Sub(win.s) {
+			t.Fatalf("window [%d,%d]: breakdown sums to %v, want %v",
+				win.s, win.e, sumOf(got), win.e.Sub(win.s))
+		}
+	}
+}
+
+// TestSummaryMergeLaw checks the metrics merge contract: empty
+// identity, associativity, exact sums, and first-wins on MaxLatency
+// ties (index order).
+func TestSummaryMergeLaw(t *testing.T) {
+	mk := func(lat sim.Duration, run, sched sim.Duration) Summary {
+		var s Summary
+		var b [NumCauses]sim.Duration
+		b[CauseRun] = run
+		b[CauseSched] = sched
+		s.add(lat, b, 0)
+		return s
+	}
+	a := mk(100, 60, 40)
+	bs := mk(300, 200, 100)
+	c := mk(200, 150, 50)
+
+	// Identity.
+	id := a
+	id.Merge(Summary{})
+	if id != a {
+		t.Fatal("merging the zero summary changed the receiver")
+	}
+	zero := Summary{}
+	zero.Merge(a)
+	if zero != a {
+		t.Fatal("zero.Merge(a) != a")
+	}
+
+	// Associativity: (a+b)+c == a+(b+c).
+	left := a
+	left.Merge(bs)
+	left.Merge(c)
+	bc := bs
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	if left != right {
+		t.Fatalf("merge not associative:\n%+v\n%+v", left, right)
+	}
+	if left.Samples != 3 || left.TotalLatency != 600 || left.MaxLatency != 300 {
+		t.Fatalf("merged sums wrong: %+v", left)
+	}
+	if left.WorstBreakdown[CauseRun] != 200 {
+		t.Fatalf("worst breakdown should follow MaxLatency: %+v", left.WorstBreakdown)
+	}
+
+	// Ties keep the receiver's breakdown (index order stability).
+	t1 := mk(300, 300, 0)
+	t2 := mk(300, 0, 300)
+	m := t1
+	m.Merge(t2)
+	if m.WorstBreakdown != t1.WorstBreakdown {
+		t.Fatalf("tie must keep first breakdown: %+v", m.WorstBreakdown)
+	}
+}
+
+// TestAttributorCursorAndLoss: the incremental reader sees each record
+// once and accounts overwritten ones.
+func TestAttributorCursorAndLoss(t *testing.T) {
+	b := trace.NewBuffer(4)
+	a := New(b, 9)
+	b.Wakeup(100, 0, 9, "t", 0)
+	b.Switch(200, 0, 9, "t", 50)
+	a.Sample(0, 1000, 0)
+	s := a.Summary()
+	if s.Samples != 1 || s.LostRecords != 0 {
+		t.Fatalf("first sample: %+v", s)
+	}
+	if s.Total[CauseRun] != 800 || s.Total[CauseSched] != 100 || s.Total[CauseIRQOff] != 100 {
+		t.Fatalf("first sample breakdown: %+v", s.Total)
+	}
+	// Overflow the ring between samples: 10 emits into capacity 4.
+	for i := 0; i < 10; i++ {
+		b.TimerTick(sim.Time(1000+i), 0)
+	}
+	a.Sample(1000, 2000, 0)
+	s = a.Summary()
+	if s.Samples != 2 || s.LostRecords != 6 {
+		t.Fatalf("after overflow: samples %d, lost %d", s.Samples, s.LostRecords)
+	}
+	if s.TotalLatency != 2000 || sumOf(s.Total) != s.TotalLatency {
+		t.Fatalf("totals must stay an exact partition: %+v", s)
+	}
+}

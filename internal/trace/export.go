@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file renders a buffer for external consumers: Chrome trace-event
+// JSON (loadable in Perfetto / chrome://tracing) and the dmesg-style
+// text Dump produces. Both walk the merged record stream in sequence
+// order, so the output is a deterministic function of the trace.
+
+// chromeEvent is one entry of the trace-event format's traceEvents
+// array. Ts is in microseconds, per the format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeFor maps one record to a trace-event entry. Paired kinds
+// become duration begin/end events so interrupt handlers, bottom-half
+// passes and lock spins show up as spans on their CPU's track;
+// everything else is a thread-scoped instant.
+func (b *Buffer) chromeFor(r Record) chromeEvent {
+	ev := chromeEvent{
+		Ts:  float64(r.At) / 1e3,
+		Pid: 0,
+		Tid: int(r.CPU),
+		Cat: r.Kind.String(),
+		Args: map[string]any{
+			"detail": b.Format(r),
+			"seq":    r.Seq,
+		},
+	}
+	switch r.Kind {
+	case KindIRQEnter:
+		ev.Ph, ev.Name = "B", "irq:"+b.Name(NameID(r.B))
+	case KindIRQExit:
+		ev.Ph, ev.Name = "E", "irq:"+b.Name(NameID(r.B))
+	case KindSoftirqEnter:
+		ev.Ph, ev.Name = "B", "softirq"
+	case KindSoftirqExit:
+		ev.Ph, ev.Name = "E", "softirq"
+	case KindLockContend:
+		ev.Ph, ev.Name = "B", "spin:"+b.Name(NameID(r.A))
+	case KindLockAcquire:
+		ev.Ph, ev.Name = "E", "spin:"+b.Name(NameID(r.A))
+	default:
+		ev.Ph, ev.Name, ev.Scope = "i", r.Kind.String(), "t"
+	}
+	return ev
+}
+
+// WriteChromeTrace serializes the retained records as Chrome
+// trace-event JSON (the "JSON Object Format"), loadable in Perfetto.
+func (b *Buffer) WriteChromeTrace(w io.Writer) error {
+	recs := b.Records()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(recs)),
+		DisplayTimeUnit: "ns",
+	}
+	for _, r := range recs {
+		out.TraceEvents = append(out.TraceEvents, b.chromeFor(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteText serializes the retained records as dmesg-style lines, one
+// record per line (the same rendering as Dump).
+func (b *Buffer) WriteText(w io.Writer) error {
+	for _, r := range b.Records() {
+		if _, err := fmt.Fprintln(w, b.Line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var updateExport = flag.Bool("update", false, "rewrite the Chrome trace golden file")
+
+// exportFixture builds a small deterministic trace exercising every
+// event shape the exporter distinguishes: spans (irq, softirq, lock
+// spin) and instants.
+func exportFixture() *Buffer {
+	b := NewBuffer(32)
+	b.IRQRaise(1000, 1, 5, "rcim", 1)
+	b.IRQEnter(1100, 1, 5, "rcim")
+	b.Wakeup(2000, 1, 9, "rcim-response", 1)
+	b.IRQExit(2500, 1, 5, "rcim")
+	b.SoftirqEnter(2600, 0, 4000)
+	b.SoftirqExit(6600, 0, 4000)
+	b.Switch(7000, 1, 9, "rcim-response", 90)
+	b.LockContend(8000, 0, "BKL", 1)
+	b.LockAcquire(9500, 0, "BKL", 1500)
+	b.LockRelease(9900, 0, "BKL", 400)
+	b.Shield(10000, "procs", 0, 2)
+	return b
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.json")
+	if *updateExport {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace JSON drifted from golden (run with -update to regenerate)\ngot:\n%s", buf.String())
+	}
+}
+
+// TestChromeTraceShape validates the export against the trace-event
+// format contract: a traceEvents array whose entries carry name/ph/ts/
+// pid/tid, phases limited to B/E/i, begin/end balance per track, and
+// nondecreasing timestamps (sequence order).
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Ph    string         `json:"ph"`
+			Ts    *float64       `json:"ts"`
+			Pid   *int           `json:"pid"`
+			Tid   *int           `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	open := map[string]int{} // "tid/name" -> depth
+	lastTs := -1.0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+		if *ev.Ts < lastTs {
+			t.Fatalf("event %d ts %v before %v: stream not in order", i, *ev.Ts, lastTs)
+		}
+		lastTs = *ev.Ts
+		key := strings.Join([]string{string(rune('0' + *ev.Tid + 1)), ev.Name}, "/")
+		switch ev.Ph {
+		case "B":
+			open[key]++
+		case "E":
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("event %d: E without matching B for %s", i, key)
+			}
+		case "i":
+			if ev.Scope == "" {
+				t.Fatalf("event %d: instant without scope", i)
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+		if ev.Args["detail"] == nil {
+			t.Fatalf("event %d: no detail arg", i)
+		}
+	}
+	for key, depth := range open {
+		if depth != 0 {
+			t.Fatalf("unbalanced span %s (depth %d)", key, depth)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewBuffer(8)
+	b.IRQEnter(sim.Time(1500), 0, 3, "nic")
+	b.IRQExit(sim.Time(2500), 0, 3, "nic")
+	if err := b.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "irq-enter") || !strings.Contains(lines[0], "nic") {
+		t.Fatalf("line = %q", lines[0])
+	}
+}
