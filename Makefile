@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench fuzz figures trace clean
+.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench bench-json fuzz figures trace clean
 
 all: lint test build
 
@@ -50,9 +50,18 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# bench-json regenerates the engine performance baseline
+# (BENCH_engine.json): the {ladder,heap} x {pooled,alloc} churn matrix
+# plus serial and parallel full-system throughput, as one JSON document.
+# Run it when the engine hot path changes; EXPERIMENTS.md explains how
+# to read the ratios.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_engine.json
+
 # fuzz = the CI fuzz-smoke job, shortened for local runs.
 fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEngineOps -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDiffQueue$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzParseMask$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzEffectiveAffinity$$' -fuzztime 5s
 

@@ -1,0 +1,258 @@
+// Command benchjson records the event-engine performance baseline as a
+// machine-readable JSON file (BENCH_engine.json at the repo root).
+//
+// Usage:
+//
+//	benchjson [-o BENCH_engine.json] [-quick]
+//
+// It runs the engine benchmark matrix through testing.Benchmark —
+// {ladder, heap} × {pooled, alloc} schedule/dispatch churn at several
+// steady-state queue depths, plus full-system serial and parallel
+// replication throughput on both queue implementations — and writes one
+// JSON document with ns/op, allocs/op and events/sec per benchmark and
+// the headline ratios against the reference configuration (binary heap,
+// one allocation per event: the engine before the ladder/pool overhaul).
+//
+// The file is a recorded baseline, not a gate: regenerate it with
+// `make bench-json` when the engine changes, and read the `ratios`
+// block to see what the ladder queue and the event pool buy on the
+// machine that produced it. The tool always exits 0 unless it cannot
+// run the benchmarks or write the file; CI uploads the JSON as an
+// artifact and fails only on build errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	shieldsim "repro"
+	"repro/internal/kernel"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// benchResult is one benchmark's record in the baseline file.
+type benchResult struct {
+	Name string `json:"name"`
+	// Iters is the iteration count testing.Benchmark settled on.
+	Iters int `json:"iters"`
+	// NsPerOp is wall-clock nanoseconds per benchmark iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// EventsPerOp is how many engine events one iteration dispatches
+	// (1 for the churn microbenchmarks, measured for system runs).
+	EventsPerOp float64 `json:"events_per_op"`
+	// EventsPerSec = EventsPerOp / (NsPerOp * 1e-9): the throughput
+	// headline.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// baseline is the whole BENCH_engine.json document.
+type baseline struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Benchmarks is the full matrix; Ratios the derived headlines.
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Ratios     map[string]float64 `json:"ratios"`
+	// Acceptance restates the PR's perf criterion against the reference
+	// heap+alloc configuration: >=1.5x events/sec OR <=0.5x allocs/op.
+	Acceptance struct {
+		EventsPerSecRatio float64 `json:"events_per_sec_ratio"`
+		AllocsPerOpRatio  float64 `json:"allocs_per_op_ratio"`
+		Pass              bool    `json:"pass"`
+	} `json:"acceptance"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output path for the baseline JSON")
+	quick := flag.Bool("quick", false, "smaller system/parallel runs (smoke mode; ratios are noisier)")
+	flag.Parse()
+
+	b := baseline{
+		Schema:     "bench-engine/v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Ratios:     map[string]float64{},
+	}
+
+	byName := map[string]benchResult{}
+	add := func(r benchResult) {
+		b.Benchmarks = append(b.Benchmarks, r)
+		byName[r.Name] = r
+		fmt.Fprintf(os.Stderr, "%-40s %12.1f ns/op %8.2f allocs/op %14.0f events/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.EventsPerSec)
+	}
+
+	// --- churn matrix: per-event engine overhead at fixed depth ---
+	for _, kind := range []sim.QueueKind{sim.QueueLadder, sim.QueueHeap} {
+		for _, mode := range []struct {
+			name   string
+			noPool bool
+		}{{"pooled", false}, {"alloc", true}} {
+			for _, depth := range []int{1024, 16384} {
+				name := fmt.Sprintf("churn/%s/%s/depth=%d", kind, mode.name, depth)
+				r := testing.Benchmark(churnBench(kind, mode.noPool, depth))
+				add(record(name, r, 1))
+			}
+		}
+	}
+
+	// --- full system, serial: one machine under stress load ---
+	slices := 400
+	machines, horizon := 8, 30
+	if *quick {
+		slices, machines, horizon = 50, 4, 10
+	}
+	for _, kind := range []sim.QueueKind{sim.QueueLadder, sim.QueueHeap} {
+		var evPerOp float64
+		r := testing.Benchmark(systemBench(kind, slices, &evPerOp))
+		add(record(fmt.Sprintf("system/serial/%s", kind), r, evPerOp))
+	}
+
+	// --- full system, parallel: replication fan-out, per-worker pools ---
+	for _, kind := range []sim.QueueKind{sim.QueueLadder, sim.QueueHeap} {
+		var evPerOp float64
+		r := testing.Benchmark(parallelBench(kind, 0, machines, horizon, &evPerOp))
+		add(record(fmt.Sprintf("system/parallel/%s", kind), r, evPerOp))
+	}
+
+	ratio := func(name, num, den, metric string) {
+		a, b1 := byName[num], byName[den]
+		var x float64
+		switch metric {
+		case "events_per_sec":
+			if b1.EventsPerSec > 0 {
+				x = a.EventsPerSec / b1.EventsPerSec
+			}
+		case "allocs_per_op":
+			if b1.AllocsPerOp > 0 {
+				x = a.AllocsPerOp / b1.AllocsPerOp
+			}
+		}
+		b.Ratios[name] = x
+	}
+	ratio("churn_new_vs_reference_events_per_sec",
+		"churn/ladder/pooled/depth=16384", "churn/heap/alloc/depth=16384", "events_per_sec")
+	ratio("churn_new_vs_reference_allocs_per_op",
+		"churn/ladder/pooled/depth=16384", "churn/heap/alloc/depth=16384", "allocs_per_op")
+	ratio("churn_pooled_vs_alloc_allocs_per_op",
+		"churn/ladder/pooled/depth=1024", "churn/ladder/alloc/depth=1024", "allocs_per_op")
+	ratio("churn_ladder_vs_heap_events_per_sec",
+		"churn/ladder/pooled/depth=16384", "churn/heap/pooled/depth=16384", "events_per_sec")
+	ratio("system_serial_ladder_vs_heap_events_per_sec",
+		"system/serial/ladder", "system/serial/heap", "events_per_sec")
+	ratio("system_parallel_ladder_vs_heap_events_per_sec",
+		"system/parallel/ladder", "system/parallel/heap", "events_per_sec")
+
+	b.Acceptance.EventsPerSecRatio = b.Ratios["churn_new_vs_reference_events_per_sec"]
+	b.Acceptance.AllocsPerOpRatio = b.Ratios["churn_new_vs_reference_allocs_per_op"]
+	b.Acceptance.Pass = b.Acceptance.EventsPerSecRatio >= 1.5 || b.Acceptance.AllocsPerOpRatio <= 0.5
+
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (acceptance: %.2fx events/sec, %.2fx allocs/op, pass=%v)\n",
+		*out, b.Acceptance.EventsPerSecRatio, b.Acceptance.AllocsPerOpRatio, b.Acceptance.Pass)
+}
+
+func record(name string, r testing.BenchmarkResult, eventsPerOp float64) benchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := benchResult{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+		EventsPerOp: eventsPerOp,
+	}
+	if ns > 0 {
+		res.EventsPerSec = eventsPerOp * 1e9 / ns
+	}
+	return res
+}
+
+// churnBench mirrors BenchmarkEngineChurn in the root package: one
+// schedule plus one dispatch per iteration at a fixed queue depth.
+func churnBench(kind sim.QueueKind, noPool bool, depth int) func(*testing.B) {
+	return func(b *testing.B) {
+		e := sim.NewEngineOpts(1, sim.EngineOptions{Queue: kind, NoPool: noPool})
+		fn := func() {}
+		// ~1 µs per pending event, the density the kernel cadence
+		// produces; depth controls queue length, not slot occupancy.
+		for i := 0; i < depth; i++ {
+			e.After(sim.Duration(i%depth)*sim.Microsecond, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.After(sim.Duration(i%depth)*sim.Microsecond, fn)
+			e.Step()
+		}
+	}
+}
+
+// systemBench runs one stress-loaded machine, advancing virtual time in
+// 1 ms slices; eventsPerOp receives the measured events per slice. The
+// slice count bounds each iteration so testing.Benchmark converges.
+func systemBench(kind sim.QueueKind, slices int, eventsPerOp *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := kernel.RedHawk14(2, 1.0)
+		cfg.EventQueue = kind
+		s := shieldsim.NewSystem(cfg, 1, shieldsim.SystemOptions{
+			RTCHz: 2048,
+			Loads: []string{shieldsim.LoadStressKernel},
+		})
+		s.Start()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < slices; j++ {
+				s.K.Eng.Run(s.K.Now() + sim.Time(sim.Millisecond))
+			}
+		}
+		*eventsPerOp = float64(s.K.Eng.Fired()) / float64(b.N)
+	}
+}
+
+// parallelBench fans `machines` independent stress machines out across
+// the replication runner with one event pool per worker (the
+// MapSeededPooled ownership pattern) and counts total events fired.
+func parallelBench(kind sim.QueueKind, workers, machines, horizonMs int, eventsPerOp *float64) func(*testing.B) {
+	return func(b *testing.B) {
+		var total uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fired := runner.MapSeededPooled(workers, 99, machines,
+				func(j int, seed uint64, pool *sim.EventPool) uint64 {
+					cfg := kernel.RedHawk14(2, 1.0)
+					cfg.EventQueue = kind
+					cfg.EventPool = pool
+					s := shieldsim.NewSystem(cfg, seed, shieldsim.SystemOptions{
+						RTCHz: 2048,
+						Loads: []string{shieldsim.LoadStressKernel},
+					})
+					s.Start()
+					s.K.Eng.Run(sim.Time(sim.Duration(horizonMs) * sim.Millisecond))
+					return s.K.Eng.Fired()
+				})
+			for _, f := range fired {
+				total += f
+			}
+		}
+		*eventsPerOp = float64(total) / float64(b.N)
+	}
+}

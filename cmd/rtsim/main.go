@@ -19,6 +19,12 @@
 // are bit-identical for every worker count — replications are seeded
 // independently via splitmix64 and merged in replication-index order —
 // so -parallel only changes wall-clock time.
+//
+// -queue selects the engine's event-queue implementation: 'ladder' (the
+// two-level calendar queue, default) or 'heap' (the reference binary
+// heap). Like -parallel it can never change results — both realise the
+// identical dispatch order — so it exists for A/B performance runs and
+// for demonstrating that equivalence on any experiment.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -42,7 +49,19 @@ func main() {
 	sweep := flag.String("sweep", "", "run a sensitivity sweep by id, or 'list'")
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
 	traceOut := flag.String("trace", "", "capture a shielded RCIM trace into this file (.json = Chrome trace-event format for Perfetto, anything else = dmesg-style text)")
+	queue := flag.String("queue", "", "event-queue implementation: 'ladder' (default) or 'heap' (reference); A/B knob — results are bit-identical either way, only speed differs")
 	flag.Parse()
+
+	switch sim.QueueKind(*queue) {
+	case "", sim.QueueLadder, sim.QueueHeap:
+		if *queue != "" {
+			sim.SetDefaultQueueKind(sim.QueueKind(*queue))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "rtsim: -queue must be 'ladder' or 'heap', got %q\n", *queue)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "rtsim: -parallel must be >= 0 (0 = all cores), got %d\n", *parallel)

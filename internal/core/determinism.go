@@ -111,9 +111,10 @@ func RunDeterminism(cfg DeterminismConfig) DeterminismResult {
 	if perPlacement < 3 {
 		perPlacement = 3
 	}
-	shards := runner.MapSeeded(cfg.Workers, cfg.Seed, placements, func(i int, seed uint64) placementShard {
+	shards := runner.MapSeededPooled(cfg.Workers, cfg.Seed, placements, func(i int, seed uint64, pool *sim.EventPool) placementShard {
 		sub := cfg
 		sub.Seed = seed
+		sub.Kernel.EventPool = pool
 		samples := determinismPass(sub, perPlacement, true)
 		var sum metrics.JitterSummary
 		for _, d := range samples {

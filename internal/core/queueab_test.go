@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestFigureHashesQueueAB is the figure-level seal on the event-queue
+// overhaul: regenerating a figure's CSV with the engine forced onto the
+// reference binary heap must produce byte-for-byte the same output as
+// the default ladder queue. Combined with the differential fuzz harness
+// in internal/sim (op-stream level) and the committed golden hashes
+// (cross-session level), this pins that the queue swap moved no result.
+//
+// It drives the same global knob as `rtsim -queue`, restoring the
+// default afterwards; core's tests do not run in parallel within the
+// package, so the temporary override cannot leak into another test's
+// engine construction.
+func TestFigureHashesQueueAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	// One figure per experiment family: determinism, RCIM, attribution.
+	figures := []string{"fig2", "fig7", "attrib-causes"}
+	run := func(kind sim.QueueKind) map[string]string {
+		sim.SetDefaultQueueKind(kind)
+		defer sim.SetDefaultQueueKind(sim.QueueLadder)
+		out := map[string]string{}
+		for _, id := range figures {
+			csv, err := FigureCSV(id, goldenScale, goldenSeed, 0)
+			if err != nil {
+				t.Fatalf("FigureCSV(%s) on %s queue: %v", id, kind, err)
+			}
+			out[id] = fnv1a(csv)
+		}
+		return out
+	}
+	ladder := run(sim.QueueLadder)
+	heap := run(sim.QueueHeap)
+	for _, id := range figures {
+		if ladder[id] != heap[id] {
+			t.Errorf("%s: ladder hash %s != heap hash %s — queue implementation leaked into results",
+				id, ladder[id], heap[id])
+		}
+	}
+}

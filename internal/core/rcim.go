@@ -71,11 +71,12 @@ func RunRCIM(cfg RCIMConfig) ResponseResult {
 		cfg.Samples = 400_000
 	}
 	if n := replicationCount(cfg.Replications, cfg.Samples); n > 1 {
-		parts := runner.MapSeeded(cfg.Workers, cfg.Seed, n, func(i int, seed uint64) ResponseResult {
+		parts := runner.MapSeededPooled(cfg.Workers, cfg.Seed, n, func(i int, seed uint64, pool *sim.EventPool) ResponseResult {
 			sub := cfg
 			sub.Replications = 1
 			sub.Samples = shardSize(cfg.Samples, n, i)
 			sub.Seed = seed
+			sub.Kernel.EventPool = pool
 			return RunRCIM(sub)
 		})
 		return mergeResponses(parts)

@@ -93,6 +93,21 @@ type Config struct {
 	// fails if one does not. The default (0) is plain FIFO.
 	TiebreakSalt uint64
 
+	// EventQueue selects the event-queue implementation backing the
+	// machine's engine: sim.QueueLadder (the default when empty) or
+	// sim.QueueHeap, the reference binary heap kept for A/B comparison
+	// (rtsim -queue heap). Every implementation realises the identical
+	// dispatch total order, so this knob can never change results —
+	// core's golden tests run both to prove it.
+	EventQueue sim.QueueKind
+
+	// EventPool, when non-nil, supplies the engine's event-node free
+	// list instead of a fresh private pool. The replication runner sets
+	// this to one pool per worker goroutine so consecutive replications
+	// reuse warm nodes; pooling is invisible in results. A pool must
+	// never be shared across concurrently running machines.
+	EventPool *sim.EventPool
+
 	// InvariantPeriod, when non-zero, arms a periodic machine-state
 	// invariant sampler at Start: every period the whole machine is
 	// walked with CheckInvariants and a violation panics with the
@@ -135,6 +150,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Timing.HTSlowdown <= 0 || c.Timing.HTSlowdown > 1 {
 		return fmt.Errorf("kernel: config %q: HTSlowdown must be in (0,1]", c.Name)
+	}
+	if !c.EventQueue.Valid() {
+		return fmt.Errorf("kernel: config %q: unknown event queue %q", c.Name, c.EventQueue)
 	}
 	return nil
 }

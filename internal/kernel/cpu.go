@@ -49,7 +49,7 @@ type frame struct {
 
 	workLeft   float64 // remaining work at rate 1.0, in ns
 	lastAccrue sim.Time
-	done       *sim.Event // completion event while armed
+	done       sim.Event // completion event while armed
 
 	locks   []*SpinLock // spinlocks held by this frame
 	irqsOff bool        // local interrupts disabled
@@ -97,8 +97,8 @@ type CPU struct {
 
 	busFactor float64
 
-	tickEv     *sim.Event
-	dispatchEv *sim.Event
+	tickEv     sim.Event
+	dispatchEv sim.Event
 	localTimer *IRQLine
 
 	// Statistics.
@@ -172,7 +172,7 @@ func (c *CPU) armTop() {
 		}
 		return
 	}
-	if f.done != nil {
+	if f.done.Valid() {
 		return
 	}
 	if f.workLeft < 0 {
@@ -184,7 +184,7 @@ func (c *CPU) armTop() {
 	}
 	f.lastAccrue = c.kern.Now()
 	f.done = c.kern.Eng.After(d, func() {
-		f.done = nil
+		f.done = sim.Event{}
 		f.workLeft = 0
 		c.account(f, c.kern.Now().Sub(f.lastAccrue))
 		c.finishTop(f)
@@ -206,7 +206,7 @@ func (c *CPU) suspendTop() {
 		}
 		return
 	}
-	if f.done == nil {
+	if !f.done.Valid() {
 		return
 	}
 	elapsed := float64(now.Sub(f.lastAccrue))
@@ -217,7 +217,7 @@ func (c *CPU) suspendTop() {
 	c.account(f, now.Sub(f.lastAccrue))
 	f.lastAccrue = now
 	c.kern.Eng.Cancel(f.done)
-	f.done = nil
+	f.done = sim.Event{}
 }
 
 // rateChangedFrom re-accrues the top frame's progress at the rate that was
@@ -226,7 +226,7 @@ func (c *CPU) suspendTop() {
 // the wrong speed.
 func (c *CPU) rateChangedFrom(oldRate float64) {
 	f := c.top()
-	if f == nil || f.done == nil {
+	if f == nil || !f.done.Valid() {
 		return
 	}
 	now := c.kern.Now()
@@ -237,7 +237,7 @@ func (c *CPU) rateChangedFrom(oldRate float64) {
 	c.account(f, now.Sub(f.lastAccrue))
 	f.lastAccrue = now
 	c.kern.Eng.Cancel(f.done)
-	f.done = nil
+	f.done = sim.Event{}
 	c.armTop()
 }
 
@@ -269,9 +269,9 @@ func (c *CPU) pop(f *frame) {
 	if notify {
 		sibOld = c.Sibling.rate()
 	}
-	if f.done != nil {
+	if f.done.Valid() {
 		c.kern.Eng.Cancel(f.done)
-		f.done = nil
+		f.done = sim.Event{}
 	}
 	if f.kind == frameSpin && !f.suspended {
 		c.account(f, c.kern.Now().Sub(f.lastAccrue))
@@ -299,7 +299,7 @@ func (c *CPU) addWorkTop(d sim.Duration) {
 	if f == nil || d <= 0 {
 		return
 	}
-	if f.done != nil {
+	if f.done.Valid() {
 		c.suspendTop()
 		f.workLeft += float64(d)
 		c.armTop()
@@ -697,14 +697,14 @@ func (c *CPU) requestMigration(t *Task) {
 // kick responds to a task becoming runnable on this CPU.
 func (c *CPU) kick(t *Task) {
 	if c.Idle() {
-		if c.dispatchEv == nil {
+		if !c.dispatchEv.Valid() {
 			// Pinned: when several idle CPUs are kicked at the same
 			// instant, their idle-exit dispatches race for the shared
 			// runqueue; the model arbitrates that bus contention in
 			// kick order (FIFO), the way a fixed-priority memory bus
 			// arbiter would. See "Tie-break determinism" in DESIGN.md §8.
 			c.dispatchEv = c.kern.Eng.AfterPinned(c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit), func() {
-				c.dispatchEv = nil
+				c.dispatchEv = sim.Event{}
 				c.settle()
 			})
 		}
@@ -1035,7 +1035,7 @@ func (c *CPU) tickPeriod() sim.Duration {
 }
 
 func (c *CPU) tick() {
-	c.tickEv = nil
+	c.tickEv = sim.Event{}
 	if c.kern.shieldLTimer.Has(c.ID) {
 		// Local timer shielding: the tick is simply not scheduled again
 		// until the CPU is unshielded (§3: "the shielded processor

@@ -36,10 +36,10 @@ func (k *Kernel) CheckInvariants() error {
 func (c *CPU) checkInvariants() error {
 	for i, f := range c.stack {
 		isTop := i == len(c.stack)-1
-		if !isTop && f.done != nil {
+		if !isTop && f.done.Valid() {
 			return fmt.Errorf("cpu%d: buried frame %d (%s) still armed", c.ID, i, f.kind)
 		}
-		if f.kind == frameSpin && f.done != nil {
+		if f.kind == frameSpin && f.done.Valid() {
 			return fmt.Errorf("cpu%d: spin frame armed", c.ID)
 		}
 		if f.workLeft < 0 {

@@ -54,7 +54,10 @@ func New(cfg Config, seed uint64) *Kernel {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine(seed)
+	eng := sim.NewEngineOpts(seed, sim.EngineOptions{
+		Queue: cfg.EventQueue,
+		Pool:  cfg.EventPool,
+	})
 	if cfg.TiebreakSalt != 0 {
 		eng.PerturbTiebreaks(cfg.TiebreakSalt)
 	}

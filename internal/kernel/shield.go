@@ -1,6 +1,10 @@
 package kernel
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // This file implements the paper's contribution (§3): shielded
 // processors. A CPU can be shielded from processes, from device
@@ -89,10 +93,10 @@ func (k *Kernel) SetShieldLTimer(m CPUMask) error {
 	k.Trace.Shield(k.Now(), "ltmr", uint64(old), uint64(m))
 	for _, c := range k.cpus {
 		switch {
-		case m.Has(c.ID) && c.tickEv != nil:
+		case m.Has(c.ID) && c.tickEv.Valid():
 			k.Eng.Cancel(c.tickEv)
-			c.tickEv = nil
-		case !m.Has(c.ID) && old.Has(c.ID) && c.tickEv == nil && k.started:
+			c.tickEv = sim.Event{}
+		case !m.Has(c.ID) && old.Has(c.ID) && !c.tickEv.Valid() && k.started:
 			c.tickEv = k.Eng.After(c.tickPeriod(), c.tick)
 		}
 	}

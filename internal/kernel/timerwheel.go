@@ -67,6 +67,24 @@ func (w *timerWheel) DelTimer(t *KTimer) {
 	}
 }
 
+// DelTimers cancels a batch of timers in one pass — the bulk analogue
+// of DelTimer for teardown paths that drop many timers at once (a task
+// exiting with queued timeouts, a device driver unwinding). Like
+// DelTimer it is lazy: cancelled timers stay in their buckets and are
+// skipped when their bucket expires or cascades. Already-inactive and
+// nil entries are no-ops. It returns how many timers were actually
+// pending.
+func (w *timerWheel) DelTimers(ts []*KTimer) int {
+	n := 0
+	for _, t := range ts {
+		if t.Active() {
+			t.active = false
+			n++
+		}
+	}
+	return n
+}
+
 // insert places t in the right vector for its distance from now.
 func (w *timerWheel) insert(t *KTimer) {
 	delta := t.expires - w.jiffies
@@ -157,6 +175,9 @@ func (k *Kernel) AddTimer(d sim.Duration, fn func()) *KTimer {
 
 // DelTimer cancels a wheel timer.
 func (k *Kernel) DelTimer(t *KTimer) { k.wheel.DelTimer(t) }
+
+// DelTimers bulk-cancels wheel timers; see timerWheel.DelTimers.
+func (k *Kernel) DelTimers(ts []*KTimer) int { return k.wheel.DelTimers(ts) }
 
 // Jiffies returns the kernel tick count.
 func (k *Kernel) Jiffies() uint64 { return k.wheel.Jiffies() }

@@ -103,6 +103,72 @@ func MapSeeded[T any](workers int, base uint64, n int, fn func(i int, seed uint6
 	})
 }
 
+// MapSeededPooled is MapSeeded for replications that recycle event-node
+// storage: each worker goroutine owns one sim.EventPool and hands it to
+// every replication it executes (via kernel.Config.EventPool or
+// sim.EngineOptions.Pool), so consecutive replications on the same
+// worker run at zero allocations per event against warm nodes.
+//
+// Pool ownership follows the same discipline as engines and RNGs:
+// worker-local, never shared across goroutines. Which replications
+// share a pool depends on work-stealing order — which is exactly why
+// pools must be invisible in results (generation numbers and free-list
+// order never enter the dispatch order). The determinism contract above
+// is unchanged: output depends only on (base, n, fn), and the core
+// golden tests run workers=1 vs workers=N to hold pooled replication to
+// bit-identical figures.
+func MapSeededPooled[T any](workers int, base uint64, n int, fn func(i int, seed uint64, pool *sim.EventPool) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w == 1 {
+		pool := sim.NewEventPool()
+		for i := range out {
+			out[i] = fn(i, sim.DeriveSeed(base, uint64(i)), pool)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			pool := sim.NewEventPool()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i, sim.DeriveSeed(base, uint64(i)), pool)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+	return out
+}
+
 // Do runs the given heterogeneous jobs on up to workers goroutines and
 // returns when all have completed. Each job communicates through the
 // variables it captures; the WaitGroup inside Map orders those writes

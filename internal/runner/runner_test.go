@@ -107,6 +107,100 @@ func TestDeriveSeedBeatsAdditiveOffsets(t *testing.T) {
 	}
 }
 
+// TestMapSeededPooledDeterministicAcrossWorkerCounts extends the
+// equivalence guarantee to the pooled variant: per-worker event pools
+// (recycled nodes, bumped generations) must be invisible in results for
+// any worker count.
+func TestMapSeededPooledDeterministicAcrossWorkerCounts(t *testing.T) {
+	churn := func(seed uint64, pool *sim.EventPool) uint64 {
+		e := sim.NewEngineOpts(seed, sim.EngineOptions{Pool: pool})
+		rng := sim.NewRNG(seed)
+		var acc uint64
+		for j := 0; j < 64; j++ {
+			at := sim.Time(rng.Uint64() % 1_000_000)
+			e.Schedule(at, func() { acc = acc*31 + uint64(e.Now()) })
+		}
+		e.RunAll()
+		return acc
+	}
+	run := func(workers int) []uint64 {
+		return MapSeededPooled(workers, 42, 48, func(i int, seed uint64, pool *sim.EventPool) uint64 {
+			return churn(seed, pool)
+		})
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 7} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from workers=1", w)
+		}
+	}
+	// Pooled and unpooled fan-outs must agree too.
+	plain := MapSeeded(3, 42, 48, func(i int, seed uint64) uint64 {
+		return churn(seed, sim.NewEventPool())
+	})
+	if !reflect.DeepEqual(plain, want) {
+		t.Fatal("pooled fan-out diverged from private-pool fan-out")
+	}
+}
+
+// TestMapSeededPooledPoolOwnership pins the ownership contract: one
+// pool per worker goroutine (never more pools than workers), actually
+// reused across the replications each worker runs.
+func TestMapSeededPooledPoolOwnership(t *testing.T) {
+	const n = 32
+	for _, w := range []int{1, 4} {
+		pools := MapSeededPooled(w, 7, n, func(i int, seed uint64, pool *sim.EventPool) *sim.EventPool {
+			e := sim.NewEngineOpts(seed, sim.EngineOptions{Pool: pool})
+			for j := 0; j < 50; j++ {
+				e.After(sim.Duration(j)*sim.Microsecond, func() {})
+			}
+			e.RunAll()
+			return pool
+		})
+		distinct := map[*sim.EventPool]bool{}
+		for i, p := range pools {
+			if p == nil {
+				t.Fatalf("workers=%d: replication %d got a nil pool", w, i)
+			}
+			distinct[p] = true
+		}
+		if len(distinct) > w {
+			t.Fatalf("workers=%d: %d distinct pools, want at most one per worker", w, len(distinct))
+		}
+		reused := false
+		for p := range distinct {
+			if p.Stats().Reuses > 0 {
+				reused = true
+			}
+		}
+		if !reused {
+			t.Fatalf("workers=%d: no pool recycled a node across %d replications", w, n)
+		}
+	}
+}
+
+func TestMapSeededPooledEmpty(t *testing.T) {
+	got := MapSeededPooled(4, 1, 0, func(i int, seed uint64, pool *sim.EventPool) int { return i })
+	if got != nil {
+		t.Errorf("MapSeededPooled of 0 items = %v, want nil", got)
+	}
+}
+
+func TestMapSeededPooledPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	MapSeededPooled(4, 1, 16, func(i int, seed uint64, pool *sim.EventPool) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+	t.Fatal("MapSeededPooled returned despite panic")
+}
+
 func TestMapPanicPropagates(t *testing.T) {
 	defer func() {
 		if r := recover(); r != "boom" {

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Differential harness: the reference binary heap (refHeap) and the
+// ladder queue (ladderQueue) must produce word-for-word identical
+// dispatch sequences for ANY operation stream — that equivalence is
+// what lets the engine swap queue implementations without any golden
+// hash moving. Two engines, one per implementation, execute the same
+// interpreted op stream in lockstep; after every op the clocks and
+// pending counts must agree, and at the end the full (slot, fire time)
+// dispatch traces must be identical.
+//
+// Callbacks are a pure function of the slot number they were created
+// with, so both machines generate the same nested work: some slots
+// schedule children at the same instant (joining the live batch in
+// tie-break order), some schedule delayed children, and some cancel an
+// earlier handle mid-dispatch (the cancel-during-dispatch path of the
+// Engine.Cancel contract).
+
+// fireRec is one dispatched event in a machine's trace.
+type fireRec struct {
+	slot int
+	at   Time
+}
+
+// diffMachine drives one engine through the interpreted op stream.
+type diffMachine struct {
+	e     *Engine
+	live  []Event
+	fires []fireRec
+	slots int
+}
+
+func newDiffMachine(kind QueueKind, salt uint64) *diffMachine {
+	m := &diffMachine{e: NewEngineOpts(7, EngineOptions{Queue: kind})}
+	if salt != 0 {
+		m.e.PerturbTiebreaks(salt)
+	}
+	return m
+}
+
+// fn builds the callback for a new slot. Behaviour depends only on the
+// slot number, so the two machines stay in lockstep.
+func (m *diffMachine) fn(slot int) func() {
+	return func() {
+		m.fires = append(m.fires, fireRec{slot: slot, at: m.e.Now()})
+		switch {
+		case slot%5 == 3 && m.slots < 4096:
+			// Same-instant child: joins the currently draining batch at
+			// its tie-break position.
+			m.schedule(m.e.Now(), slot%2 == 0)
+		case slot%7 == 4 && m.slots < 4096:
+			m.schedule(m.e.Now().Add(Duration(slot%11)*Microsecond), false)
+		case slot%13 == 9 && len(m.live) > 0:
+			// Cancel-during-dispatch: the target may be pending, already
+			// fired, or this very event — all must be quiet no-ops or
+			// real cancellations, identically on both machines.
+			m.e.Cancel(m.live[slot%len(m.live)])
+		}
+	}
+}
+
+func (m *diffMachine) schedule(at Time, pinned bool) {
+	slot := m.slots
+	m.slots++
+	var ev Event
+	if pinned {
+		ev = m.e.SchedulePinned(at, m.fn(slot))
+	} else {
+		ev = m.e.Schedule(at, m.fn(slot))
+	}
+	m.live = append(m.live, ev)
+}
+
+// exec interprets one op byte.
+func (m *diffMachine) exec(op byte) {
+	arg := int(op >> 3)
+	switch op % 8 {
+	case 0: // near-future schedule (same ladder slot or next few)
+		m.schedule(m.e.Now().Add(Duration(arg)*Microsecond), false)
+	case 1: // spread across many slots; arg ≥ 24 reaches the far heap
+		m.schedule(m.e.Now().Add(Duration(arg)*700*Microsecond), false)
+	case 2: // pinned ties at a handful of instants
+		m.schedule(m.e.Now().Add(Duration(arg%4)*Microsecond), true)
+	case 3: // same-instant burst: ties between pinned and unpinned
+		for i := 0; i <= arg%5; i++ {
+			m.schedule(m.e.Now(), i%2 == 1)
+		}
+	case 4: // cancel (double-cancels and stale handles included)
+		if len(m.live) > 0 {
+			m.e.Cancel(m.live[arg%len(m.live)])
+		}
+	case 5: // reschedule, preserving arbitration class
+		if len(m.live) > 0 {
+			i := arg % len(m.live)
+			if ev := m.e.Reschedule(m.live[i], m.e.Now().Add(Duration(arg)*Microsecond)); ev.Valid() {
+				m.live[i] = ev
+			}
+		}
+	case 6: // dispatch a few events
+		for i := 0; i < arg%4; i++ {
+			if !m.e.Step() {
+				break
+			}
+		}
+	case 7: // bounded run; can advance the clock idly past queued slots,
+		// which is what later forces the ladder's rewind path
+		m.e.Run(m.e.Now().Add(Duration(arg) * 600 * Microsecond))
+	}
+}
+
+// diffRun drives both machines and asserts lockstep equivalence.
+func diffRun(t *testing.T, ops []byte, salt uint64) {
+	t.Helper()
+	h := newDiffMachine(QueueHeap, salt)
+	l := newDiffMachine(QueueLadder, salt)
+	for i, op := range ops {
+		h.exec(op)
+		l.exec(op)
+		if h.e.Now() != l.e.Now() {
+			t.Fatalf("op %d (%#x): clocks diverged: heap %v, ladder %v", i, op, h.e.Now(), l.e.Now())
+		}
+		if h.e.Pending() != l.e.Pending() {
+			t.Fatalf("op %d (%#x): pending diverged: heap %d, ladder %d", i, op, h.e.Pending(), l.e.Pending())
+		}
+	}
+	h.e.RunAll()
+	l.e.RunAll()
+	if h.e.Fired() != l.e.Fired() {
+		t.Fatalf("fired diverged: heap %d, ladder %d", h.e.Fired(), l.e.Fired())
+	}
+	if h.e.Now() != l.e.Now() {
+		t.Fatalf("final clocks diverged: heap %v, ladder %v", h.e.Now(), l.e.Now())
+	}
+	if len(h.fires) != len(l.fires) {
+		t.Fatalf("trace length diverged: heap %d, ladder %d", len(h.fires), len(l.fires))
+	}
+	for i := range h.fires {
+		if h.fires[i] != l.fires[i] {
+			t.Fatalf("dispatch %d diverged: heap fired slot %d at %v, ladder slot %d at %v",
+				i, h.fires[i].slot, h.fires[i].at, l.fires[i].slot, l.fires[i].at)
+		}
+	}
+}
+
+// FuzzDiffQueue is the differential fuzz target: arbitrary op streams
+// under arbitrary tie-break salts, heap vs ladder, identical dispatch
+// order required. The seeded corpus (testdata/fuzz/FuzzDiffQueue) pins
+// the structurally interesting paths: equal-At pinned/unpinned mixes,
+// far-heap overflow, the rewind after an idle Run, double-cancel and
+// cancel-during-dispatch.
+func FuzzDiffQueue(f *testing.F) {
+	f.Add([]byte{0x00, 0x08, 0x10, 0x18}, uint64(0))
+	// Same-instant bursts (op 3) mixing pinned and unpinned, salted.
+	f.Add([]byte{0x23, 0x23, 0x23, 0x06}, uint64(0xdeadbeef))
+	// Far-heap overflow: large op-1 deltas, then drain.
+	f.Add([]byte{0xf9, 0xf1, 0xe9, 0x01, 0x1e}, uint64(3))
+	// Idle run past queued slots, then near schedule: the rewind path.
+	f.Add([]byte{0xf9, 0xff, 0x00, 0x08, 0x1e}, uint64(0))
+	// Cancel/reschedule churn, double-cancels included.
+	f.Add([]byte{0x00, 0x04, 0x04, 0x0c, 0x05, 0x0d, 0x16}, uint64(42))
+	f.Fuzz(func(t *testing.T, ops []byte, salt uint64) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		diffRun(t, ops, salt)
+	})
+}
+
+// TestDiffQueueScenarios replays the corpus-style scenarios as plain
+// tests so `go test` covers them without the fuzz engine.
+func TestDiffQueueScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		ops  []byte
+		salt uint64
+	}{
+		{"near_schedules", []byte{0x00, 0x08, 0x10, 0x18, 0x1e}, 0},
+		{"equal_instant_pinned_mix", []byte{0x23, 0x2b, 0x23, 0x1a, 0x06}, 0xdeadbeef},
+		{"far_overflow", []byte{0xf9, 0xf1, 0xe9, 0xd9, 0x01, 0x1e}, 3},
+		{"rewind_after_idle_run", []byte{0xf9, 0xff, 0x00, 0x08, 0x1e}, 0},
+		{"cancel_churn", []byte{0x00, 0x04, 0x04, 0x0c, 0x05, 0x0d, 0x16, 0x1e}, 42},
+		{"kitchen_sink_salted", []byte{0x23, 0xf9, 0x0c, 0x2b, 0xff, 0x08, 0x05, 0x16, 0x1e, 0x23}, 0x5eed},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) { diffRun(t, sc.ops, sc.salt) })
+	}
+}
+
+// TestDiffQueueSaltSweep pushes one dense op stream through a sweep of
+// salts: every salt permutes ties differently, and heap and ladder must
+// agree on every permutation.
+func TestDiffQueueSaltSweep(t *testing.T) {
+	ops := []byte{0x23, 0x00, 0x23, 0x08, 0x2b, 0x06, 0x23, 0x1e}
+	for salt := uint64(0); salt < 16; salt++ {
+		diffRun(t, ops, salt)
+	}
+}
+
+// TestDiffQueueDenseRandomStream feeds a long RNG-generated stream
+// (fixed seed) through the harness — a cheap standing approximation of
+// a fuzz session inside the regular test suite.
+func TestDiffQueueDenseRandomStream(t *testing.T) {
+	rng := NewRNG(0xd1ff)
+	ops := make([]byte, 2000)
+	for i := range ops {
+		ops[i] = byte(rng.Uint64())
+	}
+	diffRun(t, ops, 0)
+	diffRun(t, ops, 0x9e3779b9)
+}

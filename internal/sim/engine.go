@@ -5,11 +5,29 @@ import "fmt"
 // Engine runs a discrete-event simulation. It is not safe for concurrent
 // use: the whole simulation is single-threaded and deterministic by design
 // (real SMP hardware is modelled, not exploited).
+//
+// The hot path is allocation-free: event storage comes from a free-list
+// pool (EventPool) and the default queue is a two-level ladder
+// (ladderQueue) with O(1) amortised push/pop. Both are invisible in
+// results — the dispatch order is the eventOrder total order regardless
+// of queue implementation or node recycling, and the reference heap
+// (QueueHeap) stays selectable to prove it.
 type Engine struct {
-	now     Time
-	heap    eventHeap
+	now Time
+	// q holds pending (and lazily-cancelled) events; kind records which
+	// implementation was chosen.
+	q    eventQueue
+	kind QueueKind
+	// pool recycles event nodes; possibly shared with other engines on
+	// the same goroutine (see runner.MapSeededPooled).
+	pool *EventPool
+	// ord is the dispatch total order, duplicated from the queue so the
+	// sanitizer can compute tie-break keys.
+	ord     eventOrder
 	nextSeq uint64
-	rng     *RNG
+	// live counts queued events that are still pending (not cancelled).
+	live int
+	rng  *RNG
 	// Stopped is set by Stop and checked by Run.
 	stopped bool
 	// fired counts events dispatched, for diagnostics and budget checks.
@@ -19,10 +37,54 @@ type Engine struct {
 	san sanState
 }
 
-// NewEngine returns an engine at time 0 with an RNG seeded from seed.
-func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+// EngineOptions selects non-default engine internals. The zero value is
+// the production configuration: ladder queue, private event pool.
+type EngineOptions struct {
+	// Queue picks the event-queue implementation; "" means QueueLadder.
+	Queue QueueKind
+	// Pool, when non-nil, is used instead of a fresh private pool.
+	// Sharing a pool across engines is safe only when the engines run
+	// on the same goroutine (the replication runner owns one pool per
+	// worker); pooling never affects results.
+	Pool *EventPool
+	// NoPool disables node recycling (every event allocates): the
+	// reference mode for the pooled-vs-alloc benchmarks. Ignored when
+	// Pool is set.
+	NoPool bool
 }
+
+// NewEngine returns an engine at time 0 with an RNG seeded from seed,
+// using the default queue (ladder) and a private event pool.
+func NewEngine(seed uint64) *Engine {
+	return NewEngineOpts(seed, EngineOptions{})
+}
+
+// NewEngineOpts is NewEngine with explicit internals, for A/B runs
+// (rtsim -queue, kernel.Config.EventQueue) and pooled replication.
+func NewEngineOpts(seed uint64, opts EngineOptions) *Engine {
+	if !opts.Queue.Valid() {
+		panic(fmt.Sprintf("sim: unknown queue kind %q", opts.Queue))
+	}
+	kind := opts.Queue
+	if kind == "" {
+		kind = defaultQueueKind
+	}
+	pool := opts.Pool
+	if pool == nil {
+		if opts.NoPool {
+			pool = newAllocPool()
+		} else {
+			pool = NewEventPool()
+		}
+	}
+	return &Engine{q: newQueue(kind), kind: kind, pool: pool, rng: NewRNG(seed)}
+}
+
+// QueueKind reports which queue implementation the engine runs on.
+func (e *Engine) QueueKind() QueueKind { return e.kind }
+
+// PoolStats returns a snapshot of the engine's event-pool counters.
+func (e *Engine) PoolStats() PoolStats { return e.pool.Stats() }
 
 // PerturbTiebreaks installs a tie-break perturbation: same-instant
 // events whose arbitration order is not pinned (Schedule/After) dispatch
@@ -34,13 +96,14 @@ func NewEngine(seed uint64) *Engine {
 // lives in internal/runner (Perturb) and cmd/reprocheck (-perturb).
 //
 // The perturbation must be installed before anything is scheduled (the
-// heap is ordered by the tie-break key, so changing the key under queued
+// queue is ordered by the tie-break key, so changing the key under queued
 // events would corrupt it); installing it later panics.
 func (e *Engine) PerturbTiebreaks(salt uint64) {
-	if len(e.heap.items) > 0 {
+	if e.q.len() > 0 {
 		panic("sim: PerturbTiebreaks after events were scheduled")
 	}
-	e.heap.salt = salt
+	e.ord.salt = salt
+	e.q.setSalt(salt)
 }
 
 // Now returns the current virtual time.
@@ -61,7 +124,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // permuted, and results must not change. A schedule site whose
 // same-instant ordering is semantically meaningful (it models a concrete
 // hardware arbitration) must use SchedulePinned instead.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	return e.schedule(at, fn, false)
 }
 
@@ -71,26 +134,31 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // sparingly, and document at the call site which hardware arbitration
 // the FIFO order stands in for — pinned sites are exactly the schedule
 // points the tie-break race detector cannot check.
-func (e *Engine) SchedulePinned(at Time, fn func()) *Event {
+func (e *Engine) SchedulePinned(at Time, fn func()) Event {
 	return e.schedule(at, fn, true)
 }
 
-func (e *Engine) schedule(at Time, fn func(), pinned bool) *Event {
+func (e *Engine) schedule(at Time, fn func(), pinned bool) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule nil callback")
 	}
-	ev := &Event{At: at, seq: e.nextSeq, fn: fn, index: -1, pinned: pinned}
+	n := e.pool.get()
+	n.At = at
+	n.seq = e.nextSeq
+	n.fn = fn
+	n.pinned = pinned
 	e.nextSeq++
-	e.heap.push(ev)
-	e.sanOnSchedule(ev)
-	return ev
+	e.q.push(n)
+	e.live++
+	e.sanOnSchedule(n)
+	return Event{n: n, gen: n.gen}
 }
 
 // After queues fn to run d from now (d < 0 is clamped to now).
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -99,62 +167,123 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 
 // AfterPinned is After with pinned same-instant arbitration; see
 // SchedulePinned.
-func (e *Engine) AfterPinned(d Duration, fn func()) *Event {
+func (e *Engine) AfterPinned(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.SchedulePinned(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op, so callers can cancel
-// unconditionally.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.fn == nil {
+// checkGen panics if a handle claims a generation its node has not
+// reached. That can only happen through handle forgery or memory
+// corruption — a real stale handle is always *behind* the node, because
+// the pool bumps the generation on every recycle.
+func checkGen(ev Event) {
+	if ev.n != nil && ev.gen > ev.n.gen {
+		panic(fmt.Sprintf(
+			"sim: event handle generation mismatch: handle gen %d ahead of node gen %d",
+			ev.gen, ev.n.gen))
+	}
+}
+
+// Cancel removes a pending event.
+//
+// The contract is explicit: Cancel is a no-op unless the handle is
+// still Pending. In particular (a) the zero Event, (b) a handle whose
+// event already fired, (c) a handle cancelled before — including a
+// cancel issued by a callback running in the same dispatch batch — and
+// (d) a handle whose node was recycled for an unrelated event are all
+// safe no-ops, detected by the generation check, never by pointer
+// comparison or queue-position conventions. Callers can therefore
+// cancel unconditionally. Cancellation is lazy: the node stays queued
+// until the queue surfaces it, at which point it is skipped and
+// recycled.
+func (e *Engine) Cancel(ev Event) {
+	checkGen(ev)
+	if !ev.Pending() {
 		return
 	}
-	ev.fn = nil
-	if ev.index >= 0 {
-		e.heap.remove(ev.index)
-	}
+	ev.n.state = nodeCancelled
+	ev.n.fn = nil
+	e.live--
+	e.sanOnCancel(ev.n)
 }
 
 // Reschedule moves a pending event to a new time, preserving its callback
 // and its pinned/unpinned arbitration class. If the event already fired or
-// was cancelled it returns nil; otherwise it returns the (new) event
+// was cancelled it returns the zero Event; otherwise it returns the new
 // handle.
-func (e *Engine) Reschedule(ev *Event, at Time) *Event {
-	if ev == nil || ev.fn == nil {
-		return nil
+func (e *Engine) Reschedule(ev Event, at Time) Event {
+	checkGen(ev)
+	if !ev.Pending() {
+		return Event{}
 	}
-	fn, pinned := ev.fn, ev.pinned
+	fn, pinned := ev.n.fn, ev.n.pinned
 	e.Cancel(ev)
 	return e.schedule(at, fn, pinned)
 }
 
-// pop removes the heap minimum, routing every removal through the
-// sanitizer's pop-order shadow check (a no-op in the default build).
-func (e *Engine) pop() *Event {
-	ev := e.heap.pop()
-	e.sanOnPop(ev)
-	return ev
+// peekLive returns the next pending node without removing it, draining
+// and recycling lazily-cancelled nodes on the way. Cancelled nodes
+// still route through the sanitizer's pop-order check: their removal
+// position is part of the total order too.
+func (e *Engine) peekLive() *eventNode {
+	for {
+		n := e.q.peek()
+		if n == nil {
+			return nil
+		}
+		if n.state == nodeCancelled {
+			e.q.pop()
+			e.sanOnPop(n)
+			e.pool.put(n)
+			continue
+		}
+		return n
+	}
+}
+
+// fireHead dispatches the queue head, which the caller has verified is
+// pending. The node is recycled *before* the callback runs, so every
+// outstanding handle to it is already stale inside the callback — a
+// callback that cancels its own event is a detected no-op, not a heap
+// corruption.
+func (e *Engine) fireHead() {
+	n := e.q.pop()
+	e.live--
+	e.sanOnPop(n)
+	fn := n.fn
+	e.fired++
+	e.pool.put(n)
+	fn()
+}
+
+// runBatch sets the clock to at and dispatches every event at exactly
+// that instant in one pass — including events the callbacks themselves
+// schedule for the current instant, which join the batch in tie-break
+// order. Stop interrupts the batch after the current event.
+func (e *Engine) runBatch(at Time) {
+	e.sanOnAdvance(at)
+	e.now = at
+	for !e.stopped {
+		n := e.peekLive()
+		if n == nil || n.At != at {
+			return
+		}
+		e.fireHead()
+	}
 }
 
 // Step dispatches the next event. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for e.heap.len() > 0 {
-		ev := e.pop()
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		e.now = ev.At
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		fn()
-		return true
+	n := e.peekLive()
+	if n == nil {
+		return false
 	}
-	return false
+	e.sanOnAdvance(n.At)
+	e.now = n.At
+	e.fireHead()
+	return true
 }
 
 // Run dispatches events until the queue is empty, until is reached, or
@@ -162,17 +291,12 @@ func (e *Engine) Step() bool {
 // the engine stopped at.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for !e.stopped && e.heap.len() > 0 {
-		// Peek without popping so an event after `until` stays queued.
-		next := e.heap.items[0]
-		if next.fn == nil {
-			e.pop()
-			continue
-		}
-		if next.At > until {
+	for !e.stopped {
+		next := e.peekLive()
+		if next == nil || next.At > until {
 			break
 		}
-		e.Step()
+		e.runBatch(next.At)
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -183,7 +307,12 @@ func (e *Engine) Run(until Time) Time {
 // RunAll dispatches events until the queue drains or Stop is called.
 func (e *Engine) RunAll() Time {
 	e.stopped = false
-	for !e.stopped && e.Step() {
+	for !e.stopped {
+		next := e.peekLive()
+		if next == nil {
+			break
+		}
+		e.runBatch(next.At)
 	}
 	return e.now
 }
@@ -191,13 +320,6 @@ func (e *Engine) RunAll() Time {
 // Stop makes the current Run/RunAll return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of queued (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap.items {
-		if ev != nil && ev.fn != nil {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued events that are still pending
+// (cancelled-but-not-yet-drained events are not counted).
+func (e *Engine) Pending() int { return e.live }

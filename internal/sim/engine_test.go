@@ -68,15 +68,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and cancel-nil must be no-ops.
+	// Double-cancel and cancel of the zero handle must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var victim *Event
+	var victim Event
 	e.Schedule(5, func() { e.Cancel(victim) })
 	victim = e.Schedule(10, func() { fired = true })
 	e.RunAll()
@@ -90,15 +90,15 @@ func TestReschedule(t *testing.T) {
 	var at Time = -1
 	ev := e.Schedule(10, func() { at = e.Now() })
 	ev = e.Reschedule(ev, 25)
-	if ev == nil {
-		t.Fatal("Reschedule returned nil for a pending event")
+	if !ev.Valid() {
+		t.Fatal("Reschedule returned the zero Event for a pending event")
 	}
 	e.RunAll()
 	if at != 25 {
 		t.Fatalf("rescheduled event fired at %v, want 25", at)
 	}
-	if e.Reschedule(ev, 99) != nil {
-		t.Fatal("Reschedule of a fired event should return nil")
+	if e.Reschedule(ev, 99).Valid() {
+		t.Fatal("Reschedule of a fired event should return the zero Event")
 	}
 }
 
@@ -205,7 +205,7 @@ func TestQuickCancelSubset(t *testing.T) {
 	f := func(times []uint16, mask []bool) bool {
 		e := NewEngine(7)
 		fired := map[int]bool{}
-		events := make([]*Event, len(times))
+		events := make([]Event, len(times))
 		for i, u := range times {
 			i := i
 			events[i] = e.Schedule(Time(u), func() { fired[i] = true })
@@ -230,11 +230,11 @@ func TestQuickCancelSubset(t *testing.T) {
 	}
 }
 
-func TestHeapRemoveMiddle(t *testing.T) {
-	// Exercise remove() at interior positions, which needs the
-	// sift-down-or-up repair path.
+func TestCancelInteriorEvents(t *testing.T) {
+	// Cancel events scattered through the queue interior; lazy
+	// cancellation must skip exactly those at dispatch time.
 	e := NewEngine(1)
-	var events []*Event
+	var events []Event
 	for i := 100; i > 0; i-- {
 		events = append(events, e.Schedule(Time(i), func() {}))
 	}

@@ -1,18 +1,90 @@
 package sim
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// may be cancelled with Engine.Cancel. An Event must not be reused after it
-// has fired or been cancelled.
+// Event is a handle to one scheduled callback occurrence. Handles are
+// returned by Engine.Schedule and friends and are plain values: copying
+// one copies the reference, and the zero Event references nothing.
+//
+// The engine recycles event storage through a free-list pool
+// (EventPool), so a handle does not own its node — it carries the
+// node's generation number from the moment it was scheduled. Every
+// engine operation checks that generation first: a handle whose
+// occurrence has fired or been cancelled (and whose node may since have
+// been reused for an unrelated event) is *stale*, and stale handles are
+// always detected — Cancel degrades to a no-op, Reschedule returns the
+// zero Event, and the pool panics on any attempt to free the node
+// twice. See DESIGN.md §2 "Event queue internals".
 type Event struct {
+	n   *eventNode
+	gen uint64
+}
+
+// Valid reports whether the handle references an occurrence at all
+// (pending, fired, or cancelled). The zero Event is not valid.
+func (ev Event) Valid() bool { return ev.n != nil }
+
+// Pending reports whether the occurrence is still queued: its node is
+// live, on its original generation, and neither fired nor cancelled.
+func (ev Event) Pending() bool {
+	return ev.n != nil && ev.n.gen == ev.gen && ev.n.state == nodePending
+}
+
+// Pinned reports whether a still-pending occurrence uses pinned
+// same-instant arbitration (SchedulePinned/AfterPinned). It is false
+// for the zero handle and for stale handles.
+func (ev Event) Pinned() bool {
+	return ev.Pending() && ev.n.pinned
+}
+
+// When returns the occurrence's fire time while it is pending, and -1
+// for the zero handle or a stale one.
+func (ev Event) When() Time {
+	if !ev.Pending() {
+		return -1
+	}
+	return ev.n.At
+}
+
+// nodeState tracks an eventNode through its pool lifecycle.
+type nodeState uint8
+
+const (
+	// nodeFree: on the pool free list, owned by nobody.
+	nodeFree nodeState = iota
+	// nodePending: queued, waiting to fire.
+	nodePending
+	// nodeCancelled: still physically queued (cancellation is lazy) but
+	// the callback will never run; the node is freed when the queue
+	// reaches its position.
+	nodeCancelled
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case nodeFree:
+		return "free"
+	case nodePending:
+		return "pending"
+	default:
+		return "cancelled"
+	}
+}
+
+// eventNode is the pooled storage behind an Event handle.
+type eventNode struct {
 	// At is the virtual time the event fires.
 	At Time
 	// seq breaks ties between events scheduled for the same instant:
-	// earlier-scheduled events fire first (FIFO at equal time).
+	// earlier-scheduled events fire first (FIFO at equal time) unless a
+	// tie-break perturbation re-keys them.
 	seq uint64
-	// fn is the callback; nil marks a cancelled event.
+	// gen is the node's generation, bumped every time the node is
+	// returned to the pool. A handle is live only while its captured
+	// generation equals the node's.
+	gen uint64
+	// fn is the callback; nil once fired or cancelled.
 	fn func()
-	// index is the position in the heap, or -1 when not queued.
-	index int
+	// state is the pool lifecycle state.
+	state nodeState
 	// pinned declares that this event's same-instant arbitration order
 	// (FIFO) is part of the model, not an accident: under a tie-break
 	// perturbation (Engine.PerturbTiebreaks) pinned events keep their
@@ -23,13 +95,11 @@ type Event struct {
 	pinned bool
 }
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.fn == nil }
-
-// eventHeap is a binary min-heap ordered by (At, tie-break key). It
-// implements the operations directly instead of going through
-// container/heap to avoid the interface-call overhead on the simulator's
-// hottest path.
+// eventOrder is the total dispatch order every queue implementation
+// must realise: (At, tie-break key, seq). seq is unique per engine, so
+// the order is total — which is what makes the ladder queue and the
+// reference heap produce bit-identical pop sequences (the differential
+// harness in diffqueue_test.go enforces it mechanically).
 //
 // With salt == 0 (the default) the tie-break key is the scheduling
 // sequence number, i.e. FIFO at equal time. With salt != 0 the key of an
@@ -38,12 +108,9 @@ func (e *Event) Cancelled() bool { return e.fn == nil }
 // pinned events keep their raw seq. The perturbation harness
 // (cmd/reprocheck -perturb) uses this to detect tie-break races: results
 // that depend on the arbitrary FIFO order of simultaneous events.
-type eventHeap struct {
-	items []*Event
-	salt  uint64
+type eventOrder struct {
+	salt uint64
 }
-
-func (h *eventHeap) len() int { return len(h.items) }
 
 // tiebreakMix is the splitmix64 output function over salt ^ seq. It is a
 // bijection on uint64 for a fixed salt, so distinct seqs keep distinct
@@ -56,97 +123,22 @@ func tiebreakMix(salt, seq uint64) uint64 {
 }
 
 // key returns the tie-break key used at equal At.
-func (h *eventHeap) key(e *Event) uint64 {
-	if h.salt == 0 || e.pinned {
-		return e.seq
+func (o eventOrder) key(n *eventNode) uint64 {
+	if o.salt == 0 || n.pinned {
+		return n.seq
 	}
-	return tiebreakMix(h.salt, e.seq)
+	return tiebreakMix(o.salt, n.seq)
 }
 
-func (h *eventHeap) less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+// less is the strict total dispatch order.
+func (o eventOrder) less(a, b *eventNode) bool {
 	if a.At != b.At {
 		return a.At < b.At
 	}
-	if h.salt != 0 {
-		if ka, kb := h.key(a), h.key(b); ka != kb {
+	if o.salt != 0 {
+		if ka, kb := o.key(a), o.key(b); ka != kb {
 			return ka < kb
 		}
 	}
 	return a.seq < b.seq
-}
-
-func (h *eventHeap) swap(i, j int) {
-	h.items[i], h.items[j] = h.items[j], h.items[i]
-	h.items[i].index = i
-	h.items[j].index = j
-}
-
-func (h *eventHeap) push(e *Event) {
-	e.index = len(h.items)
-	h.items = append(h.items, e)
-	h.up(e.index)
-}
-
-func (h *eventHeap) pop() *Event {
-	n := len(h.items) - 1
-	h.swap(0, n)
-	e := h.items[n]
-	h.items[n] = nil
-	h.items = h.items[:n]
-	if n > 0 {
-		h.down(0)
-	}
-	e.index = -1
-	return e
-}
-
-// remove deletes the event at index i.
-func (h *eventHeap) remove(i int) {
-	n := len(h.items) - 1
-	if i != n {
-		h.swap(i, n)
-	}
-	e := h.items[n]
-	h.items[n] = nil
-	h.items = h.items[:n]
-	if i != n && n > 0 {
-		if !h.down(i) {
-			h.up(i)
-		}
-	}
-	e.index = -1
-}
-
-func (h *eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-// down sifts the item at i down; it reports whether the item moved.
-func (h *eventHeap) down(i int) bool {
-	start := i
-	n := len(h.items)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
-		}
-		if !h.less(least, i) {
-			break
-		}
-		h.swap(i, least)
-		i = least
-	}
-	return i > start
 }

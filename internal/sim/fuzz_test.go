@@ -13,7 +13,7 @@ func FuzzEngineOps(f *testing.F) {
 		e := NewEngine(1)
 		fired := 0
 		expected := 0
-		var live []*Event
+		var live []Event
 		for _, op := range ops {
 			switch op % 4 {
 			case 0: // schedule
@@ -23,16 +23,16 @@ func FuzzEngineOps(f *testing.F) {
 			case 1: // cancel something
 				if len(live) > 0 {
 					ev := live[int(op)%len(live)]
-					if ev != nil && !ev.Cancelled() {
+					if ev.Pending() {
 						e.Cancel(ev)
 						expected--
 					}
-					live[int(op)%len(live)] = nil
+					live[int(op)%len(live)] = Event{}
 				}
 			case 2: // reschedule something
 				if len(live) > 0 {
 					i := int(op) % len(live)
-					if live[i] != nil {
+					if live[i].Valid() {
 						live[i] = e.Reschedule(live[i], e.Now().Add(Duration(op)*Microsecond))
 					}
 				}

@@ -145,12 +145,12 @@ func TestReschedulePreservesPinned(t *testing.T) {
 	e := NewEngine(1)
 	ev := e.SchedulePinned(10, func() {})
 	ev = e.Reschedule(ev, 20)
-	if ev == nil || !ev.pinned {
+	if !ev.Valid() || !ev.Pinned() {
 		t.Fatal("Reschedule dropped the pinned arbitration class")
 	}
 	ev2 := e.Schedule(10, func() {})
 	ev2 = e.Reschedule(ev2, 20)
-	if ev2 == nil || ev2.pinned {
+	if !ev2.Valid() || ev2.Pinned() {
 		t.Fatal("Reschedule pinned an unpinned event")
 	}
 }

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// eventQueue is the priority-queue contract behind the engine. All
+// implementations must realise the same eventOrder total order — the
+// differential harness (diffqueue_test.go) holds them to bit-identical
+// pop sequences, and the golden figure hashes hold whole-system results
+// to the same bar.
+//
+// Cancellation is lazy everywhere: the engine marks a node
+// nodeCancelled and the queue physically drops it when it surfaces, so
+// implementations never need random-access removal (the operation that
+// forced index back-pointers onto the old heap).
+type eventQueue interface {
+	// push inserts a pending node. Nodes pushed while a batch at the
+	// same instant is draining must still surface in eventOrder position.
+	push(n *eventNode)
+	// peek returns the minimum node without removing it, or nil when
+	// empty. Cancelled nodes may surface; the engine skips and frees them.
+	peek() *eventNode
+	// pop removes and returns the minimum node, or nil when empty.
+	pop() *eventNode
+	// len is the number of physically queued nodes, including
+	// lazily-cancelled ones.
+	len() int
+	// setSalt installs the tie-break salt. Only legal while empty
+	// (Engine.PerturbTiebreaks enforces this).
+	setSalt(salt uint64)
+	// each visits every physically queued node, in no particular order.
+	each(fn func(*eventNode))
+	// validate checks implementation invariants, reporting the first
+	// violation through fail. Wired to the simsan periodic check.
+	validate(fail func(string))
+}
+
+// QueueKind selects an event-queue implementation.
+type QueueKind string
+
+const (
+	// QueueLadder is the two-level ladder/calendar queue: O(1) amortised
+	// push/pop inside a sliding near-future window, with a far-future
+	// overflow heap. The default.
+	QueueLadder QueueKind = "ladder"
+	// QueueHeap is the reference binary min-heap. Kept as the
+	// differential baseline and selectable for A/B runs
+	// (rtsim -queue heap, kernel.Config.EventQueue).
+	QueueHeap QueueKind = "heap"
+)
+
+// Valid reports whether k names a known implementation ("" means the
+// package default).
+func (k QueueKind) Valid() bool {
+	return k == "" || k == QueueLadder || k == QueueHeap
+}
+
+// defaultQueueKind is the implementation behind engines that do not ask
+// for one explicitly (EngineOptions.Queue == ""). It exists for
+// whole-program A/B runs (rtsim -queue heap): set once at process
+// startup before any engine is built, read only at engine construction
+// — never from simulation callbacks, so it cannot influence a running
+// model beyond which (order-identical) queue implementation serves it.
+//
+//simlint:allow globalstate startup-only A/B selector written before any engine exists; both kinds realise the identical dispatch order (FuzzDiffQueue), so no run can observe the value
+var defaultQueueKind = QueueLadder
+
+// SetDefaultQueueKind selects the queue implementation for engines
+// created without an explicit EngineOptions.Queue. "" restores the
+// package default (the ladder queue); unknown kinds panic. Call it only
+// at startup, before any engine exists.
+func SetDefaultQueueKind(k QueueKind) {
+	if !k.Valid() {
+		panic(fmt.Sprintf("sim: unknown queue kind %q", k))
+	}
+	if k == "" {
+		k = QueueLadder
+	}
+	defaultQueueKind = k
+}
+
+// DefaultQueueKind reports the queue implementation engines get by
+// default.
+func DefaultQueueKind() QueueKind { return defaultQueueKind }
+
+func newQueue(kind QueueKind) eventQueue {
+	switch kind {
+	case "":
+		kind = defaultQueueKind
+	case QueueLadder, QueueHeap:
+	default:
+		panic(fmt.Sprintf("sim: unknown queue kind %q", kind))
+	}
+	if kind == QueueHeap {
+		return newRefHeap()
+	}
+	return newLadderQueue()
+}

@@ -8,9 +8,13 @@ package sim
 // (bench_test.go's engine hot-path benchmark guards that).
 type sanState struct{}
 
-func (e *Engine) sanOnSchedule(ev *Event) {}
+func (e *Engine) sanOnSchedule(n *eventNode) {}
 
-func (e *Engine) sanOnPop(ev *Event) {}
+func (e *Engine) sanOnCancel(n *eventNode) {}
+
+func (e *Engine) sanOnAdvance(at Time) {}
+
+func (e *Engine) sanOnPop(n *eventNode) {}
 
 // SanitizerEnabled reports whether this binary was built with the
 // simsan shadow checker (-tags simsan).

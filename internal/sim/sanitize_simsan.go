@@ -6,16 +6,21 @@ import "fmt"
 
 // sanState is the simsan shadow checker (-tags simsan): a second,
 // independent bookkeeper of the engine's ordering contract. The event
-// heap is the simulator's one piece of load-bearing cleverness (a
-// hand-rolled min-heap on the hottest path), so the sanitizer re-checks
-// its externally visible guarantees on every operation instead of
-// trusting it:
+// queue is the simulator's one piece of load-bearing cleverness (a
+// ladder/calendar queue plus a pooled allocator on the hottest path),
+// so the sanitizer re-checks its externally visible guarantees on every
+// operation instead of trusting it:
 //
 //   - virtual time is monotone: no event fires before the clock,
-//   - pops are globally ordered: every heap minimum removed is >= the
+//   - pops are globally ordered: every queue minimum removed is >= the
 //     previous one in (At, tie-break key),
-//   - the heap shape itself stays valid (checked in full periodically,
-//     so corruption is caught near its cause rather than at the end).
+//   - the queue's internal shape stays valid — ladder window/bucket/far
+//     invariants or the reference heap property, via eventQueue.validate
+//     (checked in full periodically, so corruption is caught near its
+//     cause rather than at the end),
+//   - the event pool stays consistent: free-list nodes are actually
+//     free and callback-less, and the engine's live-event count matches
+//     a fresh count over the queue.
 //
 // A violation panics with the evidence; simsan is a test configuration
 // (CI's sanitize job runs `go test -tags simsan ./...`), so failing loud
@@ -27,65 +32,126 @@ type sanState struct {
 	pops    uint64
 }
 
-// sanValidateEvery is how many pops pass between full O(n) heap-shape
-// validations. Power of two so the modulo folds to a mask.
+// sanValidateEvery is how many pops pass between full O(n) queue and
+// pool validations. Power of two so the modulo folds to a mask.
 const sanValidateEvery = 1024
 
-func (e *Engine) sanOnSchedule(ev *Event) {
-	if ev.At < e.now {
-		panic(fmt.Sprintf("simsan: event scheduled at %v, before now %v", ev.At, e.now))
+func (e *Engine) sanOnSchedule(n *eventNode) {
+	if n.At < e.now {
+		panic(fmt.Sprintf("simsan: event scheduled at %v, before now %v", n.At, e.now))
 	}
-	if ev.index < 0 || ev.index >= len(e.heap.items) || e.heap.items[ev.index] != ev {
-		panic(fmt.Sprintf("simsan: scheduled event has bad heap index %d (heap len %d)", ev.index, len(e.heap.items)))
+	if n.state != nodePending {
+		panic(fmt.Sprintf("simsan: scheduled node (gen %d) in state %s, want pending", n.gen, n.state))
+	}
+	if n.fn == nil {
+		panic(fmt.Sprintf("simsan: scheduled node (gen %d) has no callback", n.gen))
 	}
 	// A callback may legally schedule a new event for the current
 	// instant whose perturbed tie-break key sorts below the event just
 	// popped; lower the pop-order floor so that is not misreported.
 	// (With salt == 0 keys are sequence numbers, which only grow, so the
 	// floor never moves.)
-	if e.san.popped && ev.At == e.san.lastAt {
-		if k := e.heap.key(ev); k < e.san.lastKey {
+	if e.san.popped && n.At == e.san.lastAt {
+		if k := e.ord.key(n); k < e.san.lastKey {
 			e.san.lastKey = k
 		}
 	}
 }
 
-func (e *Engine) sanOnPop(ev *Event) {
-	if ev.At < e.now {
-		panic(fmt.Sprintf("simsan: popped event at %v, before now %v — virtual clock would regress", ev.At, e.now))
+func (e *Engine) sanOnCancel(n *eventNode) {
+	if n.state != nodeCancelled {
+		panic(fmt.Sprintf("simsan: cancelled node (gen %d) in state %s, want cancelled", n.gen, n.state))
 	}
-	key := e.heap.key(ev)
-	if e.san.popped && (ev.At < e.san.lastAt || (ev.At == e.san.lastAt && key < e.san.lastKey)) {
-		panic(fmt.Sprintf("simsan: pop order violation: (%v, key %d) after (%v, key %d)",
-			ev.At, key, e.san.lastAt, e.san.lastKey))
+	if n.fn != nil {
+		panic(fmt.Sprintf("simsan: cancelled node (gen %d) retains its callback", n.gen))
 	}
-	e.san.popped = true
-	e.san.lastAt = ev.At
-	e.san.lastKey = key
-	e.san.pops++
-	if e.san.pops%sanValidateEvery == 0 {
-		e.sanValidateHeap()
+	if e.live < 0 {
+		panic(fmt.Sprintf("simsan: live event count went negative (%d)", e.live))
 	}
 }
 
-// sanValidateHeap walks the whole heap checking the min-heap property
-// and the items' back-indices.
-func (e *Engine) sanValidateHeap() {
-	h := &e.heap
-	for i, ev := range h.items {
-		if ev == nil {
-			panic(fmt.Sprintf("simsan: nil event at heap index %d", i))
-		}
-		if ev.index != i {
-			panic(fmt.Sprintf("simsan: heap index desync: items[%d].index = %d", i, ev.index))
-		}
-		if i > 0 {
-			parent := (i - 1) / 2
-			if h.less(i, parent) {
-				panic(fmt.Sprintf("simsan: heap property violated: items[%d] (%v) < parent items[%d] (%v)",
-					i, ev.At, parent, h.items[parent].At))
+// sanOnAdvance guards the clock before Step/runBatch move it to the
+// next dispatch instant.
+func (e *Engine) sanOnAdvance(at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("simsan: dispatch at %v, before now %v — virtual clock would regress", at, e.now))
+	}
+}
+
+func (e *Engine) sanOnPop(n *eventNode) {
+	// Cancelled nodes are exempt from the clock check: cancellation is
+	// lazy, so a node cancelled behind an idle clock advancement (Run
+	// past it with nothing to do) legitimately drains with At < now.
+	if n.At < e.now && n.state != nodeCancelled {
+		panic(fmt.Sprintf("simsan: popped event at %v, before now %v — virtual clock would regress", n.At, e.now))
+	}
+	if n.state == nodeFree {
+		panic(fmt.Sprintf("simsan: popped node (gen %d) is on the free list", n.gen))
+	}
+	// Local minimality: a pop must never leave a smaller node behind.
+	// This holds for every pop — pending or cancelled — because the
+	// engine only removes the queue surface.
+	if m := e.q.peek(); m != nil && e.ord.less(m, n) {
+		panic(fmt.Sprintf("simsan: pop order violation: (%v, key %d) popped while (%v, key %d) still queued",
+			n.At, e.ord.key(n), m.At, e.ord.key(m)))
+	}
+	key := e.ord.key(n)
+	if n.state == nodeCancelled {
+		// A cancelled node drains when it surfaces as the queue minimum,
+		// which can be far ahead of the clock; events scheduled after
+		// the drain may then legitimately pop behind it. Cancelled pops
+		// therefore leave the global (At, key) watermark untouched — the
+		// local-minimality check above still pins their ordering.
+		e.sanCountPop()
+		return
+	}
+	if e.san.popped && (n.At < e.san.lastAt || (n.At == e.san.lastAt && key < e.san.lastKey)) {
+		panic(fmt.Sprintf("simsan: pop order violation: (%v, key %d) after (%v, key %d)",
+			n.At, key, e.san.lastAt, e.san.lastKey))
+	}
+	e.san.popped = true
+	e.san.lastAt = n.At
+	e.san.lastKey = key
+	e.sanCountPop()
+}
+
+// sanCountPop ticks the pop counter and runs the periodic full audit.
+func (e *Engine) sanCountPop() {
+	e.san.pops++
+	if e.san.pops%sanValidateEvery == 0 {
+		e.sanValidate()
+	}
+}
+
+// sanValidate runs the full O(n) structural audit: queue-implementation
+// invariants, pool free-list consistency, and the live-count
+// cross-check.
+func (e *Engine) sanValidate() {
+	fail := func(msg string) { panic("simsan: " + msg) }
+	e.q.validate(fail)
+	e.pool.validate(fail)
+	live, queued := 0, 0
+	e.q.each(func(n *eventNode) {
+		queued++
+		switch n.state {
+		case nodePending:
+			if n.fn == nil {
+				fail(fmt.Sprintf("pending node at %v (gen %d) has no callback", n.At, n.gen))
 			}
+			live++
+		case nodeCancelled:
+			if n.fn != nil {
+				fail(fmt.Sprintf("cancelled node at %v (gen %d) retains its callback", n.At, n.gen))
+			}
+		default:
+			fail(fmt.Sprintf("queued node at %v (gen %d) in state %s", n.At, n.gen, n.state))
 		}
+	})
+	if queued != e.q.len() {
+		fail(fmt.Sprintf("queue len %d != visited %d", e.q.len(), queued))
+	}
+	if live != e.live {
+		fail(fmt.Sprintf("engine live count %d != queue live count %d", e.live, live))
 	}
 }
 

@@ -80,27 +80,75 @@ func TestSimsanCatchesPopOrderViolation(t *testing.T) {
 	mustPanicWith(t, "pop order violation", func() { e.Step() })
 }
 
-func TestSimsanCatchesHeapIndexDesync(t *testing.T) {
+// A cancelled node drains when it surfaces as the queue minimum, which
+// can be far ahead of the clock; an event scheduled after that drain
+// may legitimately pop behind the drained node's At. The sanitizer must
+// not misreport that as a pop-order violation.
+func TestSimsanAllowsPopBehindDrainedCancel(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(Time(684*Microsecond), func() {})
+	e.Cancel(ev)
+	if e.Step() {
+		t.Fatal("Step dispatched something; only a cancelled node was queued")
+	}
+	fired := false
+	e.Schedule(Time(585*Microsecond), func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("event scheduled behind a drained cancel never fired")
+	}
+}
+
+func TestSimsanCatchesLadderRunDisorder(t *testing.T) {
 	e := NewEngine(1)
 	for i := 0; i < 8; i++ {
 		e.Schedule(Time(i), func() {})
 	}
-	e.heap.items[3].index = 7
-	mustPanicWith(t, "heap index desync", func() { e.sanValidateHeap() })
+	lq := e.q.(*ladderQueue)
+	lq.peek() // force a refill so the sorted run is populated
+	lq.run[0], lq.run[1] = lq.run[1], lq.run[0]
+	mustPanicWith(t, "not strictly sorted", func() { e.sanValidate() })
+}
+
+func TestSimsanCatchesLadderSizeDesync(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 8; i++ {
+		e.Schedule(Time(i)*Time(Millisecond), func() {})
+	}
+	e.q.(*ladderQueue).size++
+	mustPanicWith(t, "!= counted", func() { e.sanValidate() })
 }
 
 func TestSimsanCatchesHeapPropertyViolation(t *testing.T) {
-	e := NewEngine(1)
+	e := NewEngineOpts(1, EngineOptions{Queue: QueueHeap})
 	for i := 0; i < 8; i++ {
 		e.Schedule(Time(i), func() {})
 	}
-	// Swap the root with a leaf, keeping back-indices consistent, so the
-	// only remaining defect is the ordering invariant itself.
-	h := &e.heap
+	// Swap the root with a leaf so the only defect is the ordering
+	// invariant itself.
+	h := e.q.(*refHeap)
 	h.items[0], h.items[7] = h.items[7], h.items[0]
-	h.items[0].index = 0
-	h.items[7].index = 7
-	mustPanicWith(t, "heap property violated", func() { e.sanValidateHeap() })
+	mustPanicWith(t, "heap property violated", func() { e.sanValidate() })
+}
+
+func TestSimsanCatchesPoolCorruption(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(1, func() {})
+	e.RunAll() // the fired node is now on the free list
+	if len(e.pool.free) == 0 {
+		t.Fatal("expected a recycled node on the free list")
+	}
+	e.pool.free[0].state = nodePending
+	mustPanicWith(t, "event pool", func() { e.sanValidate() })
+}
+
+func TestSimsanCatchesLiveCountDesync(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.live++
+	mustPanicWith(t, "live count", func() { e.sanValidate() })
 }
 
 // Same-instant rescheduling under a salt may legally produce a key
