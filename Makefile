@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race bench bench-json fuzz figures trace clean
+.PHONY: all build lint fmt vet simlint sarif sanitize perturb test race sharded bench bench-json fuzz figures trace clean
 
 all: lint test build
 
@@ -47,14 +47,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# sharded = the CI sharded matrix leg at one shard count (default 2):
+# the whole suite with the process-default engine flipped to sharded via
+# ldflags — every golden hash and trace byte now audits the sharded
+# engine — then the perturbation sweep on the shipped binary.
+SHARDS ?= 2
+sharded:
+	$(GO) test -race -ldflags "-X repro/internal/sim.defaultEngineMode=sharded:$(SHARDS)" ./...
+	$(GO) run ./cmd/reprocheck -scale 0.15 -perturb 4 -engine=sharded -shards=$(SHARDS)
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # bench-json regenerates the engine performance baseline
-# (BENCH_engine.json): the {ladder,heap} x {pooled,alloc} churn matrix
-# plus serial and parallel full-system throughput, as one JSON document.
-# Run it when the engine hot path changes; EXPERIMENTS.md explains how
-# to read the ratios.
+# (BENCH_engine.json): the {ladder,heap} x {pooled,alloc} churn matrix,
+# serial and parallel full-system throughput, and the serial-vs-sharded
+# shard-tick entry, as one JSON document. Run it when the engine hot
+# path changes; EXPERIMENTS.md explains how to read the ratios.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_engine.json
 
@@ -62,6 +71,7 @@ bench-json:
 fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEngineOps -fuzztime 5s
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDiffQueue$$' -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzShardedSchedule$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzParseMask$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzEffectiveAffinity$$' -fuzztime 5s
 

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildReprocheck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "reprocheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build reprocheck: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCheck(t *testing.T, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %s %v: %v", bin, args, err)
+	}
+	return out.String(), errBuf.String(), exit
+}
+
+// TestReprocheckFlagValidation: unknown -queue/-engine values and
+// non-positive -shards exit 2 with an error naming the valid options —
+// same contract as rtsim, pinned per binary because each owns its flag
+// parsing.
+func TestReprocheckFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration (builds binary)")
+	}
+	bin := buildReprocheck(t)
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown_queue", []string{"-queue", "wheel"}, "'ladder', 'heap'"},
+		{"unknown_engine", []string{"-engine", "turbo"}, "'serial', 'sharded'"},
+		{"zero_shards", []string{"-engine", "sharded", "-shards", "0"}, "-shards must be >= 1"},
+		{"negative_shards", []string{"-shards", "-4"}, "-shards must be >= 1"},
+		{"queue_vs_sharded", []string{"-engine", "sharded", "-queue", "ladder"}, "conflicts with -engine=sharded"},
+		{"negative_perturb", []string{"-perturb", "-1"}, "-perturb must be >= 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, exit := runCheck(t, bin, tc.args...)
+			if exit != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", exit, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Fatalf("stderr does not name the problem (want %q):\n%s", tc.wantErr, stderr)
+			}
+		})
+	}
+}
+
+// claimLines strips the wall-clock timing from a reprocheck report,
+// keeping only the verdict lines, so serial and sharded outputs can be
+// compared exactly.
+func claimLines(out string) []string {
+	var keep []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "[PASS]") || strings.HasPrefix(ln, "[FAIL]") {
+			keep = append(keep, ln)
+		}
+	}
+	return keep
+}
+
+// TestReprocheckShardedVerdictsIdentical runs the shipped binary's
+// conformance pass serial and sharded at a small scale: every claim
+// verdict and detail line must match exactly (claim *verdicts* at tiny
+// scales may legitimately fail — what matters here is that sharded
+// execution reproduces the serial report byte-for-byte).
+func TestReprocheckShardedVerdictsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration (builds binary)")
+	}
+	bin := buildReprocheck(t)
+	base := []string{"-scale", "0.02", "-seed", "7"}
+	serialOut, _, serialExit := runCheck(t, bin, base...)
+	want := claimLines(serialOut)
+	if len(want) == 0 {
+		t.Fatalf("serial run produced no claim lines:\n%s", serialOut)
+	}
+	for _, shards := range []string{"1", "2", "4"} {
+		out, stderr, exit := runCheck(t, bin, append([]string{"-engine", "sharded", "-shards", shards}, base...)...)
+		if exit != serialExit {
+			t.Errorf("sharded/%s exit %d != serial exit %d\nstderr:\n%s", shards, exit, serialExit, stderr)
+		}
+		got := claimLines(out)
+		if len(got) != len(want) {
+			t.Fatalf("sharded/%s claim count %d != serial %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("sharded/%s claim %d diverged:\n got %s\nwant %s", shards, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -25,6 +25,14 @@
 // heap). Like -parallel it can never change results — both realise the
 // identical dispatch order — so it exists for A/B performance runs and
 // for demonstrating that equivalence on any experiment.
+//
+// -engine selects the execution engine: 'serial' (default) or
+// 'sharded', the conservative-parallel mode in which each simulated
+// CPU's events live on their own ladder shard (-shards N), merged at
+// dispatch under the identical total order. Results are bit-identical
+// to serial for every shard count — the serial-vs-sharded differential
+// oracle in internal/sim and internal/core enforces byte-for-byte
+// equality of figures and trace streams.
 package main
 
 import (
@@ -50,15 +58,37 @@ func main() {
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
 	traceOut := flag.String("trace", "", "capture a shielded RCIM trace into this file (.json = Chrome trace-event format for Perfetto, anything else = dmesg-style text)")
 	queue := flag.String("queue", "", "event-queue implementation: 'ladder' (default) or 'heap' (reference); A/B knob — results are bit-identical either way, only speed differs")
+	engine := flag.String("engine", "serial", "execution engine: 'serial' (default) or 'sharded' (per-CPU ladder shards merged under the identical dispatch order; see -shards); results are bit-identical either way")
+	shards := flag.Int("shards", 4, "shard count for -engine=sharded (must be >= 1; one per simulated CPU is the natural grain)")
 	flag.Parse()
 
 	switch sim.QueueKind(*queue) {
 	case "", sim.QueueLadder, sim.QueueHeap:
+	default:
+		fmt.Fprintf(os.Stderr, "rtsim: -queue must be one of 'ladder', 'heap', got %q\n", *queue)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "rtsim: -shards must be >= 1, got %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *engine {
+	case "serial":
 		if *queue != "" {
 			sim.SetDefaultQueueKind(sim.QueueKind(*queue))
 		}
+	case "sharded":
+		if *queue != "" {
+			fmt.Fprintf(os.Stderr, "rtsim: -queue %q conflicts with -engine=sharded (the sharded engine owns its per-shard queues)\n", *queue)
+			flag.Usage()
+			os.Exit(2)
+		}
+		sim.SetDefaultShardCount(*shards)
+		sim.SetDefaultQueueKind(sim.QueueSharded)
 	default:
-		fmt.Fprintf(os.Stderr, "rtsim: -queue must be 'ladder' or 'heap', got %q\n", *queue)
+		fmt.Fprintf(os.Stderr, "rtsim: -engine must be one of 'serial', 'sharded', got %q\n", *engine)
 		flag.Usage()
 		os.Exit(2)
 	}

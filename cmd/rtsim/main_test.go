@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildRtsim compiles the rtsim binary once per test into a temp dir.
+func buildRtsim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rtsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build rtsim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runBin(t *testing.T, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %s %v: %v", bin, args, err)
+	}
+	return out.String(), errBuf.String(), exit
+}
+
+// TestRtsimFlagValidation pins the e2e flag contract: unknown -queue or
+// -engine values and non-positive -shards exit 2 with an error that
+// names the valid options, and contradictory combinations are refused
+// rather than silently resolved.
+func TestRtsimFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration (builds binary)")
+	}
+	bin := buildRtsim(t)
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown_queue", []string{"-queue", "wheel", "-list"}, "'ladder', 'heap'"},
+		{"unknown_engine", []string{"-engine", "turbo", "-list"}, "'serial', 'sharded'"},
+		{"zero_shards", []string{"-engine", "sharded", "-shards", "0", "-list"}, "-shards must be >= 1"},
+		{"negative_shards", []string{"-shards", "-2", "-list"}, "-shards must be >= 1"},
+		{"queue_vs_sharded", []string{"-engine", "sharded", "-queue", "heap", "-list"}, "conflicts with -engine=sharded"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, exit := runBin(t, bin, tc.args...)
+			if exit != 2 {
+				t.Fatalf("exit %d, want 2; stderr:\n%s", exit, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Fatalf("stderr does not name the problem (want %q):\n%s", tc.wantErr, stderr)
+			}
+		})
+	}
+}
+
+// TestRtsimShardedCSVBitIdentical is the end-user form of the
+// serial-vs-sharded oracle: the actual shipped binary regenerating a
+// figure's CSV must emit byte-identical output for -engine=serial and
+// -engine=sharded at shard counts 1, 2, 4.
+func TestRtsimShardedCSVBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration (builds binary)")
+	}
+	bin := buildRtsim(t)
+	base := []string{"-csv", "-exp", "fig2", "-scale", "0.05", "-seed", "7"}
+	want, stderr, exit := runBin(t, bin, base...)
+	if exit != 0 {
+		t.Fatalf("serial run exited %d:\n%s", exit, stderr)
+	}
+	if !strings.Contains(want, "bin_upper_ms") {
+		t.Fatalf("serial run emitted no CSV:\n%s", want)
+	}
+	for _, shards := range []string{"1", "2", "4"} {
+		got, stderr, exit := runBin(t, bin, append([]string{"-engine", "sharded", "-shards", shards}, base...)...)
+		if exit != 0 {
+			t.Fatalf("sharded/%s run exited %d:\n%s", shards, exit, stderr)
+		}
+		if got != want {
+			t.Errorf("-engine=sharded -shards=%s CSV diverged from serial", shards)
+		}
+	}
+}

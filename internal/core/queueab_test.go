@@ -24,8 +24,13 @@ func TestFigureHashesQueueAB(t *testing.T) {
 	// One figure per experiment family: determinism, RCIM, attribution.
 	figures := []string{"fig2", "fig7", "attrib-causes"}
 	run := func(kind sim.QueueKind) map[string]string {
+		// Restore whatever the process default was, not hard-coded
+		// ladder: CI's sharded matrix leg runs this suite with the
+		// default switched to the sharded engine via ldflags, and the
+		// override must not leak past this test.
+		prev := sim.DefaultQueueKind()
 		sim.SetDefaultQueueKind(kind)
-		defer sim.SetDefaultQueueKind(sim.QueueLadder)
+		defer sim.SetDefaultQueueKind(prev)
 		out := map[string]string{}
 		for _, id := range figures {
 			csv, err := FigureCSV(id, goldenScale, goldenSeed, 0)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Figure-level seal on the sharded engine, mirroring queueab_test.go:
+// the whole simulated machine — kernel, workloads, RCIM, attribution —
+// rerun with the engine forced onto the sharded queue must produce
+// byte-for-byte the results of the serial ladder, for every shard
+// count. Together with the op-stream oracle (sim.FuzzShardedSchedule)
+// and the window-protocol oracle (sim/runner shard tests) this is the
+// top of the bit-identity stack: `rtsim -engine=sharded -shards=N` can
+// never move a published figure.
+
+// withDefaultEngine runs fn with the process-default engine switched to
+// kind/shards, restoring the prior default (which under CI's sharded
+// matrix leg is itself sharded) afterwards.
+func withDefaultEngine(kind sim.QueueKind, shards int, fn func()) {
+	prevKind := sim.DefaultQueueKind()
+	prevShards := sim.DefaultShardCount()
+	sim.SetDefaultQueueKind(kind)
+	if shards > 0 {
+		sim.SetDefaultShardCount(shards)
+	}
+	defer func() {
+		sim.SetDefaultQueueKind(prevKind)
+		sim.SetDefaultShardCount(prevShards)
+	}()
+	fn()
+}
+
+func TestFigureHashesShardedAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	figures := []string{"fig2", "fig7", "attrib-causes"}
+	run := func(kind sim.QueueKind, shards int) map[string]string {
+		out := map[string]string{}
+		withDefaultEngine(kind, shards, func() {
+			for _, id := range figures {
+				csv, err := FigureCSV(id, goldenScale, goldenSeed, 0)
+				if err != nil {
+					t.Fatalf("FigureCSV(%s) on %s/%d: %v", id, kind, shards, err)
+				}
+				out[id] = fnv1a(csv)
+			}
+		})
+		return out
+	}
+	want := run(sim.QueueLadder, 0)
+	for _, shards := range []int{1, 2, 4} {
+		got := run(sim.QueueSharded, shards)
+		for _, id := range figures {
+			if got[id] != want[id] {
+				t.Errorf("%s: sharded/%d hash %s != serial hash %s — shard count leaked into results",
+					id, shards, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestTraceBytesShardedAB holds the sharded engine to the strongest
+// form of the acceptance criterion: not just figure hashes but the full
+// rendered trace stream — every tracepoint, timestamp and argument — is
+// byte-identical across serial and every shard count.
+func TestTraceBytesShardedAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	capture := func(kind sim.QueueKind, shards int) string {
+		var sb strings.Builder
+		withDefaultEngine(kind, shards, func() {
+			buf := CaptureTrace(0.02, goldenSeed)
+			if err := buf.WriteText(&sb); err != nil {
+				t.Fatalf("WriteText on %s/%d: %v", kind, shards, err)
+			}
+		})
+		return sb.String()
+	}
+	want := capture(sim.QueueLadder, 0)
+	if len(want) == 0 {
+		t.Fatal("serial capture produced an empty trace")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		got := capture(sim.QueueSharded, shards)
+		if got != want {
+			i := 0
+			for i < len(got) && i < len(want) && got[i] == want[i] {
+				i++
+			}
+			lo, hi := i-40, i+40
+			if lo < 0 {
+				lo = 0
+			}
+			ctx := func(s string) string {
+				if hi < len(s) {
+					return s[lo:hi]
+				}
+				return s[lo:]
+			}
+			t.Errorf("sharded/%d trace diverged from serial at byte %d:\nserial:  …%q…\nsharded: …%q…",
+				shards, i, ctx(want), ctx(got))
+		}
+	}
+}
+
+// TestPerturbShardedAB runs the schedule-perturbation sweep with the
+// engine defaulted to sharded: every figure must stay
+// perturbation-invariant, and every fingerprint — baseline and salted —
+// must equal the serial sweep's. This is the `reprocheck -perturb`
+// claim under `-engine=sharded`, shrunk to golden scale.
+func TestPerturbShardedAB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	sweep := func(kind sim.QueueKind, shards int) []FigurePerturbation {
+		var out []FigurePerturbation
+		withDefaultEngine(kind, shards, func() {
+			out = RunPerturbFigures(goldenScale, goldenSeed, 0, 2)
+		})
+		return out
+	}
+	want := sweep(sim.QueueLadder, 0)
+	for _, p := range want {
+		if !p.Report.OK() {
+			t.Fatalf("serial sweep already diverged for %s: %s", p.ID, p.Report)
+		}
+	}
+	got := sweep(sim.QueueSharded, 2)
+	if len(got) != len(want) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("sweep order differs at %d: %s vs %s", i, got[i].ID, want[i].ID)
+		}
+		if !got[i].Report.OK() {
+			t.Errorf("%s: sharded sweep diverged under perturbation: %s", got[i].ID, got[i].Report)
+		}
+		if got[i].Report.Baseline != want[i].Report.Baseline {
+			t.Errorf("%s: sharded baseline %s != serial baseline %s",
+				got[i].ID, got[i].Report.Baseline, want[i].Report.Baseline)
+		}
+		for j, run := range want[i].Report.Runs {
+			if got[i].Report.Runs[j] != run {
+				t.Errorf("%s: salted run %d diverged: %+v vs %+v", got[i].ID, j, got[i].Report.Runs[j], run)
+			}
+		}
+	}
+}

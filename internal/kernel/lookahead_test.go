@@ -1,0 +1,121 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLookaheadDerivation pins Config.Lookahead to its contract: the
+// minimum cross-CPU event latency in the config — the cheapest of the
+// scaled idle-exit kick (the model's IPI delivery), the scaled wakeup
+// cost, and the local timer period. Every shipped preset is covered,
+// at both the paper's clock rates.
+func TestLookaheadDerivation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want sim.Duration
+	}{
+		// DefaultTiming at 1 GHz: IdleExit 700ns < WakeupCost 900ns << 10ms tick.
+		{"standard_1ghz", StandardLinux24(2, 1.0, true), 700 * sim.Nanosecond},
+		{"redhawk_1ghz", RedHawk14(2, 1.0), 700 * sim.Nanosecond},
+		{"patched_1ghz", PatchedLinux24(2, 1.0), 700 * sim.Nanosecond},
+		// 2 GHz halves every scaled cost.
+		{"standard_2ghz", StandardLinux24(2, 2.0, true), 350 * sim.Nanosecond},
+		{"redhawk_2ghz", RedHawk14(4, 2.0), 350 * sim.Nanosecond},
+		{"patched_2ghz", PatchedLinux24(2, 2.0), 350 * sim.Nanosecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.cfg.Lookahead()
+			if got != tc.want {
+				t.Fatalf("Lookahead() = %v, want %v", got, tc.want)
+			}
+			// Cross-check against the explicit minimum, so a future
+			// Timing field that lowers the cross-CPU floor must be added
+			// to Lookahead or this test fails.
+			tick := sim.Duration(int64(sim.Second) / int64(tc.cfg.LocalTimerHz))
+			for _, d := range []sim.Duration{
+				tc.cfg.scale(tc.cfg.Timing.IdleExit),
+				tc.cfg.scale(tc.cfg.Timing.WakeupCost),
+				tick,
+			} {
+				if d < got {
+					t.Fatalf("Lookahead() = %v but config contains cheaper cross-CPU latency %v", got, d)
+				}
+			}
+			if got <= 0 {
+				t.Fatalf("shipped config derived non-positive lookahead %v", got)
+			}
+		})
+	}
+}
+
+// TestLookaheadWakeupFloor: when the wakeup cost undercuts idle-exit,
+// it becomes the floor — the derivation really is a minimum, not a
+// hard-coded field read.
+func TestLookaheadWakeupFloor(t *testing.T) {
+	cfg := RedHawk14(2, 1.0)
+	cfg.Timing.WakeupCost = 300 * sim.Nanosecond
+	if got := cfg.Lookahead(); got != 300*sim.Nanosecond {
+		t.Fatalf("Lookahead() = %v, want 300ns (wakeup floor)", got)
+	}
+}
+
+// TestLookaheadDegenerateFallsBackToSerial: a config with a zero
+// cross-CPU latency floor cannot support a lookahead window. Asking
+// that machine for the sharded engine must produce a working serial
+// run — identical results, no deadlock, no livelock — not a zero-width
+// barrier loop.
+func TestLookaheadDegenerateFallsBackToSerial(t *testing.T) {
+	deg := RedHawk14(2, 1.0)
+	deg.Timing.IdleExit = 0
+	if got := deg.Lookahead(); got != 0 {
+		t.Fatalf("degenerate config Lookahead() = %v, want 0", got)
+	}
+
+	deg.EventQueue = sim.QueueSharded
+	deg.EngineShards = 4
+	k := New(deg, 42)
+	if kind := k.Eng.QueueKind(); kind != sim.QueueLadder {
+		t.Fatalf("degenerate sharded config built engine on %q, want serial fallback %q",
+			kind, sim.QueueLadder)
+	}
+
+	// The fallback machine must actually run: a bounded busy run with
+	// the usual periodic machinery completing is the no-deadlock /
+	// no-livelock check.
+	k.Start()
+	until := sim.Time(50 * sim.Millisecond)
+	if got := k.Eng.Run(until); got != until {
+		t.Fatalf("degenerate fallback run stopped at %v, want %v", got, until)
+	}
+	if k.Eng.Fired() == 0 {
+		t.Fatal("degenerate fallback dispatched no events")
+	}
+
+	// A healthy config with the same shard request keeps the sharded
+	// engine.
+	ok := RedHawk14(2, 1.0)
+	ok.EventQueue = sim.QueueSharded
+	ok.EngineShards = 4
+	if kind := New(ok, 42).Eng.QueueKind(); kind != sim.QueueSharded {
+		t.Fatalf("healthy sharded config built engine on %q, want %q", kind, sim.QueueSharded)
+	}
+}
+
+// TestConfigValidateEngineShards: negative shard counts are a config
+// error, zero means "package default".
+func TestConfigValidateEngineShards(t *testing.T) {
+	cfg := RedHawk14(2, 1.0)
+	cfg.EngineShards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative EngineShards validated")
+	}
+	cfg.EngineShards = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero EngineShards rejected: %v", err)
+	}
+}

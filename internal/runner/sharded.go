@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// RunSharded advances a sim.ShardSet to until, executing each lookahead
+// window's per-lane jobs on a persistent pool of worker goroutines.
+// This is the concurrent executor behind `rtsim -engine=sharded`: the
+// sim package is single-threaded by decree (the nondeterminism linter
+// bans goroutines from simulation packages), so the window protocol
+// lives there (sim.ShardSet.RunExec) and the goroutines live here.
+//
+// The determinism contract matches the rest of the package: the result
+// depends only on the set's model and until — never on the worker
+// count, GOMAXPROCS, or which worker ran which lane. That holds because
+// lanes share nothing inside a window (ShardSet's confinement rules)
+// and the barrier between windows orders every lane's writes before the
+// next window's reads; the -race leg of the shard tests hands the
+// memory-model half of that claim to the race detector.
+//
+// workers is Workers-resolved and capped at the lane count; one worker
+// (or one lane) degrades to the serial executor with no goroutines at
+// all. A panic in a lane (a model bug — e.g. a cross-shard send inside
+// the lookahead) is re-raised on the caller's goroutine after the
+// window's remaining lanes drain.
+func RunSharded(set *sim.ShardSet, until sim.Time, workers int) sim.Time {
+	w := Workers(workers)
+	if s := set.Shards(); w > s {
+		w = s
+	}
+	if w <= 1 {
+		return set.Run(until)
+	}
+	var (
+		jobs     = make(chan func(), set.Shards())
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	defer close(jobs)
+	for g := 0; g < w; g++ {
+		go func() {
+			for job := range jobs {
+				func() {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					job()
+				}()
+			}
+		}()
+	}
+	return set.RunExec(until, func(batch []func()) {
+		wg.Add(len(batch))
+		for _, j := range batch {
+			jobs <- j
+		}
+		// The Wait is the window barrier: it orders every lane's writes
+		// in this window before the merge/delivery the set performs next.
+		wg.Wait()
+		panicMu.Lock()
+		r := panicVal
+		panicMu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	})
+}
+
+// ShardWorkers divides a total worker budget between replication
+// parallelism and shard parallelism: it returns how many *replications*
+// may run concurrently when each replication internally runs
+// shardsPerRun lanes in parallel, so that replications × lanes never
+// oversubscribes the budget. The result is at least 1 — shard
+// parallelism narrows replication parallelism, it never blocks it.
+func ShardWorkers(workers, shardsPerRun int) int {
+	w := Workers(workers)
+	if shardsPerRun < 1 {
+		shardsPerRun = 1
+	}
+	if n := w / shardsPerRun; n > 1 {
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,221 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func shardTickCfg(shards int) sim.ShardTickConfig {
+	return sim.ShardTickConfig{
+		CPUs:      8,
+		Shards:    shards,
+		Lookahead: 20 * sim.Microsecond,
+		Period:    5 * sim.Microsecond,
+		IPIEvery:  3,
+		Seed:      0x7e57,
+	}
+}
+
+// TestRunShardedMatchesSerial is the concurrent half of the
+// serial-vs-sharded oracle: the shard-tick scenario run by the worker
+// pool — at every worker count, including oversubscribed — must
+// reproduce the single-threaded result bit-for-bit. Under `go test
+// -race` this doubles as the proof that lanes share nothing inside a
+// window.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	until := sim.Time(20 * sim.Millisecond)
+	serialSet, serialCollect := sim.NewShardTick(shardTickCfg(4))
+	serialSet.Run(until)
+	want := serialCollect()
+	if want.Ticks == 0 || want.IPIs == 0 {
+		t.Fatalf("degenerate reference run: %+v", want)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		set, collect := sim.NewShardTick(shardTickCfg(4))
+		if got := RunSharded(set, until, workers); got != until {
+			t.Fatalf("workers=%d: RunSharded returned %v, want %v", workers, got, until)
+		}
+		if got := collect(); got != want {
+			t.Errorf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestRunShardedShardCountInvariance: worker-pool execution at shard
+// counts 1, 2, 4 all reproduce the serial shards=1 result.
+func TestRunShardedShardCountInvariance(t *testing.T) {
+	until := sim.Time(10 * sim.Millisecond)
+	refSet, refCollect := sim.NewShardTick(shardTickCfg(1))
+	refSet.Run(until)
+	want := refCollect()
+	for _, shards := range []int{1, 2, 4} {
+		set, collect := sim.NewShardTick(shardTickCfg(shards))
+		RunSharded(set, until, 0)
+		if got := collect(); got != want {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestRunShardedPanicPropagates: a lane panic (here: a cross-lane send
+// inside the lookahead, the canonical model bug) surfaces on the
+// caller's goroutine with its message intact, and the worker pool winds
+// down instead of deadlocking the barrier.
+func TestRunShardedPanicPropagates(t *testing.T) {
+	set := sim.NewShardSet(2, 10*sim.Microsecond, 1, sim.EngineOptions{})
+	l0 := set.Lane(0)
+	l0.Eng.Schedule(sim.Time(sim.Microsecond), func() {
+		l0.Send(1, l0.Eng.Now(), 0, func() {})
+	})
+	set.Lane(1).Eng.Schedule(sim.Time(sim.Microsecond), func() {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lane panic did not propagate")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lookahead") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	RunSharded(set, sim.Time(sim.Millisecond), 2)
+}
+
+// TestShardWorkersComposition: the budget split between replication and
+// shard parallelism never oversubscribes and never starves.
+func TestShardWorkersComposition(t *testing.T) {
+	cases := []struct {
+		workers, shards, want int
+	}{
+		{8, 4, 2},
+		{8, 2, 4},
+		{8, 8, 1},
+		{8, 16, 1}, // more lanes than budget: replications serialize
+		{4, 3, 1},
+		{1, 4, 1},
+		{9, 4, 2},
+		{8, 0, 8}, // degenerate shard count treated as serial
+	}
+	for _, tc := range cases {
+		if got := ShardWorkers(tc.workers, tc.shards); got != tc.want {
+			t.Errorf("ShardWorkers(%d, %d) = %d, want %d", tc.workers, tc.shards, got, tc.want)
+		}
+		if got := ShardWorkers(tc.workers, tc.shards); got*max(tc.shards, 1) > max(tc.workers, tc.shards) {
+			t.Errorf("ShardWorkers(%d, %d) = %d oversubscribes", tc.workers, tc.shards, got)
+		}
+	}
+}
+
+// TestMapSeededPooledZeroAndNegativeItems: n <= 0 returns nil without
+// spawning anything.
+func TestMapSeededPooledZeroAndNegativeItems(t *testing.T) {
+	calls := 0
+	for _, n := range []int{0, -3} {
+		got := MapSeededPooled(4, 1, n, func(i int, seed uint64, pool *sim.EventPool) int {
+			calls++
+			return i
+		})
+		if got != nil {
+			t.Fatalf("n=%d: got %v, want nil", n, got)
+		}
+	}
+	if calls != 0 {
+		t.Fatalf("fn called %d times for empty inputs", calls)
+	}
+}
+
+// TestMapSeededPooledWorkersExceedItems: more workers than items still
+// runs every item exactly once, in index order, each with a live pool.
+func TestMapSeededPooledWorkersExceedItems(t *testing.T) {
+	const n = 3
+	got := MapSeededPooled(16, 99, n, func(i int, seed uint64, pool *sim.EventPool) uint64 {
+		if pool == nil {
+			t.Error("nil pool")
+		}
+		if want := sim.DeriveSeed(99, uint64(i)); seed != want {
+			t.Errorf("item %d: seed %#x, want %#x", i, seed, want)
+		}
+		return seed ^ uint64(i)
+	})
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if want := sim.DeriveSeed(99, uint64(i)) ^ uint64(i); v != want {
+			t.Errorf("result[%d] = %#x, want %#x", i, v, want)
+		}
+	}
+}
+
+// TestMapSeededPooledWorkerCountEquivalence: the merged result slice is
+// bit-identical for workers 1 and N even when each replication drives a
+// real engine through the shared pool.
+func TestMapSeededPooledWorkerCountEquivalence(t *testing.T) {
+	run := func(workers int) []uint64 {
+		return MapSeededPooled(workers, 0x9001, 12, func(i int, seed uint64, pool *sim.EventPool) uint64 {
+			e := sim.NewEngineOpts(seed, sim.EngineOptions{Pool: pool})
+			var sum uint64
+			rng := e.RNG()
+			for j := 0; j < 50; j++ {
+				e.After(sim.Duration(1+rng.Intn(1000))*sim.Nanosecond, func() {
+					sum += uint64(e.Now()) * (uint64(j) + 1)
+				})
+			}
+			e.RunAll()
+			return sum
+		})
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, 7} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %#x, want %#x", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardParallelismPreservesSeedDerivation is the satellite's core
+// claim: running shard-parallel simulations *inside* replications does
+// not perturb the splitmix64 seed each replication receives, nor the
+// replication results — because lane seeds derive from the
+// replication's own seed (sim.DeriveSeed(repSeed, lane)), never from a
+// shared stream that concurrent lanes could race on.
+func TestShardParallelismPreservesSeedDerivation(t *testing.T) {
+	const base, n = 0xbead, 6
+	until := sim.Time(2 * sim.Millisecond)
+
+	runRep := func(shards, shardWorkers int) ([]uint64, []sim.ShardTickResult) {
+		seeds := make([]uint64, n)
+		results := MapSeeded(2, base, n, func(i int, seed uint64) sim.ShardTickResult {
+			seeds[i] = seed
+			cfg := shardTickCfg(shards)
+			cfg.Seed = seed
+			set, collect := sim.NewShardTick(cfg)
+			RunSharded(set, until, shardWorkers)
+			return collect()
+		})
+		return seeds, results
+	}
+
+	wantSeeds, wantResults := runRep(1, 1)
+	for i, s := range wantSeeds {
+		if want := sim.DeriveSeed(base, uint64(i)); s != want {
+			t.Fatalf("replication %d: seed %#x, want DeriveSeed %#x", i, s, want)
+		}
+	}
+	for _, tc := range []struct{ shards, workers int }{{2, 2}, {4, 4}, {4, ShardWorkers(0, 4)}} {
+		seeds, results := runRep(tc.shards, tc.workers)
+		for i := range wantSeeds {
+			if seeds[i] != wantSeeds[i] {
+				t.Errorf("shards=%d: replication %d seed %#x, want %#x", tc.shards, i, seeds[i], wantSeeds[i])
+			}
+			if results[i] != wantResults[i] {
+				t.Errorf("shards=%d workers=%d: replication %d diverged:\n got %+v\nwant %+v",
+					tc.shards, tc.workers, i, results[i], wantResults[i])
+			}
+		}
+	}
+}

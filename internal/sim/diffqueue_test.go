@@ -35,7 +35,14 @@ type diffMachine struct {
 }
 
 func newDiffMachine(kind QueueKind, salt uint64) *diffMachine {
-	m := &diffMachine{e: NewEngineOpts(7, EngineOptions{Queue: kind})}
+	return newDiffMachineOpts(EngineOptions{Queue: kind}, salt)
+}
+
+// newDiffMachineOpts is newDiffMachine for full engine options — the
+// sharded oracle (shard_test.go) uses it to pit heap against sharded
+// queues of every shard count.
+func newDiffMachineOpts(opts EngineOptions, salt uint64) *diffMachine {
+	m := &diffMachine{e: NewEngineOpts(7, opts)}
 	if salt != 0 {
 		m.e.PerturbTiebreaks(salt)
 	}
@@ -75,9 +82,13 @@ func (m *diffMachine) schedule(at Time, pinned bool) {
 	m.live = append(m.live, ev)
 }
 
-// exec interprets one op byte.
+// exec interprets one op byte. Every op also rotates the engine's
+// shard placement hint — a no-op for order on every queue kind (the
+// contract the sharded machines in shard_test.go are held to), and the
+// rotation spreads the sharded queue's nodes across all sub-queues.
 func (m *diffMachine) exec(op byte) {
 	arg := int(op >> 3)
+	m.e.SetShardHint(int(op%16) - 4) // negative hints included
 	switch op % 8 {
 	case 0: // near-future schedule (same ladder slot or next few)
 		m.schedule(m.e.Now().Add(Duration(arg)*Microsecond), false)

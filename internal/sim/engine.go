@@ -35,6 +35,13 @@ type Engine struct {
 	// san is the build-tag-gated sanitizer state: a zero-size no-op
 	// under the default build, shadow-check state under -tags simsan.
 	san sanState
+	// shardHint is the placement hint captured into every scheduled
+	// node (eventNode.shard). It is sticky: SetShardHint installs it,
+	// and dispatching an event re-installs that event's own hint so
+	// children inherit their parent's shard. Placement only routes
+	// nodes between the sharded queue's sub-queues — it is never part
+	// of eventOrder, so it cannot change results on any queue kind.
+	shardHint int32
 }
 
 // EngineOptions selects non-default engine internals. The zero value is
@@ -51,6 +58,18 @@ type EngineOptions struct {
 	// reference mode for the pooled-vs-alloc benchmarks. Ignored when
 	// Pool is set.
 	NoPool bool
+	// Shards is the sub-queue count when Queue is QueueSharded (0 means
+	// the package default, SetDefaultShardCount). Ignored by the other
+	// queue kinds. Negative values panic.
+	Shards int
+	// ShardLookahead is the minimum cross-shard event latency the model
+	// guarantees (kernel.Config.Lookahead derives it from the machine's
+	// IPI/wakeup/tick costs). The sharded queue's dispatch needs no
+	// lookahead to be correct — it merges shard heads under the full
+	// eventOrder — but the simsan shadow sanitizer uses it for the
+	// cross-shard causality check: no shard may pop an event further
+	// than the lookahead past another shard's earliest pending event.
+	ShardLookahead Duration
 }
 
 // NewEngine returns an engine at time 0 with an RNG seeded from seed,
@@ -77,7 +96,37 @@ func NewEngineOpts(seed uint64, opts EngineOptions) *Engine {
 			pool = NewEventPool()
 		}
 	}
-	return &Engine{q: newQueue(kind), kind: kind, pool: pool, rng: NewRNG(seed)}
+	if opts.Shards < 0 {
+		panic(fmt.Sprintf("sim: negative shard count %d", opts.Shards))
+	}
+	return &Engine{
+		q:    newQueue(kind, opts.Shards, opts.ShardLookahead),
+		kind: kind, pool: pool, rng: NewRNG(seed),
+	}
+}
+
+// SetShardHint installs the placement hint captured into subsequently
+// scheduled events. The hint is sticky until the next SetShardHint —
+// and dispatch re-installs the fired event's own hint, so events
+// scheduled from a callback inherit the callback's shard unless the
+// callback overrides it. On the sharded queue the hint picks the
+// sub-queue (modulo shard count); on every other queue kind it is
+// recorded but ignored. Placement is never part of eventOrder, so no
+// hint can change results.
+func (e *Engine) SetShardHint(s int) { e.shardHint = int32(s) }
+
+// ShardHint reports the current placement hint.
+func (e *Engine) ShardHint() int { return int(e.shardHint) }
+
+// NextEventTime returns the fire time of the earliest pending event,
+// or ok == false when nothing is pending. It drains lazily-cancelled
+// queue heads like any dispatch would, but never advances the clock.
+func (e *Engine) NextEventTime() (Time, bool) {
+	n := e.peekLive()
+	if n == nil {
+		return 0, false
+	}
+	return n.At, true
 }
 
 // QueueKind reports which queue implementation the engine runs on.
@@ -150,6 +199,7 @@ func (e *Engine) schedule(at Time, fn func(), pinned bool) Event {
 	n.seq = e.nextSeq
 	n.fn = fn
 	n.pinned = pinned
+	n.shard = e.shardHint
 	e.nextSeq++
 	e.q.push(n)
 	e.live++
@@ -254,6 +304,9 @@ func (e *Engine) fireHead() {
 	e.sanOnPop(n)
 	fn := n.fn
 	e.fired++
+	// Re-install the fired event's placement hint so events the callback
+	// schedules land on the same shard as their parent (see SetShardHint).
+	e.shardHint = n.shard
 	e.pool.put(n)
 	fn()
 }

@@ -93,6 +93,12 @@ type eventNode struct {
 	// //simlint:allow directive — each one documents the hardware
 	// arbitration it models.
 	pinned bool
+	// shard is the placement hint captured from Engine.SetShardHint at
+	// schedule time. It routes the node to a sub-queue when the engine
+	// runs on the sharded queue and is ignored everywhere else; it is
+	// never part of eventOrder, so placement can never change dispatch
+	// order.
+	shard int32
 }
 
 // eventOrder is the total dispatch order every queue implementation

@@ -24,8 +24,10 @@ func validateLadder(t *testing.T, e *Engine) {
 
 func TestLadderFarOverflowRoundTrip(t *testing.T) {
 	// Window is 256 slots of 2^16 ns ≈ 16.8 ms; schedule well past it so
-	// events park in the far heap, then drain in global order.
-	e := NewEngine(1)
+	// events park in the far heap, then drain in global order. The queue
+	// is pinned explicitly: these are ladder white-box tests and must not
+	// follow the process default (CI's sharded leg flips it).
+	e := NewEngineOpts(1, EngineOptions{Queue: QueueLadder})
 	var fired []Time
 	times := []Time{
 		Time(40 * Millisecond), Time(5 * Microsecond), Time(90 * Millisecond),
@@ -57,7 +59,7 @@ func TestLadderWindowWrapLap(t *testing.T) {
 	// A periodic timer stepping ~one slot per firing laps the circular
 	// bucket array several times; order and invariants must hold
 	// throughout. 1500 steps of 65 µs ≈ 96 ms ≈ 5.8 window laps.
-	e := NewEngine(1)
+	e := NewEngineOpts(1, EngineOptions{Queue: QueueLadder})
 	const steps = 1500
 	count := 0
 	var tick func()
@@ -81,7 +83,7 @@ func TestLadderRewindAfterIdleRun(t *testing.T) {
 	// Run(until) with only a far-future event peeks, which slides the
 	// window to that event's slot. Scheduling behind the window start
 	// afterwards must trigger a rewind, not a mis-ordered dispatch.
-	e := NewEngine(1)
+	e := NewEngineOpts(1, EngineOptions{Queue: QueueLadder})
 	var fired []Time
 	e.Schedule(Time(100*Millisecond), func() { fired = append(fired, e.Now()) })
 	e.Run(Time(50 * Millisecond)) // idle advance; window slid to the 100ms slot

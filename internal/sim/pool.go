@@ -90,6 +90,7 @@ func (p *EventPool) put(nd *eventNode) {
 	nd.fn = nil
 	nd.state = nodeFree
 	nd.pinned = false
+	nd.shard = 0
 	p.puts++
 	if !p.disabled {
 		p.free = append(p.free, nd)

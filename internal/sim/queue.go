@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // eventQueue is the priority-queue contract behind the engine. All
 // implementations must realise the same eventOrder total order — the
@@ -46,12 +50,21 @@ const (
 	// differential baseline and selectable for A/B runs
 	// (rtsim -queue heap, kernel.Config.EventQueue).
 	QueueHeap QueueKind = "heap"
+	// QueueSharded partitions the queue into per-shard ladder queues
+	// (one per simulated CPU or CPU group, routed by the engine's shard
+	// hint) merged at pop time under the same eventOrder total order.
+	// Pop sequences are bit-identical to the heap and the single ladder
+	// — the differential harness and FuzzShardedSchedule hold it to that
+	// — so like the other kinds it can never change a result. Selected
+	// by rtsim/reprocheck -engine=sharded -shards=N or
+	// kernel.Config.{EventQueue,EngineShards}.
+	QueueSharded QueueKind = "sharded"
 )
 
 // Valid reports whether k names a known implementation ("" means the
 // package default).
 func (k QueueKind) Valid() bool {
-	return k == "" || k == QueueLadder || k == QueueHeap
+	return k == "" || k == QueueLadder || k == QueueHeap || k == QueueSharded
 }
 
 // defaultQueueKind is the implementation behind engines that do not ask
@@ -82,16 +95,75 @@ func SetDefaultQueueKind(k QueueKind) {
 // default.
 func DefaultQueueKind() QueueKind { return defaultQueueKind }
 
-func newQueue(kind QueueKind) eventQueue {
+// defaultShardCount is the shard count behind engines that select the
+// sharded queue without an explicit EngineOptions.Shards. Like
+// defaultQueueKind it is a startup-only whole-program A/B selector
+// (rtsim -engine=sharded -shards=N) read exclusively at engine
+// construction.
+//
+//simlint:allow globalstate startup-only A/B selector written before any engine exists; every shard count realises the identical dispatch order (FuzzShardedSchedule), so no run can observe the value
+var defaultShardCount = 4
+
+// defaultEngineMode, when set via -ldflags "-X repro/internal/sim.defaultEngineMode=sharded:N",
+// switches the package default engine to the sharded queue with N
+// shards before any engine exists. It is how CI's sharded matrix leg
+// runs the whole test suite — golden hashes included — on the sharded
+// engine without touching any test.
+//
+//simlint:allow globalstate linker-injected startup constant, never written at runtime
+var defaultEngineMode string
+
+func init() {
+	mode := defaultEngineMode
+	if mode == "" {
+		return
+	}
+	rest, ok := strings.CutPrefix(mode, "sharded")
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown defaultEngineMode %q (want sharded[:N])", mode))
+	}
+	if n, found := strings.CutPrefix(rest, ":"); found {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			panic(fmt.Sprintf("sim: bad shard count in defaultEngineMode %q", mode))
+		}
+		SetDefaultShardCount(v)
+	} else if rest != "" {
+		panic(fmt.Sprintf("sim: unknown defaultEngineMode %q (want sharded[:N])", mode))
+	}
+	SetDefaultQueueKind(QueueSharded)
+}
+
+// SetDefaultShardCount selects the shard count for engines that pick
+// the sharded queue without an explicit EngineOptions.Shards. Call it
+// only at startup, before any engine exists; n must be at least 1.
+func SetDefaultShardCount(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: shard count must be >= 1, got %d", n))
+	}
+	defaultShardCount = n
+}
+
+// DefaultShardCount reports the shard count sharded-queue engines get
+// by default.
+func DefaultShardCount() int { return defaultShardCount }
+
+func newQueue(kind QueueKind, shards int, lookahead Duration) eventQueue {
 	switch kind {
 	case "":
 		kind = defaultQueueKind
-	case QueueLadder, QueueHeap:
+	case QueueLadder, QueueHeap, QueueSharded:
 	default:
 		panic(fmt.Sprintf("sim: unknown queue kind %q", kind))
 	}
-	if kind == QueueHeap {
+	switch kind {
+	case QueueHeap:
 		return newRefHeap()
+	case QueueSharded:
+		if shards <= 0 {
+			shards = defaultShardCount
+		}
+		return newShardedQueue(shards, lookahead)
 	}
 	return newLadderQueue()
 }

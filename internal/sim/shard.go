@@ -1,0 +1,191 @@
+package sim
+
+import "fmt"
+
+// shardedQueue partitions the pending set across per-shard ladder
+// queues — one per simulated CPU or CPU group, selected by the node's
+// placement hint (Engine.SetShardHint) — and merges the shard heads at
+// dispatch time under the full eventOrder.
+//
+// The merge is the whole correctness story: every pop takes the global
+// eventOrder minimum over all shard heads, so the pop sequence is
+// bit-identical to the single ladder and the reference heap for every
+// shard count and every placement of events — placement routes storage,
+// never order. The differential harness (FuzzShardedSchedule) and the
+// figure-level A/B (internal/core shardab_test.go) hold it to that.
+//
+// What sharding buys: each shard is a private ladder whose window
+// slides at its own CPU's event density, so a busy housekeeping CPU's
+// timer clusters never share buckets with a shielded CPU's sparse
+// deadline stream — bucket sorts stay small and per-shard. It is also
+// the structural basis for windowed parallel execution (ShardSet):
+// within a conservative lookahead window the per-shard sub-queues are
+// causally independent and can be drained concurrently.
+//
+// The merge scan is O(shards) per peek/pop with a cached minimum-shard
+// index, and shard counts are small (one per simulated CPU group), so
+// the constant is a handful of pointer compares. The hot path stays
+// allocation-free: shards are ladder queues and the scan uses no
+// scratch storage.
+type shardedQueue struct {
+	ord    eventOrder
+	shards []*ladderQueue
+	// lookahead is the model's guaranteed minimum cross-shard event
+	// latency (kernel.Config.Lookahead). The merge needs none of it —
+	// it realises exact global order — but the simsan build uses it to
+	// check the conservative-parallel causality contract on every pop:
+	// no shard head may be overtaken by more than the lookahead. A
+	// violation means a cross-shard event was scheduled closer than the
+	// config's minimum IPI/wakeup latency, i.e. the window logic built
+	// on this queue would not be safe to parallelise.
+	lookahead Duration
+	size      int
+	// minShard caches which shard holds the global minimum; -1 means
+	// stale (recompute on next peek/pop). Valid only between a peek and
+	// the operation that consumes or invalidates it.
+	minShard int
+}
+
+func newShardedQueue(shards int, lookahead Duration) *shardedQueue {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: sharded queue needs >= 1 shard, got %d", shards))
+	}
+	q := &shardedQueue{
+		shards:    make([]*ladderQueue, shards),
+		lookahead: lookahead,
+		minShard:  -1,
+	}
+	for i := range q.shards {
+		q.shards[i] = newLadderQueue()
+	}
+	return q
+}
+
+// shardOf maps a placement hint onto a shard index. Hints are arbitrary
+// ints (CPU IDs, entity IDs, negative sentinels); the Euclidean modulo
+// keeps every hint valid rather than forcing callers to know the count.
+func (q *shardedQueue) shardOf(hint int32) int {
+	idx := int(hint) % len(q.shards)
+	if idx < 0 {
+		idx += len(q.shards)
+	}
+	return idx
+}
+
+func (q *shardedQueue) push(n *eventNode) {
+	q.shards[q.shardOf(n.shard)].push(n)
+	q.size++
+	q.minShard = -1
+}
+
+// scanMin recomputes the minimum-holding shard index, or -1 when empty.
+// ord.less is a strict total order (seq is unique per engine), so the
+// scan has exactly one answer regardless of shard visit order.
+func (q *shardedQueue) scanMin() int {
+	min := -1
+	var head *eventNode
+	for i, s := range q.shards {
+		h := s.peek()
+		if h == nil {
+			continue
+		}
+		if head == nil || q.ord.less(h, head) {
+			min, head = i, h
+		}
+	}
+	return min
+}
+
+func (q *shardedQueue) peek() *eventNode {
+	if q.minShard < 0 {
+		q.minShard = q.scanMin()
+	}
+	if q.minShard < 0 {
+		return nil
+	}
+	return q.shards[q.minShard].peek()
+}
+
+func (q *shardedQueue) pop() *eventNode {
+	if q.minShard < 0 {
+		q.minShard = q.scanMin()
+	}
+	if q.minShard < 0 {
+		return nil
+	}
+	n := q.shards[q.minShard].pop()
+	q.size--
+	q.minShard = -1
+	if SanitizerEnabled() {
+		q.sanCheckCausality(n)
+	}
+	return n
+}
+
+// sanCheckCausality enforces the conservative-parallel contract behind
+// the sharded engine under -tags simsan: when the model declares a
+// minimum cross-shard latency (lookahead > 0), no shard may hold a
+// pending event more than that latency behind an event another shard
+// just dispatched. Equivalently, the global minimum never trails the
+// popped event by more than the lookahead — which is exactly the
+// precondition that makes a lookahead window of independent per-shard
+// execution safe.
+func (q *shardedQueue) sanCheckCausality(popped *eventNode) {
+	if q.lookahead <= 0 || popped == nil {
+		return
+	}
+	for i, s := range q.shards {
+		h := s.peek()
+		if h != nil && h.state == nodePending && popped.At > h.At.Add(q.lookahead) {
+			panic(fmt.Sprintf(
+				"simsan: cross-shard causality violation: popped event at %v is past shard %d's committed horizon (head %v + lookahead %v)",
+				popped.At, i, h.At, q.lookahead))
+		}
+	}
+}
+
+func (q *shardedQueue) len() int { return q.size }
+
+func (q *shardedQueue) setSalt(salt uint64) {
+	q.ord.salt = salt
+	for _, s := range q.shards {
+		s.setSalt(salt)
+	}
+	q.minShard = -1
+}
+
+func (q *shardedQueue) each(fn func(*eventNode)) {
+	for _, s := range q.shards {
+		s.each(fn)
+	}
+}
+
+func (q *shardedQueue) validate(fail func(string)) {
+	total := 0
+	for i, s := range q.shards {
+		s.validate(func(msg string) { fail(fmt.Sprintf("shard %d: %s", i, msg)) })
+		total += s.len()
+	}
+	if total != q.size {
+		fail(fmt.Sprintf("sharded: size %d != sum of shard sizes %d", q.size, total))
+		return
+	}
+	if q.minShard >= 0 {
+		if q.minShard >= len(q.shards) {
+			fail(fmt.Sprintf("sharded: cached min shard %d out of range (%d shards)", q.minShard, len(q.shards)))
+			return
+		}
+		cached := q.shards[q.minShard].peek()
+		if cached == nil {
+			fail(fmt.Sprintf("sharded: cached min shard %d is empty", q.minShard))
+			return
+		}
+		for i, s := range q.shards {
+			if h := s.peek(); h != nil && q.ord.less(h, cached) {
+				fail(fmt.Sprintf("sharded: cached min shard %d (head at %v) beaten by shard %d (head at %v)",
+					q.minShard, cached.At, i, h.At))
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import "testing"
+
+// Serial-vs-sharded differential oracle, queue level: the sharded queue
+// at every shard count must realise the exact dispatch sequence of the
+// reference heap — same clocks, same pending counts after every op,
+// same full (slot, fire time) trace — for any op stream and any
+// tie-break salt. diffRunSharded reuses the heap-vs-ladder lockstep
+// machinery (diffqueue_test.go) with sharded machines at shard counts
+// 1..4 all marching against one heap reference.
+
+func diffRunSharded(t *testing.T, ops []byte, salt uint64, shardCounts ...int) {
+	t.Helper()
+	if len(ops) > 512 {
+		ops = ops[:512]
+	}
+	ref := newDiffMachine(QueueHeap, salt)
+	machines := make([]*diffMachine, len(shardCounts))
+	for i, n := range shardCounts {
+		machines[i] = newDiffMachineOpts(EngineOptions{
+			Queue: QueueSharded, Shards: n, ShardLookahead: 50 * Microsecond,
+		}, salt)
+	}
+	for i, op := range ops {
+		ref.exec(op)
+		for j, m := range machines {
+			m.exec(op)
+			if ref.e.Now() != m.e.Now() {
+				t.Fatalf("op %d (%#x): clocks diverged: heap %v, sharded/%d %v",
+					i, op, ref.e.Now(), shardCounts[j], m.e.Now())
+			}
+			if ref.e.Pending() != m.e.Pending() {
+				t.Fatalf("op %d (%#x): pending diverged: heap %d, sharded/%d %d",
+					i, op, ref.e.Pending(), shardCounts[j], m.e.Pending())
+			}
+		}
+	}
+	ref.e.RunAll()
+	for j, m := range machines {
+		m.e.RunAll()
+		if ref.e.Fired() != m.e.Fired() {
+			t.Fatalf("fired diverged: heap %d, sharded/%d %d", ref.e.Fired(), shardCounts[j], m.e.Fired())
+		}
+		if len(ref.fires) != len(m.fires) {
+			t.Fatalf("trace length diverged: heap %d, sharded/%d %d",
+				len(ref.fires), shardCounts[j], len(m.fires))
+		}
+		for i := range ref.fires {
+			if ref.fires[i] != m.fires[i] {
+				t.Fatalf("dispatch %d diverged: heap fired slot %d at %v, sharded/%d slot %d at %v",
+					i, ref.fires[i].slot, ref.fires[i].at, shardCounts[j], m.fires[i].slot, m.fires[i].at)
+			}
+		}
+	}
+}
+
+// FuzzShardedSchedule is the serial-vs-sharded fuzz oracle: arbitrary
+// op streams (schedules near/far/pinned, same-instant bursts, cancels,
+// reschedules, dispatch, idle runs — plus the shard-hint rotation every
+// op applies) under arbitrary salts and shard counts, heap vs sharded
+// in lockstep, failing on the first divergent pop. The seeded corpus
+// (testdata/fuzz/FuzzShardedSchedule) pins the structurally interesting
+// paths per shard count; CI's fuzz smoke extends from there.
+func FuzzShardedSchedule(f *testing.F) {
+	f.Add([]byte{0x00, 0x08, 0x10, 0x18}, uint64(0), uint8(2))
+	// Same-instant bursts across rotating shard hints, salted: the ties
+	// land on different sub-queues and must still merge in key order.
+	f.Add([]byte{0x23, 0x23, 0x23, 0x06}, uint64(0xdeadbeef), uint8(4))
+	// Far-heap overflow inside each shard, then drain.
+	f.Add([]byte{0xf9, 0xf1, 0xe9, 0x01, 0x1e}, uint64(3), uint8(3))
+	// Idle run past queued slots then near schedule: every shard's
+	// ladder takes the rewind path.
+	f.Add([]byte{0xf9, 0xff, 0x00, 0x08, 0x1e}, uint64(0), uint8(4))
+	// Cancel/reschedule churn: lazily-cancelled nodes drain through the
+	// merge scan.
+	f.Add([]byte{0x00, 0x04, 0x04, 0x0c, 0x05, 0x0d, 0x16}, uint64(42), uint8(1))
+	f.Fuzz(func(t *testing.T, ops []byte, salt uint64, shards uint8) {
+		diffRunSharded(t, ops, salt, 1+int(shards)%5)
+	})
+}
+
+// TestShardedQueueScenarios replays the corpus-style scenarios against
+// shard counts 1, 2, 3 and 4 at once, so plain `go test` covers the
+// oracle without the fuzz engine.
+func TestShardedQueueScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		ops  []byte
+		salt uint64
+	}{
+		{"near_schedules", []byte{0x00, 0x08, 0x10, 0x18, 0x1e}, 0},
+		{"equal_instant_pinned_mix", []byte{0x23, 0x2b, 0x23, 0x1a, 0x06}, 0xdeadbeef},
+		{"far_overflow", []byte{0xf9, 0xf1, 0xe9, 0xd9, 0x01, 0x1e}, 3},
+		{"rewind_after_idle_run", []byte{0xf9, 0xff, 0x00, 0x08, 0x1e}, 0},
+		{"cancel_churn", []byte{0x00, 0x04, 0x04, 0x0c, 0x05, 0x0d, 0x16, 0x1e}, 42},
+		{"kitchen_sink_salted", []byte{0x23, 0xf9, 0x0c, 0x2b, 0xff, 0x08, 0x05, 0x16, 0x1e, 0x23}, 0x5eed},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) { diffRunSharded(t, sc.ops, sc.salt, 1, 2, 3, 4) })
+	}
+}
+
+// TestShardedQueueDenseRandomStream is the standing fuzz approximation:
+// a long fixed-seed op stream against all shard counts, salted and not.
+func TestShardedQueueDenseRandomStream(t *testing.T) {
+	rng := NewRNG(0x5a4d)
+	ops := make([]byte, 2000)
+	for i := range ops {
+		ops[i] = byte(rng.Uint64())
+	}
+	diffRunSharded(t, ops, 0, 1, 2, 3, 4)
+	diffRunSharded(t, ops, 0x9e3779b9, 1, 2, 3, 4)
+}
+
+// shardTickBase is the reference scenario configuration for the
+// ShardSet-level tests below.
+func shardTickBase() ShardTickConfig {
+	return ShardTickConfig{
+		CPUs:      8,
+		Shards:    1,
+		Lookahead: 20 * Microsecond,
+		Period:    5 * Microsecond,
+		IPIEvery:  3,
+		Seed:      0x7e57,
+	}
+}
+
+func runShardTick(cfg ShardTickConfig, until Time) ShardTickResult {
+	set, collect := NewShardTick(cfg)
+	set.Run(until)
+	return collect()
+}
+
+// TestShardSetShardCountInvariance is the ShardSet-level oracle: the
+// shard-tick scenario's complete observable output — checksum, event
+// counts, window count — is bit-identical for shard counts 1, 2, 4 (and
+// a deliberately non-dividing 3).
+func TestShardSetShardCountInvariance(t *testing.T) {
+	until := Time(20 * Millisecond)
+	want := runShardTick(shardTickBase(), until)
+	if want.Ticks == 0 || want.IPIs == 0 {
+		t.Fatalf("degenerate reference run: %+v", want)
+	}
+	if want.Events != want.Ticks+want.IPIs {
+		t.Fatalf("events %d != ticks %d + ipis %d", want.Events, want.Ticks, want.IPIs)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		cfg := shardTickBase()
+		cfg.Shards = shards
+		if got := runShardTick(cfg, until); got != want {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardSetExecutorOrderInvariance runs the same scenario with a
+// hostile executor — jobs in reverse order, then in an interleaved
+// order — and requires the serial result. Lanes share nothing inside a
+// window, so execution order must be unobservable; this is the
+// single-threaded proof backing runner.RunSharded's concurrent
+// executor (whose goroutine-level test lives in internal/runner).
+func TestShardSetExecutorOrderInvariance(t *testing.T) {
+	until := Time(20 * Millisecond)
+	cfg := shardTickBase()
+	cfg.Shards = 4
+	want := runShardTick(cfg, until)
+
+	execs := map[string]func([]func()){
+		"reverse": func(jobs []func()) {
+			for i := len(jobs) - 1; i >= 0; i-- {
+				jobs[i]()
+			}
+		},
+		"odds_then_evens": func(jobs []func()) {
+			for i := 1; i < len(jobs); i += 2 {
+				jobs[i]()
+			}
+			for i := 0; i < len(jobs); i += 2 {
+				jobs[i]()
+			}
+		},
+	}
+	for name, exec := range execs {
+		set, collect := NewShardTick(cfg)
+		set.RunExec(until, exec)
+		if got := collect(); got != want {
+			t.Errorf("%s executor diverged:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestShardSetPerturbationInvariance: the scenario is declared
+// perturbation-invariant (same-instant effects commute), so every salt
+// must reproduce the salt-0 result at every shard count.
+func TestShardSetPerturbationInvariance(t *testing.T) {
+	until := Time(10 * Millisecond)
+	want := runShardTick(shardTickBase(), until)
+	for _, shards := range []int{1, 2, 4} {
+		for _, salt := range []uint64{1, 0xdeadbeef, 0x5eed} {
+			cfg := shardTickBase()
+			cfg.Shards = shards
+			cfg.Salt = salt
+			if got := runShardTick(cfg, until); got != want {
+				t.Errorf("shards=%d salt=%#x diverged:\n got %+v\nwant %+v", shards, salt, got, want)
+			}
+		}
+	}
+}
+
+// TestShardSetDegenerateLookahead: a non-positive lookahead (a machine
+// with no cross-CPU latency floor) must fall back to one serially-run
+// lane — same totals as a real serial run, no deadlock, no livelock —
+// rather than attempt a zero-width window.
+func TestShardSetDegenerateLookahead(t *testing.T) {
+	for _, la := range []Duration{0, -Microsecond} {
+		cfg := shardTickBase()
+		cfg.Shards = 4
+		cfg.Lookahead = la
+		set, collect := NewShardTick(cfg)
+		if set.Shards() != 1 {
+			t.Fatalf("lookahead %v: got %d lanes, want 1 (serial fallback)", la, set.Shards())
+		}
+		set.Run(Time(5 * Millisecond))
+		r := collect()
+		if r.Ticks == 0 {
+			t.Fatalf("lookahead %v: serial fallback ran no ticks", la)
+		}
+	}
+}
+
+// TestShardSetSendLookaheadViolation: a cross-lane send closer than the
+// lookahead is the exact bug that would let parallel and serial
+// schedules diverge, so Send refuses it loudly in every build (not just
+// under simsan).
+func TestShardSetSendLookaheadViolation(t *testing.T) {
+	set := NewShardSet(2, 10*Microsecond, 1, EngineOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-lane send inside the lookahead did not panic")
+		}
+	}()
+	set.Lane(0).Send(1, Time(5*Microsecond), 0, func() {})
+}
+
+// TestShardSetSharedPoolPanics: lanes may run on different goroutines,
+// so a pool shared across lanes is an ownership bug caught at
+// construction.
+func TestShardSetSharedPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shared pool across lanes did not panic")
+		}
+	}()
+	NewShardSet(2, 10*Microsecond, 1, EngineOptions{Pool: NewEventPool()})
+}
+
+// TestShardedQueueRoutesByHint checks the storage side of placement:
+// hints (including negative and out-of-range ones) land nodes on the
+// expected sub-queue, while pops still drain in global order.
+func TestShardedQueueRoutesByHint(t *testing.T) {
+	e := NewEngineOpts(1, EngineOptions{Queue: QueueSharded, Shards: 3})
+	sq, ok := e.q.(*shardedQueue)
+	if !ok {
+		t.Fatalf("engine queue is %T, want *shardedQueue", e.q)
+	}
+	hints := []int{0, 1, 2, 3, -1, -5, 7}
+	for i, h := range hints {
+		e.SetShardHint(h)
+		e.Schedule(Time(i+1)*Time(Microsecond), func() {})
+	}
+	counts := make([]int, 3)
+	for i, s := range sq.shards {
+		counts[i] = s.len()
+	}
+	// Euclidean modulo: 0,1,2,0,2,1,1 → shard 0: {0,3}, 1: {1,-5,7}, 2: {2,-1}.
+	if counts[0] != 2 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("shard occupancy %v, want [2 3 2]", counts)
+	}
+	var last Time = -1
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("clock regressed to %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+	}
+	if e.Fired() != uint64(len(hints)) {
+		t.Fatalf("fired %d, want %d", e.Fired(), len(hints))
+	}
+}
+
+// TestShardSetWindowsAdvance sanity-checks the window protocol itself:
+// a multi-window run completes, counts windows, and every lane's clock
+// lands exactly on until.
+func TestShardSetWindowsAdvance(t *testing.T) {
+	cfg := shardTickBase()
+	cfg.Shards = 4
+	set, _ := NewShardTick(cfg)
+	until := Time(2 * Millisecond)
+	if got := set.Run(until); got != until {
+		t.Fatalf("Run returned %v, want %v", got, until)
+	}
+	if set.Windows() == 0 {
+		t.Fatal("no lookahead windows completed")
+	}
+	for i := 0; i < set.Shards(); i++ {
+		if now := set.Lane(i).Eng.Now(); now != until {
+			t.Fatalf("lane %d clock %v, want %v", i, now, until)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import "fmt"
+
+// ShardSet is the conservative-parallel execution layer over the
+// sharded engine: N lanes, each a full Engine owning one shard-confined
+// partition of the model, advancing in lockstep lookahead windows with
+// cross-lane events carried by mailboxes.
+//
+// The window protocol is classic conservative PDES specialised to a
+// fixed lookahead L (the model's guaranteed minimum cross-lane event
+// latency — for the kernel model, kernel.Config.Lookahead derives it
+// from the cheapest cross-CPU interaction: idle-exit kick, wakeup,
+// tick):
+//
+//  1. Deliver all buffered cross-lane messages (sorted into the
+//     deterministic mailbox order, see sortMsgs).
+//  2. Let tmin = the earliest pending event across all lanes. Every
+//     event in [tmin, tmin+L) is causally independent across lanes: a
+//     cross-lane message generated inside the window cannot arrive
+//     before tmin+L, because Send enforces at >= now+L.
+//  3. Run every lane to the window end — serially, or concurrently via
+//     an injected executor (runner.RunSharded; this package is
+//     single-threaded by decree of the nondeterminism linter, so the
+//     goroutines live in internal/runner).
+//  4. Barrier; repeat.
+//
+// Determinism does not come from the execution order of lanes — they
+// share nothing while a window runs — but from three properties, each
+// enforced rather than assumed:
+//
+//   - Lane confinement: a lane's engine, RNG, pool, and model state are
+//     touched only by that lane's events. Sharing a pool across lanes
+//     panics at construction.
+//   - Lookahead discipline: Lane.Send panics (always, not just under
+//     simsan) when a cross-lane event would arrive closer than the
+//     lookahead — the exact violation that would make the parallel
+//     schedule diverge from the serial one.
+//   - Deterministic merge: buffered messages deliver in
+//     (at, key, fromLane, fromSeq) order, so the destination lane's
+//     scheduling sequence — and therefore its tie-break seqs — is
+//     identical whatever order lanes produced the messages in.
+//
+// Window boundaries are pure functions of global event times, so runs
+// with different worker counts (or none) produce bit-identical
+// timelines; the shard_test.go invariance suite and the benchjson
+// serial-vs-sharded entry both lean on that.
+//
+// A lookahead <= 0 (degenerate config: a machine whose cross-CPU
+// latency floor is zero) cannot support a parallel window — NewShardSet
+// falls back to a single lane executed serially, never a deadlocked or
+// livelocked barrier. Table-driven tests in internal/kernel pin that.
+type ShardSet struct {
+	lanes     []*Lane
+	lookahead Duration
+	// mail is the cross-lane buffer, drained and delivered at window
+	// edges; the slice is reused across windows.
+	mail []shardMsg
+	// windows counts completed lookahead windows, for diagnostics.
+	windows uint64
+}
+
+// Lane is one shard of a ShardSet: a private engine plus the send-side
+// of the mailbox. Model code running on a lane schedules local events
+// directly on Eng and cross-lane events through Send.
+type Lane struct {
+	// Eng is the lane's private engine. Local (same-lane) scheduling
+	// goes straight to it.
+	Eng *Engine
+	set *ShardSet
+	id  int
+	// sent counts this lane's outgoing messages; the per-message
+	// sequence number makes the mailbox merge order total.
+	sent uint64
+	// out is the lane-private outgoing buffer, merged into set.mail at
+	// the window barrier (never touched while other lanes run).
+	out []shardMsg
+}
+
+// shardMsg is one buffered cross-lane event.
+type shardMsg struct {
+	at Time
+	// key orders same-instant deliveries before lane/seq do; callers
+	// use stable model identities (CPU IDs, entity IDs) so the order is
+	// invariant under both lane count and worker count.
+	key uint64
+	// fromLane/fromSeq complete the total order and make the merge
+	// deterministic even for duplicate keys.
+	fromLane int
+	fromSeq  uint64
+	to       int
+	fn       func()
+}
+
+// NewShardSet builds lanes with engines seeded from DeriveSeed(seed,
+// lane) — the same splitmix64 stream-splitting discipline the
+// replication runner uses — and the given engine options applied to
+// every lane. A non-positive lookahead degrades to one serially-run
+// lane. Sharing one pool across several lanes is an ownership bug
+// (lanes may run on different goroutines) and panics.
+func NewShardSet(shards int, lookahead Duration, seed uint64, opts EngineOptions) *ShardSet {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard set needs >= 1 lane, got %d", shards))
+	}
+	if lookahead <= 0 {
+		// Degenerate model: no cross-lane latency floor, so no window is
+		// safe. One lane, serial execution, Send becomes direct schedule.
+		shards = 1
+	}
+	if opts.Pool != nil && shards > 1 {
+		panic("sim: shard lanes cannot share an event pool")
+	}
+	s := &ShardSet{lookahead: lookahead}
+	s.lanes = make([]*Lane, shards)
+	for i := range s.lanes {
+		s.lanes[i] = &Lane{
+			Eng: NewEngineOpts(DeriveSeed(seed, uint64(i)), opts),
+			set: s,
+			id:  i,
+		}
+	}
+	return s
+}
+
+// Shards reports the lane count.
+func (s *ShardSet) Shards() int { return len(s.lanes) }
+
+// Lookahead reports the cross-lane latency floor the set was built with.
+func (s *ShardSet) Lookahead() Duration { return s.lookahead }
+
+// Windows reports how many lookahead windows have completed.
+func (s *ShardSet) Windows() uint64 { return s.windows }
+
+// Lane returns lane i.
+func (s *ShardSet) Lane(i int) *Lane { return s.lanes[i] }
+
+// PerturbTiebreaks forwards the tie-break perturbation to every lane;
+// like Engine.PerturbTiebreaks it must precede any scheduling.
+func (s *ShardSet) PerturbTiebreaks(salt uint64) {
+	for _, l := range s.lanes {
+		l.Eng.PerturbTiebreaks(salt)
+	}
+}
+
+// ID reports the lane's index within its set.
+func (l *Lane) ID() int { return l.id }
+
+// Send schedules fn at time at on lane to. Same-lane sends are plain
+// schedules. Cross-lane sends must respect the lookahead — at least
+// lookahead past the sender's clock — and are buffered until the next
+// window barrier, where every lane's buffer merges into one
+// deterministic delivery order keyed by (at, key, sender lane, send
+// seq). key must be a stable model identity (CPU ID, entity ID): two
+// logically distinct same-instant senders with the same key would fall
+// back to lane/seq order, which is only lane-count-invariant when keys
+// are unique.
+func (l *Lane) Send(to int, at Time, key uint64, fn func()) {
+	if to < 0 || to >= len(l.set.lanes) {
+		panic(fmt.Sprintf("sim: send to lane %d of %d", to, len(l.set.lanes)))
+	}
+	if fn == nil {
+		panic("sim: send nil callback")
+	}
+	if to == l.id {
+		l.Eng.Schedule(at, fn)
+		return
+	}
+	if l.set.lookahead > 0 && at < l.Eng.Now().Add(l.set.lookahead) {
+		panic(fmt.Sprintf(
+			"sim: cross-shard send from lane %d at %v for %v violates lookahead %v (earliest legal arrival %v)",
+			l.id, l.Eng.Now(), at, l.set.lookahead, l.Eng.Now().Add(l.set.lookahead)))
+	}
+	l.out = append(l.out, shardMsg{at: at, key: key, fromLane: l.id, fromSeq: l.sent, to: to, fn: fn})
+	l.sent++
+}
+
+// deliver merges every lane's outgoing buffer, sorts it into the
+// deterministic delivery order, and schedules each message on its
+// destination lane. Delivery in the past (a message whose at fell
+// behind the destination clock) is a causality violation the window
+// protocol exists to prevent, so Engine.Schedule's past-check doubles
+// as the receiver-side audit.
+func (s *ShardSet) deliver() {
+	s.mail = s.mail[:0]
+	for _, l := range s.lanes {
+		s.mail = append(s.mail, l.out...)
+		for i := range l.out {
+			l.out[i].fn = nil
+		}
+		l.out = l.out[:0]
+	}
+	if len(s.mail) == 0 {
+		return
+	}
+	sortMsgs(s.mail)
+	for i := range s.mail {
+		m := &s.mail[i]
+		dst := s.lanes[m.to]
+		// The destination engine stamps the event with its own shard
+		// hint; deliveries belong to the destination lane.
+		dst.Eng.SetShardHint(m.to)
+		dst.Eng.Schedule(m.at, m.fn)
+		m.fn = nil
+	}
+}
+
+// msgLess is the total delivery order: (at, key, sender lane, sender
+// seq). fromLane/fromSeq never tie between distinct messages, so the
+// order is strict.
+func msgLess(a, b *shardMsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.fromLane != b.fromLane {
+		return a.fromLane < b.fromLane
+	}
+	return a.fromSeq < b.fromSeq
+}
+
+// sortMsgs sorts messages by msgLess without allocating (insertion
+// sort; window batches are small — one message per cross-lane
+// interaction per window).
+func sortMsgs(msgs []shardMsg) {
+	for i := 1; i < len(msgs); i++ {
+		m := msgs[i]
+		j := i - 1
+		for j >= 0 && msgLess(&m, &msgs[j]) {
+			msgs[j+1] = msgs[j]
+			j--
+		}
+		msgs[j+1] = m
+	}
+}
+
+// nextWindow computes the next window [tmin, end] against until, after
+// delivering pending mail. ok is false when nothing is pending at or
+// before until.
+func (s *ShardSet) nextWindow(until Time) (end Time, ok bool) {
+	s.deliver()
+	var tmin Time
+	have := false
+	for _, l := range s.lanes {
+		if t, pending := l.Eng.NextEventTime(); pending && (!have || t < tmin) {
+			tmin, have = t, true
+		}
+	}
+	if !have || tmin > until {
+		return 0, false
+	}
+	// Events in [tmin, tmin+lookahead) are causally independent across
+	// lanes; Run's until is inclusive, hence the -1.
+	end = tmin.Add(s.lookahead) - 1
+	if end > until || s.lookahead <= 0 {
+		end = until
+	}
+	return end, true
+}
+
+// Run advances every lane to until, serially. It is RunExec with the
+// trivial executor and exists so single-threaded callers (tests, the
+// serial leg of A/B runs) need no runner import.
+func (s *ShardSet) Run(until Time) Time {
+	return s.RunExec(until, func(jobs []func()) {
+		for _, j := range jobs {
+			j()
+		}
+	})
+}
+
+// RunExec advances every lane to until using exec to run one window's
+// worth of per-lane jobs. exec must run every job exactly once and
+// return only when all are done (the barrier); beyond that it is free
+// to run them on any goroutines in any order — the jobs share nothing.
+// runner.RunSharded supplies the concurrent executor.
+//
+// The returned time is until (all lanes' clocks land there).
+func (s *ShardSet) RunExec(until Time, exec func(jobs []func())) Time {
+	// Lane jobs are prebound closures reused every window: the per-window
+	// hot path allocates nothing.
+	jobs := make([]func(), len(s.lanes))
+	ends := make([]Time, len(s.lanes))
+	for i, l := range s.lanes {
+		i, eng := i, l.Eng
+		jobs[i] = func() { eng.Run(ends[i]) }
+	}
+	for {
+		end, ok := s.nextWindow(until)
+		if !ok {
+			break
+		}
+		for i := range ends {
+			ends[i] = end
+		}
+		exec(jobs)
+		s.windows++
+		for _, l := range s.lanes {
+			if now := l.Eng.Now(); now > end {
+				panic(fmt.Sprintf("sim: lane %d ran to %v, past window end %v", l.id, now, end))
+			}
+		}
+	}
+	// Drain the tail: mail scheduled in the final window, then advance
+	// every clock to until exactly.
+	s.deliver()
+	for _, l := range s.lanes {
+		l.Eng.Run(until)
+	}
+	return until
+}

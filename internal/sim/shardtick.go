@@ -1,0 +1,160 @@
+package sim
+
+// Shard-tick scenario: the canonical shard-confined workload behind the
+// serial-vs-sharded differential oracle and the BENCH_engine.json
+// serial-vs-sharded entry.
+//
+// N simulated CPUs each run a jittered local timer; every IPIEvery-th
+// tick a CPU raises an IPI to its ring neighbour, arriving exactly one
+// lookahead later — the minimum legal cross-shard latency, i.e. the
+// hardest case for the window protocol. Each CPU folds its activity
+// into a checksum built only from lane-invariant inputs:
+//
+//   - its own ID and per-event counters,
+//   - the engine clock at dispatch (event *times* are placement-
+//     independent; only storage routing varies),
+//   - its private RNG stream, seeded DeriveSeed(seed, cpu) — never the
+//     lane engine's RNG, whose draw interleaving depends on which CPUs
+//     share a lane.
+//
+// Checksums combine by addition, so two events at the same instant
+// commute: the result is invariant under shard count, worker count,
+// and tie-break perturbation. That invariance is the oracle — shards
+// 1, 2, 4 must produce the identical ShardTickResult bit-for-bit.
+type ShardTickConfig struct {
+	// CPUs is the simulated CPU count (one tick stream each).
+	CPUs int
+	// Shards is the lane count; CPUs spread round-robin across lanes.
+	Shards int
+	// Lookahead is the cross-lane latency floor; IPIs travel at exactly
+	// this delay. Non-positive degrades NewShardSet to serial.
+	Lookahead Duration
+	// Period is the mean local-tick period (jittered ±10% per tick from
+	// the CPU's private RNG).
+	Period Duration
+	// IPIEvery raises an IPI every IPIEvery-th tick; 0 disables IPIs.
+	IPIEvery int
+	// Seed is the base seed; CPU c uses DeriveSeed(Seed, c).
+	Seed uint64
+	// Queue overrides the per-lane engine queue kind ("" = default).
+	Queue QueueKind
+	// Salt installs a tie-break perturbation on every lane before
+	// anything is scheduled. The scenario's checksum is perturbation-
+	// invariant by construction, so every salt must reproduce the
+	// salt-0 result bit-for-bit.
+	Salt uint64
+}
+
+// ShardTickResult is the scenario's complete observable output.
+type ShardTickResult struct {
+	Checksum uint64 `json:"checksum"`
+	Ticks    uint64 `json:"ticks"`
+	IPIs     uint64 `json:"ipis"`
+	Windows  uint64 `json:"windows"`
+	// Events is the total dispatched across all lanes.
+	Events uint64 `json:"events"`
+}
+
+// shardTickCPU is one simulated CPU's private state. Everything here is
+// confined to the owning lane's goroutine during a window.
+type shardTickCPU struct {
+	id     int
+	lane   *Lane
+	rng    *RNG
+	period Duration
+	// ipiDelay is the cross-lane send latency (= lookahead when
+	// positive).
+	ipiDelay Duration
+	ipiEvery int
+	dest     *shardTickCPU
+
+	ticks uint64
+	ipis  uint64
+	sum   uint64
+
+	// tickFn/ipiFn are prebound so the steady-state hot path schedules
+	// without allocating closures.
+	tickFn func()
+	ipiFn  func()
+}
+
+func (c *shardTickCPU) tick() {
+	now := c.lane.Eng.Now()
+	c.ticks++
+	c.sum += tiebreakMix(uint64(c.id)<<32^c.ticks, uint64(now)^c.rng.Uint64())
+	if c.ipiEvery > 0 && c.ticks%uint64(c.ipiEvery) == 0 && c.dest != c {
+		c.lane.Send(c.dest.lane.id, now.Add(c.ipiDelay), uint64(c.id), c.dest.ipiFn)
+	}
+	c.lane.Eng.Schedule(now.Add(c.rng.Jitter(c.period, 0.1)), c.tickFn)
+}
+
+// ipi runs on the *destination* CPU's lane. It deliberately draws no
+// RNG: a same-instant tick/IPI pair on one CPU must commute, and the
+// RNG stream is consumed only by ticks.
+func (c *shardTickCPU) ipi() {
+	now := c.lane.Eng.Now()
+	c.ipis++
+	c.sum += tiebreakMix(uint64(c.id)<<32^(c.ipis<<1), uint64(now))
+}
+
+// NewShardTick builds the scenario on a fresh ShardSet and returns the
+// set (run it with Run, RunExec, or runner.RunSharded) plus a collector
+// that snapshots the result. cfg.Shards and cfg.Lookahead feed
+// NewShardSet directly, so a degenerate lookahead exercises the serial
+// fallback.
+func NewShardTick(cfg ShardTickConfig) (*ShardSet, func() ShardTickResult) {
+	if cfg.CPUs < 1 {
+		panic("sim: shardtick needs >= 1 CPU")
+	}
+	if cfg.Period <= 0 {
+		panic("sim: shardtick needs a positive period")
+	}
+	set := NewShardSet(cfg.Shards, cfg.Lookahead, cfg.Seed, EngineOptions{Queue: cfg.Queue})
+	if cfg.Salt != 0 {
+		set.PerturbTiebreaks(cfg.Salt)
+	}
+	ipiDelay := cfg.Lookahead
+	if ipiDelay <= 0 {
+		ipiDelay = cfg.Period
+	}
+	cpus := make([]*shardTickCPU, cfg.CPUs)
+	for i := range cpus {
+		c := &shardTickCPU{
+			id:       i,
+			lane:     set.Lane(i % set.Shards()),
+			rng:      NewRNG(DeriveSeed(cfg.Seed, uint64(i))),
+			period:   cfg.Period,
+			ipiDelay: ipiDelay,
+			ipiEvery: cfg.IPIEvery,
+		}
+		c.tickFn = c.tick
+		c.ipiFn = c.ipi
+		cpus[i] = c
+	}
+	for i, c := range cpus {
+		c.dest = cpus[(i+1)%len(cpus)]
+	}
+	for _, c := range cpus {
+		// Distinct start offsets keep the first window from being one
+		// giant same-instant batch; the RNG jitter desynchronises the
+		// rest. The hint confines each CPU's stream to its lane's shard
+		// when the lane engine itself runs the sharded queue.
+		c.lane.Eng.SetShardHint(c.id)
+		start := Time(1 + c.id).Add(c.rng.Jitter(c.period, 0.1))
+		c.lane.Eng.Schedule(start, c.tickFn)
+	}
+	collect := func() ShardTickResult {
+		var r ShardTickResult
+		for _, c := range cpus {
+			r.Checksum += c.sum
+			r.Ticks += c.ticks
+			r.IPIs += c.ipis
+		}
+		r.Windows = set.Windows()
+		for i := 0; i < set.Shards(); i++ {
+			r.Events += set.Lane(i).Eng.Fired()
+		}
+		return r
+	}
+	return set, collect
+}
