@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Baseline files let a new analyzer land strict without blocking on
+// pre-existing audited findings: `-writebaseline lint/simlint.baseline`
+// records the current findings, and subsequent runs with `-baseline
+// lint/simlint.baseline` fail only on findings not in the file.
+//
+// An entry is one line of the form
+//
+//	path:analyzer: message
+//
+// deliberately without line/column, so unrelated edits to a file do not
+// invalidate its baseline. Lines starting with '#' and blank lines are
+// comments. Matching is set-based: one entry suppresses any number of
+// identical findings, and stale entries (matching nothing) are
+// harmless — prune them by re-running -writebaseline.
+
+// baselineKey renders a diagnostic as its baseline entry.
+func baselineKey(a *framework.Analysis, d framework.Diagnostic) string {
+	pos := a.Fset.Position(d.Pos)
+	name := pos.Filename
+	if rel, err := filepath.Rel(a.Dir, name); err == nil && !filepath.IsAbs(rel) {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%s: %s", filepath.ToSlash(name), d.Analyzer, d.Message)
+}
+
+// readBaseline loads the entry set from path.
+func readBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	entries := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries[line] = true
+	}
+	return entries, sc.Err()
+}
+
+// writeBaselineFile records the analysis' findings as a baseline,
+// sorted and deduplicated.
+func writeBaselineFile(path string, a *framework.Analysis) (int, error) {
+	set := make(map[string]bool)
+	for _, d := range a.Diags {
+		set[baselineKey(a, d)] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# simlint baseline: known findings ignored by -baseline runs.\n")
+	b.WriteString("# One `path:analyzer: message` entry per line (no line numbers,\n")
+	b.WriteString("# so unrelated edits don't invalidate entries). Regenerate with\n")
+	b.WriteString("# `go run ./cmd/simlint -writebaseline <this file> ./...`.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return len(keys), os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// applyBaseline drops baselined findings from the analysis in place and
+// returns how many were suppressed.
+func applyBaseline(a *framework.Analysis, entries map[string]bool) int {
+	kept := a.Diags[:0]
+	suppressed := 0
+	for _, d := range a.Diags {
+		if entries[baselineKey(a, d)] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	a.Diags = kept
+	return suppressed
+}

@@ -33,15 +33,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis/floatmerge"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/globalstate"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nondeterminism"
 	"repro/internal/analysis/purity"
 	"repro/internal/analysis/seedderive"
+	"repro/internal/analysis/shardsafe"
 	"repro/internal/analysis/tracefmt"
 )
 
@@ -57,6 +60,8 @@ var analyzers = framework.Normalize([]*framework.Analyzer{
 	purity.Analyzer,
 	globalstate.Analyzer,
 	tracefmt.Analyzer,
+	hotalloc.Analyzer,
+	shardsafe.Analyzer,
 })
 
 func main() {
@@ -68,8 +73,10 @@ func main() {
 
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	format := flag.String("format", "text", `output format: "text" or "sarif" (SARIF 2.1.0 on stdout, for code-scanning upload)`)
+	baseline := flag.String("baseline", "", "file of known findings to ignore: fail only on findings not listed in it")
+	writeBaseline := flag.String("writebaseline", "", "record the current findings to this file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format=text|sarif] [package patterns]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format=text|sarif] [-baseline file] [-writebaseline file] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Lints module packages (default ./...) with the determinism analyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
@@ -94,27 +101,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	var n int
-	switch *format {
-	case "text":
-		n, err = framework.Run(os.Stdout, cwd, patterns, analyzers)
-	case "sarif":
-		var a *framework.Analysis
-		a, err = framework.Analyze(cwd, patterns, analyzers)
-		if err == nil {
-			err = writeSARIF(os.Stdout, a, analyzers)
-			n = len(a.Diags)
-		}
-	default:
+	if *format != "text" && *format != "sarif" {
 		fmt.Fprintf(os.Stderr, "simlint: unknown -format %q (want text or sarif)\n", *format)
 		os.Exit(2)
 	}
+
+	a, err := framework.Analyze(cwd, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
+
+	if *writeBaseline != "" {
+		n, err := writeBaselineFile(*writeBaseline, a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d baseline entr%s to %s\n",
+			n, plural(n, "y", "ies"), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		entries, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		if ignored := applyBaseline(a, entries); ignored > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d baselined finding(s) ignored\n", ignored)
+		}
+	}
+
+	switch *format {
+	case "text":
+		for _, d := range a.Diags {
+			pos := a.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
+	case "sarif":
+		if err := writeSARIF(os.Stdout, a, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+	}
+	if n := len(a.Diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

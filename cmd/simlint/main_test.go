@@ -96,7 +96,7 @@ func TestStandaloneCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("simlint -list: %v\n%s", err, out)
 	}
-	names := []string{"floatmerge", "globalstate", "maporder", "nondeterminism", "purity", "seedderive"}
+	names := []string{"floatmerge", "globalstate", "hotalloc", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt"}
 	last := -1
 	for _, name := range names {
 		i := strings.Index(string(out), name+":")
@@ -185,7 +185,7 @@ func TestSARIF(t *testing.T) {
 			t.Errorf("rule %s has empty shortDescription", r.ID)
 		}
 	}
-	for _, name := range []string{"floatmerge", "globalstate", "maporder", "nondeterminism", "purity", "seedderive"} {
+	for _, name := range []string{"floatmerge", "globalstate", "hotalloc", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt"} {
 		found := false
 		for _, id := range ruleIDs {
 			found = found || id == name
@@ -243,5 +243,55 @@ func TestVetTool(t *testing.T) {
 	}
 	if !strings.Contains(s, "arithmetic on a seed") {
 		t.Errorf("vettool run missing seedderive finding:\n%s", s)
+	}
+}
+
+// TestBaseline exercises the -writebaseline / -baseline round trip on
+// the scratch module: recording the current findings makes a
+// subsequent gated run exit clean, a new violation still fails, and a
+// stale baseline entry is harmless.
+func TestBaseline(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+	baseline := filepath.Join(mod, "simlint.baseline")
+
+	record := exec.Command(bin, "-writebaseline", baseline, "./...")
+	record.Dir = mod
+	if out, err := record.CombinedOutput(); err != nil {
+		t.Fatalf("simlint -writebaseline: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "internal/sim/clock.go:nondeterminism:") {
+		t.Fatalf("baseline missing the seeded nondeterminism entry:\n%s", data)
+	}
+
+	gated := exec.Command(bin, "-baseline", baseline, "./...")
+	gated.Dir = mod
+	var stdout, stderr bytes.Buffer
+	gated.Stdout, gated.Stderr = &stdout, &stderr
+	if err := gated.Run(); err != nil {
+		t.Fatalf("baselined run still failed: %v\nstdout:\n%s\nstderr:\n%s",
+			err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "baselined finding(s) ignored") {
+		t.Errorf("gated run did not report suppressed findings:\n%s", stderr.String())
+	}
+
+	// A brand-new violation must fail even with the baseline applied.
+	extra := filepath.Join(mod, "internal", "sim", "extra.go")
+	if err := os.WriteFile(extra, []byte("package sim\n\nimport \"time\"\n\nfunc Stamp2() int64 {\n\treturn time.Now().UnixNano()\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := exec.Command(bin, "-baseline", baseline, "./...")
+	fresh.Dir = mod
+	out, err := fresh.CombinedOutput()
+	if err == nil {
+		t.Fatalf("baselined run exited 0 with a new violation present:\n%s", out)
+	}
+	if !strings.Contains(string(out), "extra.go") {
+		t.Errorf("new finding not reported:\n%s", out)
 	}
 }

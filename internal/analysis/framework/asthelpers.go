@@ -2,6 +2,7 @@ package framework
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,13 @@ func PkgFunc(info *types.Info, fun ast.Expr) (pkgPath, name string) {
 // determinism contract covers shipped simulation code, not its tests
 // (which may time things, spawn goroutines, or pick ad-hoc seeds).
 func IsTestFile(pass *Pass, f *ast.File) bool {
-	name := pass.Fset.Position(f.Pos()).Filename
+	return IsTestFileName(pass.Fset, f)
+}
+
+// IsTestFileName is IsTestFile for callers holding only a FileSet
+// (module analyzers walking loader packages directly).
+func IsTestFileName(fset *token.FileSet, f *ast.File) bool {
+	name := fset.Position(f.Pos()).Filename
 	return strings.HasSuffix(filepath.Base(name), "_test.go")
 }
 

@@ -121,6 +121,114 @@ func MethodValueLike() {
 func use(func()) {}
 `
 
+// cgSrcC exercises the edges the dataflow layer leans on: method-value
+// bindings, deferred calls (direct, literal, and method-value), and
+// function-typed struct fields assigned by statement rather than
+// composite literal.
+const cgSrcC = `package c
+
+type R struct{ n int }
+
+func (r *R) Hit() { r.n++ }
+
+func helper() {}
+
+func MethodValue() {
+	r := &R{}
+	h := r.Hit
+	h()
+}
+
+func MethodValueRef(r *R) {
+	use(r.Hit)
+}
+
+func use(func()) {}
+
+func Deferred() {
+	defer helper()
+	defer func() { helper() }()
+}
+
+func DeferMethodCall(r *R) {
+	defer r.Hit()
+}
+
+type W struct{ Cb func() }
+
+func FieldAssign() {
+	var w W
+	w.Cb = helper
+	w.Cb()
+}
+`
+
+func buildEdgeCaseGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"c", cgSrcC}})
+	return BuildCallGraph(pkgs)
+}
+
+func TestCallGraphMethodValueBinding(t *testing.T) {
+	g := buildEdgeCaseGraph(t)
+	// h := r.Hit; h() — the binding lands in FuncAssigns, the call
+	// through h resolves to the method.
+	mv := nodeByName(t, g, "c", "MethodValue")
+	if !hasEdgeTo(mv, EdgeCall, "Hit") {
+		t.Errorf("call through bound method value did not resolve; call edges = %v", edgesTo(mv, EdgeCall))
+	}
+	// A method value passed as an argument is a conservative ref edge.
+	if !hasEdgeTo(nodeByName(t, g, "c", "MethodValueRef"), EdgeRef, "Hit") {
+		t.Error("method value passed to use() has no ref edge to Hit")
+	}
+	// Reachability flows through the binding.
+	seen := g.Reach([]*CGNode{mv})
+	if _, ok := seen[nodeByName(t, g, "c", "Hit")]; !ok {
+		t.Error("Hit not reachable from MethodValue")
+	}
+}
+
+func TestCallGraphDeferredCalls(t *testing.T) {
+	g := buildEdgeCaseGraph(t)
+	d := nodeByName(t, g, "c", "Deferred")
+	// defer helper() is a call edge like any other.
+	if !hasEdgeTo(d, EdgeCall, "helper") {
+		t.Errorf("deferred direct call missing; call edges = %v", edgesTo(d, EdgeCall))
+	}
+	// defer func(){...}() encloses a literal whose body calls helper.
+	var lit *CGNode
+	for _, e := range d.Out {
+		if e.Kind == EdgeEncloses {
+			lit = e.To
+		}
+	}
+	if lit == nil {
+		t.Fatal("deferred literal has no encloses edge")
+	}
+	if !hasEdgeTo(lit, EdgeCall, "helper") {
+		t.Error("deferred literal body has no call edge to helper")
+	}
+	// defer r.Hit() resolves the method.
+	if !hasEdgeTo(nodeByName(t, g, "c", "DeferMethodCall"), EdgeCall, "Hit") {
+		t.Error("deferred method call has no call edge to Hit")
+	}
+}
+
+func TestCallGraphFuncFieldAssignStmt(t *testing.T) {
+	g := buildEdgeCaseGraph(t)
+	// w.Cb = helper; w.Cb() — assignment statements (not just composite
+	// literals) feed the field's points-to set.
+	fa := nodeByName(t, g, "c", "FieldAssign")
+	if !hasEdgeTo(fa, EdgeCall, "helper") {
+		t.Errorf("call through assigned func field did not resolve; call edges = %v", edgesTo(fa, EdgeCall))
+	}
+	seen := g.Reach([]*CGNode{fa})
+	if _, ok := seen[nodeByName(t, g, "c", "helper")]; !ok {
+		t.Error("helper not reachable from FieldAssign through the func field")
+	}
+}
+
 func buildTestGraph(t *testing.T) (*CallGraph, []*Package) {
 	t.Helper()
 	fset := token.NewFileSet()

@@ -1,0 +1,264 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const dfSrc = `package df
+
+var G int
+var H int
+
+func ReadsG() int { return G }
+
+func WritesG() { G = 1 }
+
+func DefUse() int {
+	x := 1
+	x = 2
+	y := x + x
+	return y
+}
+
+func AddrTaken() *int {
+	v := 0
+	return &v
+}
+
+func Captured() func() int {
+	n := 0
+	return func() int { n++; return n }
+}
+
+type T struct{ a, b int }
+
+func FieldWrite(t *T) {
+	t.a = 1
+	t.b++
+}
+
+func (t *T) Set() { t.a = 1 }
+
+func ViaHelper(t *T) { FieldWrite(t) }
+
+func CallsMethod(t *T) { t.Set() }
+
+func ReadsParam(t *T) int { return t.a }
+
+func Stored() {
+	v := 3
+	G = v
+}
+
+func take(any) {}
+
+func Boxed() {
+	v := 5
+	take(v)
+}
+
+func bump(p *int) { *p++ }
+
+func Outer() func() {
+	p := new(int)
+	return func() { bump(p) }
+}
+
+func Variadic(args ...any) {}
+
+func CallsVariadic(t *T) {
+	v := 1
+	Variadic(v, t)
+}
+`
+
+func buildDataFlow(t *testing.T) (*DataFlow, *CallGraph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"df", dfSrc}})
+	g := BuildCallGraph(pkgs)
+	return NewDataFlow(g), g
+}
+
+func sumOf(t *testing.T, df *DataFlow, g *CallGraph, name string) *FuncSummary {
+	t.Helper()
+	s := df.Summary(nodeByName(t, g, "df", name))
+	if s == nil {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+func varNamed(t *testing.T, m map[*types.Var][]token.Pos, name string) *types.Var {
+	t.Helper()
+	for v := range m {
+		if v.Name() == name {
+			return v
+		}
+	}
+	t.Fatalf("no variable %q in map", name)
+	return nil
+}
+
+func TestDataFlowDefUseChains(t *testing.T) {
+	df, g := buildDataFlow(t)
+	s := sumOf(t, df, g, "DefUse")
+	x := varNamed(t, s.Defs, "x")
+	if got := len(s.Defs[x]); got != 2 {
+		t.Errorf("defs(x) = %d, want 2 (declaration + reassignment)", got)
+	}
+	if got := len(s.Uses[x]); got != 2 {
+		t.Errorf("uses(x) = %d, want 2 (x + x)", got)
+	}
+	y := varNamed(t, s.Defs, "y")
+	if len(s.Defs[y]) != 1 || len(s.Uses[y]) != 1 {
+		t.Errorf("defs(y)=%d uses(y)=%d, want 1 and 1", len(s.Defs[y]), len(s.Uses[y]))
+	}
+	// Positions are sorted: the definition precedes every use.
+	if s.Defs[x][0] >= s.Uses[x][0] {
+		t.Error("first def of x does not precede its first use")
+	}
+}
+
+func escapeOf(s *FuncSummary, name string) EscapeReason {
+	for v, r := range s.Escapes {
+		if v.Name() == name {
+			return r
+		}
+	}
+	return EscNone
+}
+
+func TestDataFlowEscapes(t *testing.T) {
+	df, g := buildDataFlow(t)
+	if got := escapeOf(sumOf(t, df, g, "AddrTaken"), "v"); got != EscAddrTaken {
+		t.Errorf("AddrTaken v: escape = %v, want address-taken", got)
+	}
+	if got := escapeOf(sumOf(t, df, g, "Captured"), "n"); got != EscCaptured {
+		t.Errorf("Captured n: escape = %v, want captured", got)
+	}
+	if got := escapeOf(sumOf(t, df, g, "Boxed"), "v"); got != EscBoxed {
+		t.Errorf("Boxed v: escape = %v, want boxed", got)
+	}
+	if got := escapeOf(sumOf(t, df, g, "Stored"), "v"); got != EscStored {
+		t.Errorf("Stored v: escape = %v, want stored", got)
+	}
+	if got := escapeOf(sumOf(t, df, g, "DefUse"), "x"); got != EscNone {
+		t.Errorf("DefUse x: escape = %v, want none", got)
+	}
+}
+
+func TestDataFlowFieldAndPackageWrites(t *testing.T) {
+	df, g := buildDataFlow(t)
+	fw := sumOf(t, df, g, "FieldWrite")
+	var fields []string
+	for f := range fw.FieldWrites {
+		fields = append(fields, f.Name())
+	}
+	if len(fields) != 2 {
+		t.Errorf("FieldWrite fields written = %v, want a and b", fields)
+	}
+	wg := sumOf(t, df, g, "WritesG")
+	if len(wg.PkgWrites) != 1 || len(wg.PkgReads) != 0 {
+		t.Errorf("WritesG: pkg writes=%d reads=%d, want 1 and 0 (LHS is not a read)", len(wg.PkgWrites), len(wg.PkgReads))
+	}
+	rg := sumOf(t, df, g, "ReadsG")
+	if len(rg.PkgReads) != 1 || len(rg.PkgWrites) != 0 {
+		t.Errorf("ReadsG: pkg reads=%d writes=%d, want 1 and 0", len(rg.PkgReads), len(rg.PkgWrites))
+	}
+}
+
+func TestDataFlowParamWritten(t *testing.T) {
+	df, g := buildDataFlow(t)
+	cases := []struct {
+		fn   string
+		idx  int
+		want bool
+	}{
+		{"FieldWrite", 0, true},  // direct field write through param
+		{"Set", 0, true},         // receiver is index 0
+		{"ViaHelper", 0, true},   // transitive through FieldWrite
+		{"CallsMethod", 0, true}, // receiver forwarded to a mutating method
+		{"bump", 0, true},        // write through dereference
+		{"ReadsParam", 0, false}, // reads only
+	}
+	for _, c := range cases {
+		n := nodeByName(t, g, "df", c.fn)
+		if got := df.ParamWritten(n, c.idx); got != c.want {
+			t.Errorf("ParamWritten(%s, %d) = %v, want %v", c.fn, c.idx, got, c.want)
+		}
+	}
+}
+
+func TestDataFlowFreeWritesTransitive(t *testing.T) {
+	df, g := buildDataFlow(t)
+	outer := nodeByName(t, g, "df", "Outer")
+	var lit *CGNode
+	for _, e := range outer.Out {
+		if e.Kind == EdgeEncloses {
+			lit = e.To
+		}
+	}
+	if lit == nil {
+		t.Fatal("Outer has no enclosed literal")
+	}
+	s := df.Summary(lit)
+	if s == nil {
+		t.Fatal("no summary for Outer's literal")
+	}
+	found := false
+	for v := range s.FreeWrites {
+		if v.Name() == "p" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("literal passing captured p to bump (which writes *p) has no FreeWrite for p")
+	}
+	free := false
+	for _, v := range s.Free {
+		if v.Name() == "p" {
+			free = true
+		}
+	}
+	if !free {
+		t.Error("p not recorded as a free variable of the literal")
+	}
+}
+
+func TestForEachBoxedArg(t *testing.T) {
+	df, g := buildDataFlow(t)
+	n := nodeByName(t, g, "df", "CallsVariadic")
+	info := n.Pkg.TypesInfo
+	var boxed []string
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			ForEachBoxedArg(info, call, func(arg ast.Expr, _ types.Type) {
+				boxed = append(boxed, ExprString(arg))
+			})
+		}
+		return true
+	})
+	// v (an int) boxes into ...any; t (a pointer) is pointer-shaped and
+	// does not allocate.
+	if len(boxed) != 1 || boxed[0] != "v" {
+		t.Errorf("boxed args in CallsVariadic = %v, want [v]", boxed)
+	}
+	_ = df
+}
+
+func TestCollectMutatedPkgVars(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"df", dfSrc}})
+	mutated := CollectMutatedPkgVars(fset, pkgs)
+	names := map[string]bool{}
+	for v := range mutated {
+		names[v.Name()] = true
+	}
+	if !names["G"] || names["H"] {
+		t.Errorf("mutated pkg vars = %v, want G only (H is never written)", names)
+	}
+}

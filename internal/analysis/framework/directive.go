@@ -16,6 +16,13 @@ type directive struct {
 	analyzer string // analyzer name, or "all"
 	reason   string
 	pos      token.Pos
+	// fileScope is set when the directive sits on the file's package
+	// clause line (`package foo //simlint:allow <analyzer> <reason>`):
+	// it then suppresses the analyzer for the entire file instead of a
+	// single line. Used for files that are wholesale exceptions (e.g. a
+	// build-tagged twin), keeping the audit trail at the top of the
+	// file rather than repeated per line.
+	fileScope bool
 }
 
 const directivePrefix = "simlint:allow"
@@ -61,10 +68,11 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (map[string][]direc
 				}
 				pos := fset.Position(c.Pos())
 				byFile[pos.Filename] = append(byFile[pos.Filename], directive{
-					line:     pos.Line,
-					analyzer: fields[0],
-					reason:   strings.Join(fields[1:], " "),
-					pos:      c.Pos(),
+					line:      pos.Line,
+					analyzer:  fields[0],
+					reason:    strings.Join(fields[1:], " "),
+					pos:       c.Pos(),
+					fileScope: pos.Line == fset.Position(f.Package).Line,
 				})
 			}
 		}
@@ -73,15 +81,16 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (map[string][]direc
 }
 
 // suppressed reports whether a diagnostic from the named analyzer at
-// the given position is covered by a directive on the same line or on
-// the line directly above it.
+// the given position is covered by a directive on the same line, on
+// the line directly above it, or — for file-scope directives on the
+// package clause line — anywhere in the same file.
 func suppressed(dirs map[string][]directive, fset *token.FileSet, analyzer string, pos token.Pos) bool {
 	p := fset.Position(pos)
 	for _, d := range dirs[p.Filename] {
 		if d.analyzer != analyzer && d.analyzer != "all" {
 			continue
 		}
-		if d.line == p.Line || d.line == p.Line-1 {
+		if d.fileScope || d.line == p.Line || d.line == p.Line-1 {
 			return true
 		}
 	}

@@ -102,6 +102,60 @@ func c() {
 	}
 }
 
+func TestFileScopeDirective(t *testing.T) {
+	src := `package p //simlint:allow hotalloc generated twin, audited 2026-08
+
+func a() {
+	_ = 1
+}
+
+func b() {
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "scoped.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := parseDirectives(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("malformed diagnostics: %v", bad)
+	}
+	if len(dirs["scoped.go"]) != 1 || !dirs["scoped.go"][0].fileScope {
+		t.Fatalf("directive on the package clause line not marked file-scope: %+v", dirs["scoped.go"])
+	}
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	// File scope: every line of the file is covered, for that analyzer only.
+	for _, line := range []int{1, 4, 8} {
+		if !suppressed(dirs, fset, "hotalloc", pos(line)) {
+			t.Errorf("file-scope directive does not suppress hotalloc at line %d", line)
+		}
+	}
+	if suppressed(dirs, fset, "maporder", pos(4)) {
+		t.Error("file-scope hotalloc directive suppresses a different analyzer")
+	}
+
+	// A directive below the package clause stays line-scoped.
+	src2 := "package p\n\n//simlint:allow hotalloc local reason\nvar x = 1\n\nvar y = 2\n"
+	f2, err := parser.ParseFile(fset, "line.go", src2, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs2, _ := parseDirectives(fset, []*ast.File{f2})
+	if dirs2["line.go"][0].fileScope {
+		t.Error("ordinary directive wrongly marked file-scope")
+	}
+	pos2 := func(line int) token.Pos {
+		return fset.File(f2.Pos()).LineStart(line)
+	}
+	if suppressed(dirs2, fset, "hotalloc", pos2(6)) {
+		t.Error("line-scoped directive suppresses a distant line")
+	}
+}
+
 func TestModulePathAndLoader(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {

@@ -1,0 +1,340 @@
+// Package hotalloc turns the engine benchmarks' 0 allocs/op claim into
+// a vet-time guarantee. Functions marked with a `//simlint:hotpath`
+// line in their doc comment are hot-path roots (the dispatch loop,
+// queue push/pop, event pool operations, typed trace emit); every
+// function transitively reachable from a root over the module call
+// graph must be provably allocation-free.
+//
+// The analyzer flags, with the call chain that makes the site hot:
+//
+//   - make, new, and &T{...} composite literals (always allocate)
+//   - slice and map literals (always allocate)
+//   - value composite literals assigned to a variable whose storage
+//     escapes to the heap (address taken or captured by a closure)
+//   - interface boxing: a concrete non-pointer-shaped value passed,
+//     assigned, returned, or converted into an interface (including
+//     variadic ...any parameters)
+//   - function literals that capture variables (the closure and its
+//     captures are heap-allocated; captureless literals are free)
+//   - append whose target slice escapes the frame (a field, package
+//     variable, escaping local, or any slice expression too complex to
+//     prove local)
+//   - string conversions and non-constant string concatenation
+//
+// Allocation sites inside the arguments of a call to panic are exempt:
+// a panicking hot path is already dead, and the engine's invariant
+// panics format their messages at the point of no return.
+//
+// Audited exceptions use `//simlint:allow hotalloc <reason>` on or
+// above the site (slow-path pool refills, amortized free-list growth);
+// the reason is mandatory, so every deliberate allocation on the hot
+// path stays visible in review.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// marker is the doc-comment line that roots hot-path reachability.
+const marker = "simlint:hotpath"
+
+// Analyzer is the hot-path allocation-freedom rule.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc: "require every function reachable from a //simlint:hotpath root to be allocation-free\n\n" +
+		"Interprocedural: roots are functions whose doc comment carries a //simlint:hotpath\n" +
+		"line (engine dispatch, queue push/pop, EventPool operations, typed trace emit);\n" +
+		"everything they transitively call must not allocate — no make/new/&T{} or slice/map\n" +
+		"literals, no interface boxing, no capturing closures, no append to escaping slices,\n" +
+		"no string conversions or concatenation. Sites inside panic arguments are exempt.\n" +
+		"Diagnostics carry the call chain from the hot-path root.",
+	RunModule: run,
+}
+
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(filepath.Base(fset.Position(pos).Filename), "_test.go")
+}
+
+// collectRoots finds every declared function whose doc comment carries
+// the hotpath marker, in non-test files.
+func collectRoots(pass *framework.ModulePass) []*framework.CGNode {
+	var roots []*framework.CGNode
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			if framework.IsTestFileName(pass.Fset, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if text == marker || strings.HasPrefix(text, marker+" ") {
+						marked = true
+					}
+				}
+				if !marked {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					if n := pass.Graph.Funcs[fn]; n != nil {
+						roots = append(roots, n)
+					}
+				}
+			}
+		}
+	}
+	return roots
+}
+
+func run(pass *framework.ModulePass) error {
+	roots := collectRoots(pass)
+	if len(roots) == 0 {
+		return nil
+	}
+	df := framework.NewDataFlow(pass.Graph)
+	seen := pass.Graph.Reach(roots)
+
+	nodes := make([]*framework.CGNode, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+
+	for _, node := range nodes {
+		if isTestFile(pass.Fset, node.Pos()) {
+			continue
+		}
+		checkNode(pass, df, seen, node)
+	}
+	return nil
+}
+
+// posRange is a half-open source range, used for the panic exemption.
+type posRange struct{ lo, hi token.Pos }
+
+func checkNode(pass *framework.ModulePass, df *framework.DataFlow, seen map[*framework.CGNode]framework.ReachEdge, node *framework.CGNode) {
+	info := node.Pkg.TypesInfo
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	chain := strings.Join(framework.Chain(seen, node), " -> ")
+	sum := df.Summary(node)
+
+	// Panic exemption: allocation inside a panic argument is on a death
+	// path; the engine's invariant panics format their message there.
+	var exemptRanges []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, arg := range call.Args {
+					exemptRanges = append(exemptRanges, posRange{arg.Pos(), arg.End()})
+				}
+			}
+		}
+		return true
+	})
+	exempt := func(p token.Pos) bool {
+		for _, r := range exemptRanges {
+			if p >= r.lo && p < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !exempt(pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// &T{...} composites are reported once, at the & site.
+	handled := make(map[*ast.CompositeLit]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The literal's own body is its own reachable node; here we
+			// only account for creating the closure value.
+			if ls := df.Summary(pass.Graph.Lits[x]); ls != nil && len(ls.Free) > 0 {
+				names := make([]string, 0, len(ls.Free))
+				for _, v := range ls.Free {
+					names = append(names, v.Name())
+				}
+				report(x.Pos(), "closure capturing %s allocates in hot path (%s): hot-path code must be allocation-free",
+					strings.Join(names, ", "), chain)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					handled[cl] = true
+					report(x.Pos(), "&%s{...} heap-allocates in hot path (%s): hot-path code must be allocation-free",
+						typeName(info.TypeOf(cl)), chain)
+				}
+			}
+		case *ast.CompositeLit:
+			if handled[x] {
+				return true
+			}
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates in hot path (%s): hot-path code must be allocation-free", chain)
+			case *types.Map:
+				report(x.Pos(), "map literal allocates in hot path (%s): hot-path code must be allocation-free", chain)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Rhs {
+					// Boxing through assignment into an interface location.
+					if framework.Boxes(info.TypeOf(x.Lhs[i]), info.TypeOf(x.Rhs[i])) && !isConst(info, x.Rhs[i]) {
+						report(x.Rhs[i].Pos(), "interface boxing of %s allocates in hot path (%s): hot-path code must be allocation-free",
+							typeName(info.TypeOf(x.Rhs[i])), chain)
+					}
+					// A value composite parked in a variable whose storage
+					// escapes is a heap allocation in disguise.
+					if cl, ok := ast.Unparen(x.Rhs[i]).(*ast.CompositeLit); ok && sum != nil {
+						if v, through, _ := framework.RootOf(info, x.Lhs[i]); v != nil && !through {
+							if r := sum.Escapes[v]; r == framework.EscAddrTaken || r == framework.EscCaptured {
+								handled[cl] = true
+								report(cl.Pos(), "composite literal assigned to %s-escaping %s allocates in hot path (%s): hot-path code must be allocation-free",
+									r, v.Name(), chain)
+							}
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				to := info.TypeOf(x.Type)
+				for _, val := range x.Values {
+					if framework.Boxes(to, info.TypeOf(val)) && !isConst(info, val) {
+						report(val.Pos(), "interface boxing of %s allocates in hot path (%s): hot-path code must be allocation-free",
+							typeName(info.TypeOf(val)), chain)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := node.Signature()
+			if sig == nil {
+				break
+			}
+			if len(x.Results) == sig.Results().Len() {
+				for i, res := range x.Results {
+					if framework.Boxes(sig.Results().At(i).Type(), info.TypeOf(res)) && !isConst(info, res) {
+						report(res.Pos(), "interface boxing of %s at return allocates in hot path (%s): hot-path code must be allocation-free",
+							typeName(info.TypeOf(res)), chain)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(info.TypeOf(x)) && !isConst(info, x) {
+				report(x.Pos(), "string concatenation allocates in hot path (%s): hot-path code must be allocation-free", chain)
+			}
+		case *ast.CallExpr:
+			checkCall(info, sum, chain, report, x)
+		}
+		return true
+	})
+}
+
+func checkCall(info *types.Info, sum *framework.FuncSummary, chain string, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	// Conversions: string materializations allocate; interface
+	// conversions are boxing (handled by ForEachBoxedArg below).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := info.TypeOf(call.Args[0])
+		if isString(to) && !isString(from) && !isConst(info, call.Args[0]) {
+			report(call.Pos(), "conversion to string allocates in hot path (%s): hot-path code must be allocation-free", chain)
+		}
+		if sl, ok := to.(*types.Slice); ok && isString(from) {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && (b.Kind() == types.Byte || b.Kind() == types.Rune) {
+				report(call.Pos(), "string-to-%s conversion allocates in hot path (%s): hot-path code must be allocation-free",
+					typeName(tv.Type), chain)
+			}
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates in hot path (%s): hot-path code must be allocation-free", chain)
+			case "new":
+				report(call.Pos(), "new allocates in hot path (%s): hot-path code must be allocation-free", chain)
+			case "append":
+				if len(call.Args) > 0 && appendTargetEscapes(info, sum, call.Args[0]) {
+					report(call.Pos(), "append to escaping slice %s may allocate in hot path (%s): hot-path code must be allocation-free",
+						framework.ExprString(call.Args[0]), chain)
+				}
+			}
+			return
+		}
+	}
+	framework.ForEachBoxedArg(info, call, func(arg ast.Expr, _ types.Type) {
+		if !isConst(info, arg) {
+			report(arg.Pos(), "interface boxing of %s argument allocates in hot path (%s): hot-path code must be allocation-free",
+				typeName(info.TypeOf(arg)), chain)
+		}
+	})
+}
+
+// appendTargetEscapes reports whether the slice being appended to may
+// live beyond the frame: a field, package variable, captured variable,
+// escaping local, or an expression too complex to prove local. Only a
+// plain non-escaping local slice is exempt — growth there is the
+// caller's own stack-bound scratch.
+func appendTargetEscapes(info *types.Info, sum *framework.FuncSummary, target ast.Expr) bool {
+	v, through, _ := framework.RootOf(info, target)
+	if v == nil || through {
+		return true
+	}
+	if framework.IsPkgLevel(v) {
+		return true
+	}
+	if sum == nil {
+		return true
+	}
+	if sum.Node != nil && framework.ClassifyVar(sum.Node, v) != framework.VarLocal {
+		return true
+	}
+	return sum.Escapes[v] != framework.EscNone
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConst reports whether the expression is a compile-time constant;
+// constants boxed into interfaces point at static storage, and constant
+// string concatenation folds at compile time.
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/hotalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(t),
+		[]*framework.Analyzer{hotalloc.Analyzer}, "repro/hotfix")
+}

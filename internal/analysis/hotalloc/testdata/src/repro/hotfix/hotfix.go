@@ -1,0 +1,151 @@
+// Package hotfix is the hotalloc fixture: a miniature engine hot path
+// with seeded allocation sites the analyzer must catch, clean patterns
+// it must not flag (value composites returned by value, pointer-shaped
+// interface arguments, captureless literals, panic-path formatting),
+// and one audited //simlint:allow escape.
+package hotfix
+
+import "fmt"
+
+type item struct {
+	id   int
+	next *item
+}
+
+type queue struct {
+	items []item
+	free  []*item
+	name  string
+}
+
+// push inserts one element; the backing slice is a struct field, so
+// growth escapes the frame.
+//
+//simlint:hotpath
+func (q *queue) push(it item) {
+	q.items = append(q.items, it) // want `append to escaping slice`
+}
+
+// pop removes the head: re-slicing and returning by value are clean.
+//
+//simlint:hotpath
+func (q *queue) pop() item {
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}
+
+// mk builds an element and returns it by value — no allocation.
+//
+//simlint:hotpath
+func mk(id int) item {
+	return item{id: id}
+}
+
+// dispatch reaches its allocations only through helper; the findings
+// must carry the dispatch -> helper chain.
+//
+//simlint:hotpath
+func dispatch(q *queue) {
+	helper(q)
+}
+
+func helper(q *queue) {
+	n := new(item) // want `new allocates`
+	_ = n
+	m := make(map[int]int) // want `make allocates`
+	_ = m
+	q.free = append(q.free, nil) // want `append to escaping slice`
+}
+
+// refill reaches the &composite through a second hop.
+//
+//simlint:hotpath
+func refill(q *queue) {
+	q.free = append(q.free, alloc()) // want `append to escaping slice`
+}
+
+func alloc() *item {
+	return &item{} // want `heap-allocates`
+}
+
+// escaping parks a value composite in a variable whose address is
+// taken — a heap allocation in disguise.
+//
+//simlint:hotpath
+func escaping() *item {
+	it := item{id: 1} // want `composite literal assigned to address-taken-escaping it`
+	return &it
+}
+
+// lits: slice and map literals always allocate.
+//
+//simlint:hotpath
+func lits() {
+	xs := []int{1, 2} // want `slice literal allocates`
+	_ = xs
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+}
+
+// box: a string argument boxes into any; a pointer and a constant are
+// pointer-shaped/static and stay clean.
+//
+//simlint:hotpath
+func box(q *queue, sink func(any)) {
+	sink(q.name) // want `interface boxing of string argument`
+	sink(q)
+	sink(42)
+}
+
+// spec and ret: boxing through var declarations and returns.
+//
+//simlint:hotpath
+func spec(a string) {
+	var x any = a // want `interface boxing of string`
+	_ = x
+}
+
+//simlint:hotpath
+func ret(a string) any {
+	return a // want `interface boxing of string at return`
+}
+
+// closures: a capturing literal allocates; a captureless one is free.
+//
+//simlint:hotpath
+func closures() {
+	n := 0
+	f := func() { n++ } // want `closure capturing n allocates`
+	f()
+	g := func() {}
+	g()
+}
+
+// strs: string materializations allocate.
+//
+//simlint:hotpath
+func strs(bs []byte, a, b string) string {
+	s := string(bs) // want `conversion to string allocates`
+	_ = s
+	t := a + b // want `string concatenation allocates`
+	return t
+}
+
+// guard: formatting inside a panic argument is a death path and is
+// exempt.
+//
+//simlint:hotpath
+func guard(q *queue, gen uint64) {
+	if gen == 0 {
+		panic(fmt.Sprintf("queue %s: zero generation", q.name))
+	}
+}
+
+// grow is the audited exception: free-list growth is amortized and
+// deliberate, so it carries a reasoned allow.
+//
+//simlint:hotpath
+func grow(q *queue) {
+	q.free = append(q.free, new(item)) //simlint:allow hotalloc amortized free-list growth, audited slow path
+}

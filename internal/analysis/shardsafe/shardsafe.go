@@ -1,0 +1,516 @@
+// Package shardsafe proves lane isolation for the conservative-parallel
+// engine (sim.ShardSet) at vet time: every function reachable from a
+// lane-executed callback must not read or write state owned by another
+// lane. The dynamic committed-horizon check (shardedQueue under -tags
+// simsan) catches cross-lane *timing* violations, and only when a run
+// happens to produce one; a captured pointer mutated from two lanes at
+// perfectly legal times sails through it. This analyzer catches the
+// sharing itself, statically.
+//
+// Roots are the callbacks bound to a lane in non-test code:
+//
+//   - the callback argument of (*sim.Lane).Send — which also marks the
+//     one blessed way to move work across lanes — and
+//   - the callback argument of Engine.Schedule/After/SchedulePinned/
+//     AfterPinned when the receiver is written `<lane>.Eng`, i.e. the
+//     engine is reached through a *sim.Lane.
+//
+// Everything reachable from a root (module call graph + dataflow
+// summaries) must then satisfy four rules:
+//
+//  1. No writes to package-level variables, and no reads of package-
+//     level variables mutated anywhere in the module — lanes sharing a
+//     global race under the parallel executor.
+//  2. No captured variable may be written by a callback scheduled
+//     across lanes (distinct lane expressions, or a lane-varying site
+//     like set.Lane(i) inside a loop). This is the captured-pointer
+//     laundering case the horizon check misses.
+//  3. No access through a foreign-lane struct: for lane-affine types
+//     (structs carrying a *sim.Lane field), stepping from own state to
+//     a *different* value of a lane-affine type (c.dest, peers[i]) is
+//     peer access. Writes through a peer, calls to methods on a peer,
+//     and reads of peer fields some lane callback mutates are all
+//     flagged.
+//  4. No passing a peer pointer to a function that writes through that
+//     parameter (transitively, via the dataflow layer's composed
+//     parameter-write facts) — mutation laundered through a helper.
+//
+// Cross-lane interaction must instead flow through Lane.Send, whose
+// lookahead and deterministic mailbox merge make it safe; Send call
+// sites are never flagged. Reads of peer fields nothing lane-reachable
+// mutates (a peer's lane ID, a prebound callback field) are allowed —
+// that is how a sender names its destination.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// lanePkg is the import path of the package defining Lane and ShardSet.
+const lanePkg = "repro/internal/sim"
+
+// sendMethod is the blessed cross-lane escape hatch; its final argument
+// is a root callback executed on the destination lane.
+const sendMethod = "(*repro/internal/sim.Lane).Send"
+
+// laneRegistrars are the engine methods whose final argument becomes a
+// lane-executed callback when the engine is reached as `<lane>.Eng`.
+var laneRegistrars = map[string]bool{
+	"(*repro/internal/sim.Engine).Schedule":       true,
+	"(*repro/internal/sim.Engine).SchedulePinned": true,
+	"(*repro/internal/sim.Engine).After":          true,
+	"(*repro/internal/sim.Engine).AfterPinned":    true,
+}
+
+// Analyzer is the module-level lane-isolation rule.
+var Analyzer = &framework.Analyzer{
+	Name: "shardsafe",
+	Doc: "require every function reachable from a lane-executed callback to stay lane-confined\n\n" +
+		"Callbacks scheduled on a sim.ShardSet lane (via Lane.Send or a <lane>.Eng registrar)\n" +
+		"and everything they transitively call must not touch another lane's state: no writes\n" +
+		"to package-level variables or reads of mutated ones, no captured variables written by\n" +
+		"callbacks scheduled across lanes, no writes/calls/mutable reads through a foreign-lane\n" +
+		"struct, no peer pointers passed to parameter-writing helpers. Lane.Send is the single\n" +
+		"blessed cross-lane hatch. Catches statically the captured-pointer sharing the simsan\n" +
+		"committed-horizon check only detects probabilistically.",
+	RunModule: run,
+}
+
+// rootSite is one lane-bound callback: the resolved node, a token
+// identifying which lane the site binds to (two sites with the same
+// token are the same lane), and whether the site can bind different
+// lanes across executions (a loop over set.Lane(i), or any Send with a
+// non-constant destination).
+type rootSite struct {
+	node  *framework.CGNode
+	token string
+	multi bool
+}
+
+func run(pass *framework.ModulePass) error {
+	roots := collectRoots(pass)
+	if len(roots) == 0 {
+		return nil
+	}
+	df := framework.NewDataFlow(pass.Graph)
+	affine := collectAffineTypes(pass)
+	mutatedPkg := framework.CollectMutatedPkgVars(pass.Fset, pass.Pkgs)
+
+	nodes := make([]*framework.CGNode, 0, len(roots))
+	haveNode := make(map[*framework.CGNode]bool)
+	for _, r := range roots {
+		if !haveNode[r.node] {
+			haveNode[r.node] = true
+			nodes = append(nodes, r.node)
+		}
+	}
+	seen := pass.Graph.Reach(nodes)
+
+	reachable := make([]*framework.CGNode, 0, len(seen))
+	for n := range seen {
+		reachable = append(reachable, n)
+	}
+	sort.Slice(reachable, func(i, j int) bool { return reachable[i].Pos() < reachable[j].Pos() })
+
+	// Fields some lane-reachable function writes: reading one of these
+	// through a peer pointer observes another lane's in-flight state.
+	laneMutable := make(map[*types.Var]bool)
+	for _, n := range reachable {
+		if s := df.Summary(n); s != nil {
+			for f := range s.FieldWrites {
+				laneMutable[f] = true
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	checkSharedCaptures(pass, df, roots, report)
+
+	for _, node := range reachable {
+		chain := strings.Join(framework.Chain(seen, node), " -> ")
+		checkPackageState(df, node, mutatedPkg, chain, report)
+		checkPeerAccess(pass, df, node, affine, laneMutable, chain, report)
+	}
+	return nil
+}
+
+// collectRoots finds every lane-bound callback registration in non-test
+// files and resolves the callback to call-graph nodes (through
+// function-typed variables and fields, so `c.tickFn = c.tick; ...
+// Schedule(d, c.tickFn)` roots the method).
+func collectRoots(pass *framework.ModulePass) []rootSite {
+	var roots []rootSite
+	type key struct {
+		node  *framework.CGNode
+		token string
+		multi bool
+	}
+	have := make(map[key]bool)
+	add := func(info *types.Info, cb ast.Expr, token string, multi bool) {
+		for _, node := range pass.Graph.NodesForValue(info, cb) {
+			k := key{node, token, multi}
+			if !have[k] {
+				have[k] = true
+				roots = append(roots, rootSite{node: node, token: token, multi: multi})
+			}
+		}
+	}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			if framework.IsTestFileName(pass.Fset, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				cb := call.Args[len(call.Args)-1]
+				switch {
+				case fn.FullName() == sendMethod:
+					// The callback runs on the destination lane — a
+					// different lane from any `.Eng` site's, so each Send
+					// site is its own token; a non-constant destination
+					// may be a different lane each execution.
+					add(info, cb, "send@"+pass.Fset.Position(call.Pos()).String(),
+						!isConstExpr(info, call.Args[0]))
+				case laneRegistrars[fn.FullName()]:
+					recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+					if !ok || recv.Sel.Name != "Eng" || !isLaneExpr(info, recv.X) {
+						return true
+					}
+					lane := ast.Unparen(recv.X)
+					add(info, cb, types.ExprString(lane), isLaneVarying(info, lane))
+				}
+				return true
+			})
+		}
+	}
+	return roots
+}
+
+// isLaneExpr reports whether e has type sim.Lane or *sim.Lane.
+func isLaneExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Lane" && obj.Pkg() != nil && obj.Pkg().Path() == lanePkg
+}
+
+// isLaneVarying reports whether a lane expression can denote different
+// lanes across executions of its site: it contains a call or index with
+// a non-constant operand (set.Lane(i) in a loop; lanes[i]). Plain
+// ident/selector chains (l, c.lane) and constant lookups (set.Lane(0))
+// are stable.
+func isLaneVarying(info *types.Info, e ast.Expr) bool {
+	varying := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				if !isConstExpr(info, a) {
+					varying = true
+				}
+			}
+		case *ast.IndexExpr:
+			if !isConstExpr(info, x.Index) {
+				varying = true
+			}
+		}
+		return !varying
+	})
+	return varying
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// collectAffineTypes returns the named struct types that carry a direct
+// (*)sim.Lane field — the types whose values belong to one lane.
+func collectAffineTypes(pass *framework.ModulePass) map[*types.TypeName]bool {
+	affine := make(map[*types.TypeName]bool)
+	for _, pkg := range pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				ft := st.Field(i).Type()
+				if p, ok := ft.(*types.Pointer); ok {
+					ft = p.Elem()
+				}
+				if named, ok := ft.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Name() == "Lane" && obj.Pkg() != nil && obj.Pkg().Path() == lanePkg {
+						affine[tn] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return affine
+}
+
+func isAffine(affine map[*types.TypeName]bool, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return affine[named.Obj()]
+}
+
+// isPeerBase reports whether e denotes a lane-affine value reached
+// through a field or element step — i.e. not the function's own
+// receiver/parameter/local, but a *different* lane's struct (c.dest,
+// peers[i]).
+func isPeerBase(info *types.Info, affine map[*types.TypeName]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return isAffine(affine, info.TypeOf(e))
+	}
+	return false
+}
+
+// peerBaseIn unwraps an lvalue-ish expression and returns the first
+// foreign-lane base crossed on the way to its root, or nil.
+func peerBaseIn(info *types.Info, affine map[*types.TypeName]bool, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if isPeerBase(info, affine, x.X) {
+				return x.X
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if isPeerBase(info, affine, x.X) {
+				return x.X
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkSharedCaptures enforces rule 2: a captured variable written by a
+// lane callback whose site binds more than one lane — or that is
+// visible to callbacks bound to distinct lanes — is shared mutable
+// state the horizon check cannot see. Each root's reachable closure
+// nodes inherit the root's lane token, so writes laundered through a
+// helper closure are attributed to the scheduling site.
+func checkSharedCaptures(pass *framework.ModulePass, df *framework.DataFlow,
+	roots []rootSite, report func(token.Pos, string, ...any)) {
+	type capRec struct {
+		tokens map[string]bool
+		multi  bool
+		writes []token.Pos
+	}
+	recs := make(map[*types.Var]*capRec)
+	order := []*types.Var{}
+	get := func(v *types.Var) *capRec {
+		r := recs[v]
+		if r == nil {
+			r = &capRec{tokens: make(map[string]bool)}
+			recs[v] = r
+			order = append(order, v)
+		}
+		return r
+	}
+	for _, root := range roots {
+		reach := pass.Graph.Reach([]*framework.CGNode{root.node})
+		lits := make([]*framework.CGNode, 0, len(reach))
+		for n := range reach {
+			if n.Lit != nil { // named functions have no captured variables
+				lits = append(lits, n)
+			}
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i].Pos() < lits[j].Pos() })
+		for _, n := range lits {
+			s := df.Summary(n)
+			if s == nil {
+				continue
+			}
+			for _, v := range s.Free {
+				r := get(v)
+				r.tokens[root.token] = true
+				if root.multi {
+					r.multi = true
+				}
+			}
+			written := make([]*types.Var, 0, len(s.FreeWrites))
+			for v := range s.FreeWrites {
+				written = append(written, v)
+			}
+			sort.Slice(written, func(i, j int) bool { return written[i].Pos() < written[j].Pos() })
+			for _, v := range written {
+				get(v).writes = append(get(v).writes, s.FreeWrites[v])
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+	for _, v := range order {
+		r := recs[v]
+		if len(r.writes) == 0 || (!r.multi && len(r.tokens) <= 1) {
+			continue
+		}
+		sort.Slice(r.writes, func(i, j int) bool { return r.writes[i] < r.writes[j] })
+		why := "callbacks on distinct lanes share it"
+		if r.multi {
+			why = "its callback is scheduled on a varying lane"
+		}
+		for _, pos := range r.writes {
+			report(pos, "captured variable %s is written by a lane callback but %s: cross-lane state must flow through Lane.Send",
+				v.Name(), why)
+		}
+	}
+}
+
+// checkPackageState enforces rule 1 from the node's dataflow summary:
+// no package-level writes, no reads of module-mutated package state.
+func checkPackageState(df *framework.DataFlow, node *framework.CGNode,
+	mutatedPkg map[*types.Var]bool, chain string, report func(token.Pos, string, ...any)) {
+	s := df.Summary(node)
+	if s == nil {
+		return
+	}
+	type hit struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	sorted := func(m map[*types.Var]token.Pos, filter func(*types.Var) bool) []hit {
+		var hs []hit
+		for v, pos := range m {
+			if filter == nil || filter(v) {
+				hs = append(hs, hit{pos, v})
+			}
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i].pos < hs[j].pos })
+		return hs
+	}
+	for _, h := range sorted(s.PkgWrites, nil) {
+		report(h.pos, "write to package-level %s reachable from lane callback (%s): lanes must not share mutable package state",
+			h.v.Name(), chain)
+	}
+	for _, h := range sorted(s.PkgReads, func(v *types.Var) bool { return mutatedPkg[v] }) {
+		report(h.pos, "read of mutated package-level %s reachable from lane callback (%s): another lane may be writing it",
+			h.v.Name(), chain)
+	}
+}
+
+// checkPeerAccess enforces rules 3 and 4 by walking the node body:
+// writes through a foreign-lane base, method calls on one, reads of
+// lane-mutable fields through one, and peer pointers passed to
+// parameter-writing callees.
+func checkPeerAccess(pass *framework.ModulePass, df *framework.DataFlow,
+	node *framework.CGNode, affine map[*types.TypeName]bool,
+	laneMutable map[*types.Var]bool, chain string, report func(token.Pos, string, ...any)) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	info := node.Pkg.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if pass.Graph.Lits[x] != nil {
+				return false // its own node; checked if reachable
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if peerBaseIn(info, affine, lhs) != nil {
+					report(x.Pos(), "write to foreign-lane state %s reachable from lane callback (%s): cross-lane mutation must go through Lane.Send",
+						types.ExprString(lhs), chain)
+				}
+			}
+		case *ast.IncDecStmt:
+			if peerBaseIn(info, affine, x.X) != nil {
+				report(x.Pos(), "write to foreign-lane state %s reachable from lane callback (%s): cross-lane mutation must go through Lane.Send",
+					types.ExprString(x.X), chain)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && peerBaseIn(info, affine, x.X) != nil {
+				report(x.Pos(), "address of foreign-lane state %s escapes a lane callback (%s): cross-lane mutation must go through Lane.Send",
+					types.ExprString(x.X), chain)
+			}
+		case *ast.CallExpr:
+			base := 0
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if s2, ok := info.Selections[sel]; ok && s2.Kind() == types.MethodVal {
+					base = 1
+					if isPeerBase(info, affine, sel.X) {
+						report(x.Pos(), "call to %s on foreign-lane %s reachable from lane callback (%s): cross-lane interaction must go through Lane.Send",
+							sel.Sel.Name, types.ExprString(sel.X), chain)
+					}
+				}
+			}
+			callees := pass.Graph.NodesForValue(info, x.Fun)
+			for i, arg := range x.Args {
+				if !isPeerBase(info, affine, arg) {
+					continue
+				}
+				for _, callee := range callees {
+					if df.ParamWritten(callee, base+i) {
+						report(arg.Pos(), "foreign-lane %s passed to %s, which writes through it (%s): cross-lane mutation must go through Lane.Send",
+							types.ExprString(arg), callee.Name(), chain)
+						break
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if f, ok := sel.Obj().(*types.Var); ok && laneMutable[f] && isPeerBase(info, affine, x.X) {
+					report(x.Pos(), "read of lane-mutable field %s through foreign-lane %s (%s): another lane may be writing it",
+						f.Name(), types.ExprString(x.X), chain)
+				}
+			}
+		}
+		return true
+	})
+}

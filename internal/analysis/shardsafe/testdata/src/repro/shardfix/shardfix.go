@@ -1,0 +1,78 @@
+// Package shardfix seeds lane-isolation violations for the shardsafe
+// analyzer: cross-lane writes through captured peer pointers, shared
+// captured variables, package-level state touched from lane callbacks —
+// each of which the simsan committed-horizon check misses whenever the
+// racing events land at legal times — next to the clean shapes the
+// analyzer must accept (own-lane mutation, single-lane captures, and
+// Lane.Send as the blessed cross-lane hatch).
+package shardfix
+
+import "repro/internal/sim"
+
+// hits is package-level mutable state; any lane may be writing it.
+var hits uint64
+
+// cpu carries a *sim.Lane field, making it lane-affine: each value
+// belongs to exactly one lane, and peer is a captured pointer into
+// another lane's state.
+type cpu struct {
+	lane   *sim.Lane
+	peer   *cpu
+	id     uint64
+	ticks  uint64
+	tickFn func()
+	ipiFn  func()
+}
+
+// NewCPU prebinds the callbacks; construction is not lane-executed, so
+// these field writes do not make tickFn/ipiFn lane-mutable.
+func NewCPU(l *sim.Lane, id uint64) *cpu {
+	c := &cpu{lane: l, id: id}
+	c.tickFn = c.tick
+	c.ipiFn = c.ipi
+	return c
+}
+
+// tick is lane-executed (rooted through the tickFn binding in Arm).
+func (c *cpu) tick() {
+	c.ticks++                   // own-lane state: clean
+	hits++                      // want `write to package-level hits reachable from lane callback \(tick\)`
+	c.peer.ticks++              // want `write to foreign-lane state c\.peer\.ticks reachable from lane callback \(tick\)`
+	if c.peer.ticks > c.ticks { // want `read of lane-mutable field ticks through foreign-lane c\.peer \(tick\)`
+		c.peer.poke() // want `call to poke on foreign-lane c\.peer reachable from lane callback \(tick\)`
+	}
+	drain(c.peer) // want `foreign-lane c\.peer passed to drain, which writes through it \(tick\)`
+	// Send is the blessed hatch: naming the destination through the
+	// peer's immutable fields and handing over its prebound callback is
+	// exactly how cross-lane work is supposed to move.
+	c.lane.Send(c.peer.lane.ID(), 1, c.id, c.peer.ipiFn)
+	c.lane.Eng.Schedule(1, c.tickFn) // self re-arm on the own lane: clean
+}
+
+// ipi runs on this cpu's own lane, delivered through Send: clean.
+func (c *cpu) ipi() { c.ticks++ }
+
+// poke mutates own state when called on the right lane; the violation
+// is calling it on a peer, not its body.
+func (c *cpu) poke() { c.ticks++ }
+
+// drain writes through its parameter; passing a peer into it launders
+// a cross-lane mutation behind a call.
+func drain(d *cpu) { d.ticks = 0 }
+
+// Arm schedules the lane workloads. Arm itself is setup, not
+// lane-executed, so its own writes are unconstrained.
+func Arm(set *sim.ShardSet, cpus []*cpu) {
+	shared := 0
+	for i := 0; i < set.Shards(); i++ {
+		set.Lane(i).Eng.Schedule(1, func() { shared++ }) // want `captured variable shared is written by a lane callback but its callback is scheduled on a varying lane`
+	}
+	solo := 0
+	l := set.Lane(0)
+	l.Eng.Schedule(1, func() { solo++ }) // single-lane capture: clean
+	l.Eng.Schedule(2, func() { _ = solo })
+	l.Eng.After(3, func() { _ = hits }) // want `read of mutated package-level hits reachable from lane callback \(func literal\)`
+	for _, c := range cpus {
+		c.lane.Eng.Schedule(1, c.tickFn)
+	}
+}

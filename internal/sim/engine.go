@@ -187,6 +187,12 @@ func (e *Engine) SchedulePinned(at Time, fn func()) Event {
 	return e.schedule(at, fn, true)
 }
 
+// schedule is the common push path behind Schedule/After and their
+// Pinned variants: pool node out, fields in, queue push. It is a
+// hot-path root for the hotalloc analyzer — everything reachable from
+// here must be allocation-free in steady state.
+//
+//simlint:hotpath
 func (e *Engine) schedule(at Time, fn func(), pinned bool) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
@@ -314,7 +320,12 @@ func (e *Engine) fireHead() {
 // runBatch sets the clock to at and dispatches every event at exactly
 // that instant in one pass — including events the callbacks themselves
 // schedule for the current instant, which join the batch in tie-break
-// order. Stop interrupts the batch after the current event.
+// order. Stop interrupts the batch after the current event. It is a
+// hot-path root for the hotalloc analyzer (the dispatch loop itself;
+// user callbacks are not pulled in — they resolve through the node's
+// fn field, which the call graph deliberately leaves opaque).
+//
+//simlint:hotpath
 func (e *Engine) runBatch(at Time) {
 	e.sanOnAdvance(at)
 	e.now = at

@@ -80,6 +80,9 @@ func (q *ladderQueue) len() int { return q.size }
 
 func (q *ladderQueue) runActive() bool { return q.runHead < len(q.run) }
 
+// push files n into the active run, its bucket, or the far heap.
+//
+//simlint:hotpath
 func (q *ladderQueue) push(n *eventNode) {
 	s := ladderSlotOf(n.At)
 	if s < q.slot {
@@ -90,6 +93,7 @@ func (q *ladderQueue) push(n *eventNode) {
 	case s == q.slot && q.runActive():
 		q.insertRun(n)
 	case s < q.slot+ladderBuckets:
+		//simlint:allow hotalloc bucket append is amortized O(1); capacity persists across windows
 		q.buckets[s&ladderSlotMask] = append(q.buckets[s&ladderSlotMask], n)
 		q.inBuckets++
 	default:
@@ -97,6 +101,9 @@ func (q *ladderQueue) push(n *eventNode) {
 	}
 }
 
+// peek surfaces the head without removing it.
+//
+//simlint:hotpath
 func (q *ladderQueue) peek() *eventNode {
 	if !q.runActive() && !q.refill() {
 		return nil
@@ -104,6 +111,9 @@ func (q *ladderQueue) peek() *eventNode {
 	return q.run[q.runHead]
 }
 
+// pop removes and returns the head.
+//
+//simlint:hotpath
 func (q *ladderQueue) pop() *eventNode {
 	if !q.runActive() && !q.refill() {
 		return nil
@@ -129,6 +139,7 @@ func (q *ladderQueue) insertRun(n *eventNode) {
 			hi = mid
 		}
 	}
+	//simlint:allow hotalloc run append is amortized; the run slice is reused every bucket sort
 	q.run = append(q.run, nil)
 	copy(q.run[lo+1:], q.run[lo:len(q.run)-1])
 	q.run[lo] = n
@@ -158,6 +169,7 @@ func (q *ladderQueue) refill() bool {
 					q.pullFar()
 				}
 				b := q.buckets[idx]
+				//simlint:allow hotalloc refill reuses q.run's capacity; grows only on a record bucket
 				q.run = append(q.run[:0], b...)
 				for j := range b {
 					b[j] = nil
@@ -190,6 +202,7 @@ func (q *ladderQueue) pullFar() {
 		}
 		n := q.far.pop()
 		idx := ladderSlotOf(n.At) & ladderSlotMask
+		//simlint:allow hotalloc far-to-bucket drain is the rewind slow path, not steady state
 		q.buckets[idx] = append(q.buckets[idx], n)
 		q.inBuckets++
 	}
@@ -302,6 +315,7 @@ func (h *farHeap) peek() *eventNode {
 }
 
 func (h *farHeap) push(n *eventNode) {
+	//simlint:allow hotalloc far-heap growth is amortized; steady state reuses capacity
 	h.items = append(h.items, n)
 	i := len(h.items) - 1
 	for i > 0 {

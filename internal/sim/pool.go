@@ -58,6 +58,8 @@ func (p *EventPool) Stats() PoolStats {
 // verified to actually be free: a non-free node on the list means some
 // caller kept using a node after putting it, and continuing would
 // silently hand two owners the same storage.
+//
+//simlint:hotpath
 func (p *EventPool) get() *eventNode {
 	if n := len(p.free); n > 0 {
 		nd := p.free[n-1]
@@ -73,6 +75,7 @@ func (p *EventPool) get() *eventNode {
 		return nd
 	}
 	p.allocs++
+	//simlint:allow hotalloc pool miss is the cold path; steady state recycles via the free list
 	return &eventNode{state: nodePending}
 }
 
@@ -80,6 +83,8 @@ func (p *EventPool) get() *eventNode {
 // nodeCancelled state (i.e. currently owned by an engine); putting a
 // free node is a double-free and panics. The generation bump is what
 // invalidates every outstanding handle to this occurrence.
+//
+//simlint:hotpath
 func (p *EventPool) put(nd *eventNode) {
 	if nd.state == nodeFree {
 		panic(fmt.Sprintf(
@@ -93,6 +98,7 @@ func (p *EventPool) put(nd *eventNode) {
 	nd.shard = 0
 	p.puts++
 	if !p.disabled {
+		//simlint:allow hotalloc free-list growth is amortized; put reuses capacity at steady state
 		p.free = append(p.free, nd)
 	}
 }

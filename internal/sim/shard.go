@@ -72,6 +72,9 @@ func (q *shardedQueue) shardOf(hint int32) int {
 	return idx
 }
 
+// push routes n to its hint's sub-queue.
+//
+//simlint:hotpath
 func (q *shardedQueue) push(n *eventNode) {
 	q.shards[q.shardOf(n.shard)].push(n)
 	q.size++
@@ -96,6 +99,9 @@ func (q *shardedQueue) scanMin() int {
 	return min
 }
 
+// peek surfaces the global minimum across shard heads.
+//
+//simlint:hotpath
 func (q *shardedQueue) peek() *eventNode {
 	if q.minShard < 0 {
 		q.minShard = q.scanMin()
@@ -106,6 +112,9 @@ func (q *shardedQueue) peek() *eventNode {
 	return q.shards[q.minShard].peek()
 }
 
+// pop removes the global minimum.
+//
+//simlint:hotpath
 func (q *shardedQueue) pop() *eventNode {
 	if q.minShard < 0 {
 		q.minShard = q.scanMin()

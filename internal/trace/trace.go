@@ -115,9 +115,11 @@ type ring struct {
 
 func (rg *ring) put(r Record, capacity int) {
 	if rg.recs == nil {
+		//simlint:allow hotalloc one-time ring arming on first record; the ring then recycles in place
 		rg.recs = make([]Record, 0, capacity)
 	}
 	if len(rg.recs) < cap(rg.recs) {
+		//simlint:allow hotalloc fills preallocated ring capacity; never grows past it
 		rg.recs = append(rg.recs, r)
 		return
 	}
@@ -182,12 +184,15 @@ func (b *Buffer) Intern(s string) NameID {
 		return id
 	}
 	if b.nameIDs == nil {
+		//simlint:allow hotalloc intern table built once on first name; steady state is a map hit
 		b.nameIDs = make(map[string]NameID)
 	}
 	if len(b.names) == 0 {
+		//simlint:allow hotalloc intern table seeding happens once per buffer
 		b.names = append(b.names, "")
 	}
 	id := NameID(len(b.names))
+	//simlint:allow hotalloc interning allocates once per distinct name, not per event
 	b.names = append(b.names, s)
 	b.nameIDs[s] = id
 	return id
@@ -203,6 +208,8 @@ func (b *Buffer) Name(id NameID) string {
 
 // emit assigns the next sequence number and stores r in its CPU's ring.
 // Callers must have checked Enabled.
+//
+//simlint:hotpath
 func (b *Buffer) emit(r Record) {
 	b.seq++
 	r.Seq = b.seq
@@ -211,6 +218,7 @@ func (b *Buffer) emit(r Record) {
 		idx = 0
 	}
 	for len(b.rings) <= idx {
+		//simlint:allow hotalloc per-CPU ring table grows to the max CPU index once, then stays
 		b.rings = append(b.rings, ring{})
 	}
 	b.rings[idx].put(r, b.perCPU)
@@ -231,6 +239,8 @@ func clampNS(d sim.Duration) int32 {
 // --- typed emitters (the kernel hot-path API) ---
 
 // IRQRaise records an interrupt occurrence being routed to target.
+//
+//simlint:hotpath
 func (b *Buffer) IRQRaise(at sim.Time, cpu, line int, name string, target int) {
 	if !b.Enabled(KindIRQRaise) {
 		return
@@ -240,6 +250,8 @@ func (b *Buffer) IRQRaise(at sim.Time, cpu, line int, name string, target int) {
 }
 
 // IRQEnter records a hardware interrupt handler starting.
+//
+//simlint:hotpath
 func (b *Buffer) IRQEnter(at sim.Time, cpu, line int, name string) {
 	if !b.Enabled(KindIRQEnter) {
 		return
@@ -249,6 +261,8 @@ func (b *Buffer) IRQEnter(at sim.Time, cpu, line int, name string) {
 }
 
 // IRQExit records a hardware interrupt handler completing.
+//
+//simlint:hotpath
 func (b *Buffer) IRQExit(at sim.Time, cpu, line int, name string) {
 	if !b.Enabled(KindIRQExit) {
 		return
@@ -258,6 +272,8 @@ func (b *Buffer) IRQExit(at sim.Time, cpu, line int, name string) {
 }
 
 // SoftirqEnter records a bottom-half pass starting with `work` queued.
+//
+//simlint:hotpath
 func (b *Buffer) SoftirqEnter(at sim.Time, cpu int, work sim.Duration) {
 	if !b.Enabled(KindSoftirqEnter) {
 		return
@@ -266,6 +282,8 @@ func (b *Buffer) SoftirqEnter(at sim.Time, cpu int, work sim.Duration) {
 }
 
 // SoftirqExit records a bottom-half pass completing after `ran`.
+//
+//simlint:hotpath
 func (b *Buffer) SoftirqExit(at sim.Time, cpu int, ran sim.Duration) {
 	if !b.Enabled(KindSoftirqExit) {
 		return
@@ -274,6 +292,8 @@ func (b *Buffer) SoftirqExit(at sim.Time, cpu int, ran sim.Duration) {
 }
 
 // Switch records a task being context-switched onto cpu.
+//
+//simlint:hotpath
 func (b *Buffer) Switch(at sim.Time, cpu, pid int, name string, prio int) {
 	if !b.Enabled(KindSwitch) {
 		return
@@ -285,6 +305,8 @@ func (b *Buffer) Switch(at sim.Time, cpu, pid int, name string, prio int) {
 // Preempt records a task being descheduled in favor of a higher-
 // priority one. boundary marks a preemption at an action/segment
 // boundary rather than mid-frame.
+//
+//simlint:hotpath
 func (b *Buffer) Preempt(at sim.Time, cpu, pid int, name string, boundary bool) {
 	if !b.Enabled(KindPreempt) {
 		return
@@ -298,6 +320,8 @@ func (b *Buffer) Preempt(at sim.Time, cpu, pid int, name string, boundary bool) 
 }
 
 // Wakeup records a task becoming runnable, placed on target.
+//
+//simlint:hotpath
 func (b *Buffer) Wakeup(at sim.Time, cpu, pid int, name string, target int) {
 	if !b.Enabled(KindWakeup) {
 		return
@@ -308,6 +332,8 @@ func (b *Buffer) Wakeup(at sim.Time, cpu, pid int, name string, target int) {
 
 // Migrate records a task moving between CPUs; to is -1 when the new
 // CPU is not yet decided (pushed off by a shield/affinity change).
+//
+//simlint:hotpath
 func (b *Buffer) Migrate(at sim.Time, cpu, pid int, name string, from, to int) {
 	if !b.Enabled(KindMigrate) {
 		return
@@ -317,6 +343,8 @@ func (b *Buffer) Migrate(at sim.Time, cpu, pid int, name string, from, to int) {
 }
 
 // SyscallEnter records a task entering the kernel.
+//
+//simlint:hotpath
 func (b *Buffer) SyscallEnter(at sim.Time, cpu, pid int, task, call string) {
 	if !b.Enabled(KindSyscallEnter) {
 		return
@@ -326,6 +354,8 @@ func (b *Buffer) SyscallEnter(at sim.Time, cpu, pid int, task, call string) {
 }
 
 // SyscallExit records a task returning to user mode.
+//
+//simlint:hotpath
 func (b *Buffer) SyscallExit(at sim.Time, cpu, pid int, task, call string) {
 	if !b.Enabled(KindSyscallExit) {
 		return
@@ -335,6 +365,8 @@ func (b *Buffer) SyscallExit(at sim.Time, cpu, pid int, task, call string) {
 }
 
 // LockContend records a CPU starting to spin on a held lock.
+//
+//simlint:hotpath
 func (b *Buffer) LockContend(at sim.Time, cpu int, lock string, holder int) {
 	if !b.Enabled(KindLockContend) {
 		return
@@ -344,6 +376,8 @@ func (b *Buffer) LockContend(at sim.Time, cpu int, lock string, holder int) {
 }
 
 // LockAcquire records a contended lock being won after spinning.
+//
+//simlint:hotpath
 func (b *Buffer) LockAcquire(at sim.Time, cpu int, lock string, spin sim.Duration) {
 	if !b.Enabled(KindLockAcquire) {
 		return
@@ -353,6 +387,8 @@ func (b *Buffer) LockAcquire(at sim.Time, cpu int, lock string, spin sim.Duratio
 }
 
 // LockRelease records a lock being dropped after holding it for hold.
+//
+//simlint:hotpath
 func (b *Buffer) LockRelease(at sim.Time, cpu int, lock string, hold sim.Duration) {
 	if !b.Enabled(KindLockRelease) {
 		return
@@ -363,6 +399,8 @@ func (b *Buffer) LockRelease(at sim.Time, cpu int, lock string, hold sim.Duratio
 
 // Shield records a shield mask transition for one dimension ("procs",
 // "irqs" or "ltmr"). Masks are truncated to their low 32 bits.
+//
+//simlint:hotpath
 func (b *Buffer) Shield(at sim.Time, dim string, old, new uint64) {
 	if !b.Enabled(KindShield) {
 		return
@@ -372,6 +410,8 @@ func (b *Buffer) Shield(at sim.Time, dim string, old, new uint64) {
 }
 
 // TimerTick records a local timer tick being handled.
+//
+//simlint:hotpath
 func (b *Buffer) TimerTick(at sim.Time, cpu int) {
 	if !b.Enabled(KindTimerTick) {
 		return
@@ -380,6 +420,8 @@ func (b *Buffer) TimerTick(at sim.Time, cpu int) {
 }
 
 // TimerExpire records the timer wheel expiring count timers on a tick.
+//
+//simlint:hotpath
 func (b *Buffer) TimerExpire(at sim.Time, cpu, count int, jiffies uint64) {
 	if !b.Enabled(KindTimerExpire) {
 		return
