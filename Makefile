@@ -3,18 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint analyze sarif sanitize perturb test race sharded bench bench-json fuzz figures trace clean
+.PHONY: all build lint fmt vet simlint analyze sarif bounds bounds-check sanitize perturb test race sharded bench bench-json fuzz figures trace clean
 
 all: lint test build
 
 build:
 	$(GO) build ./...
 
-# lint = the CI lint job: formatting gate, go vet, then the full
-# analyzer suite (floatmerge, globalstate, hotalloc, maporder,
-# nondeterminism, purity, seedderive, shardsafe, tracefmt) gated on the
-# checked-in baseline.
-lint: fmt vet analyze
+# lint = the CI lint job: formatting gate, go vet, the full analyzer
+# suite (floatmerge, globalstate, hotalloc, latbound, maporder,
+# nondeterminism, purity, seedderive, shardsafe, tracefmt, unitsafe)
+# gated on the checked-in baseline, and the static bounds report gate.
+lint: fmt vet analyze bounds-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,6 +39,21 @@ analyze:
 sarif:
 	$(GO) run ./cmd/simlint -format=sarif ./... > simlint.sarif || true
 
+# bounds regenerates the committed static worst-case bounds report
+# (lint/bounds.json): every irq-off/lock-held/timer region's latbound
+# interval, the input to reprocheck's latbound-envelope claims. Run it
+# after changing kernel timing code or region annotations; CI diffs the
+# committed copy against a fresh regeneration.
+bounds:
+	$(GO) run ./cmd/simlint -bounds lint/bounds.json ./...
+
+# bounds-check = the CI bounds gate: the committed report must match
+# what the tree produces today, so bound changes are always reviewed.
+bounds-check:
+	$(GO) run ./cmd/simlint -bounds bounds-ci.json ./...
+	diff -u lint/bounds.json bounds-ci.json
+	rm -f bounds-ci.json
+
 # sanitize = the CI sanitize job: the whole suite with the engine's
 # simsan shadow checker armed (clock monotonicity, heap pop order).
 sanitize:
@@ -46,8 +61,10 @@ sanitize:
 
 # perturb re-runs every figure under seeded permutations of
 # same-timestamp tie-breaks; any hash divergence is a tie-break race.
+# -bounds arms the latbound-envelope claims against the committed
+# static bounds report.
 perturb:
-	$(GO) run ./cmd/reprocheck -scale 0.15 -perturb 4 -checkinv
+	$(GO) run ./cmd/reprocheck -scale 0.15 -perturb 4 -checkinv -bounds lint/bounds.json
 
 test:
 	$(GO) test ./...
@@ -99,3 +116,4 @@ trace:
 
 clean:
 	rm -rf artifacts
+	rm -f bounds-ci.json simlint.sarif

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	reprocheck [-scale 1.0] [-seed 1] [-parallel N] [-perturb N] [-checkinv]
+//	           [-bounds lint/bounds.json]
 //	           [-queue ladder|heap] [-engine serial|sharded -shards N]
 //
 // -parallel caps the worker pool the independent experiment runs fan
@@ -18,6 +19,11 @@
 // diverges from the FIFO baseline — a tie-break race: a published
 // number that depends on the arbitrary dispatch order of simultaneous
 // events rather than on the model.
+//
+// -bounds takes the JSON report from `simlint -bounds` and adds the
+// latbound-envelope claims: the dynamic attributor's worst observed
+// episode per cause, and the shielded worst response, must fit under
+// the static worst-case envelope composed for the same machine.
 //
 // -checkinv arms a periodic machine-state invariant sampler
 // (kernel.CheckInvariants) on every machine the checks build, so state
@@ -33,12 +39,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/latency"
 	"repro/internal/sim"
 )
 
@@ -48,6 +56,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores); never affects results, only wall-clock time")
 	perturb := flag.Int("perturb", 0, "re-run every figure under N tie-break perturbations and fail on divergence (0 = off)")
 	checkinv := flag.Bool("checkinv", false, "periodically sample kernel.CheckInvariants on every machine (panic on corruption)")
+	bounds := flag.String("bounds", "", "static bounds report from 'simlint -bounds' to cross-check against dynamic attribution (empty = skip)")
 	queue := flag.String("queue", "", "event-queue implementation: 'ladder' (default) or 'heap' (reference); never changes verdicts")
 	engine := flag.String("engine", "serial", "execution engine: 'serial' (default) or 'sharded' (see -shards); never changes verdicts")
 	shards := flag.Int("shards", 4, "shard count for -engine=sharded (must be >= 1)")
@@ -106,6 +115,19 @@ func main() {
 		// corruption near its cause, cheap enough to leave run time
 		// dominated by the experiments themselves.
 		opts.InvariantPeriod = sim.Millisecond
+	}
+	if *bounds != "" {
+		data, err := os.ReadFile(*bounds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprocheck: -bounds: %v\n", err)
+			os.Exit(2)
+		}
+		var report latency.Report
+		if err := json.Unmarshal(data, &report); err != nil {
+			fmt.Fprintf(os.Stderr, "reprocheck: -bounds %s: %v\n", *bounds, err)
+			os.Exit(2)
+		}
+		opts.Bounds = &report
 	}
 
 	start := time.Now()

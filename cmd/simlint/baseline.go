@@ -22,8 +22,9 @@ import (
 //
 // deliberately without line/column, so unrelated edits to a file do not
 // invalidate its baseline. Lines starting with '#' and blank lines are
-// comments. Matching is set-based: one entry suppresses any number of
-// identical findings, and stale entries (matching nothing) are
+// comments. Matching is multiset-based: a finding that occurs N times
+// needs N identical lines, so duplicating an already-baselined
+// violation still fails the gate. Stale entries (matching nothing) are
 // harmless — prune them by re-running -writebaseline.
 
 // baselineKey renders a diagnostic as its baseline entry.
@@ -36,14 +37,15 @@ func baselineKey(a *framework.Analysis, d framework.Diagnostic) string {
 	return fmt.Sprintf("%s:%s: %s", filepath.ToSlash(name), d.Analyzer, d.Message)
 }
 
-// readBaseline loads the entry set from path.
-func readBaseline(path string) (map[string]bool, error) {
+// readBaseline loads the entry multiset from path: each occurrence of
+// a line buys one suppression.
+func readBaseline(path string) (map[string]int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	entries := make(map[string]bool)
+	entries := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -51,21 +53,18 @@ func readBaseline(path string) (map[string]bool, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		entries[line] = true
+		entries[line]++
 	}
 	return entries, sc.Err()
 }
 
 // writeBaselineFile records the analysis' findings as a baseline,
-// sorted and deduplicated.
+// sorted, one line per occurrence — duplicates are meaningful (see
+// readBaseline).
 func writeBaselineFile(path string, a *framework.Analysis) (int, error) {
-	set := make(map[string]bool)
+	keys := make([]string, 0, len(a.Diags))
 	for _, d := range a.Diags {
-		set[baselineKey(a, d)] = true
-	}
-	keys := make([]string, 0, len(set))
-	for k := range set {
-		keys = append(keys, k)
+		keys = append(keys, baselineKey(a, d))
 	}
 	sort.Strings(keys)
 	var b strings.Builder
@@ -81,12 +80,17 @@ func writeBaselineFile(path string, a *framework.Analysis) (int, error) {
 }
 
 // applyBaseline drops baselined findings from the analysis in place and
-// returns how many were suppressed.
-func applyBaseline(a *framework.Analysis, entries map[string]bool) int {
+// returns how many were suppressed. Each entry occurrence suppresses
+// one finding: the count is decremented, so the N+1th identical
+// violation is reported even when N are baselined. Diagnostics are
+// position-sorted, so which duplicates survive is deterministic (the
+// last ones in file order).
+func applyBaseline(a *framework.Analysis, entries map[string]int) int {
 	kept := a.Diags[:0]
 	suppressed := 0
 	for _, d := range a.Diags {
-		if entries[baselineKey(a, d)] {
+		if k := baselineKey(a, d); entries[k] > 0 {
+			entries[k]--
 			suppressed++
 			continue
 		}

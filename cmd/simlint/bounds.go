@@ -1,0 +1,20 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/latency"
+)
+
+// writeBounds serializes the latbound region report as indented JSON —
+// the committed lint/bounds.json artifact CI diffs against, and the
+// input reprocheck's latbound-envelope claim composes.
+func writeBounds(path string, report *latency.Report) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

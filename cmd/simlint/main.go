@@ -40,12 +40,14 @@ import (
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/globalstate"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/latbound"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nondeterminism"
 	"repro/internal/analysis/purity"
 	"repro/internal/analysis/seedderive"
 	"repro/internal/analysis/shardsafe"
 	"repro/internal/analysis/tracefmt"
+	"repro/internal/analysis/unitsafe"
 )
 
 // analyzers is normalized at registration — sorted by name with
@@ -62,6 +64,8 @@ var analyzers = framework.Normalize([]*framework.Analyzer{
 	tracefmt.Analyzer,
 	hotalloc.Analyzer,
 	shardsafe.Analyzer,
+	latbound.Analyzer,
+	unitsafe.Analyzer,
 })
 
 func main() {
@@ -75,6 +79,7 @@ func main() {
 	format := flag.String("format", "text", `output format: "text" or "sarif" (SARIF 2.1.0 on stdout, for code-scanning upload)`)
 	baseline := flag.String("baseline", "", "file of known findings to ignore: fail only on findings not listed in it")
 	writeBaseline := flag.String("writebaseline", "", "record the current findings to this file and exit 0")
+	bounds := flag.String("bounds", "", "write latbound's machine-readable static bounds report (JSON) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-format=text|sarif] [-baseline file] [-writebaseline file] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Lints module packages (default ./...) with the determinism analyzers:\n")
@@ -110,6 +115,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
+	}
+
+	if *bounds != "" {
+		report, _ := latbound.Collect(a.Fset, a.Pkgs, framework.BuildCallGraph(a.Pkgs), cwd)
+		if err := writeBounds(*bounds, report); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d region bound(s) to %s\n", len(report.Regions), *bounds)
 	}
 
 	if *writeBaseline != "" {

@@ -58,6 +58,26 @@ func Legacy(seed uint64) uint64 {
 	return seed + 7919
 }
 `)
+	// An order-sensitive map iteration in a file that imports sort: the
+	// maporder finding carries a machine-applicable collect-then-sort
+	// fix, which the SARIF test asserts below.
+	write("internal/core/dump.go", `package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func Sorted(xs []string) {
+	sort.Strings(xs)
+}
+`)
 	return dir
 }
 
@@ -86,6 +106,51 @@ func TestStandalone(t *testing.T) {
 	}
 }
 
+// TestReasonlessAllow: an allow directive without a justification
+// string is itself a finding, attributed to the "simlint"
+// pseudo-analyzer, and never suppresses the diagnostic it annotates —
+// the escape hatch stays auditable end to end.
+func TestReasonlessAllow(t *testing.T) {
+	bin := buildSimlint(t)
+	mod := scratchModule(t)
+	extra := `package core
+
+func Shift(seed uint64) uint64 {
+	//simlint:allow seedderive
+	return seed + 13
+}
+
+//simlint:allow latbound
+func pad() { _ = pad }
+`
+	if err := os.WriteFile(filepath.Join(mod, "internal", "core", "shift.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("simlint exited 0 on a tree with reasonless allows:\n%s", out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"simlint:allow seedderive needs a reason",
+		"simlint:allow latbound needs a reason",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing bad-directive finding %q:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "(simlint)") != 2 {
+		t.Errorf("bad directives must be attributed to the simlint pseudo-analyzer, twice:\n%s", s)
+	}
+	// Shard in seeds.go plus the annotated Shift line: the reasonless
+	// directive suppresses nothing.
+	if strings.Count(s, "(seedderive)") != 2 {
+		t.Errorf("reasonless allow changed seedderive findings (want 2):\n%s", s)
+	}
+}
+
 func TestStandaloneCleanTree(t *testing.T) {
 	bin := buildSimlint(t)
 	mod := scratchModule(t)
@@ -96,7 +161,7 @@ func TestStandaloneCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("simlint -list: %v\n%s", err, out)
 	}
-	names := []string{"floatmerge", "globalstate", "hotalloc", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt"}
+	names := []string{"floatmerge", "globalstate", "hotalloc", "latbound", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt", "unitsafe"}
 	last := -1
 	for _, name := range names {
 		i := strings.Index(string(out), name+":")
@@ -162,6 +227,27 @@ func TestSARIF(t *testing.T) {
 						} `json:"region"`
 					} `json:"physicalLocation"`
 				} `json:"locations"`
+				Fixes []struct {
+					Description struct {
+						Text string `json:"text"`
+					} `json:"description"`
+					ArtifactChanges []struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Replacements []struct {
+							DeletedRegion struct {
+								StartLine   int `json:"startLine"`
+								StartColumn int `json:"startColumn"`
+								EndLine     int `json:"endLine"`
+								EndColumn   int `json:"endColumn"`
+							} `json:"deletedRegion"`
+							InsertedContent *struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
 			} `json:"results"`
 		} `json:"runs"`
 	}
@@ -185,7 +271,7 @@ func TestSARIF(t *testing.T) {
 			t.Errorf("rule %s has empty shortDescription", r.ID)
 		}
 	}
-	for _, name := range []string{"floatmerge", "globalstate", "hotalloc", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt"} {
+	for _, name := range []string{"floatmerge", "globalstate", "hotalloc", "latbound", "maporder", "nondeterminism", "purity", "seedderive", "shardsafe", "tracefmt", "unitsafe"} {
 		found := false
 		for _, id := range ruleIDs {
 			found = found || id == name
@@ -198,6 +284,7 @@ func TestSARIF(t *testing.T) {
 		t.Fatal("no results for a module with seeded violations")
 	}
 	sawNondet := false
+	sawFix := false
 	for _, r := range run.Results {
 		if r.RuleID == "" || r.Level != "error" || r.Message.Text == "" {
 			t.Errorf("malformed result: %+v", r)
@@ -215,9 +302,53 @@ func TestSARIF(t *testing.T) {
 		if r.RuleID == "nondeterminism" && strings.Contains(r.Message.Text, "time.Now") {
 			sawNondet = true
 		}
+		// The seeded maporder violation sits in a file importing sort,
+		// so its result must carry the collect-then-sort fix: a
+		// description, one artifact change on the same file, and
+		// replacements whose first entry is a pure insertion (zero-width
+		// deleted region) introducing the sorted key slice.
+		if r.RuleID == "maporder" && strings.Contains(r.Message.Text, "prints") {
+			if len(r.Fixes) != 1 {
+				t.Fatalf("maporder result has %d fixes, want 1:\n%+v", len(r.Fixes), r)
+			}
+			fix := r.Fixes[0]
+			if !strings.Contains(fix.Description.Text, "sort") {
+				t.Errorf("fix description %q does not mention sorting", fix.Description.Text)
+			}
+			if len(fix.ArtifactChanges) != 1 {
+				t.Fatalf("fix has %d artifactChanges, want 1", len(fix.ArtifactChanges))
+			}
+			change := fix.ArtifactChanges[0]
+			if change.ArtifactLocation.URI != r.Locations[0].PhysicalLocation.ArtifactLocation.URI {
+				t.Errorf("fix edits %q but the finding is in %q",
+					change.ArtifactLocation.URI, r.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+			}
+			if len(change.Replacements) != 3 {
+				t.Fatalf("fix has %d replacements, want 3 (prelude, range header, value rebind)", len(change.Replacements))
+			}
+			first := change.Replacements[0]
+			if first.DeletedRegion.StartLine != first.DeletedRegion.EndLine ||
+				first.DeletedRegion.StartColumn != first.DeletedRegion.EndColumn {
+				t.Errorf("prelude replacement is not a pure insertion: %+v", first.DeletedRegion)
+			}
+			if first.InsertedContent == nil || !strings.Contains(first.InsertedContent.Text, "sort.Slice(") {
+				t.Errorf("prelude replacement does not introduce the sorted slice: %+v", first.InsertedContent)
+			}
+			header := change.Replacements[1]
+			if header.DeletedRegion.EndColumn <= header.DeletedRegion.StartColumn {
+				t.Errorf("range-header replacement deletes nothing: %+v", header.DeletedRegion)
+			}
+			if header.InsertedContent == nil || !strings.Contains(header.InsertedContent.Text, ":= range sortedK") {
+				t.Errorf("range-header replacement does not retarget the loop: %+v", header.InsertedContent)
+			}
+			sawFix = true
+		}
 	}
 	if !sawNondet {
 		t.Error("no nondeterminism time.Now result in SARIF output")
+	}
+	if !sawFix {
+		t.Error("no maporder result carrying the collect-then-sort fix")
 	}
 }
 
@@ -293,5 +424,51 @@ func TestBaseline(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "extra.go") {
 		t.Errorf("new finding not reported:\n%s", out)
+	}
+	if err := os.Remove(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline matching is a multiset: the entry key deliberately has no
+	// line number, so a *duplicate* of a baselined finding — same file,
+	// same analyzer, same message — must still fail the gate. One entry
+	// buys one suppression, not unlimited ones.
+	clock := filepath.Join(mod, "internal", "sim", "clock.go")
+	src, err := os.ReadFile(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := string(src) + "\nfunc StampAgain() int64 {\n\treturn time.Now().UnixNano()\n}\n"
+	if err := os.WriteFile(clock, []byte(dup), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	duped := exec.Command(bin, "-baseline", baseline, "./...")
+	duped.Dir = mod
+	out, err = duped.CombinedOutput()
+	if err == nil {
+		t.Fatalf("baselined run exited 0 with a duplicated violation present:\n%s", out)
+	}
+	if strings.Count(string(out), "(nondeterminism)") != 1 {
+		t.Errorf("want exactly the one unsuppressed duplicate reported:\n%s", out)
+	}
+
+	// Re-recording the baseline captures both occurrences (one line
+	// each), after which the gate passes again.
+	rerecord := exec.Command(bin, "-writebaseline", baseline, "./...")
+	rerecord.Dir = mod
+	if out, err := rerecord.CombinedOutput(); err != nil {
+		t.Fatalf("simlint -writebaseline (re-record): %v\n%s", err, out)
+	}
+	data, err = os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "internal/sim/clock.go:nondeterminism:") != 2 {
+		t.Fatalf("re-recorded baseline does not list the duplicate twice:\n%s", data)
+	}
+	regated := exec.Command(bin, "-baseline", baseline, "./...")
+	regated.Dir = mod
+	if out, err := regated.CombinedOutput(); err != nil {
+		t.Fatalf("re-recorded baseline run still failed: %v\n%s", err, out)
 	}
 }

@@ -51,6 +51,32 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifMessage    `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+// sarifFix carries a machine-applicable rewrite (§3.55): a description
+// plus per-file replacement lists. Code-scanning UIs render these as
+// one-click suggested changes.
+type sarifFix struct {
+	Description     sarifMessage          `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+// sarifReplacement deletes deletedRegion and inserts insertedContent in
+// its place; a zero-length region (endColumn == startColumn on one
+// line) is a pure insertion.
+type sarifReplacement struct {
+	DeletedRegion   sarifRegion           `json:"deletedRegion"`
+	InsertedContent *sarifArtifactContent `json:"insertedContent,omitempty"`
+}
+
+type sarifArtifactContent struct {
+	Text string `json:"text"`
 }
 
 type sarifLocation struct {
@@ -70,6 +96,8 @@ type sarifArtifactLocation struct {
 type sarifRegion struct {
 	StartLine   int `json:"startLine"`
 	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
 }
 
 // writeSARIF renders an analysis as one SARIF run. Rule order follows
@@ -87,13 +115,16 @@ func writeSARIF(w io.Writer, a *framework.Analysis, analyzers []*framework.Analy
 			FullDescription:  sarifMessage{Text: an.Doc},
 		})
 	}
+	relURI := func(name string) string {
+		if rel, err := filepath.Rel(a.Dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		return filepath.ToSlash(name)
+	}
 	results := make([]sarifResult, 0, len(a.Diags))
 	for _, d := range a.Diags {
 		pos := a.Fset.Position(d.Pos)
-		uri := pos.Filename
-		if rel, err := filepath.Rel(a.Dir, uri); err == nil && !strings.HasPrefix(rel, "..") {
-			uri = rel
-		}
+		uri := relURI(pos.Filename)
 		results = append(results, sarifResult{
 			RuleID:    d.Analyzer,
 			RuleIndex: ruleIndex[d.Analyzer],
@@ -102,12 +133,13 @@ func writeSARIF(w io.Writer, a *framework.Analysis, analyzers []*framework.Analy
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
 					ArtifactLocation: sarifArtifactLocation{
-						URI:       filepath.ToSlash(uri),
+						URI:       uri,
 						URIBaseID: "%SRCROOT%",
 					},
 					Region: sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
 				},
 			}},
+			Fixes: sarifFixes(a, d, relURI),
 		})
 	}
 	log := sarifLog{
@@ -121,4 +153,50 @@ func writeSARIF(w io.Writer, a *framework.Analysis, analyzers []*framework.Analy
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
+}
+
+// sarifFixes renders a diagnostic's suggested fixes as SARIF fix
+// objects, grouping each fix's edits by file (every fix this tool emits
+// is single-file today, but the format allows more).
+func sarifFixes(a *framework.Analysis, d framework.Diagnostic, relURI func(string) string) []sarifFix {
+	if len(d.Fixes) == 0 {
+		return nil
+	}
+	fixes := make([]sarifFix, 0, len(d.Fixes))
+	for _, f := range d.Fixes {
+		byFile := make(map[string][]sarifReplacement)
+		var order []string
+		for _, e := range f.Edits {
+			start := a.Fset.Position(e.Pos)
+			end := a.Fset.Position(e.End)
+			uri := relURI(start.Filename)
+			if _, seen := byFile[uri]; !seen {
+				order = append(order, uri)
+			}
+			rep := sarifReplacement{
+				DeletedRegion: sarifRegion{
+					StartLine:   start.Line,
+					StartColumn: start.Column,
+					EndLine:     end.Line,
+					EndColumn:   end.Column,
+				},
+			}
+			if e.NewText != "" {
+				rep.InsertedContent = &sarifArtifactContent{Text: e.NewText}
+			}
+			byFile[uri] = append(byFile[uri], rep)
+		}
+		changes := make([]sarifArtifactChange, 0, len(order))
+		for _, uri := range order {
+			changes = append(changes, sarifArtifactChange{
+				ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+				Replacements:     byFile[uri],
+			})
+		}
+		fixes = append(fixes, sarifFix{
+			Description:     sarifMessage{Text: f.Message},
+			ArtifactChanges: changes,
+		})
+	}
+	return fixes
 }

@@ -88,6 +88,30 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by the driver
+
+	// Fixes are machine-applicable rewrites that resolve the finding,
+	// surfaced in SARIF as the result's fixes property. Optional; a fix
+	// must be value-preserving (applying it may not change program
+	// behavior, only make the intent explicit) or the analyzer should
+	// not offer one.
+	Fixes []SuggestedFix
+}
+
+// A SuggestedFix is one machine-applicable rewrite for a diagnostic.
+type SuggestedFix struct {
+	// Message describes the rewrite ("wrap in sim.Nanosecond", "iterate
+	// keys in sorted order").
+	Message string
+	// Edits are the text replacements, non-overlapping, in source order.
+	Edits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End inserts before Pos; NewText == "" deletes the range.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Normalize returns the analyzers sorted by name with duplicates (by

@@ -101,6 +101,15 @@ type CallGraph struct {
 	// values. Calls through such a variable get edges to every
 	// candidate; so does resolving a variable passed as a callback.
 	FuncAssigns map[*types.Var][]*CGNode
+	// IfaceImpls maps each abstract interface method that is called
+	// somewhere in the analyzed set to the concrete method nodes of
+	// every named type in the set that implements the interface — the
+	// class-hierarchy resolution behind interface call edges.
+	IfaceImpls map[*types.Func][]*CGNode
+
+	// pendingIface holds interface-method call sites until every node
+	// exists (build-time state only).
+	pendingIface []pendingIfaceCall
 }
 
 // pendingVarCall is a call through a function-typed variable recorded
@@ -109,6 +118,18 @@ type CallGraph struct {
 type pendingVarCall struct {
 	from *CGNode
 	v    *types.Var
+	pos  token.Pos
+}
+
+// pendingIfaceCall is a call through an interface method recorded
+// during body walking: x.M() where x's static type is an interface.
+// It is resolved after all nodes exist, against every named type in
+// the analyzed set that implements the interface — a class-hierarchy
+// points-to set, conservative in the "may call" direction like
+// FuncAssigns.
+type pendingIfaceCall struct {
+	from *CGNode
+	m    *types.Func // the abstract interface method
 	pos  token.Pos
 }
 
@@ -173,6 +194,7 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 		Funcs:       make(map[*types.Func]*CGNode),
 		Lits:        make(map[*ast.FuncLit]*CGNode),
 		FuncAssigns: make(map[*types.Var][]*CGNode),
+		IfaceImpls:  make(map[*types.Func][]*CGNode),
 	}
 	// Pass 1: a node per declared function with a body, so cross-package
 	// edges resolve no matter the package visit order.
@@ -224,7 +246,98 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 			pc.from.Out = append(pc.from.Out, CGEdge{To: to, Pos: pc.pos, Kind: EdgeCall})
 		}
 	}
+	// Pass 5: resolve interface-method calls against every named type
+	// in the analyzed set that implements the interface.
+	g.resolveIfaceCalls(pkgs)
 	return g
+}
+
+// resolveIfaceCalls gives every recorded interface-method call site an
+// edge to the corresponding concrete method of each implementing type
+// declared in the analyzed packages. Types whose methods live outside
+// the analyzed set contribute nothing (no body, no node) — same policy
+// as direct calls out of the set.
+func (g *CallGraph) resolveIfaceCalls(pkgs []*Package) {
+	if len(g.pendingIface) == 0 {
+		return
+	}
+	// All named non-interface types declared in the analyzed packages,
+	// in deterministic order (pkgs sorted by the caller's load; scope
+	// names are sorted by go/types).
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok && !types.IsInterface(n) {
+				named = append(named, n)
+			}
+		}
+	}
+	for _, pc := range g.pendingIface {
+		impls, ok := g.IfaceImpls[pc.m]
+		if !ok {
+			impls = g.implementers(pc.m, named)
+			g.IfaceImpls[pc.m] = impls
+		}
+		for _, to := range impls {
+			pc.from.Out = append(pc.from.Out, CGEdge{To: to, Pos: pc.pos, Kind: EdgeCall})
+		}
+	}
+	g.pendingIface = nil
+}
+
+// implementers returns the concrete method nodes satisfying abstract
+// interface method m, drawn from the given named types.
+func (g *CallGraph) implementers(m *types.Func, named []*types.Named) []*CGNode {
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*CGNode
+	seen := make(map[*CGNode]bool)
+	for _, n := range named {
+		ptr := types.NewPointer(n)
+		if !types.Implements(n, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := g.Funcs[fn]; node != nil && !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// ifaceMethod reports the abstract interface method a callee
+// expression resolves to, or nil when the call is not through an
+// interface.
+func ifaceMethod(info *types.Info, e ast.Expr) *types.Func {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !types.IsInterface(recv.Type()) {
+		return nil
+	}
+	return fn
 }
 
 // collectFuncAssigns records function values assigned to variables or
@@ -300,6 +413,10 @@ func (g *CallGraph) walkBody(pkg *Package, node *CGNode, body *ast.BlockStmt, pe
 		case *ast.CallExpr:
 			if to := g.NodeFor(info, n.Fun); to != nil {
 				node.Out = append(node.Out, CGEdge{To: to, Pos: n.Pos(), Kind: EdgeCall})
+			} else if m := ifaceMethod(info, n.Fun); m != nil {
+				// Interface method call (sched.Pick(c)): resolve to every
+				// implementing type once all nodes exist.
+				g.pendingIface = append(g.pendingIface, pendingIfaceCall{from: node, m: m, pos: n.Pos()})
 			} else if v := varFor(info, n.Fun); v != nil {
 				// Call through a function-typed variable (tick := func…;
 				// tick()): resolve once every assignment is known.

@@ -229,6 +229,93 @@ func TestCallGraphFuncFieldAssignStmt(t *testing.T) {
 	}
 }
 
+// cgSrcD exercises interface-method call resolution: a call through an
+// interface must get edges to the concrete method of every statically
+// known implementer — value receivers, pointer receivers, and
+// cross-package implementers alike — and to nothing else.
+const cgSrcD = `package d
+
+type Picker interface{ Pick() int }
+
+type O1 struct{}
+
+func (O1) Pick() int { return 1 }
+
+type Legacy struct{ n int }
+
+func (l *Legacy) Pick() int { l.n++; return l.n }
+
+type Unrelated struct{}
+
+func (Unrelated) Peek() int { return 0 }
+
+func Dispatch(p Picker) int { return p.Pick() }
+`
+
+const cgSrcE = `package e
+
+import "d"
+
+type Remote struct{}
+
+func (Remote) Pick() int { return 3 }
+
+func Use(p d.Picker) int { return p.Pick() }
+`
+
+func TestCallGraphInterfaceCallResolution(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"d", cgSrcD}, {"e", cgSrcE}})
+	g := BuildCallGraph(pkgs)
+
+	dispatch := nodeByName(t, g, "d", "Dispatch")
+	got := edgesTo(dispatch, EdgeCall)
+	// All three implementers, including the pointer receiver and the
+	// cross-package one — and not Unrelated.Peek.
+	if len(got) != 3 {
+		t.Errorf("Dispatch call edges = %v, want the 3 Pick implementations", got)
+	}
+	for _, name := range []string{"Pick"} {
+		if !hasEdgeTo(dispatch, EdgeCall, name) {
+			t.Errorf("Dispatch has no call edge to %s; edges = %v", name, got)
+		}
+	}
+	// Reachability flows into every implementation body.
+	seen := g.Reach([]*CGNode{dispatch})
+	for _, impl := range []struct{ pkg, name string }{{"d", "Pick"}, {"e", "Pick"}} {
+		found := false
+		for fn, n := range g.Funcs {
+			if fn.Pkg() != nil && fn.Pkg().Path() == impl.pkg && fn.Name() == impl.name {
+				if _, ok := seen[n]; ok {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no reachable %s.%s implementation from Dispatch", impl.pkg, impl.name)
+		}
+	}
+	if hasEdgeTo(dispatch, EdgeCall, "Peek") {
+		t.Error("Dispatch got an edge to Unrelated.Peek, which does not implement Picker")
+	}
+
+	// The resolution map is exposed for analyzers.
+	resolved := false
+	for m, impls := range g.IfaceImpls {
+		if m.Name() == "Pick" && len(impls) == 3 {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Errorf("IfaceImpls missing the 3-way Pick resolution: %v", g.IfaceImpls)
+	}
+
+	// The cross-package caller resolves identically.
+	if got := edgesTo(nodeByName(t, g, "e", "Use"), EdgeCall); len(got) != 3 {
+		t.Errorf("e.Use call edges = %v, want 3 Pick implementations", got)
+	}
+}
+
 func buildTestGraph(t *testing.T) (*CallGraph, []*Package) {
 	t.Helper()
 	fset := token.NewFileSet()

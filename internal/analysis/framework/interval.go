@@ -1,0 +1,1038 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+)
+
+// This file is the abstract-interpretation layer behind the latbound
+// analyzer: an interval lattice over duration-valued expressions, a
+// forward abstract evaluator for function bodies with loop-bound
+// inference, and module-wide join maps for struct-field and variable
+// assignments. The design follows WCET-style static timing analysis —
+// every expression gets a conservative [lo, hi] bound, +Inf means
+// "statically unbounded", and the chain of reasons that led to +Inf is
+// carried along so the analyzer can explain a finding.
+
+// A Range is a closed interval [Lo, Hi] of float64 nanoseconds (or a
+// unitless scalar, for trip counts and multipliers). Hi may be +Inf.
+type Range struct {
+	Lo, Hi float64
+}
+
+// inf is the unbounded upper endpoint.
+var inf = math.Inf(1)
+
+func (r Range) add(o Range) Range { return Range{r.Lo + o.Lo, r.Hi + o.Hi} }
+func (r Range) sub(o Range) Range { return Range{r.Lo - o.Hi, r.Hi - o.Lo} }
+func (r Range) join(o Range) Range {
+	return Range{math.Min(r.Lo, o.Lo), math.Max(r.Hi, o.Hi)}
+}
+
+// mul multiplies two ranges, taking the min/max over endpoint products
+// so negative endpoints stay sound. Inf*0 is treated as 0 (an absent
+// bucket times anything is absent).
+func (r Range) mul(o Range) Range {
+	p := func(a, b float64) float64 {
+		if a == 0 || b == 0 {
+			return 0
+		}
+		return a * b
+	}
+	vals := [4]float64{p(r.Lo, o.Lo), p(r.Lo, o.Hi), p(r.Hi, o.Lo), p(r.Hi, o.Hi)}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return Range{lo, hi}
+}
+
+// A Blame is one reason an interval became unbounded, anchored at the
+// source construct responsible.
+type Blame struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// An Interval is the abstract value of a duration-typed expression,
+// split into two unit buckets: Scaled holds 1 GHz-reference
+// nanoseconds that pass through a frequency-scaling helper (divided by
+// the configured clock rate at run time), Fixed holds nanoseconds that
+// do not scale with CPU frequency (PCI transactions, raw literals).
+// The concrete value at clock g GHz is Scaled/g + Fixed. An interval
+// with Hi == +Inf in either bucket is unbounded; Blame records why.
+type Interval struct {
+	Scaled Range
+	Fixed  Range
+	Blame  []Blame
+}
+
+// Exact returns the interval for a known fixed-nanosecond value.
+func Exact(ns float64) Interval { return Interval{Fixed: Range{ns, ns}} }
+
+// Unbounded returns the unbounded interval blaming the given construct.
+func Unbounded(pos token.Pos, format string, args ...any) Interval {
+	return Interval{
+		Scaled: Range{0, 0},
+		Fixed:  Range{0, inf},
+		Blame:  []Blame{{Pos: pos, Reason: fmt.Sprintf(format, args...)}},
+	}
+}
+
+// Bounded reports whether both buckets have finite upper endpoints.
+func (iv Interval) Bounded() bool {
+	return !math.IsInf(iv.Scaled.Hi, 1) && !math.IsInf(iv.Fixed.Hi, 1)
+}
+
+// maxBlame caps the blame chain carried through combinators; the first
+// reasons are the root causes and the most useful ones.
+const maxBlame = 4
+
+func mergeBlame(a, b []Blame) []Blame {
+	if len(a) == 0 {
+		return b
+	}
+	out := a
+	for _, bl := range b {
+		if len(out) >= maxBlame {
+			break
+		}
+		out = append(out, bl)
+	}
+	return out
+}
+
+// Add returns the sum of two intervals, bucket-wise.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{
+		Scaled: iv.Scaled.add(o.Scaled),
+		Fixed:  iv.Fixed.add(o.Fixed),
+		Blame:  mergeBlame(iv.Blame, o.Blame),
+	}
+}
+
+// Sub returns the difference of two intervals, bucket-wise.
+func (iv Interval) Sub(o Interval) Interval {
+	out := Interval{
+		Scaled: iv.Scaled.sub(o.Scaled),
+		Fixed:  iv.Fixed.sub(o.Fixed),
+		Blame:  mergeBlame(iv.Blame, o.Blame),
+	}
+	// NaN from inf - inf: widen to unbounded rather than poison.
+	if math.IsNaN(out.Fixed.Hi) || math.IsNaN(out.Scaled.Hi) {
+		out.Scaled = Range{0, 0}
+		out.Fixed = Range{0, inf}
+	}
+	return out
+}
+
+// MulScalar scales both buckets by a unitless range.
+func (iv Interval) MulScalar(k Range) Interval {
+	return Interval{
+		Scaled: iv.Scaled.mul(k),
+		Fixed:  iv.Fixed.mul(k),
+		Blame:  iv.Blame,
+	}
+}
+
+// Join returns the lattice join (union hull) of two intervals.
+func (iv Interval) Join(o Interval) Interval {
+	return Interval{
+		Scaled: iv.Scaled.join(o.Scaled),
+		Fixed:  iv.Fixed.join(o.Fixed),
+		Blame:  mergeBlame(iv.Blame, o.Blame),
+	}
+}
+
+// ToScaled moves the whole interval into the Scaled bucket — the
+// effect of passing a value through a frequency-scaling helper.
+// Nesting (scaling an already-scaled value) folds the buckets
+// together, which stays an upper bound for clock rates >= 1 GHz; no
+// path in this tree double-scales.
+func (iv Interval) ToScaled() Interval {
+	return Interval{
+		Scaled: iv.Scaled.add(iv.Fixed),
+		Fixed:  Range{0, 0},
+		Blame:  iv.Blame,
+	}
+}
+
+// BlameString renders the blame chain as "reason (at pos); ...".
+func (iv Interval) BlameString(fset *token.FileSet) string {
+	if len(iv.Blame) == 0 {
+		return ""
+	}
+	s := ""
+	for i, b := range iv.Blame {
+		if i > 0 {
+			s += "; "
+		}
+		s += b.Reason
+		if b.Pos.IsValid() {
+			p := fset.Position(b.Pos)
+			s += fmt.Sprintf(" (%s:%d)", p.Filename, p.Line)
+		}
+	}
+	return s
+}
+
+// An Env binds function parameters and locals to abstract values
+// during forward body evaluation.
+type Env map[*types.Var]Interval
+
+func (e Env) clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// ExprSite pairs an expression with the package whose TypesInfo
+// resolves it — expressions from assignment maps live in arbitrary
+// packages.
+type ExprSite struct {
+	Pkg  *Package
+	Expr ast.Expr
+}
+
+// An Evaluator computes interval bounds for duration-typed expressions
+// over a loaded module: constant folding first, then structural
+// recursion, with calls inlined bottom-up over the call graph,
+// struct-field reads resolved to the module-wide join of everything
+// ever assigned to the field, and loops bounded by inferred trip
+// counts. Analyzers configure the unit semantics via the Intrinsic
+// hook (which RNG or scaling helpers mean what) and the CallUnknown
+// hook (a last chance to bound calls the graph cannot resolve, e.g.
+// function-typed fields laundered through registration helpers).
+type Evaluator struct {
+	Fset  *token.FileSet
+	Graph *CallGraph
+
+	// Intrinsic, when set, is consulted for every call expression
+	// before resolution. Returning ok=true short-circuits with the
+	// given interval.
+	Intrinsic func(ev *Evaluator, site ExprSite, call *ast.CallExpr, env Env) (Interval, bool)
+
+	// CallUnknown, when set, is consulted for calls that resolve to no
+	// function body in the analyzed set, before giving up as
+	// unbounded.
+	CallUnknown func(ev *Evaluator, site ExprSite, call *ast.CallExpr) (Interval, bool)
+
+	pkgs        []*Package
+	fieldWrites map[*types.Var][]ExprSite
+	varWrites   map[*types.Var][]ExprSite
+	// poisonedVars are variables with compound or aliased assignments
+	// the flow-insensitive write map cannot represent.
+	poisonedVars map[*types.Var]token.Pos
+
+	visitingFn  map[*CGNode]bool
+	visitingVar map[*types.Var]bool
+}
+
+// NewEvaluator builds an evaluator over the loaded packages, indexing
+// every struct-field and variable assignment module-wide.
+func NewEvaluator(fset *token.FileSet, pkgs []*Package, graph *CallGraph) *Evaluator {
+	ev := &Evaluator{
+		Fset:         fset,
+		Graph:        graph,
+		pkgs:         pkgs,
+		fieldWrites:  make(map[*types.Var][]ExprSite),
+		varWrites:    make(map[*types.Var][]ExprSite),
+		poisonedVars: make(map[*types.Var]token.Pos),
+		visitingFn:   make(map[*CGNode]bool),
+		visitingVar:  make(map[*types.Var]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ev.collectWrites(pkg, f)
+		}
+	}
+	return ev
+}
+
+// collectWrites records, per field and per variable, every expression
+// assigned to it anywhere in the file. Compound assignments poison the
+// target: a flow-insensitive join cannot bound x += e.
+func (ev *Evaluator) collectWrites(pkg *Package, f *ast.File) {
+	info := pkg.TypesInfo
+	record := func(lhs, rhs ast.Expr) {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if v, ok := info.Defs[l].(*types.Var); ok {
+				ev.varWrites[v] = append(ev.varWrites[v], ExprSite{pkg, rhs})
+			} else if v, ok := info.Uses[l].(*types.Var); ok {
+				ev.varWrites[v] = append(ev.varWrites[v], ExprSite{pkg, rhs})
+			}
+		case *ast.SelectorExpr:
+			if sel := info.Selections[l]; sel != nil && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					ev.fieldWrites[v] = append(ev.fieldWrites[v], ExprSite{pkg, rhs})
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				} else {
+					for _, l := range n.Lhs {
+						ev.poison(info, l, n.Pos())
+					}
+				}
+			} else {
+				// x += e and friends: flow-insensitively unbounded.
+				for _, l := range n.Lhs {
+					ev.poison(info, l, n.Pos())
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						if v, ok := info.Uses[key].(*types.Var); ok && v.IsField() {
+							ev.fieldWrites[v] = append(ev.fieldWrites[v], ExprSite{pkg, kv.Value})
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			ev.poison(info, n.X, n.Pos())
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Address taken: writes through the pointer are invisible.
+				ev.poison(info, n.X, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (ev *Evaluator) poison(info *types.Info, lhs ast.Expr, pos token.Pos) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[l].(*types.Var); ok {
+			if _, done := ev.poisonedVars[v]; !done {
+				ev.poisonedVars[v] = pos
+			}
+		} else if v, ok := info.Defs[l].(*types.Var); ok {
+			if _, done := ev.poisonedVars[v]; !done {
+				ev.poisonedVars[v] = pos
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[l]; sel != nil && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				if _, done := ev.poisonedVars[v]; !done {
+					ev.poisonedVars[v] = pos
+				}
+			}
+		}
+	}
+}
+
+// WritesOf returns every expression assigned to v anywhere in the
+// analyzed set (the raw write map, before joining) — useful for
+// analyzers that need to match assignment syntax, not just bounds.
+func (ev *Evaluator) WritesOf(v *types.Var) []ExprSite { return ev.varWrites[v] }
+
+// ConstFloat folds an expression to a constant float64 if the type
+// checker proved it constant.
+func (ev *Evaluator) ConstFloat(site ExprSite, e ast.Expr) (float64, bool) {
+	tv, ok := site.Pkg.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	return v, ok
+}
+
+// Eval computes the interval for an expression in the given
+// environment (nil for "no locals in scope").
+func (ev *Evaluator) Eval(site ExprSite, env Env) Interval {
+	e := ast.Unparen(site.Expr)
+	info := site.Pkg.TypesInfo
+
+	// Constant folding covers literals, named constants, and whole
+	// constant expressions (2 * time units, shifts, conversions).
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		if v, ok := constant.Float64Val(constant.ToFloat(tv.Value)); ok {
+			return Exact(v)
+		}
+	}
+
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return ev.Eval(ExprSite{site.Pkg, e.X}, env)
+		case token.SUB:
+			return Exact(0).Sub(ev.Eval(ExprSite{site.Pkg, e.X}, env))
+		}
+		return Unbounded(e.Pos(), "unary %s is not interval-representable", e.Op)
+
+	case *ast.BinaryExpr:
+		x := ExprSite{site.Pkg, e.X}
+		y := ExprSite{site.Pkg, e.Y}
+		switch e.Op {
+		case token.ADD:
+			return ev.Eval(x, env).Add(ev.Eval(y, env))
+		case token.SUB:
+			return ev.Eval(x, env).Sub(ev.Eval(y, env))
+		case token.MUL:
+			if k, ok := ev.ConstFloat(site, e.Y); ok {
+				return ev.Eval(x, env).MulScalar(Range{k, k})
+			}
+			if k, ok := ev.ConstFloat(site, e.X); ok {
+				return ev.Eval(y, env).MulScalar(Range{k, k})
+			}
+			// Non-constant multiplier: bound it as a unitless scalar if
+			// one side evaluates to a finite fixed-only range.
+			xi, yi := ev.Eval(x, env), ev.Eval(y, env)
+			if s, v, ok := scalarOperand(xi, yi); ok {
+				return v.MulScalar(s)
+			}
+			return Unbounded(e.Pos(), "product of two non-constant quantities")
+		case token.QUO:
+			if k, ok := ev.ConstFloat(site, e.Y); ok && k != 0 {
+				return ev.Eval(x, env).MulScalar(Range{1 / k, 1 / k})
+			}
+			return Unbounded(e.Pos(), "division by a non-constant")
+		}
+		return Unbounded(e.Pos(), "operator %s is not interval-representable", e.Op)
+
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return ev.evalVar(site, v, e.Pos(), env)
+		}
+		return Unbounded(e.Pos(), "%s has no statically known value", e.Name)
+
+	case *ast.SelectorExpr:
+		if sel := info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return ev.evalField(v, e.Pos())
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return ev.evalVar(site, v, e.Pos(), env)
+		}
+		return Unbounded(e.Pos(), "%s has no statically known value", e.Sel.Name)
+
+	case *ast.CallExpr:
+		return ev.evalCall(site, e, env)
+	}
+	return Unbounded(e.Pos(), "expression form %T is not interval-representable", e)
+}
+
+// scalarOperand picks which of two finite intervals acts as the
+// unitless multiplier: the one confined to the Fixed bucket.
+func scalarOperand(a, b Interval) (scalar Range, value Interval, ok bool) {
+	if a.Bounded() && a.Scaled.Hi == 0 && a.Scaled.Lo == 0 {
+		return a.Fixed, b, true
+	}
+	if b.Bounded() && b.Scaled.Hi == 0 && b.Scaled.Lo == 0 {
+		return b.Fixed, a, true
+	}
+	return Range{}, Interval{}, false
+}
+
+// evalVar resolves a variable: environment first (params, locals under
+// forward evaluation), then the module-wide assignment join.
+func (ev *Evaluator) evalVar(site ExprSite, v *types.Var, pos token.Pos, env Env) Interval {
+	if iv, ok := env[v]; ok {
+		return iv
+	}
+	if p, bad := ev.poisonedVars[v]; bad {
+		return Unbounded(p, "%s is reassigned in a way the join cannot bound", v.Name())
+	}
+	writes := ev.varWrites[v]
+	if len(writes) == 0 {
+		return Unbounded(pos, "%s is never assigned in the analyzed packages", v.Name())
+	}
+	if ev.visitingVar[v] {
+		return Unbounded(pos, "%s is defined in terms of itself", v.Name())
+	}
+	ev.visitingVar[v] = true
+	defer delete(ev.visitingVar, v)
+	out := ev.Eval(writes[0], nil)
+	for _, w := range writes[1:] {
+		out = out.Join(ev.Eval(w, nil))
+	}
+	return out
+}
+
+// evalField joins everything ever assigned to the struct field
+// anywhere in the analyzed set.
+func (ev *Evaluator) evalField(v *types.Var, pos token.Pos) Interval {
+	if p, bad := ev.poisonedVars[v]; bad {
+		return Unbounded(p, "field %s is updated in place, which the join cannot bound", v.Name())
+	}
+	writes := ev.fieldWrites[v]
+	if len(writes) == 0 {
+		return Unbounded(pos, "field %s is never assigned in the analyzed packages", v.Name())
+	}
+	if ev.visitingVar[v] {
+		return Unbounded(pos, "field %s is defined in terms of itself", v.Name())
+	}
+	ev.visitingVar[v] = true
+	defer delete(ev.visitingVar, v)
+	out := ev.Eval(writes[0], nil)
+	for _, w := range writes[1:] {
+		out = out.Join(ev.Eval(w, nil))
+	}
+	return out
+}
+
+// evalCall handles conversions, intrinsics, then resolution through
+// the call graph with arguments bound to parameters.
+func (ev *Evaluator) evalCall(site ExprSite, call *ast.CallExpr, env Env) Interval {
+	info := site.Pkg.TypesInfo
+
+	// Type conversion — sim.Duration(x), float64(x) — passes through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return ev.Eval(ExprSite{site.Pkg, call.Args[0]}, env)
+	}
+
+	if ev.Intrinsic != nil {
+		if iv, ok := ev.Intrinsic(ev, site, call, env); ok {
+			return iv
+		}
+	}
+
+	// Resolve the callee: direct functions, function-typed variables,
+	// interface methods.
+	nodes := ev.Graph.NodesForValue(info, call.Fun)
+	if len(nodes) == 0 {
+		if m := ifaceMethod(info, call.Fun); m != nil {
+			nodes = ev.Graph.IfaceImpls[m]
+		}
+	}
+	if len(nodes) == 0 {
+		if ev.CallUnknown != nil {
+			if iv, ok := ev.CallUnknown(ev, site, call); ok {
+				return iv
+			}
+		}
+		return Unbounded(call.Pos(), "call to %s resolves to no function body in the analyzed packages", ExprString(call.Fun))
+	}
+
+	// Evaluate arguments once in the caller's environment.
+	args := make([]Interval, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = ev.Eval(ExprSite{site.Pkg, a}, env)
+	}
+	out := Interval{}
+	first := true
+	for _, n := range nodes {
+		iv := ev.EvalFuncNode(n, args, call.Pos())
+		if first {
+			out, first = iv, false
+		} else {
+			out = out.Join(iv)
+		}
+	}
+	return out
+}
+
+// EvalFuncNode bounds the result of calling a function node with the
+// given argument intervals: forward abstract execution of the body,
+// joining every return. Recursion is unbounded by construction.
+func (ev *Evaluator) EvalFuncNode(n *CGNode, args []Interval, callPos token.Pos) Interval {
+	if n == nil || n.Body() == nil {
+		return Unbounded(callPos, "callee has no body in the analyzed packages")
+	}
+	if ev.visitingFn[n] {
+		return Unbounded(callPos, "%s is recursive", n.Name())
+	}
+	ev.visitingFn[n] = true
+	defer delete(ev.visitingFn, n)
+
+	env := make(Env)
+	params := funcParams(n)
+	for i, p := range params {
+		if i < len(args) {
+			env[p] = args[i]
+		}
+	}
+	// Named results start at zero.
+	for _, r := range funcResults(n) {
+		env[r] = Interval{}
+	}
+	returns := ev.execBlock(n.Pkg, n.Body(), env)
+	if len(returns) == 0 {
+		// Falls off the end or bare-returns named results.
+		if rs := funcResults(n); len(rs) > 0 {
+			out := env[rs[0]]
+			for _, r := range rs[1:] {
+				out = out.Join(env[r])
+			}
+			return out
+		}
+		return Unbounded(n.Pos(), "%s never returns a value", n.Name())
+	}
+	out := returns[0]
+	for _, r := range returns[1:] {
+		out = out.Join(r)
+	}
+	return out
+}
+
+// funcParams returns the parameter objects of a node's function type.
+func funcParams(n *CGNode) []*types.Var {
+	var ft *ast.FuncType
+	if n.Lit != nil {
+		ft = n.Lit.Type
+	} else {
+		ft = n.Dcl.Type
+	}
+	var out []*types.Var
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := n.Pkg.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// funcResults returns the named result objects, if any.
+func funcResults(n *CGNode) []*types.Var {
+	var ft *ast.FuncType
+	if n.Lit != nil {
+		ft = n.Lit.Type
+	} else {
+		ft = n.Dcl.Type
+	}
+	var out []*types.Var
+	if ft.Results == nil {
+		return nil
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if v, ok := n.Pkg.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// execBlock abstractly executes statements in order, updating env and
+// collecting the intervals of every reachable return expression. The
+// first result expression of multi-value returns is the one bounded
+// (duration-returning functions in this model are single-result).
+func (ev *Evaluator) execBlock(pkg *Package, block *ast.BlockStmt, env Env) []Interval {
+	var returns []Interval
+	for _, stmt := range block.List {
+		returns = append(returns, ev.execStmt(pkg, stmt, env)...)
+	}
+	return returns
+}
+
+func (ev *Evaluator) execStmt(pkg *Package, stmt ast.Stmt, env Env) []Interval {
+	info := pkg.TypesInfo
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		ev.execAssign(pkg, s, env)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if i < len(vs.Values) {
+						env[v] = ev.Eval(ExprSite{pkg, vs.Values[i]}, env)
+					} else {
+						env[v] = Interval{} // zero value
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if len(s.Results) > 0 {
+			return []Interval{ev.Eval(ExprSite{pkg, s.Results[0]}, env)}
+		}
+		return nil // bare return of named results, handled by caller env
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ev.execStmt(pkg, s.Init, env)
+		}
+		thenEnv := env.clone()
+		rets := ev.execBlock(pkg, s.Body, thenEnv)
+		elseEnv := env.clone()
+		if s.Else != nil {
+			rets = append(rets, ev.execStmt(pkg, s.Else, elseEnv)...)
+		}
+		joinInto(env, thenEnv, elseEnv)
+		return rets
+	case *ast.BlockStmt:
+		return ev.execBlock(pkg, s, env)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ev.execStmt(pkg, s.Init, env)
+		}
+		var rets []Interval
+		branches := []Env{}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			be := env.clone()
+			for _, st := range cc.Body {
+				rets = append(rets, ev.execStmt(pkg, st, be)...)
+			}
+			branches = append(branches, be)
+		}
+		joinInto(env, branches...)
+		return rets
+	case *ast.ForStmt:
+		return ev.execFor(pkg, s, env)
+	case *ast.RangeStmt:
+		return ev.execRange(pkg, s, env)
+	case *ast.IncDecStmt:
+		if v := varFor(info, s.X); v != nil {
+			cur, ok := env[v]
+			if !ok {
+				cur = ev.evalVar(ExprSite{pkg, s.X}, v, s.Pos(), env)
+			}
+			env[v] = cur.Add(Exact(1))
+		}
+	}
+	return nil
+}
+
+// execAssign updates the environment for one assignment statement,
+// including compound duration accumulation (d += e).
+func (ev *Evaluator) execAssign(pkg *Package, s *ast.AssignStmt, env Env) {
+	info := pkg.TypesInfo
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		if len(s.Lhs) != len(s.Rhs) {
+			for _, l := range s.Lhs {
+				if v := varFor(info, l); v != nil {
+					env[v] = Unbounded(s.Pos(), "multi-value assignment")
+				}
+			}
+			return
+		}
+		for i := range s.Lhs {
+			if v := varFor(info, s.Lhs[i]); v != nil {
+				env[v] = ev.Eval(ExprSite{pkg, s.Rhs[i]}, env)
+			}
+		}
+		return
+	}
+	// Compound: x op= e.
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	v := varFor(info, s.Lhs[0])
+	if v == nil {
+		return
+	}
+	cur, ok := env[v]
+	if !ok {
+		cur = ev.evalVar(ExprSite{pkg, s.Lhs[0]}, v, s.Pos(), env)
+	}
+	rhs := ev.Eval(ExprSite{pkg, s.Rhs[0]}, env)
+	switch s.Tok {
+	case token.ADD_ASSIGN:
+		env[v] = cur.Add(rhs)
+	case token.SUB_ASSIGN:
+		env[v] = cur.Sub(rhs)
+	case token.MUL_ASSIGN:
+		if k, val, ok := scalarOperand(cur, rhs); ok {
+			env[v] = val.MulScalar(k)
+		} else {
+			env[v] = Unbounded(s.Pos(), "compound multiplication of non-constants")
+		}
+	default:
+		env[v] = Unbounded(s.Pos(), "compound %s assignment", s.Tok)
+	}
+}
+
+// execFor bounds a for loop: when the trip count is statically
+// inferable (constant or config-derived), accumulated variables get
+// trips x per-iteration delta; otherwise everything the body assigns
+// becomes unbounded, blaming the data-dependent loop.
+func (ev *Evaluator) execFor(pkg *Package, s *ast.ForStmt, env Env) []Interval {
+	if s.Init != nil {
+		ev.execStmt(pkg, s.Init, env)
+	}
+	trips, tripsOK := ev.loopTrips(pkg, s, env)
+
+	// Evaluate one abstract iteration against a snapshot to find the
+	// per-iteration deltas of accumulated variables.
+	pre := env.clone()
+	iter := env.clone()
+	rets := ev.execBlock(pkg, s.Body, iter)
+	if s.Post != nil {
+		ev.execStmt(pkg, s.Post, iter)
+	}
+
+	for _, v := range sortedVars(iter) {
+		after := iter[v]
+		before, had := pre[v]
+		if had && intervalsEqual(before, after) {
+			continue
+		}
+		if !tripsOK {
+			env[v] = Unbounded(s.Pos(), "data-dependent loop: trip count is not statically bounded")
+			continue
+		}
+		// Accumulation pattern: after = before + delta per iteration.
+		delta := after.Sub(before)
+		if !had {
+			// Loop-local definition; visible only inside. Skip.
+			if _, outer := env[v]; !outer {
+				continue
+			}
+		}
+		if delta.Bounded() && after.Bounded() {
+			total := delta.MulScalar(Range{0, math.Max(trips.Hi, 0)})
+			env[v] = before.Add(Interval{
+				Scaled: Range{0, math.Max(total.Scaled.Hi, 0)},
+				Fixed:  Range{0, math.Max(total.Fixed.Hi, 0)},
+			})
+		} else {
+			env[v] = after // already unbounded, keep blame
+		}
+	}
+	return rets
+}
+
+// sortedVars orders an environment's keys by position for deterministic
+// write-back.
+func sortedVars(e Env) []*types.Var {
+	out := make([]*types.Var, 0, len(e))
+	for v := range e {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func intervalsEqual(a, b Interval) bool {
+	return a.Scaled == b.Scaled && a.Fixed == b.Fixed && len(a.Blame) == len(b.Blame)
+}
+
+// loopTrips infers the trip count of `for i := lo; i < n; i++`-shaped
+// loops (also <=, and i += k steps with constant k > 0).
+func (ev *Evaluator) loopTrips(pkg *Package, s *ast.ForStmt, env Env) (Range, bool) {
+	info := pkg.TypesInfo
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return Range{}, false
+	}
+	iv := varFor(info, init.Lhs[0])
+	if iv == nil {
+		return Range{}, false
+	}
+	lo := ev.Eval(ExprSite{pkg, init.Rhs[0]}, env)
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return Range{}, false
+	}
+	if cv := varFor(info, cond.X); cv != iv {
+		return Range{}, false
+	}
+	hi := ev.Eval(ExprSite{pkg, cond.Y}, env)
+	step := 1.0
+	switch post := s.Post.(type) {
+	case *ast.IncDecStmt:
+		if post.Tok != token.INC || varFor(info, post.X) != iv {
+			return Range{}, false
+		}
+	case *ast.AssignStmt:
+		if post.Tok != token.ADD_ASSIGN || len(post.Lhs) != 1 || varFor(info, post.Lhs[0]) != iv {
+			return Range{}, false
+		}
+		k, ok := ev.ConstFloat(ExprSite{pkg, post.Rhs[0]}, post.Rhs[0])
+		if !ok || k <= 0 {
+			return Range{}, false
+		}
+		step = k
+	default:
+		return Range{}, false
+	}
+	if !lo.Bounded() || !hi.Bounded() || lo.Scaled.Hi != 0 || hi.Scaled.Hi != 0 {
+		return Range{}, false
+	}
+	n := (hi.Fixed.Hi - lo.Fixed.Lo) / step
+	if cond.Op == token.LEQ {
+		n++
+	}
+	if n < 0 {
+		n = 0
+	}
+	return Range{0, math.Ceil(n)}, true
+}
+
+// execRange: ranging over an array of known length is bounded;
+// anything else is data-dependent.
+func (ev *Evaluator) execRange(pkg *Package, s *ast.RangeStmt, env Env) []Interval {
+	info := pkg.TypesInfo
+	trips, tripsOK := Range{}, false
+	if tv, ok := info.Types[s.X]; ok {
+		t := tv.Type
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if arr, isArr := t.Underlying().(*types.Array); isArr {
+			trips, tripsOK = Range{0, float64(arr.Len())}, true
+		}
+	}
+	pre := env.clone()
+	iter := env.clone()
+	// Range variables are unknown individually.
+	for _, x := range []ast.Expr{s.Key, s.Value} {
+		if x == nil {
+			continue
+		}
+		if v := varFor(info, x); v != nil {
+			iter[v] = Unbounded(s.Pos(), "range variable")
+		}
+	}
+	rets := ev.execBlock(pkg, s.Body, iter)
+	for _, v := range sortedVars(iter) {
+		after := iter[v]
+		before, had := pre[v]
+		if had && intervalsEqual(before, after) {
+			continue
+		}
+		if !had {
+			if _, outer := env[v]; !outer {
+				continue
+			}
+		}
+		if !tripsOK {
+			env[v] = Unbounded(s.Pos(), "data-dependent loop: ranges over a value of unknown length")
+			continue
+		}
+		delta := after.Sub(before)
+		if delta.Bounded() && after.Bounded() {
+			total := delta.MulScalar(Range{0, trips.Hi})
+			env[v] = before.Add(Interval{
+				Scaled: Range{0, math.Max(total.Scaled.Hi, 0)},
+				Fixed:  Range{0, math.Max(total.Fixed.Hi, 0)},
+			})
+		} else {
+			env[v] = after
+		}
+	}
+	return rets
+}
+
+// joinInto replaces env's bindings with the join over the given branch
+// environments (branches start as clones of env, so every key of env
+// is present in each).
+func joinInto(env Env, branches ...Env) {
+	if len(branches) == 0 {
+		return
+	}
+	keys := make(map[*types.Var]bool)
+	for _, b := range branches {
+		for v := range b {
+			keys[v] = true
+		}
+	}
+	// Deterministic iteration is unnecessary here (join is commutative
+	// and associative over exact float ops on the same operand set),
+	// but sort for reproducible blame ordering.
+	ordered := make([]*types.Var, 0, len(keys))
+	for v := range keys {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, v := range ordered {
+		var out Interval
+		first := true
+		for _, b := range branches {
+			iv, ok := b[v]
+			if !ok {
+				iv, ok = env[v]
+				if !ok {
+					continue
+				}
+			}
+			if first {
+				out, first = iv, false
+			} else {
+				out = out.Join(iv)
+			}
+		}
+		if !first {
+			env[v] = out
+		}
+	}
+}
+
+// MethodKey renders a called function as "pkgpath.Type.Method" (or
+// "pkgpath.Func" for plain functions), the key format the Intrinsic
+// hook matches against. Pointer receivers are stripped.
+func MethodKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// CalleeFunc resolves a call's callee to the *types.Func it names
+// (method or function), if any — the object Intrinsic hooks key on.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

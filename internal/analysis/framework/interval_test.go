@@ -1,0 +1,254 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"math"
+	"strings"
+	"testing"
+)
+
+const ivSrc = `package iv
+
+type Duration int64
+
+const Nano Duration = 1
+const Micro Duration = 1000 * Nano
+
+func scale(d Duration) Duration { return d }
+
+func jitter(d Duration, f float64) Duration { return d }
+
+func Step() Duration { return 3 * Micro }
+
+func ConstSum() Duration { return Step() + 500*Nano }
+
+func Loop() Duration {
+	var d Duration
+	for i := 0; i < 8; i++ {
+		d += 2 * Micro
+	}
+	return d
+}
+
+func DataLoop(n int) Duration {
+	var d Duration
+	for i := 0; i < n; i++ {
+		d += Micro
+	}
+	return d
+}
+
+func Rec(n int) Duration {
+	if n == 0 {
+		return Micro
+	}
+	return Rec(n-1) + Micro
+}
+
+type Timing struct{ Tick Duration }
+
+func Default() Timing { return Timing{Tick: 4 * Micro} }
+
+func ReadTick(t *Timing) Duration { return t.Tick }
+
+type Picker interface{ Cost() Duration }
+
+type A struct{}
+
+func (A) Cost() Duration { return Micro }
+
+type B struct{}
+
+func (B) Cost() Duration { return 2 * Micro }
+
+func Dispatch(p Picker) Duration { return p.Cost() }
+
+func Branch(b bool) Duration {
+	d := Micro
+	if b {
+		d = 5 * Micro
+	}
+	return d
+}
+
+func Mixed() Duration { return scale(Micro) + 500*Nano }
+
+func Jittered() Duration { return jitter(2*Micro, 0.25) }
+
+func Halved() Duration { return Micro / 4 }
+
+func Named() (d Duration) {
+	d = 7 * Micro
+	return
+}
+`
+
+func ivFixture(t *testing.T) (*Evaluator, *CallGraph, []*Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := loadMemPkgs(t, fset, []memPkg{{"iv", ivSrc}})
+	g := BuildCallGraph(pkgs)
+	ev := NewEvaluator(fset, pkgs, g)
+	// Unit intrinsics in the style latbound installs for the real sim
+	// package: scale moves a value into the frequency-scaled bucket,
+	// jitter widens by the constant fraction.
+	ev.Intrinsic = func(ev *Evaluator, site ExprSite, call *ast.CallExpr, env Env) (Interval, bool) {
+		fn := CalleeFunc(site.Pkg.TypesInfo, call)
+		if fn == nil {
+			return Interval{}, false
+		}
+		switch MethodKey(fn) {
+		case "iv.scale":
+			return ev.Eval(ExprSite{site.Pkg, call.Args[0]}, env).ToScaled(), true
+		case "iv.jitter":
+			d := ev.Eval(ExprSite{site.Pkg, call.Args[0]}, env)
+			f, ok := ev.ConstFloat(site, call.Args[1])
+			if !ok {
+				return Unbounded(call.Pos(), "jitter fraction is not constant"), true
+			}
+			return d.MulScalar(Range{1 - f, 1 + f}), true
+		}
+		return Interval{}, false
+	}
+	return ev, g, pkgs
+}
+
+func evalFn(t *testing.T, ev *Evaluator, g *CallGraph, name string, args ...Interval) Interval {
+	t.Helper()
+	for fn, n := range g.Funcs {
+		if fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == "iv" {
+			return ev.EvalFuncNode(n, args, token.NoPos)
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return Interval{}
+}
+
+func TestIntervalConstantFolding(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	iv := evalFn(t, ev, g, "ConstSum")
+	if iv.Fixed.Hi != 3500 || !iv.Bounded() {
+		t.Errorf("ConstSum = %+v, want fixed hi 3500", iv)
+	}
+}
+
+func TestIntervalLoopBoundInference(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	iv := evalFn(t, ev, g, "Loop")
+	if !iv.Bounded() || iv.Fixed.Hi != 16000 {
+		t.Errorf("Loop = %+v, want fixed hi 16000 (8 trips x 2us)", iv)
+	}
+}
+
+func TestIntervalDataDependentLoop(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	// Unknown trip count: unbounded, blaming the loop.
+	iv := evalFn(t, ev, g, "DataLoop")
+	if iv.Bounded() {
+		t.Fatalf("DataLoop with unknown n = %+v, want unbounded", iv)
+	}
+	if s := iv.BlameString(ev.Fset); !strings.Contains(s, "loop") {
+		t.Errorf("blame %q does not mention the loop", s)
+	}
+	// A bound argument makes the same loop finite: 100 x 1us.
+	iv = evalFn(t, ev, g, "DataLoop", Exact(100))
+	if !iv.Bounded() || iv.Fixed.Hi != 100000 {
+		t.Errorf("DataLoop(100) = %+v, want fixed hi 100000", iv)
+	}
+}
+
+func TestIntervalRecursionUnbounded(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	iv := evalFn(t, ev, g, "Rec", Exact(3))
+	if iv.Bounded() {
+		t.Fatalf("Rec = %+v, want unbounded", iv)
+	}
+	if s := iv.BlameString(ev.Fset); !strings.Contains(s, "recursive") {
+		t.Errorf("blame %q does not mention recursion", s)
+	}
+}
+
+func TestIntervalFieldWriteJoin(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	// ReadTick's parameter is unbound, so t.Tick resolves through the
+	// module-wide field assignment join (the Default composite literal).
+	iv := evalFn(t, ev, g, "ReadTick")
+	if !iv.Bounded() || iv.Fixed.Hi != 4000 {
+		t.Errorf("ReadTick = %+v, want fixed hi 4000 from the composite literal", iv)
+	}
+}
+
+func TestIntervalInterfaceJoin(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	iv := evalFn(t, ev, g, "Dispatch")
+	if !iv.Bounded() || iv.Fixed.Hi != 2000 || iv.Fixed.Lo != 1000 {
+		t.Errorf("Dispatch = %+v, want join [1000, 2000] over both implementers", iv)
+	}
+}
+
+func TestIntervalBranchJoin(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	iv := evalFn(t, ev, g, "Branch")
+	if !iv.Bounded() || iv.Fixed.Hi != 5000 || iv.Fixed.Lo != 1000 {
+		t.Errorf("Branch = %+v, want join [1000, 5000]", iv)
+	}
+}
+
+func TestIntervalUnitBuckets(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	// scale(Micro) + 500*Nano: 1000ns in the scaled bucket, 500ns fixed.
+	iv := evalFn(t, ev, g, "Mixed")
+	if iv.Scaled.Hi != 1000 || iv.Fixed.Hi != 500 {
+		t.Errorf("Mixed = %+v, want scaled hi 1000 / fixed hi 500", iv)
+	}
+	// jitter(2us, 0.25) widens to [1500, 2500].
+	iv = evalFn(t, ev, g, "Jittered")
+	if iv.Fixed.Lo != 1500 || iv.Fixed.Hi != 2500 {
+		t.Errorf("Jittered = %+v, want fixed [1500, 2500]", iv)
+	}
+}
+
+func TestIntervalDivisionAndNamedResults(t *testing.T) {
+	ev, g, _ := ivFixture(t)
+	if iv := evalFn(t, ev, g, "Halved"); iv.Fixed.Hi != 250 {
+		t.Errorf("Halved = %+v, want fixed hi 250", iv)
+	}
+	if iv := evalFn(t, ev, g, "Named"); iv.Fixed.Hi != 7000 {
+		t.Errorf("Named = %+v, want fixed hi 7000 via named result", iv)
+	}
+}
+
+func TestIntervalAlgebra(t *testing.T) {
+	a := Exact(100)
+	b := Exact(50)
+	if got := a.Add(b); got.Fixed != (Range{150, 150}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got.Fixed != (Range{50, 50}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Join(b); got.Fixed != (Range{50, 100}) {
+		t.Errorf("Join = %+v", got)
+	}
+	if got := a.MulScalar(Range{0.5, 2}); got.Fixed != (Range{50, 200}) {
+		t.Errorf("MulScalar = %+v", got)
+	}
+	u := Unbounded(token.NoPos, "because")
+	if u.Bounded() {
+		t.Error("Unbounded reports Bounded")
+	}
+	sum := a.Add(u)
+	if sum.Bounded() || len(sum.Blame) == 0 {
+		t.Errorf("Exact+Unbounded = %+v, want unbounded with blame", sum)
+	}
+	if got := u.Join(a); got.Bounded() {
+		t.Error("Join with unbounded must stay unbounded")
+	}
+	if got := a.ToScaled(); got.Scaled != (Range{100, 100}) || got.Fixed != (Range{0, 0}) {
+		t.Errorf("ToScaled = %+v", got)
+	}
+	if math.IsNaN(u.Sub(u).Fixed.Hi) {
+		t.Error("inf-inf leaked NaN")
+	}
+}

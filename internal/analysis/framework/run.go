@@ -110,6 +110,10 @@ type Analysis struct {
 	Fset  *token.FileSet
 	Dir   string // base directory for relative paths in output
 	Diags []Diagnostic
+	// Pkgs is the loaded package set the diagnostics came from, for
+	// drivers that run extra collection passes over the same load (the
+	// bounds report).
+	Pkgs []*Package
 }
 
 // AnalyzePackages runs package-level analyzers per package and
@@ -175,7 +179,7 @@ func Analyze(dir string, patterns []string, analyzers []*Analyzer) (*Analysis, e
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{Fset: loader.Fset, Dir: dir, Diags: diags}, nil
+	return &Analysis{Fset: loader.Fset, Dir: dir, Diags: diags, Pkgs: pkgs}, nil
 }
 
 // Run is the standalone driver: Analyze, then print diagnostics to w

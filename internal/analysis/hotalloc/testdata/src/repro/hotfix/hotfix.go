@@ -149,3 +149,12 @@ func guard(q *queue, gen uint64) {
 func grow(q *queue) {
 	q.free = append(q.free, new(item)) //simlint:allow hotalloc amortized free-list growth, audited slow path
 }
+
+// reasonless is the escape-hatch audit: an allow directive without a
+// justification never suppresses and is itself a finding.
+//
+//simlint:hotpath
+func reasonless(q *queue) {
+	//simlint:allow hotalloc // want `simlint:allow hotalloc needs a reason stating why the rule is safe to break here`
+	q.free = append(q.free, new(item)) // want `may allocate in hot path` `new allocates in hot path`
+}

@@ -1,0 +1,824 @@
+// Package latbound proves static worst-case latency bounds for the
+// kernel model's critical regions. It roots a region at:
+//
+//   - every hardware-interrupt handler registered through
+//     Kernel.RegisterIRQ (the handler body plus dispatch overhead),
+//   - every interrupts-disabled run of syscall segments
+//     (consecutive Segment literals with IRQsOff: true),
+//   - every spinlock-held segment (Segment with a non-nil Lock),
+//   - every Big Kernel Lock hold (runs of segments between blocking
+//     points in a SyscallCall with TakesBKL, whether set in the
+//     literal or assigned afterwards),
+//   - every //simlint:region <cause> <name> directive (manual roots
+//     for costs composed in code rather than literals: ISR dispatch,
+//     softirq budget, scheduler pick, context switch, ...),
+//
+// and evaluates each region's duration expression over the framework's
+// interval lattice: constants fold, calls inline bottom-up over the
+// module call graph, RNG draws map to their distribution supports
+// (Jitter/Uniform/capped Pareto are bounded; Exp/LogNormal are not),
+// frequency-scaled costs stay in a separate bucket from fixed device
+// costs, and loops are bounded by inferred trip counts. A region whose
+// bound is not finite — a data-dependent loop, recursion, a draw from
+// a heavy-tailed distribution, a call the graph cannot resolve — is a
+// diagnostic carrying the blame chain, unless audited with
+// //simlint:allow latbound <reason>.
+//
+// The collected regions form the machine-readable bounds report
+// (simlint -bounds); internal/latency composes them into per-cause
+// worst-episode envelopes that reprocheck cross-checks against the
+// dynamic attribution's observed episodes.
+package latbound
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/latency"
+)
+
+const (
+	simPath    = "repro/internal/sim"
+	kernelPath = "repro/internal/kernel"
+
+	regionPrefix = "simlint:region"
+	allowPrefix  = "simlint:allow"
+)
+
+// Analyzer is the static latency-bound rule.
+var Analyzer = &framework.Analyzer{
+	Name: "latbound",
+	Doc: "prove a finite static worst-case duration for every irq-off/lock-held region\n\n" +
+		"Interprocedural: roots are registered interrupt handlers, interrupts-disabled and\n" +
+		"lock-held syscall segments, BKL holds, and //simlint:region directives; each root's\n" +
+		"duration expression is bounded over an interval lattice (constant folding, call\n" +
+		"inlining over the module graph, RNG distribution supports, loop trip inference).\n" +
+		"Data-dependent loops, recursion, heavy-tailed draws, and unresolvable calls make a\n" +
+		"region unbounded — a diagnostic with the blame chain, unless audited with\n" +
+		"//simlint:allow latbound <reason>. simlint -bounds exports the full region report.",
+	RunModule: run,
+}
+
+func run(pass *framework.ModulePass) error {
+	_, findings := Collect(pass.Fset, pass.Pkgs, pass.Graph, "")
+	for _, f := range findings {
+		pass.Reportf(f.Pos, "%s", f.Message)
+	}
+	return nil
+}
+
+// A Finding is one latbound diagnostic (position + message), exposed so
+// the -bounds driver can reuse a single collection pass.
+type Finding struct {
+	Pos     token.Pos
+	Message string
+}
+
+// region is a collected root before conversion to the report model.
+type region struct {
+	name    string
+	cause   string
+	pos     token.Pos
+	iv      framework.Interval
+	segs    []framework.Interval // per-segment bounds for seg:/bkl:/irqoff: runs
+	allowed bool
+}
+
+type collector struct {
+	fset    *token.FileSet
+	pkgs    []*framework.Package
+	graph   *framework.CallGraph
+	ev      *framework.Evaluator
+	dir     string
+	regions []region
+	bad     []Finding
+
+	// handlerJoin is the join of every registered handler's bound; it
+	// resolves IRQLine.HandlerWork calls, which launder the handler
+	// through a function-typed field RegisterIRQ assigns.
+	handlerJoin   framework.Interval
+	handlerJoinOK bool
+
+	// bklVars are variables whose SyscallCall later gets TakesBKL set
+	// by assignment (call.TakesBKL = true) rather than in the literal.
+	bklVars map[*types.Var]bool
+
+	// allows maps file -> lines carrying //simlint:allow latbound (or
+	// all) with a reason; line 0 marks a file-scope allow.
+	allows map[string]map[int]bool
+}
+
+// Collect roots every region over the loaded package set and returns
+// the bounds report plus the diagnostics for unbounded, unaudited
+// regions. dir, when non-empty, relativizes positions in the report.
+func Collect(fset *token.FileSet, pkgs []*framework.Package, graph *framework.CallGraph, dir string) (*latency.Report, []Finding) {
+	c := &collector{
+		fset:    fset,
+		pkgs:    pkgs,
+		graph:   graph,
+		dir:     dir,
+		bklVars: make(map[*types.Var]bool),
+		allows:  make(map[string]map[int]bool),
+	}
+	c.ev = framework.NewEvaluator(fset, pkgs, graph)
+	c.ev.Intrinsic = c.intrinsic
+
+	c.scanAllows()
+	c.scanBKLVars()
+	c.collectHandlers()
+	c.collectSegments()
+	c.collectDirectives()
+
+	report := &latency.Report{Tool: "simlint/latbound"}
+	var findings []Finding
+	for _, r := range c.regions {
+		reg := latency.Region{
+			Name:    r.name,
+			Cause:   r.cause,
+			Pos:     c.position(r.pos),
+			Allowed: r.allowed,
+		}
+		if r.iv.Bounded() {
+			reg.Bound = latency.Bound{ScaledNS: r.iv.Scaled.Hi, FixedNS: r.iv.Fixed.Hi}
+		} else {
+			reg.Unbounded = true
+			reg.Blame = c.blame(r.iv)
+			if !r.allowed {
+				findings = append(findings, Finding{
+					Pos: r.pos,
+					Message: fmt.Sprintf("%s region %s has no finite static latency bound: %s",
+						r.cause, r.name, c.blame(r.iv)),
+				})
+			}
+		}
+		for _, seg := range r.segs {
+			sb := latency.SegBound{}
+			if seg.Bounded() {
+				sb.Bound = latency.Bound{ScaledNS: seg.Scaled.Hi, FixedNS: seg.Fixed.Hi}
+			} else {
+				sb.Unbounded = true
+			}
+			reg.Segs = append(reg.Segs, sb)
+		}
+		report.Regions = append(report.Regions, reg)
+	}
+	report.Sort()
+	findings = append(findings, c.bad...)
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return report, findings
+}
+
+func (c *collector) position(pos token.Pos) string {
+	p := c.fset.Position(pos)
+	name := p.Filename
+	if c.dir != "" {
+		if rel, err := filepath.Rel(c.dir, name); err == nil && !filepath.IsAbs(rel) {
+			name = filepath.ToSlash(rel)
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// blame renders an interval's blame chain with dir-relative positions.
+func (c *collector) blame(iv framework.Interval) string {
+	var b strings.Builder
+	for i, bl := range iv.Blame {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(bl.Reason)
+		if bl.Pos.IsValid() {
+			fmt.Fprintf(&b, " (%s)", c.position(bl.Pos))
+		}
+	}
+	return b.String()
+}
+
+// scanAllows indexes //simlint:allow latbound directives per file line,
+// mirroring the framework's suppression rule (same line, line above, or
+// file scope on the package clause line) so the report's Allowed flag
+// agrees with which diagnostics the driver suppresses.
+func (c *collector) scanAllows() {
+	for _, pkg := range c.pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+					rest, ok := strings.CutPrefix(text, allowPrefix)
+					if !ok {
+						continue
+					}
+					if i := strings.Index(rest, "//"); i >= 0 {
+						rest = rest[:i]
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || (fields[0] != "latbound" && fields[0] != "all") {
+						continue
+					}
+					p := c.fset.Position(cm.Pos())
+					m := c.allows[p.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						c.allows[p.Filename] = m
+					}
+					if p.Line == c.fset.Position(f.Package).Line {
+						m[0] = true
+					}
+					m[p.Line] = true
+				}
+			}
+		}
+	}
+}
+
+func (c *collector) allowed(pos token.Pos) bool {
+	p := c.fset.Position(pos)
+	m := c.allows[p.Filename]
+	return m[0] || m[p.Line] || m[p.Line-1]
+}
+
+func (c *collector) add(r region) {
+	r.allowed = c.allowed(r.pos)
+	c.regions = append(c.regions, r)
+}
+
+// --- phase 1: TakesBKL assignments and registered handlers ---
+
+// scanBKLVars records variables that receive `v.TakesBKL = true` so the
+// segment walk treats their literals as BKL holds even when the literal
+// itself omits the field.
+func (c *collector) scanBKLVars() {
+	for _, pkg := range c.pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+					return true
+				}
+				sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "TakesBKL" {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						c.bklVars[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectHandlers roots a region at every ISR body the kernel can
+// dispatch: the handler argument of every Kernel.RegisterIRQ call, plus
+// every direct assignment to the IRQLine.HandlerWork field (the per-CPU
+// local timer takes that path). Their join bounds any HandlerWork call.
+func (c *collector) collectHandlers() {
+	type site struct {
+		pkg     *framework.Package
+		name    string
+		handler ast.Expr
+		pos     token.Pos
+	}
+	var sites []site
+	for _, pkg := range c.pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			walkFuncs(f, func(fname string, body ast.Node) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						fn := framework.CalleeFunc(info, n)
+						if fn == nil || framework.MethodKey(fn) != kernelPath+".Kernel.RegisterIRQ" || len(n.Args) < 3 {
+							return true
+						}
+						name := "irq:" + fname
+						if tv, ok := info.Types[n.Args[0]]; ok && tv.Value != nil {
+							name = "irq:" + strings.Trim(tv.Value.String(), `"`)
+						}
+						sites = append(sites, site{pkg, name, n.Args[2], n.Pos()})
+					case *ast.AssignStmt:
+						if n.Tok != token.ASSIGN || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+							return true
+						}
+						if v := handlerWorkField(info, n.Lhs[0]); v != nil {
+							sites = append(sites, site{pkg, "irq:" + fname, n.Rhs[0], n.Pos()})
+						}
+					}
+					return true
+				})
+			})
+		}
+	}
+	first := true
+	for _, s := range sites {
+		handler := ast.Unparen(s.handler)
+		if id, ok := handler.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		var iv framework.Interval
+		nodes := c.graph.NodesForValue(s.pkg.TypesInfo, handler)
+		if len(nodes) == 0 {
+			iv = framework.Unbounded(handler.Pos(), "interrupt handler does not resolve to a function body")
+		} else {
+			for i, n := range nodes {
+				b := c.ev.EvalFuncNode(n, nil, handler.Pos())
+				if i == 0 {
+					iv = b
+				} else {
+					iv = iv.Join(b)
+				}
+			}
+		}
+		c.add(region{name: s.name, cause: "irq-handler", pos: s.pos, iv: iv})
+		if first {
+			c.handlerJoin, c.handlerJoinOK, first = iv, true, false
+		} else {
+			c.handlerJoin = c.handlerJoin.Join(iv)
+		}
+	}
+}
+
+// handlerWorkField matches an expression selecting the kernel's
+// IRQLine.HandlerWork field and returns the field object.
+func handlerWorkField(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "HandlerWork" {
+		return nil
+	}
+	if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == kernelPath {
+			return v
+		}
+	}
+	return nil
+}
+
+// --- phase 2: segment literals ---
+
+// segLit is one parsed element of a []Segment literal.
+type segLit struct {
+	pos     token.Pos
+	block   bool
+	irqsOff bool
+	lock    bool
+	d       ast.Expr // nil when absent
+}
+
+func (c *collector) collectSegments() {
+	for _, pkg := range c.pkgs {
+		info := pkg.TypesInfo
+		for _, f := range pkg.Files {
+			walkFuncs(f, func(fname string, body ast.Node) {
+				ord := 0
+				bkl := 0
+				qual := pkg.Types.Name() + "." + fname
+				ast.Inspect(body, func(n ast.Node) bool {
+					cl, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					if isNamed(info.TypeOf(cl), kernelPath, "SyscallCall") {
+						if c.syscallTakesBKL(info, cl) {
+							c.collectBKL(pkg, cl, qual, &bkl)
+						}
+						return true
+					}
+					if t, ok := info.TypeOf(cl).Underlying().(*types.Slice); ok && isNamed(t.Elem(), kernelPath, "Segment") {
+						c.collectSegSlice(pkg, cl, qual, &ord)
+						return false // elements handled; don't re-enter
+					}
+					return true
+				})
+			})
+		}
+	}
+}
+
+// syscallTakesBKL reports whether the SyscallCall literal takes the BKL:
+// either in the literal or via a later `v.TakesBKL = true` on the
+// variable the literal is assigned to.
+func (c *collector) syscallTakesBKL(info *types.Info, cl *ast.CompositeLit) bool {
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "TakesBKL" {
+				if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+					return id.Name != "false"
+				}
+				return true
+			}
+		}
+	}
+	// The literal omits TakesBKL: check assignment-based marking.
+	for v := range c.bklVars {
+		for _, w := range c.varWriteSites(v) {
+			e := ast.Unparen(w)
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				e = ast.Unparen(u.X)
+			}
+			if e == cl {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// varWriteSites exposes the evaluator's write map for BKL matching.
+func (c *collector) varWriteSites(v *types.Var) []ast.Expr {
+	var out []ast.Expr
+	for _, site := range c.ev.WritesOf(v) {
+		out = append(out, site.Expr)
+	}
+	return out
+}
+
+// parseSegs extracts the ordered per-element structure of a []Segment
+// literal. Non-literal elements come back as unbounded work segments.
+func (c *collector) parseSegs(info *types.Info, cl *ast.CompositeLit) []segLit {
+	segs := make([]segLit, 0, len(cl.Elts))
+	for _, elt := range cl.Elts {
+		el, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			segs = append(segs, segLit{pos: elt.Pos()})
+			continue
+		}
+		s := segLit{pos: el.Pos()}
+		for _, f := range el.Elts {
+			kv, ok := f.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Kind":
+				s.block = exprName(kv.Value) == "SegBlock"
+			case "D":
+				s.d = kv.Value
+			case "Lock":
+				s.lock = exprName(kv.Value) != "nil"
+			case "IRQsOff":
+				s.irqsOff = exprName(kv.Value) != "false"
+			}
+		}
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+func (c *collector) segBound(pkg *framework.Package, s segLit) framework.Interval {
+	if s.block {
+		return framework.Exact(0)
+	}
+	if s.d == nil {
+		return framework.Unbounded(s.pos, "segment has no static duration expression")
+	}
+	return c.ev.Eval(framework.ExprSite{Pkg: pkg, Expr: s.d}, nil)
+}
+
+// collectSegSlice roots lock-held segments and interrupts-disabled runs
+// within one []Segment literal.
+func (c *collector) collectSegSlice(pkg *framework.Package, cl *ast.CompositeLit, qual string, ord *int) {
+	segs := c.parseSegs(pkg.TypesInfo, cl)
+	for _, s := range segs {
+		if s.lock && !s.block {
+			iv := c.segBound(pkg, s)
+			c.add(region{
+				name:  fmt.Sprintf("seg:%s#%d", qual, *ord),
+				cause: "lock",
+				pos:   s.pos,
+				iv:    iv,
+				segs:  []framework.Interval{iv},
+			})
+			*ord++
+		}
+	}
+	// Interrupts-disabled runs: consecutive irq-off work segments merge
+	// into one region (no trace record splits an episode between them).
+	for i := 0; i < len(segs); {
+		if !segs[i].irqsOff || segs[i].block {
+			i++
+			continue
+		}
+		j := i
+		sum := framework.Exact(0)
+		var parts []framework.Interval
+		for ; j < len(segs) && segs[j].irqsOff && !segs[j].block; j++ {
+			b := c.segBound(pkg, segs[j])
+			sum = sum.Add(b)
+			parts = append(parts, b)
+		}
+		c.add(region{
+			name:  fmt.Sprintf("irqoff:%s#%d", qual, *ord),
+			cause: "irq-off",
+			pos:   segs[i].pos,
+			iv:    sum,
+			segs:  parts,
+		})
+		*ord++
+		i = j
+	}
+}
+
+// collectBKL roots the BKL holds of one TakesBKL syscall: the lock is
+// taken at entry, dropped across every blocking segment, and reacquired
+// after, so each run of non-block segments is one hold.
+func (c *collector) collectBKL(pkg *framework.Package, cl *ast.CompositeLit, qual string, bkl *int) {
+	var segsLit *ast.CompositeLit
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Segments" {
+				segsLit, _ = ast.Unparen(kv.Value).(*ast.CompositeLit)
+			}
+		}
+	}
+	if segsLit == nil {
+		c.add(region{
+			name:  fmt.Sprintf("bkl:%s#%d", qual, *bkl),
+			cause: "lock",
+			pos:   cl.Pos(),
+			iv:    framework.Unbounded(cl.Pos(), "BKL syscall's segments are not a literal"),
+		})
+		*bkl++
+		return
+	}
+	segs := c.parseSegs(pkg.TypesInfo, segsLit)
+	for i := 0; i < len(segs); {
+		if segs[i].block {
+			i++
+			continue
+		}
+		j := i
+		sum := framework.Exact(0)
+		var parts []framework.Interval
+		for ; j < len(segs) && !segs[j].block; j++ {
+			b := c.segBound(pkg, segs[j])
+			sum = sum.Add(b)
+			parts = append(parts, b)
+		}
+		c.add(region{
+			name:  fmt.Sprintf("bkl:%s#%d", qual, *bkl),
+			cause: "lock",
+			pos:   segs[i].pos,
+			iv:    sum,
+			segs:  parts,
+		})
+		*bkl++
+		i = j
+	}
+}
+
+// --- phase 3: //simlint:region directives ---
+
+type regionDirective struct {
+	cause, name string
+	pos         token.Pos
+	line        int
+	used        bool
+}
+
+func (c *collector) collectDirectives() {
+	for _, pkg := range c.pkgs {
+		for _, f := range pkg.Files {
+			dirs := c.parseRegionDirectives(f)
+			if len(dirs) == 0 {
+				continue
+			}
+			byLine := make(map[int]*regionDirective, len(dirs))
+			for _, d := range dirs {
+				byLine[d.line] = d
+			}
+			c.matchDirectives(pkg, f, byLine)
+			for _, d := range dirs {
+				if !d.used {
+					c.bad = append(c.bad, Finding{
+						Pos:     d.pos,
+						Message: "simlint:region directive does not attach to an assignment, value spec, or function declaration",
+					})
+				}
+			}
+		}
+	}
+}
+
+func (c *collector) parseRegionDirectives(f *ast.File) []*regionDirective {
+	var out []*regionDirective
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+			rest, ok := strings.CutPrefix(text, regionPrefix)
+			if !ok {
+				continue
+			}
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				c.bad = append(c.bad, Finding{
+					Pos:     cm.Pos(),
+					Message: "simlint:region needs a cause and a name: //simlint:region <cause> <name>",
+				})
+				continue
+			}
+			out = append(out, &regionDirective{
+				cause: fields[0],
+				name:  fields[1],
+				pos:   cm.Pos(),
+				line:  c.fset.Position(cm.Pos()).Line,
+			})
+		}
+	}
+	return out
+}
+
+// matchDirectives attaches directives to code: an end-of-line directive
+// roots the assignment or value spec starting on its line; a directive
+// in (or directly above) a function's doc comment roots the function's
+// whole body bound.
+func (c *collector) matchDirectives(pkg *framework.Package, f *ast.File, byLine map[int]*regionDirective) {
+	info := pkg.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			d := byLine[c.fset.Position(x.Pos()).Line]
+			if d == nil || d.used || len(x.Rhs) == 0 {
+				return true
+			}
+			d.used = true
+			iv := c.ev.Eval(framework.ExprSite{Pkg: pkg, Expr: x.Rhs[0]}, nil)
+			c.add(region{name: d.name, cause: d.cause, pos: x.Pos(), iv: iv})
+		case *ast.ValueSpec:
+			d := byLine[c.fset.Position(x.Pos()).Line]
+			if d == nil || d.used || len(x.Values) == 0 {
+				return true
+			}
+			d.used = true
+			iv := c.ev.Eval(framework.ExprSite{Pkg: pkg, Expr: x.Values[0]}, nil)
+			c.add(region{name: d.name, cause: d.cause, pos: x.Pos(), iv: iv})
+		case *ast.FuncDecl:
+			if x.Doc == nil {
+				return true
+			}
+			for _, cm := range x.Doc.List {
+				d := byLine[c.fset.Position(cm.Pos()).Line]
+				if d == nil || d.used {
+					continue
+				}
+				d.used = true
+				fn, _ := info.Defs[x.Name].(*types.Func)
+				node := c.graph.Funcs[fn]
+				iv := framework.Unbounded(x.Pos(), "function has no analyzable body")
+				if node != nil {
+					iv = c.ev.EvalFuncNode(node, nil, x.Pos())
+				}
+				c.add(region{name: d.name, cause: d.cause, pos: x.Pos(), iv: iv})
+			}
+		}
+		return true
+	})
+}
+
+// --- unit semantics ---
+
+// intrinsic gives the evaluator the model's unit and distribution
+// vocabulary: Config.scale moves costs into the frequency-scaled
+// bucket, Duration.Scale multiplies by a unitless factor, and RNG draws
+// map to their supports. Calls through the IRQLine.HandlerWork field —
+// the one function-typed field that launders every handler — are
+// bounded by the join of every handler collected in phase 1, not by the
+// partial points-to set of direct field assignments.
+func (c *collector) intrinsic(ev *framework.Evaluator, site framework.ExprSite, call *ast.CallExpr, env framework.Env) (framework.Interval, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if handlerWorkField(site.Pkg.TypesInfo, sel) != nil {
+			if !c.handlerJoinOK {
+				return framework.Unbounded(call.Pos(), "no interrupt handlers were collected"), true
+			}
+			return c.handlerJoin, true
+		}
+	}
+	fn := framework.CalleeFunc(site.Pkg.TypesInfo, call)
+	if fn == nil {
+		return framework.Interval{}, false
+	}
+	arg := func(i int) framework.Interval {
+		return ev.Eval(framework.ExprSite{Pkg: site.Pkg, Expr: call.Args[i]}, env)
+	}
+	switch framework.MethodKey(fn) {
+	case kernelPath + ".Config.scale":
+		return arg(0).ToScaled(), true
+	case simPath + ".Duration.Scale":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return framework.Interval{}, false
+		}
+		recv := ev.Eval(framework.ExprSite{Pkg: site.Pkg, Expr: sel.X}, env)
+		k := arg(0)
+		if k.Bounded() && k.Scaled.Lo == 0 && k.Scaled.Hi == 0 {
+			return recv.MulScalar(k.Fixed), true
+		}
+		return framework.Unbounded(call.Pos(), "Scale factor is not statically bounded").Join(k), true
+	case simPath + ".RNG.Jitter":
+		d := arg(0)
+		f, ok := ev.ConstFloat(site, call.Args[1])
+		if !ok {
+			return framework.Unbounded(call.Args[1].Pos(), "jitter fraction is not constant"), true
+		}
+		if f <= 0 {
+			return d, true
+		}
+		return d.MulScalar(framework.Range{Lo: 1 - f, Hi: 1 + f}), true
+	case simPath + ".RNG.Uniform":
+		return arg(0).Join(arg(1)), true
+	case simPath + ".RNG.Pareto":
+		xm, max := arg(0), arg(2)
+		if max.Bounded() && (max.Fixed.Lo > 0 || max.Scaled.Lo > 0) {
+			return xm.Join(max), true
+		}
+		return framework.Unbounded(call.Pos(), "Pareto draw has no positive static cap, so its tail is unbounded"), true
+	case simPath + ".RNG.Exp", simPath + ".RNG.LogNormal",
+		simPath + ".RNG.LogNormalMeanP99", simPath + ".RNG.Normal":
+		return framework.Unbounded(call.Pos(), "%s draws from an unbounded distribution", fn.Name()), true
+	case simPath + ".RNG.Float64", simPath + ".RNG.Bool":
+		return framework.Interval{Fixed: framework.Range{Lo: 0, Hi: 1}}, true
+	case simPath + ".RNG.Intn":
+		return arg(0).Join(framework.Exact(0)), true
+	}
+	return framework.Interval{}, false
+}
+
+// --- small helpers ---
+
+// walkFuncs visits each top-level function (and method) body along with
+// its receiver-qualified name; file-scope var initializers walk under
+// the name "init".
+func walkFuncs(f *ast.File, visit func(name string, body ast.Node)) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body == nil {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				if r := recvName(d.Recv.List[0].Type); r != "" {
+					name = r + "." + name
+				}
+			}
+			visit(name, d.Body)
+		case *ast.GenDecl:
+			visit("init", d)
+		}
+	}
+}
+
+// recvName extracts a receiver type's base identifier ("*RCIM" -> "RCIM").
+func recvName(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.StarExpr:
+		return recvName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvName(t.X)
+	}
+	return ""
+}
+
+func isNamed(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// exprName returns the trailing identifier of an ident or selector, or
+// "" for anything else — enough to recognize SegBlock / nil / false.
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

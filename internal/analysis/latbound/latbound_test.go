@@ -1,0 +1,21 @@
+package latbound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/latbound"
+)
+
+// TestLatbound checks the analyzer against a fixture package covering
+// every region root: registered interrupt handlers (bounded draws,
+// heavy-tailed draws, data-dependent loops, bounded loops, recursion),
+// lock-held and irq-off segment runs, BKL holds via both the literal
+// and post-construction idioms, manual //simlint:region directives on
+// assignments, value specs and function declarations, audited
+// //simlint:allow escapes, and malformed or orphaned directives.
+func TestLatbound(t *testing.T) {
+	analysistest.RunModule(t, analysistest.TestData(t),
+		[]*framework.Analyzer{latbound.Analyzer}, "repro/latfix")
+}

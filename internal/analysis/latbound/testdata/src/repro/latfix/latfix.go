@@ -1,0 +1,165 @@
+// Package latfix exercises the latbound analyzer: every rooted region
+// kind (registered handlers, lock-held and interrupts-disabled segment
+// runs, BKL holds, manual //simlint:region directives), the bounded
+// cases that must stay silent, and the statically unbounded true
+// positives — several of which a dynamic harness can never catch,
+// because any finite run of a heavy-tailed draw or data-dependent loop
+// observes a finite value.
+package latfix
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// InstallGood registers a handler whose every draw has compact support:
+// jittered PCI transactions plus a capped Pareto tail. Bounded — the
+// analyzer must stay silent.
+func InstallGood(k *kernel.Kernel) {
+	k.RegisterIRQ("good", 0, func(rng *sim.RNG) sim.Duration {
+		return rng.Jitter(5*sim.Microsecond, 0.2) +
+			rng.Pareto(600*sim.Nanosecond, 1.3, 10*sim.Microsecond)
+	}, nil)
+}
+
+// InstallHeavyTail registers a handler drawing from an exponential —
+// unbounded support, so no static worst case exists. A perturbation
+// harness cannot catch this: every finite run sees a finite maximum.
+func InstallHeavyTail(k *kernel.Kernel) {
+	k.RegisterIRQ("tail", 0, func(rng *sim.RNG) sim.Duration { // want `irq-handler region irq:tail has no finite static latency bound: Exp draws from an unbounded distribution`
+		return rng.Exp(2 * sim.Microsecond)
+	}, nil)
+}
+
+// InstallLoop registers a handler whose cost is a data-dependent loop:
+// n is runtime input, so the trip count has no static bound.
+func InstallLoop(k *kernel.Kernel, n int) {
+	k.RegisterIRQ("loop", 0, func(rng *sim.RNG) sim.Duration { // want `irq-handler region irq:loop has no finite static latency bound: data-dependent loop`
+		var d sim.Duration
+		for i := 0; i < n; i++ {
+			d += sim.Microsecond
+		}
+		return d
+	}, nil)
+}
+
+// InstallBoundedLoop is the same shape with an inferable trip count:
+// 8 iterations x 2us = 16us. Bounded, silent.
+func InstallBoundedLoop(k *kernel.Kernel) {
+	k.RegisterIRQ("bloop", 0, func(rng *sim.RNG) sim.Duration {
+		var d sim.Duration
+		for i := 0; i < 8; i++ {
+			d += 2 * sim.Microsecond
+		}
+		return d
+	}, nil)
+}
+
+// recWork retries a device register read with no static depth cap.
+func recWork(depth int) sim.Duration {
+	if depth == 0 {
+		return sim.Microsecond
+	}
+	return recWork(depth-1) + sim.Microsecond
+}
+
+// InstallRec registers a handler built on recursion: the abstract
+// interpreter refuses to unroll it.
+func InstallRec(k *kernel.Kernel) {
+	k.RegisterIRQ("rec", 0, func(rng *sim.RNG) sim.Duration { // want `irq-handler region irq:rec has no finite static latency bound: recWork is recursive`
+		return recWork(3)
+	}, nil)
+}
+
+// LockedCall holds a spinlock for a uniformly drawn, compactly
+// supported duration. Bounded, silent.
+func LockedCall(k *kernel.Kernel, rng *sim.RNG) *kernel.SyscallCall {
+	return &kernel.SyscallCall{
+		Name: "ioctl(fix)",
+		Segments: []kernel.Segment{
+			{Kind: kernel.SegWork, D: 300 * sim.Nanosecond},
+			{Kind: kernel.SegWork, D: rng.Uniform(10*sim.Microsecond, 40*sim.Microsecond), Lock: k.NamedLock("fix")},
+		},
+	}
+}
+
+// IRQOffCall disables interrupts across a run of segments whose middle
+// leg is caller-supplied: the whole run is one irq-off region with no
+// static bound.
+func IRQOffCall(d sim.Duration) *kernel.SyscallCall {
+	return &kernel.SyscallCall{
+		Name: "flush",
+		Segments: []kernel.Segment{
+			{Kind: kernel.SegWork, D: 700 * sim.Nanosecond, IRQsOff: true}, // want `irq-off region irqoff:latfix.IRQOffCall#0 has no finite static latency bound`
+			{Kind: kernel.SegWork, D: d, IRQsOff: true},
+			{Kind: kernel.SegWork, D: 300 * sim.Nanosecond},
+		},
+	}
+}
+
+// TailBKL marks its call as a BKL taker after construction (the 2.4
+// idiom this tree uses for probabilistic BKL paths) and holds the lock
+// for a log-normal — heavy-tailed — duration. The audited allow keeps
+// it out of the findings while the report still records it unbounded.
+func TailBKL(rng *sim.RNG) *kernel.SyscallCall {
+	call := &kernel.SyscallCall{
+		Name: "write(tail)",
+		Segments: []kernel.Segment{
+			//simlint:allow latbound fixture audit: the heavy-tailed BKL hold is the measured pathology, bounded only by a critical-section cap
+			{Kind: kernel.SegWork, D: rng.LogNormal(8.0, 1.5)},
+		},
+	}
+	call.TakesBKL = true
+	return call
+}
+
+// TailBKL2 is the same hold without the audit: a finding.
+func TailBKL2(rng *sim.RNG) *kernel.SyscallCall {
+	return &kernel.SyscallCall{
+		Name:     "write(tail2)",
+		TakesBKL: true,
+		Segments: []kernel.Segment{
+			{Kind: kernel.SegWork, D: rng.LogNormal(8.0, 1.5)}, // want `lock region bkl:latfix.TailBKL2#0 has no finite static latency bound: LogNormal draws from an unbounded distribution`
+		},
+	}
+}
+
+// The smallest fixed cost in the fixture, rooted by directive; bounded.
+const fixReturn = 150 * sim.Nanosecond //simlint:region run fix-return
+
+// Window roots an assignment whose value scales a caller-supplied
+// duration: unbounded, reported at the assignment.
+func Window(d sim.Duration) sim.Duration {
+	w := d.Scale(2.0) //simlint:region irq-off fix-window // want `irq-off region fix-window has no finite static latency bound`
+	return w
+}
+
+// PickFixed is a function-level region via a doc directive; bounded.
+//
+//simlint:region sched fix-pick
+func PickFixed() sim.Duration {
+	return 500*sim.Nanosecond + fixReturn
+}
+
+// LegacyPick is unbounded (linear in n) but audited: the allow directly
+// above the declaration suppresses the finding.
+//
+//simlint:region sched fix-legacy
+//simlint:allow latbound fixture audit: linear pick cost by design
+func LegacyPick(n int) sim.Duration {
+	return (100 * sim.Nanosecond).Scale(float64(n))
+}
+
+//simlint:region sched orphan // want `simlint:region directive does not attach`
+
+//simlint:region sched // want `simlint:region needs a cause and a name`
+
+// ReasonlessPick shows the escape-hatch audit: an allow directive with
+// no justification never suppresses and is itself a finding, so the
+// unbounded region below still reports.
+//
+//simlint:region sched fix-reasonless
+//simlint:allow latbound // want `simlint:allow latbound needs a reason stating why the rule is safe to break here`
+func ReasonlessPick(n int) sim.Duration { // want `sched region fix-reasonless has no finite static latency bound`
+	return (100 * sim.Nanosecond).Scale(float64(n))
+}

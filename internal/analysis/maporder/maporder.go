@@ -15,6 +15,7 @@ package maporder
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"repro/internal/analysis/framework"
@@ -86,7 +87,12 @@ func checkRange(pass *framework.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt)
 	reported := false
 	report := func(what string) {
 		if !reported {
-			pass.Reportf(rng.Pos(), "iteration over %s is randomly ordered but its body %s; collect the keys, sort them, then iterate the sorted slice", mapName, what)
+			pass.Report(framework.Diagnostic{
+				Pos: rng.Pos(),
+				Message: "iteration over " + mapName + " is randomly ordered but its body " + what +
+					"; collect the keys, sort them, then iterate the sorted slice",
+				Fixes: sortedRangeFix(pass, rng, mapName),
+			})
 			reported = true
 		}
 	}
@@ -234,4 +240,69 @@ func containsExpr(e ast.Expr, s string) bool {
 		return true
 	})
 	return found
+}
+
+// sortedRangeFix builds the machine-applicable collect-then-sort
+// rewrite for an order-sensitive range-over-map, when one can be
+// offered safely: the range must define a named, basic-ordered key, the
+// map expression must render, and the file must already import "sort"
+// (the fix cannot edit the import block). The rewrite materializes the
+// keys, sorts them, and re-targets the loop at the sorted slice — the
+// deterministic order the rule demands — leaving the body untouched
+// except for rebinding the value variable.
+func sortedRangeFix(pass *framework.Pass, rng *ast.RangeStmt, mapName string) []framework.SuggestedFix {
+	if rng.Tok != token.DEFINE || mapName == "" || mapName == "map" {
+		return nil
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	keyType := pass.TypesInfo.TypeOf(rng.Key)
+	if keyType == nil {
+		return nil
+	}
+	basic, ok := keyType.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsOrdered == 0 {
+		return nil
+	}
+	if !importsSort(pass, rng.Pos()) {
+		return nil
+	}
+	keys := "sorted" + strings.ToUpper(key.Name[:1]) + key.Name[1:]
+	typeName := types.TypeString(keyType, types.RelativeTo(pass.Pkg))
+
+	prelude := keys + " := make([]" + typeName + ", 0, len(" + mapName + ")); " +
+		"for " + key.Name + " := range " + mapName + " { " + keys + " = append(" + keys + ", " + key.Name + ") }; " +
+		"sort.Slice(" + keys + ", func(i, j int) bool { return " + keys + "[i] < " + keys + "[j] }); "
+	edits := []framework.TextEdit{
+		{Pos: rng.Pos(), End: rng.Pos(), NewText: prelude},
+		{Pos: rng.Key.Pos(), End: rng.X.End(), NewText: "_, " + key.Name + " := range " + keys},
+	}
+	if val, ok := rng.Value.(*ast.Ident); ok && val.Name != "_" {
+		edits = append(edits, framework.TextEdit{
+			Pos:     rng.Body.Lbrace + 1,
+			End:     rng.Body.Lbrace + 1,
+			NewText: " " + val.Name + " := " + mapName + "[" + key.Name + "];",
+		})
+	}
+	return []framework.SuggestedFix{{
+		Message: "collect the keys into " + keys + ", sort, and iterate the sorted slice",
+		Edits:   edits,
+	}}
+}
+
+// importsSort reports whether the file containing pos imports "sort".
+func importsSort(pass *framework.Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"sort"` && (imp.Name == nil || imp.Name.Name != "_") {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
 }

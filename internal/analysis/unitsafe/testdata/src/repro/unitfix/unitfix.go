@@ -1,0 +1,60 @@
+// Package unitfix exercises the unitsafe analyzer: bare literals taking
+// on clock types (the true positives — note that no dynamic harness can
+// catch these, because a unit error produces consistently wrong but
+// perfectly reproducible numbers), unit-carrying expressions that must
+// stay silent, scalar-factor conversions, and the audited allow escape.
+package unitfix
+
+import (
+	"repro/internal/sim"
+)
+
+type timer struct {
+	Tick sim.Duration
+	At   sim.Time
+}
+
+func take(d sim.Duration) sim.Duration { return d }
+
+// Bare literals becoming clock values: findings.
+var (
+	rawVar   sim.Duration = 1500 // want `integer literal 1500 used as sim\.Duration without units`
+	rawTime  sim.Time     = 99   // want `integer literal 99 used as sim\.Time without units`
+	rawNeg   sim.Duration = -250 // want `integer literal 250 used as sim\.Duration without units`
+	rawParen sim.Duration = (42) // want `integer literal 42 used as sim\.Duration without units`
+)
+
+const rawConst sim.Duration = 7 // want `integer literal 7 used as sim\.Duration without units`
+
+// Conversions manufacturing clock values from magic numbers: findings.
+var convVar = sim.Duration(1500) // want `constant 1500 converted to sim\.Duration without units`
+
+const chunk = 64 * 1024
+
+var convConst = sim.Duration(chunk / 1024) // want `constant 64 converted to sim\.Duration without units`
+
+// Unit-carrying expressions: silent.
+var (
+	good      = 1500 * sim.Nanosecond
+	goodConst = take(3 * sim.Microsecond)
+	goodField = timer{Tick: 10 * sim.Millisecond}
+	goodFrac  = sim.Second / 4
+	goodZero  sim.Duration
+	zeroLit   sim.Duration = 0
+)
+
+// A conversion used as a dimensionless scale factor against a value
+// that already carries units is dimensionally sound: silent.
+var goodScale = sim.Duration(chunk/1024) * 1500 * sim.Nanosecond
+
+// Non-constant conversions are unit-producing helpers, not magic
+// numbers: silent.
+func fromCount(n int) sim.Duration { return sim.Duration(n) * sim.Microsecond }
+
+// Structural contexts still get caught.
+var fieldRaw = timer{Tick: 77} // want `integer literal 77 used as sim\.Duration without units`
+
+var argRaw = take(42) // want `integer literal 42 used as sim\.Duration without units`
+
+// The audited escape: a reasoned allow suppresses the finding.
+var audited sim.Duration = 1234 //simlint:allow unitsafe legacy calibration constant from the 2003 paper's table 2

@@ -1,0 +1,293 @@
+// Package unitsafe enforces time-unit soundness for the simulator's
+// clock types.
+//
+// sim.Duration and sim.Time are integer nanosecond counts, so Go will
+// happily convert a bare integer literal into either — `After(1500,
+// fn)` compiles and silently means 1.5 microseconds. Every latency
+// figure this repository reproduces is a time measurement; a magic
+// number that skips the unit system is exactly the kind of defect that
+// survives review (the code runs, the plots look plausible) and
+// corrupts a reproduced number by three orders of magnitude.
+//
+// The rule: an integer literal may take on a clock type only by being
+// combined with something that already carries units — a named
+// sim.Duration constant (`1500 * sim.Nanosecond`), a Config-derived
+// value, another Duration expression. A bare literal typed as Duration
+// or Time, and a direct conversion like `sim.Duration(1500)`, are
+// findings. Zero is unit-free and always allowed; the sim package's own
+// constant declarations are exempt, since the base units themselves
+// must be defined from a raw literal.
+//
+// Because Duration's representation is nanoseconds, every finding has a
+// value-preserving machine fix: multiply the literal by the package's
+// Nanosecond constant. The fix changes no behavior — it only makes the
+// unit explicit — so it is attached as a suggested fix and surfaced in
+// SARIF.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+const simPath = "repro/internal/sim"
+
+// Analyzer is the unitsafe rule.
+var Analyzer = &framework.Analyzer{
+	Name: "unitsafe",
+	Doc: "require explicit units when integer literals become sim.Duration/sim.Time\n\n" +
+		"The clock types are raw nanosecond counts, so `After(1500, fn)` compiles and\n" +
+		"silently means 1.5us. A literal may take on a clock type only through something\n" +
+		"that already carries units: write `1500 * sim.Nanosecond`, a named constant, or\n" +
+		"a Config-derived helper. Direct conversions like sim.Duration(1500) are flagged\n" +
+		"too. Zero is unit-free and allowed.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *framework.Pass, f *ast.File) {
+	simName, canFix := importName(f, pass)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			checkLiteral(pass, n, stack, simName, canFix)
+		case *ast.CallExpr:
+			checkConversion(pass, n, stack, simName, canFix)
+		}
+		return true
+	})
+}
+
+// checkLiteral flags an integer literal whose recorded type is a clock
+// type unless some enclosing operator combines it with an expression
+// that already carries units.
+func checkLiteral(pass *framework.Pass, lit *ast.BasicLit, stack []ast.Node, simName string, canFix bool) {
+	if lit.Kind != token.INT {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	typ := tv.Type
+	if !isClock(typ) {
+		// For a negated literal (-250), go/types records the clock type
+		// on the enclosing unary expression, not the literal itself.
+		if len(stack) >= 2 {
+			if u, isU := stack[len(stack)-2].(*ast.UnaryExpr); isU {
+				if tu, ok := pass.TypesInfo.Types[u]; ok && isClock(tu.Type) {
+					typ = tu.Type
+				}
+			}
+		}
+		if !isClock(typ) {
+			return
+		}
+	}
+	if isZero(tv.Value) {
+		return
+	}
+	// Climb through operators: a sibling operand with units legitimizes
+	// the literal as a scale factor. Stop at the first structural parent
+	// (argument list, field value, return, ...).
+	child := ast.Node(lit)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			child = stack[i]
+			continue
+		case *ast.BinaryExpr:
+			sibling := p.X
+			if sibling == child {
+				sibling = p.Y
+			}
+			if carriesUnits(pass.TypesInfo, sibling) {
+				return
+			}
+			child = stack[i]
+			continue
+		case *ast.CallExpr:
+			// A conversion parent owns the report (checkConversion): the
+			// literal is untyped there and the conversion is the defect.
+			if tfun, ok := pass.TypesInfo.Types[p.Fun]; ok && tfun.IsType() {
+				return
+			}
+		case *ast.ValueSpec, *ast.GenDecl:
+			// The sim package defines the base units from raw literals
+			// (Nanosecond Duration = 1); its own constant declarations
+			// are the one place a unitless literal is the point.
+			if pass.Pkg.Path() == simPath {
+				return
+			}
+		}
+		break
+	}
+	d := framework.Diagnostic{
+		Pos: lit.Pos(),
+		Message: "integer literal " + lit.Value + " used as " + clockName(typ) +
+			" without units: multiply by a sim unit constant (e.g. " + lit.Value + " * sim.Nanosecond) or derive it from Config",
+	}
+	if canFix {
+		d.Fixes = []framework.SuggestedFix{{
+			Message: "make the nanosecond unit explicit: " + lit.Value + " * " + simName + "Nanosecond",
+			Edits: []framework.TextEdit{{
+				Pos:     lit.End(),
+				End:     lit.End(),
+				NewText: " * " + simName + "Nanosecond",
+			}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// checkConversion flags sim.Duration(expr) / sim.Time(expr) where expr
+// is a unitless constant: the conversion manufactures a clock value
+// from a magic number. A conversion that is itself an operand of an
+// operator whose other side carries units is a dimensionless scale
+// factor (`sim.Duration(chunkKB) * costPerKB`) and is sound.
+func checkConversion(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node, simName string, canFix bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tfun, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tfun.IsType() || !isClock(tfun.Type) {
+		return
+	}
+	if pass.Pkg.Path() == simPath {
+		return
+	}
+	arg := call.Args[0]
+	ta, ok := pass.TypesInfo.Types[arg]
+	if !ok || ta.Value == nil || ta.Value.Kind() != constant.Int || isZero(ta.Value) {
+		return
+	}
+	if carriesUnits(pass.TypesInfo, arg) {
+		return
+	}
+	child := ast.Node(call)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			child = stack[i]
+			continue
+		case *ast.BinaryExpr:
+			sibling := p.X
+			if sibling == child {
+				sibling = p.Y
+			}
+			if carriesUnits(pass.TypesInfo, sibling) {
+				return
+			}
+			child = stack[i]
+			continue
+		}
+		break
+	}
+	d := framework.Diagnostic{
+		Pos: call.Pos(),
+		Message: "constant " + ta.Value.String() + " converted to " + clockName(tfun.Type) +
+			" without units: multiply by a sim unit constant instead of converting a magic number",
+	}
+	if canFix {
+		d.Fixes = []framework.SuggestedFix{{
+			Message: "make the nanosecond unit explicit: " + ta.Value.String() + " * " + simName + "Nanosecond",
+			Edits: []framework.TextEdit{{
+				Pos:     call.Pos(),
+				End:     call.End(),
+				NewText: ta.Value.String() + " * " + simName + "Nanosecond",
+			}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// carriesUnits reports whether the expression mentions anything already
+// clock-typed by name — a unit constant, a Duration variable or field,
+// a call returning Duration — as opposed to bare literals.
+func carriesUnits(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.IndexExpr:
+			if tv, ok := info.Types[n.(ast.Expr)]; ok && isClock(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isClock reports whether t is sim.Duration or sim.Time.
+func isClock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != simPath {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}
+
+func clockName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return "sim." + named.Obj().Name()
+	}
+	return t.String()
+}
+
+func isZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	return constant.Compare(v, token.EQL, constant.MakeInt64(0))
+}
+
+// importName returns the qualifier for referring to the sim package's
+// Nanosecond constant from file f ("sim." normally, the import's name
+// if renamed, empty inside sim itself or under a dot import), and
+// whether the constant is referable at all — when the file does not
+// import the package, no fix can be offered.
+func importName(f *ast.File, pass *framework.Pass) (string, bool) {
+	if pass.Pkg.Path() == simPath {
+		return "", true
+	}
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"`+simPath+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			switch imp.Name.Name {
+			case ".":
+				return "", true
+			case "_":
+				return "", false
+			}
+			return imp.Name.Name + ".", true
+		}
+		return "sim.", true
+	}
+	return "", false
+}

@@ -1,0 +1,63 @@
+package unitsafe_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/unitsafe"
+)
+
+// TestUnitsafe checks the analyzer against a fixture covering bare
+// literals in every structural position (var, const, field, argument,
+// unary/paren wrapping), magic-number conversions, unit-carrying
+// expressions that must stay silent, scalar-factor conversions, and
+// the //simlint:allow escape.
+func TestUnitsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*framework.Analyzer{unitsafe.Analyzer}, "repro/unitfix")
+}
+
+// TestUnitsafeFixes checks the fix payload: every finding in the
+// fixture (which imports sim by its usual name) must carry exactly one
+// suggested fix whose edit makes the nanosecond unit explicit. The fix
+// is value-preserving — Duration's representation is nanoseconds, so
+// `N` and `N * sim.Nanosecond` are the same value.
+func TestUnitsafeFixes(t *testing.T) {
+	dir := filepath.Join(analysistest.TestData(t), "src", "repro", "unitfix")
+	loader, err := framework.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(dir, "repro/unitfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.RunPackage(pkg, []*framework.Analyzer{unitsafe.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics on the fixture")
+	}
+	for _, d := range diags {
+		if len(d.Fixes) != 1 {
+			t.Errorf("%s: got %d fixes, want 1 (%s)", pkg.Fset.Position(d.Pos), len(d.Fixes), d.Message)
+			continue
+		}
+		fix := d.Fixes[0]
+		if len(fix.Edits) != 1 {
+			t.Errorf("%s: fix has %d edits, want 1", pkg.Fset.Position(d.Pos), len(fix.Edits))
+			continue
+		}
+		e := fix.Edits[0]
+		if !strings.Contains(e.NewText, "sim.Nanosecond") {
+			t.Errorf("%s: fix text %q does not name the unit", pkg.Fset.Position(d.Pos), e.NewText)
+		}
+		if !e.Pos.IsValid() || e.End < e.Pos {
+			t.Errorf("%s: fix edit has invalid range", pkg.Fset.Position(d.Pos))
+		}
+	}
+}

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"repro/internal/kernel"
+	"repro/internal/latency"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace/attrib"
@@ -25,6 +28,13 @@ type CheckOptions struct {
 	// machine: a corrupt machine state panics at the first sampling
 	// instant after it appears instead of surfacing as a wrong verdict.
 	InvariantPeriod sim.Duration
+
+	// Bounds, when non-nil, is a static worst-case bounds report from
+	// `simlint -bounds` and enables the latbound-envelope claims: the
+	// dynamic attributor's worst observed episode per cause must fit
+	// under the static envelope composed for the same machine. The
+	// caller loads the report; this package never reads files.
+	Bounds *latency.Report
 }
 
 // RunChecks executes a conformance pass over the paper's quantitative
@@ -114,8 +124,10 @@ func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) [
 	future := rf(kernel.RedHawk14(2, 0.933), true, func(r *RealfeelConfig) { r.FixedAPI = true })
 	fig7 := rc(false)
 	bkl := rc(true)
-	attStock := att(kernel.StandardLinux24(2, 2.0, false), false)
-	attShield := att(kernel.RedHawk14(2, 2.0), true)
+	stockCfg := kernel.StandardLinux24(2, 2.0, false)
+	shieldCfg := kernel.RedHawk14(2, 2.0)
+	attStock := att(stockCfg, false)
+	attShield := att(shieldCfg, true)
 
 	runner.Do(workers, jobs...)
 
@@ -176,6 +188,48 @@ func RunChecksOpts(scale float64, seed uint64, workers int, opts CheckOptions) [
 		removable(bs) < removable(as)/10 &&
 			bs.WorstBreakdown[attrib.CauseSched]+bs.WorstBreakdown[attrib.CauseSoftirq]+bs.WorstBreakdown[attrib.CauseLock] < bs.MaxLatency/2,
 		"removable delay: stock %v vs shielded %v; shielded worst %v", removable(as), removable(bs), bs.MaxLatency)
+
+	// --- static latency envelope vs dynamic attribution (latbound) ---
+	// Cross-check simlint's abstract-interpretation bounds against the
+	// dynamic attributor: per covered cause, the worst single episode any
+	// sample observed must fit under the static bound composed for the
+	// same machine. An unbounded static term (stock holds the BKL across
+	// an uncapped filesystem call, by audited exception) passes trivially
+	// — the static layer makes no claim there, and says so.
+	if opts.Bounds != nil {
+		boundStr := func(v float64) string {
+			if math.IsInf(v, 1) {
+				return "unbounded"
+			}
+			return sim.Duration(v).String()
+		}
+		causes := []attrib.Cause{attrib.CauseIRQOff, attrib.CauseSoftirq, attrib.CauseLock}
+		envelope := func(id, claim string, cfg kernel.Config, s attrib.Summary) latency.Envelope {
+			env, missing := latency.Compose(opts.Bounds, latency.FromConfig(&cfg))
+			if len(missing) > 0 {
+				add(id, claim, false, "bounds report lacks a finite bound for required regions: %s", strings.Join(missing, ", "))
+				return env
+			}
+			pass := true
+			parts := make([]string, 0, len(causes))
+			for _, c := range causes {
+				bound, _ := env.CauseBound(c.String())
+				if float64(s.WorstEpisode[c]) > bound {
+					pass = false
+				}
+				parts = append(parts, fmt.Sprintf("%s %v<=%s", c, s.WorstEpisode[c], boundStr(bound)))
+			}
+			add(id, claim, pass, "%s", strings.Join(parts, ", "))
+			return env
+		}
+		envelope("latbound-stock", "stock worst episodes fit the static per-cause bounds (latbound envelope)",
+			stockCfg, as)
+		env := envelope("latbound-shield", "shielded worst episodes fit the static per-cause bounds (latbound envelope)",
+			shieldCfg, bs)
+		add("latbound-resp", "the shielded worst response fits the static shielded-path bound (the checked <30µs analogue)",
+			float64(bs.MaxLatency) <= env.ShieldedResponseNS,
+			"observed %v <= static %s", bs.MaxLatency, boundStr(env.ShieldedResponseNS))
+	}
 
 	return out
 }

@@ -297,7 +297,7 @@ func runPosixTimers(seed uint64) string {
 		k := kernel.New(cfg, sim.DeriveSeed(seed, streamPosixTimers))
 		cycles := 0
 		var worstPeriod sim.Duration
-		var last sim.Time = -1
+		last := sim.NoTime
 		k.NewTask("periodic", kernel.SchedFIFO, 90, 0, kernel.BehaviorFunc(func(*kernel.Task) kernel.Action {
 			a := kernel.Sleep(sim.Millisecond)
 			a.OnComplete = func(now sim.Time) {

@@ -231,7 +231,7 @@ func RunRealfeelModes(cfg RealfeelConfig, shieldProcs, shieldIRQs, shieldLTimer,
 	// 0.1 ms bins out to 100 ms, the Figure 5 axis.
 	hist := metrics.NewHistogram(100*sim.Microsecond, 1000)
 	period := s.RTC.Period()
-	var prev sim.Time = -1
+	prev := sim.NoTime
 	samples := 0
 	var sum metrics.ResponseSummary
 	var mt *kernel.Task

@@ -5,6 +5,11 @@ import (
 	"repro/internal/sim"
 )
 
+// rcimWaitReturn is the driver's straight-to-user return path after a
+// blocking wait: syscall exit plus one PCI read of the mapped count
+// register. It is the last leg of the shielded response bound.
+const rcimWaitReturn = 1200 * sim.Nanosecond //simlint:region run rcim-wait
+
 // RCIM models Concurrent's Real-Time Clock and Interrupt Module PCI card
 // (§4, §6.3): a high-resolution periodic timer with a memory-mapped count
 // register, and a fully multithreaded driver whose ioctl wait path does
@@ -72,7 +77,7 @@ func (e *ExternalInput) WaitCall() *kernel.SyscallCall {
 		Segments: []kernel.Segment{
 			{Kind: kernel.SegWork, D: 600 * sim.Nanosecond},
 			{Kind: kernel.SegBlock, Wait: e.wq},
-			{Kind: kernel.SegWork, D: 1200 * sim.Nanosecond},
+			{Kind: kernel.SegWork, D: rcimWaitReturn},
 		},
 	}
 }
@@ -181,7 +186,7 @@ func (r *RCIM) WaitCall() *kernel.SyscallCall {
 			{Kind: kernel.SegBlock, Wait: r.wq},
 			// Straight back to user space; the first thing user code
 			// does is read the mapped count register (one PCI read).
-			{Kind: kernel.SegWork, D: 1200 * sim.Nanosecond},
+			{Kind: kernel.SegWork, D: rcimWaitReturn},
 		},
 	}
 }

@@ -354,9 +354,9 @@ func (c *CPU) settle() {
 	}
 }
 
-// maxISRNest caps interrupt nesting depth (stack exhaustion guard, as
+// MaxISRNest caps interrupt nesting depth (stack exhaustion guard, as
 // real kernels effectively have via masked sources).
-const maxISRNest = 3
+const MaxISRNest = 3
 
 // isrDepth counts ISR frames on the stack.
 func (c *CPU) isrDepth() int {
@@ -390,7 +390,7 @@ func (c *CPU) irqsDisabled() bool {
 		return false
 	}
 	if f.kind == frameISR {
-		return f.irq.Fast || c.isrDepth() >= maxISRNest
+		return f.irq.Fast || c.isrDepth() >= MaxISRNest
 	}
 	return f.irqsOff
 }
@@ -421,7 +421,8 @@ func (c *CPU) deliverPendingIRQ() bool {
 
 func (c *CPU) pushISR(l *IRQLine) {
 	t := &c.kern.Cfg.Timing
-	work := c.kern.Cfg.scale(t.IRQEntry+t.IRQExit) + l.HandlerWork(l.rng)
+	overhead := c.kern.Cfg.scale(t.IRQEntry + t.IRQExit) //simlint:region irq-off isr-overhead
+	work := overhead + l.HandlerWork(l.rng)              //simlint:region irq-off isr-dispatch
 	c.kern.Trace.IRQEnter(c.kern.Now(), c.ID, l.Num, l.Name)
 	f := &frame{kind: frameISR, irq: l, workLeft: float64(work)}
 	f.onDone = func() {
@@ -436,7 +437,8 @@ func (c *CPU) pushISR(l *IRQLine) {
 		// Cache pollution: the interrupted context re-fetches lines the
 		// handler evicted.
 		if b := c.top(); b != nil {
-			b.workLeft += float64(l.rng.Jitter(c.kern.Cfg.scale(t.ISRCachePenalty), 0.5))
+			penalty := l.rng.Jitter(c.kern.Cfg.scale(t.ISRCachePenalty), 0.5) //simlint:region overhead isr-cache-penalty
+			b.workLeft += float64(penalty)
 		}
 		c.kern.Trace.IRQExit(c.kern.Now(), c.ID, l.Num, l.Name)
 	}
@@ -503,7 +505,7 @@ func (c *CPU) maybeRunSoftirq() bool {
 	if c.kern.Cfg.FixSpinlockBH && c.holdsAnyLock() {
 		return false
 	}
-	budget := float64(c.kern.Cfg.scale(c.kern.Cfg.Timing.SoftirqMax))
+	budget := float64(c.kern.Cfg.scale(c.kern.Cfg.Timing.SoftirqMax)) //simlint:region softirq softirq-budget
 	take := total
 	if float64(take) > budget {
 		take = sim.Duration(budget)
@@ -563,7 +565,8 @@ func (c *CPU) ksoftirqdBehavior() Behavior {
 			})
 		}
 		chunk := sim.Duration(c.daemonBacklog)
-		if max := c.kern.Cfg.scale(500 * sim.Microsecond); chunk > max {
+		max := c.kern.Cfg.scale(500 * sim.Microsecond) //simlint:region run ksoftirqd-chunk
+		if chunk > max {
 			chunk = max
 		}
 		// Consume the work up front; the segment performs it.
@@ -712,7 +715,8 @@ func (c *CPU) kick(t *Task) {
 			// Config.Lookahead: no cross-CPU event travels faster.
 			prev := c.kern.Eng.ShardHint()
 			c.kern.Eng.SetShardHint(c.ID)
-			c.dispatchEv = c.kern.Eng.AfterPinned(c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit), func() {
+			delay := c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit) //simlint:region sched idle-exit
+			c.dispatchEv = c.kern.Eng.AfterPinned(delay, func() {
 				c.dispatchEv = sim.Event{}
 				c.settle()
 			})
@@ -744,8 +748,8 @@ func (c *CPU) dispatch() {
 	cfg := &c.kern.Cfg
 	cost := c.kern.sched.PickCost(c)
 	if next != c.lastRan {
-		cost += cfg.scale(cfg.Timing.CtxSwitch)
-		cost += next.rng.Uniform(0, cfg.scale(cfg.Timing.CtxSwitchCachePenalty))
+		swcost := cfg.scale(cfg.Timing.CtxSwitch) + next.rng.Uniform(0, cfg.scale(cfg.Timing.CtxSwitchCachePenalty)) //simlint:region sched ctx-switch
+		cost += swcost
 	} else {
 		cost += cfg.scale(cfg.Timing.CtxSwitch) / 4
 	}

@@ -57,8 +57,8 @@ func (c *CPU) checkInvariants() error {
 			return fmt.Errorf("cpu%d: cur %v thinks it is on cpu%d", c.ID, c.cur, c.cur.CPU())
 		}
 	}
-	if c.isrDepth() > maxISRNest {
-		return fmt.Errorf("cpu%d: ISR nest depth %d > %d", c.ID, c.isrDepth(), maxISRNest)
+	if c.isrDepth() > MaxISRNest {
+		return fmt.Errorf("cpu%d: ISR nest depth %d > %d", c.ID, c.isrDepth(), MaxISRNest)
 	}
 	return nil
 }

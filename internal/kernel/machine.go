@@ -289,7 +289,8 @@ func (k *Kernel) WakeTask(t *Task, ctx *CPU) {
 		t.waitOn = nil
 	}
 	if ctx != nil {
-		ctx.addWorkTop(k.Cfg.scale(k.Cfg.Timing.WakeupCost))
+		cost := k.Cfg.scale(k.Cfg.Timing.WakeupCost) //simlint:region sched wakeup-cost
+		ctx.addWorkTop(cost)
 	}
 	k.makeRunnable(t, nil)
 }

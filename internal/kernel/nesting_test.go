@@ -88,7 +88,7 @@ func TestSameLineNeverNests(t *testing.T) {
 }
 
 func TestISRNestingDepthBounded(t *testing.T) {
-	// A cascade of distinct slow lines cannot nest beyond maxISRNest.
+	// A cascade of distinct slow lines cannot nest beyond MaxISRNest.
 	cfg := testConfig(1)
 	k := New(cfg, 42)
 	depths := []int{}
@@ -111,10 +111,10 @@ func TestISRNestingDepthBounded(t *testing.T) {
 	}
 	// depths are recorded at handler END (after pop of own frame the
 	// onDone runs post-pop, so depth excludes self); the max live depth
-	// is therefore depths+1 ≤ maxISRNest.
+	// is therefore depths+1 ≤ MaxISRNest.
 	for _, d := range depths {
-		if d+1 > maxISRNest {
-			t.Fatalf("nest depth %d exceeded cap %d", d+1, maxISRNest)
+		if d+1 > MaxISRNest {
+			t.Fatalf("nest depth %d exceeded cap %d", d+1, MaxISRNest)
 		}
 	}
 }

@@ -85,6 +85,9 @@ func (s *legacyScheduler) Peek(c *CPU) *Task {
 
 // PickCost implements Scheduler: the goodness loop is linear in the
 // number of runnable tasks.
+//
+//simlint:region sched pick-legacy
+//simlint:allow latbound the 2.4 goodness loop is linear in runqueue length by design; the envelope's shielded path uses the O(1) scheduler's constant pick
 func (s *legacyScheduler) PickCost(*CPU) sim.Duration {
 	cfg := &s.k.Cfg
 	return cfg.scale(cfg.Timing.SchedPickBase) +

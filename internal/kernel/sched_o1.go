@@ -172,6 +172,8 @@ func (s *o1Scheduler) Peek(c *CPU) *Task {
 }
 
 // PickCost implements Scheduler: constant, the whole point of O(1).
+//
+//simlint:region sched pick-o1
 func (s *o1Scheduler) PickCost(*CPU) sim.Duration {
 	return s.k.Cfg.scale(s.k.Cfg.Timing.SchedPickO1)
 }

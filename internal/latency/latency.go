@@ -1,0 +1,344 @@
+// Package latency defines the machine-readable static bounds report
+// emitted by simlint's latbound analyzer and the envelope composition
+// that turns per-region bounds into per-cause worst-episode bounds for
+// a concrete kernel configuration.
+//
+// The report side is pure data: every interrupt-off, lock-held, and
+// softirq region latbound roots in internal/kernel gets a Region entry
+// whose Bound is a two-bucket worst case — ScaledNS nanoseconds of work
+// specified at the 1 GHz reference frequency (divided by the config's
+// CPUFreqGHz at composition time, mirroring Config.scale) plus FixedNS
+// nanoseconds that are frequency-independent (device costs specified
+// directly, like ISR handler bodies).
+//
+// The composition side mirrors how the dynamic attributor (package
+// attrib) slices a response window into episodes: an episode is a
+// maximal run of time charged to one cause, force-split at every
+// IRQ/softirq trace record and at every cause change. Under that
+// splitting, every irq-off episode lies inside a single statically
+// enumerated region (one ISR frame slice, or one run of consecutive
+// interrupts-disabled syscall segments), every softirq episode inside
+// one budgeted bottom-half pass, and every spinlock episode inside one
+// acquisition wait. Compose therefore produces, per cause, a bound on
+// the worst single episode — the quantity reprocheck's
+// latbound-envelope claim compares against attrib.Summary.WorstEpisode.
+package latency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kernel"
+)
+
+// Bound is a worst-case duration split into the two cost buckets the
+// kernel model uses: reference-frequency work (divided by CPUFreqGHz at
+// runtime via Config.scale) and fixed device time.
+type Bound struct {
+	// ScaledNS is worst-case work in nanoseconds at the 1 GHz reference
+	// frequency; the concrete cost is ScaledNS / CPUFreqGHz.
+	ScaledNS float64 `json:"scaled_ns"`
+	// FixedNS is worst-case frequency-independent time in nanoseconds.
+	FixedNS float64 `json:"fixed_ns"`
+}
+
+// At resolves the bound to concrete nanoseconds at freq GHz.
+func (b Bound) At(ghz float64) float64 {
+	if ghz <= 0 {
+		ghz = 1
+	}
+	return b.ScaledNS/ghz + b.FixedNS
+}
+
+// Add sums two bounds bucket-wise.
+func (b Bound) Add(o Bound) Bound {
+	return Bound{ScaledNS: b.ScaledNS + o.ScaledNS, FixedNS: b.FixedNS + o.FixedNS}
+}
+
+// SegBound is the bound of one syscall segment inside a region built
+// from a segment run (lock-held or interrupts-disabled). Keeping the
+// per-segment structure lets Compose apply a kernel's critical-section
+// cap the way splitSegments does at run time: per segment, not per run.
+type SegBound struct {
+	Bound Bound `json:"bound"`
+	// Unbounded marks a segment with no finite static bound; under a
+	// critical-section cap it still contributes at most the cap.
+	Unbounded bool `json:"unbounded,omitempty"`
+}
+
+// Region is one statically bounded (or flagged) latency region.
+type Region struct {
+	// Name identifies the region: "irq:<line>" for an ISR handler,
+	// "seg:<func>#<n>" for a lock-held or irq-off syscall segment run,
+	// "bkl:<func>" for a big-kernel-lock hold, or a manual name from a
+	// //simlint:region directive (isr-dispatch, softirq-budget, ...).
+	Name string `json:"name"`
+	// Cause buckets the region for envelope composition using the
+	// attributor's vocabulary: "irq-off", "softirq", "lock", "sched",
+	// "run", plus "irq-handler" and "overhead" for sub-terms that only
+	// feed composed sums.
+	Cause string `json:"cause"`
+	// Pos is the file:line of the region root in the source tree.
+	Pos string `json:"pos"`
+	// Bound is the static worst case; meaningless when Unbounded.
+	Bound Bound `json:"bound"`
+	// Unbounded marks a region the analyzer could not bound.
+	Unbounded bool `json:"unbounded,omitempty"`
+	// Blame explains an unbounded region (the first unbounded terms in
+	// the evaluation, innermost first).
+	Blame string `json:"blame,omitempty"`
+	// Allowed marks an audited //simlint:allow latbound exception.
+	Allowed bool `json:"allowed,omitempty"`
+	// Segs, for lock-held and interrupts-disabled segment runs, holds
+	// the per-segment bounds making up the region, in execution order.
+	// Compose caps each one at the machine's critical-section limit.
+	Segs []SegBound `json:"segs,omitempty"`
+}
+
+// Report is the full bounds report simlint -bounds emits.
+type Report struct {
+	// Tool records the producer ("simlint/latbound").
+	Tool string `json:"tool"`
+	// Regions lists every rooted region, sorted by name for stable
+	// serialization.
+	Regions []Region `json:"regions"`
+}
+
+// Sort orders regions by name (then position) for stable output.
+func (r *Report) Sort() {
+	sort.Slice(r.Regions, func(i, j int) bool {
+		if r.Regions[i].Name != r.Regions[j].Name {
+			return r.Regions[i].Name < r.Regions[j].Name
+		}
+		return r.Regions[i].Pos < r.Regions[j].Pos
+	})
+}
+
+// Region returns the named region, or nil.
+func (r *Report) Region(name string) *Region {
+	for i := range r.Regions {
+		if r.Regions[i].Name == name {
+			return &r.Regions[i]
+		}
+	}
+	return nil
+}
+
+// Machine is the envelope-relevant slice of a kernel configuration.
+type Machine struct {
+	GHz           float64
+	NumCPUs       int
+	HyperThread   bool
+	HTSlowdown    float64
+	BusContention float64
+	MaxISRNest    int
+	// MaxCritNS is the kernel's critical-section length cap in
+	// nanoseconds (splitSegments' limit), or 0 when the kernel has none
+	// (stock 2.4) — the RedHawk/low-latency mechanism that makes even
+	// statically unbounded lock holds finite.
+	MaxCritNS float64
+}
+
+// FromConfig extracts the envelope parameters from a kernel config.
+func FromConfig(cfg *kernel.Config) Machine {
+	return Machine{
+		GHz:           cfg.CPUFreqGHz,
+		NumCPUs:       cfg.NumCPUs(),
+		HyperThread:   cfg.HyperThreading,
+		HTSlowdown:    cfg.Timing.HTSlowdown,
+		BusContention: cfg.Timing.BusContention,
+		MaxISRNest:    kernel.MaxISRNest,
+		MaxCritNS:     float64(cfg.MaxCritSection()),
+	}
+}
+
+// slowdown is the worst-case execution dilation every region bound is
+// multiplied by: bus contention always applies in the worst case, and a
+// hyper-threaded sibling slows the core to HTSlowdown of its speed.
+func (m Machine) slowdown() float64 {
+	s := 1 + m.BusContention
+	if m.HyperThread && m.HTSlowdown > 0 {
+		s /= m.HTSlowdown
+	}
+	return s
+}
+
+// value resolves a region bound to worst-case wall nanoseconds on m.
+func (m Machine) value(b Bound) float64 { return b.At(m.GHz) * m.slowdown() }
+
+// regionValue resolves a whole region to wall nanoseconds, applying the
+// machine's critical-section cap to segment-structured regions the way
+// splitSegments does at run time: each segment is individually capped
+// (the kernel splits longer ones, releasing the lock in between), so a
+// run contributes at most the sum of its capped segments — and even a
+// statically unbounded segment contributes at most the cap. Without a
+// cap (stock), an unbounded segment or region is +Inf.
+func (m Machine) regionValue(reg Region) float64 {
+	cap := m.MaxCritNS * m.slowdown()
+	if len(reg.Segs) == 0 {
+		if reg.Unbounded {
+			return math.Inf(1)
+		}
+		return m.value(reg.Bound)
+	}
+	var sum float64
+	for _, s := range reg.Segs {
+		v := math.Inf(1)
+		if !s.Unbounded {
+			v = m.value(s.Bound)
+		}
+		if m.MaxCritNS > 0 && v > cap {
+			v = cap
+		}
+		sum += v
+	}
+	return sum
+}
+
+// Envelope is the per-cause worst-episode bound for one configuration,
+// in wall-clock nanoseconds.
+type Envelope struct {
+	// IRQOffNS bounds one contiguous interrupt-off episode: the longest
+	// single ISR frame (entry + handler + exit + nested-ISR cache
+	// refills) or the longest run of interrupts-disabled segments.
+	IRQOffNS float64 `json:"irq_off_ns"`
+	// SoftirqNS bounds one bottom-half pass: the budget cap plus
+	// nested-ISR cache refills charged to the pass frame.
+	SoftirqNS float64 `json:"softirq_ns"`
+	// LockNS bounds one spinlock acquisition wait: every other CPU
+	// ahead in the FIFO, each holding for the worst hold dilated by the
+	// interrupt and bottom-half work that can preempt a holder.
+	LockNS float64 `json:"lock_ns"`
+	// ShieldedResponseNS bounds the shielded-CPU interrupt response:
+	// RCIM delivery and handler, wakeup, idle exit, O(1) pick, context
+	// switch, and the woken task's return path. This is the static
+	// analogue of the paper's sub-30 microsecond guarantee.
+	ShieldedResponseNS float64 `json:"shielded_response_ns"`
+}
+
+// ShieldedPath names the regions that sum to the shielded-CPU response
+// bound, in delivery order. Every name must be present and bounded in
+// the report for ShieldedResponseNS to be finite.
+var ShieldedPath = []string{
+	"isr-overhead", // IRQ entry/exit microcode around the handler
+	"irq:rcim",     // the RCIM distinct-interrupt handler body
+	"wakeup-cost",  // waking the blocked responder
+	"idle-exit",    // IPI + idle-loop exit on the shielded CPU
+	"pick-o1",      // O(1) scheduler pick
+	"ctx-switch",   // context switch + worst cache refill
+	"rcim-wait",    // the responder's own syscall return path
+}
+
+// Compose builds the per-cause envelope from a bounds report for one
+// machine. Segment-structured regions are capped at the machine's
+// critical-section limit (the splitSegments mechanism); a region that
+// stays unbounded — an audited heavy-tail hold on a kernel with no cap
+// — drives its cause bound to +Inf, so the envelope never certifies
+// less than the tree contains. The returned missing list names any
+// unbounded/absent region required by name (penalty, budget, shielded
+// path); the caller decides whether that is fatal.
+func Compose(r *Report, m Machine) (Envelope, []string) {
+	var missing []string
+	inf := false // set when a required term is absent
+	val := func(name string) float64 {
+		reg := r.Region(name)
+		if reg == nil || reg.Unbounded {
+			missing = append(missing, name)
+			inf = true
+			return 0
+		}
+		return m.value(reg.Bound)
+	}
+
+	// Cache refills charged to a frame each time a nested ISR returns
+	// over it; depth is capped at MaxISRNest.
+	pen := float64(m.MaxISRNest) * val("isr-cache-penalty")
+
+	// Worst single ISR frame: dispatch overhead joined over every
+	// registered handler, plus refills.
+	isr := val("isr-dispatch") + pen
+
+	env := Envelope{}
+	env.IRQOffNS = isr
+	for _, reg := range r.Regions {
+		if reg.Cause != "irq-off" {
+			continue
+		}
+		switch reg.Name {
+		case "isr-dispatch", "isr-overhead":
+			continue // already folded into isr
+		}
+		// regionValue caps segment runs at the machine's critical-section
+		// limit; a region that stays unbounded (no cap) makes the cause
+		// bound +Inf — the claim degrades to trivially true rather than
+		// silently certifying less than the tree contains.
+		if v := m.regionValue(reg) + pen; v > env.IRQOffNS {
+			env.IRQOffNS = v
+		}
+	}
+
+	env.SoftirqNS = val("softirq-budget") + pen
+
+	// Spinlock wait: FIFO queue of up to NumCPUs-1 CPUs ahead, each
+	// holding for the worst static hold, dilated by the interrupt and
+	// bottom-half work that can run over a holder.
+	var hold float64
+	for _, reg := range r.Regions {
+		if reg.Cause != "lock" {
+			continue
+		}
+		if v := m.regionValue(reg); v > hold {
+			hold = v
+		}
+	}
+	if n := m.NumCPUs - 1; n > 0 {
+		env.LockNS = float64(n) * (hold + env.IRQOffNS + env.SoftirqNS)
+	}
+
+	for _, name := range ShieldedPath {
+		env.ShieldedResponseNS += val(name)
+	}
+	if inf {
+		sort.Strings(missing)
+		return env, dedupe(missing)
+	}
+	return env, nil
+}
+
+func dedupe(names []string) []string {
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || names[i-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// CauseBound maps an attributor cause name to the composed episode
+// bound, for the causes the envelope covers. ok is false for causes
+// outside the claim (sched, migration, run).
+func (e Envelope) CauseBound(cause string) (float64, bool) {
+	switch cause {
+	case "irq-off":
+		return e.IRQOffNS, true
+	case "softirq":
+		return e.SoftirqNS, true
+	case "spinlock":
+		return e.LockNS, true
+	}
+	return 0, false
+}
+
+// String renders the envelope for reports.
+func (e Envelope) String() string {
+	ns := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "unbounded"
+		}
+		return fmt.Sprintf("%.0fns", v)
+	}
+	return fmt.Sprintf("irq-off<=%s softirq<=%s spinlock<=%s shielded-response<=%s",
+		ns(e.IRQOffNS), ns(e.SoftirqNS), ns(e.LockNS), ns(e.ShieldedResponseNS))
+}

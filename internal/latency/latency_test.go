@@ -1,0 +1,176 @@
+package latency
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBoundAt(t *testing.T) {
+	b := Bound{ScaledNS: 1000, FixedNS: 500}
+	if got := b.At(2); got != 1000 {
+		t.Errorf("At(2) = %v, want 1000 (1000/2 + 500)", got)
+	}
+	if got := b.At(0); got != 1500 {
+		t.Errorf("At(0) = %v, want 1500 (non-positive freq falls back to 1 GHz)", got)
+	}
+	sum := b.Add(Bound{ScaledNS: 10, FixedNS: 20})
+	if sum != (Bound{ScaledNS: 1010, FixedNS: 520}) {
+		t.Errorf("Add = %+v, want bucket-wise sum", sum)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	m := Machine{BusContention: 0.055}
+	if got := m.slowdown(); math.Abs(got-1.055) > 1e-12 {
+		t.Errorf("slowdown = %v, want 1.055", got)
+	}
+	m.HyperThread = true
+	m.HTSlowdown = 0.8
+	if got, want := m.slowdown(), 1.055/0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HT slowdown = %v, want %v", got, want)
+	}
+}
+
+// TestRegionValueCap checks the splitSegments analogue: each segment of
+// a run is individually capped at the critical-section limit, so even a
+// statically unbounded segment contributes at most the cap — and with
+// no cap (stock 2.4), it contributes +Inf.
+func TestRegionValueCap(t *testing.T) {
+	reg := Region{
+		Name:  "seg:test#0",
+		Cause: "lock",
+		Segs: []SegBound{
+			{Bound: Bound{ScaledNS: 100_000}},
+			{Unbounded: true},
+		},
+	}
+	capped := Machine{GHz: 1, MaxCritNS: 50_000}
+	if got := capped.regionValue(reg); got != 100_000 {
+		t.Errorf("capped regionValue = %v, want 100000 (50k capped + 50k cap for the unbounded seg)", got)
+	}
+	stock := Machine{GHz: 1}
+	if got := stock.regionValue(reg); !math.IsInf(got, 1) {
+		t.Errorf("uncapped regionValue = %v, want +Inf", got)
+	}
+
+	plain := Region{Name: "x", Bound: Bound{ScaledNS: 1000, FixedNS: 500}}
+	if got := (Machine{GHz: 2}).regionValue(plain); got != 1000 {
+		t.Errorf("segless regionValue = %v, want 1000", got)
+	}
+	if got := stock.regionValue(Region{Name: "y", Unbounded: true}); !math.IsInf(got, 1) {
+		t.Errorf("segless unbounded regionValue = %v, want +Inf", got)
+	}
+}
+
+// syntheticReport is a minimal complete report: every named region the
+// envelope requires, one irq-off segment run, one lock hold.
+func syntheticReport() *Report {
+	return &Report{
+		Tool: "test",
+		Regions: []Region{
+			{Name: "isr-cache-penalty", Cause: "overhead", Bound: Bound{ScaledNS: 100}},
+			{Name: "isr-dispatch", Cause: "irq-off", Bound: Bound{ScaledNS: 1000}},
+			{Name: "isr-overhead", Cause: "irq-off", Bound: Bound{ScaledNS: 50}},
+			{Name: "irqoff:foo#0", Cause: "irq-off", Segs: []SegBound{{Bound: Bound{ScaledNS: 2000}}}},
+			{Name: "softirq-budget", Cause: "softirq", Bound: Bound{ScaledNS: 5000}},
+			{Name: "seg:bar#0", Cause: "lock", Segs: []SegBound{{Bound: Bound{ScaledNS: 3000}}}},
+			{Name: "irq:rcim", Cause: "irq-handler", Bound: Bound{FixedNS: 400}},
+			{Name: "wakeup-cost", Cause: "sched", Bound: Bound{ScaledNS: 30}},
+			{Name: "idle-exit", Cause: "sched", Bound: Bound{ScaledNS: 20}},
+			{Name: "pick-o1", Cause: "sched", Bound: Bound{ScaledNS: 10}},
+			{Name: "ctx-switch", Cause: "sched", Bound: Bound{ScaledNS: 60}},
+			{Name: "rcim-wait", Cause: "run", Bound: Bound{FixedNS: 5}},
+		},
+	}
+}
+
+func TestCompose(t *testing.T) {
+	m := Machine{GHz: 1, NumCPUs: 2, MaxISRNest: 2}
+	env, missing := Compose(syntheticReport(), m)
+	if missing != nil {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	// pen = 2 * 100; worst irq-off is the 2000ns segment run + pen,
+	// beating the ISR frame's 1000 + pen.
+	if env.IRQOffNS != 2200 {
+		t.Errorf("IRQOffNS = %v, want 2200", env.IRQOffNS)
+	}
+	if env.SoftirqNS != 5200 {
+		t.Errorf("SoftirqNS = %v, want 5200", env.SoftirqNS)
+	}
+	// One CPU ahead in the FIFO: worst hold (3000) dilated by the
+	// irq-off and softirq work that can preempt the holder.
+	if env.LockNS != 3000+2200+5200 {
+		t.Errorf("LockNS = %v, want 10400", env.LockNS)
+	}
+	if env.ShieldedResponseNS != 50+400+30+20+10+60+5 {
+		t.Errorf("ShieldedResponseNS = %v, want 575", env.ShieldedResponseNS)
+	}
+
+	if v, ok := env.CauseBound("spinlock"); !ok || v != env.LockNS {
+		t.Errorf("CauseBound(spinlock) = %v,%v", v, ok)
+	}
+	if _, ok := env.CauseBound("migration"); ok {
+		t.Error("CauseBound(migration) should be outside the claim")
+	}
+}
+
+// TestComposeUnboundedLock checks the stock-vs-capped split: an audited
+// unbounded lock hold drives the lock bound to +Inf on a kernel with no
+// critical-section cap, and to a finite value once the cap applies.
+func TestComposeUnboundedLock(t *testing.T) {
+	r := syntheticReport()
+	r.Regions = append(r.Regions, Region{
+		Name: "bkl:tail#0", Cause: "lock", Allowed: true, Unbounded: true,
+		Segs: []SegBound{{Unbounded: true}},
+	})
+	stock := Machine{GHz: 1, NumCPUs: 2, MaxISRNest: 2}
+	env, missing := Compose(r, stock)
+	if missing != nil {
+		t.Fatalf("missing = %v, want none (unbounded lock is not a named requirement)", missing)
+	}
+	if !math.IsInf(env.LockNS, 1) {
+		t.Errorf("stock LockNS = %v, want +Inf", env.LockNS)
+	}
+	if !strings.Contains(env.String(), "spinlock<=unbounded") {
+		t.Errorf("String() = %q, want spinlock<=unbounded", env.String())
+	}
+
+	capped := stock
+	capped.MaxCritNS = 4000
+	env, _ = Compose(r, capped)
+	// The capped heavy tail (4000) beats the 3000 hold.
+	if env.LockNS != 4000+2200+5200 {
+		t.Errorf("capped LockNS = %v, want 11400", env.LockNS)
+	}
+}
+
+// TestComposeMissing checks that absent or unbounded required regions
+// are reported by name, sorted and deduplicated.
+func TestComposeMissing(t *testing.T) {
+	r := syntheticReport()
+	var kept []Region
+	for _, reg := range r.Regions {
+		if reg.Name == "rcim-wait" || reg.Name == "isr-cache-penalty" {
+			continue
+		}
+		kept = append(kept, reg)
+	}
+	r.Regions = kept
+	_, missing := Compose(r, Machine{GHz: 1, NumCPUs: 2, MaxISRNest: 2})
+	if len(missing) != 2 || missing[0] != "isr-cache-penalty" || missing[1] != "rcim-wait" {
+		t.Errorf("missing = %v, want [isr-cache-penalty rcim-wait]", missing)
+	}
+}
+
+func TestReportSortAndLookup(t *testing.T) {
+	r := &Report{Regions: []Region{{Name: "b"}, {Name: "a", Pos: "z:2"}, {Name: "a", Pos: "a:1"}}}
+	r.Sort()
+	if r.Regions[0].Pos != "a:1" || r.Regions[1].Pos != "z:2" || r.Regions[2].Name != "b" {
+		t.Errorf("Sort order wrong: %+v", r.Regions)
+	}
+	if r.Region("b") == nil || r.Region("zz") != nil {
+		t.Error("Region lookup wrong")
+	}
+}

@@ -35,11 +35,11 @@ func (ev Event) Pinned() bool {
 	return ev.Pending() && ev.n.pinned
 }
 
-// When returns the occurrence's fire time while it is pending, and -1
-// for the zero handle or a stale one.
+// When returns the occurrence's fire time while it is pending, and
+// NoTime for the zero handle or a stale one.
 func (ev Event) When() Time {
 	if !ev.Pending() {
-		return -1
+		return NoTime
 	}
 	return ev.n.At
 }

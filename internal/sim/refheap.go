@@ -19,6 +19,7 @@ func (h *refHeap) setSalt(salt uint64) { h.ord.salt = salt }
 func (h *refHeap) len() int { return len(h.items) }
 
 func (h *refHeap) push(n *eventNode) {
+	//simlint:allow hotalloc heap growth is amortized O(1); capacity persists across pops like the ladder's buckets
 	h.items = append(h.items, n)
 	h.up(len(h.items) - 1)
 }

@@ -22,6 +22,10 @@ const (
 	Second      Duration = 1000 * Millisecond
 )
 
+// NoTime is the sentinel Event.When returns for a handle with no
+// pending occurrence. It precedes every valid instant.
+const NoTime Time = -1
+
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 

@@ -84,10 +84,16 @@ type Summary struct {
 	// WorstBreakdown is the full decomposition of the MaxLatency
 	// sample; it sums to MaxLatency exactly.
 	WorstBreakdown [NumCauses]sim.Duration
+	// WorstEpisode is the per-cause maximum over contiguous same-cause
+	// episodes. An episode ends when the charged cause changes and is
+	// force-split at every IRQ/softirq/lock-grant trace record, so each
+	// one lies inside a single kernel region — the quantity simlint's
+	// static latbound envelope bounds per region.
+	WorstEpisode [NumCauses]sim.Duration
 }
 
 // add folds one attributed sample into the summary.
-func (s *Summary) add(lat sim.Duration, breakdown [NumCauses]sim.Duration, migrations uint64) {
+func (s *Summary) add(lat sim.Duration, breakdown, episodes [NumCauses]sim.Duration, migrations uint64) {
 	s.Samples++
 	s.Migrations += migrations
 	s.TotalLatency += lat
@@ -95,6 +101,9 @@ func (s *Summary) add(lat sim.Duration, breakdown [NumCauses]sim.Duration, migra
 		s.Total[c] += breakdown[c]
 		if breakdown[c] > s.Worst[c] {
 			s.Worst[c] = breakdown[c]
+		}
+		if episodes[c] > s.WorstEpisode[c] {
+			s.WorstEpisode[c] = episodes[c]
 		}
 	}
 	if lat > s.MaxLatency {
@@ -116,6 +125,9 @@ func (s *Summary) Merge(o Summary) {
 		s.Total[c] += o.Total[c]
 		if o.Worst[c] > s.Worst[c] {
 			s.Worst[c] = o.Worst[c]
+		}
+		if o.WorstEpisode[c] > s.WorstEpisode[c] {
+			s.WorstEpisode[c] = o.WorstEpisode[c]
 		}
 	}
 	if o.MaxLatency > s.MaxLatency {
@@ -187,12 +199,30 @@ func (st *attrState) moveTo(cpu int) {
 // before start still update state, so activity entered before the
 // window (an in-flight softirq pass, say) is charged correctly inside
 // it. The returned breakdown sums to end-start exactly.
-func Attribute(recs []trace.Record, start, end sim.Time, cpu, pid int) (breakdown [NumCauses]sim.Duration, migrations uint64) {
+//
+// episodes is the per-cause maximum over contiguous same-cause spans.
+// A span ends when the cause changes, and is additionally force-split
+// at every IRQ enter/exit, softirq enter/exit, and lock-acquire record
+// on the sweep CPU: under that splitting every irq-off episode lies
+// inside one ISR frame slice or one interrupts-disabled segment run,
+// every softirq episode inside one budgeted pass, and every spinlock
+// episode inside one acquisition wait — the regions simlint's latbound
+// analyzer bounds statically.
+func Attribute(recs []trace.Record, start, end sim.Time, cpu, pid int) (breakdown, episodes [NumCauses]sim.Duration, migrations uint64) {
 	if end <= start {
 		return
 	}
 	st := attrState{cpu: cpu}
 	segStart := start
+	epCause := Cause(0)
+	var epLen sim.Duration
+	// split closes the open episode against the per-cause maximum.
+	split := func() {
+		if epLen > episodes[epCause] {
+			episodes[epCause] = epLen
+		}
+		epLen = 0
+	}
 	// charge closes the open segment [segStart, t) against the current
 	// state's cause.
 	charge := func(t sim.Time) {
@@ -200,7 +230,14 @@ func Attribute(recs []trace.Record, start, end sim.Time, cpu, pid int) (breakdow
 			t = end
 		}
 		if t > segStart {
-			breakdown[st.cause()] += t.Sub(segStart)
+			c := st.cause()
+			d := t.Sub(segStart)
+			breakdown[c] += d
+			if c != epCause {
+				split()
+				epCause = c
+			}
+			epLen += d
 			segStart = t
 		}
 	}
@@ -213,6 +250,14 @@ func Attribute(recs []trace.Record, start, end sim.Time, cpu, pid int) (breakdow
 			break
 		}
 		charge(r.At)
+		switch r.Kind {
+		case trace.KindIRQEnter, trace.KindIRQExit,
+			trace.KindSoftirqEnter, trace.KindSoftirqExit,
+			trace.KindLockAcquire:
+			if int(r.CPU) == st.cpu {
+				split()
+			}
+		}
 		switch r.Kind {
 		case trace.KindIRQEnter:
 			st.isr++
@@ -264,7 +309,8 @@ func Attribute(recs []trace.Record, start, end sim.Time, cpu, pid int) (breakdow
 		}
 	}
 	charge(end)
-	return breakdown, migrations
+	split()
+	return breakdown, episodes, migrations
 }
 
 // Attributor drains a trace buffer incrementally and accumulates a
@@ -294,8 +340,8 @@ func (a *Attributor) Sample(start, end sim.Time, cpu int) {
 	a.scratch, lost = a.buf.AppendSince(a.scratch[:0], a.cursor)
 	a.cursor = a.buf.Seq()
 	a.sum.LostRecords += lost
-	breakdown, migrations := Attribute(a.scratch, start, end, cpu, a.pid)
-	a.sum.add(end.Sub(start), breakdown, migrations)
+	breakdown, episodes, migrations := Attribute(a.scratch, start, end, cpu, a.pid)
+	a.sum.add(end.Sub(start), breakdown, episodes, migrations)
 }
 
 // Summary returns the accumulated attribution.

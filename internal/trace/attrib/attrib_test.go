@@ -24,7 +24,7 @@ func TestAttributeShieldedResponse(t *testing.T) {
 	b.Wakeup(2000, 1, 9, "rcim-response", 1)
 	b.IRQExit(2200, 1, 5, "rcim")
 	b.Switch(3000, 1, 9, "rcim-response", 90)
-	got, migrations := Attribute(b.Records(), 1000, 5000, 1, 9)
+	got, eps, migrations := Attribute(b.Records(), 1000, 5000, 1, 9)
 	want := [NumCauses]sim.Duration{}
 	want[CauseIRQOff] = 1200 // delivery wait + handler
 	want[CauseSched] = 800   // irq-exit to switch
@@ -38,6 +38,41 @@ func TestAttributeShieldedResponse(t *testing.T) {
 	if sumOf(got) != 4000 {
 		t.Fatalf("breakdown sums to %v, want window length 4000", sumOf(got))
 	}
+	// Episodes: the 200ns delivery wait is split from the 1000ns handler
+	// frame by the IRQEnter record; the wakeup inside the handler does
+	// not split it.
+	if eps[CauseIRQOff] != 1000 || eps[CauseSched] != 800 || eps[CauseRun] != 2000 {
+		t.Fatalf("episodes = %v", eps)
+	}
+}
+
+// TestAttributeEpisodes: back-to-back ISR frames accumulate in the
+// per-sample share but each frame is its own episode, split at the
+// enter/exit records — the contract the static latbound envelope
+// (worst single region) is checked against.
+func TestAttributeEpisodes(t *testing.T) {
+	b := trace.NewBuffer(64)
+	b.IRQEnter(100, 0, 3, "nic")
+	b.IRQExit(700, 0, 3, "nic")
+	b.IRQEnter(700, 0, 4, "disk")
+	b.IRQExit(1600, 0, 4, "disk")
+	b.SoftirqEnter(1600, 0, 500)
+	b.IRQEnter(1800, 0, 3, "nic") // nests over the pass
+	b.IRQExit(2100, 0, 3, "nic")
+	b.SoftirqExit(2400, 0, 500)
+	got, eps, _ := Attribute(b.Records(), 0, 2400, 0, 9)
+	if got[CauseIRQOff] != 1900 || got[CauseSoftirq] != 500 {
+		t.Fatalf("breakdown = %v", got)
+	}
+	// Worst irq-off episode is the 900ns disk frame, not the 1900ns
+	// sample share; the softirq pass is sliced to 200+300 by the nested
+	// ISR.
+	if eps[CauseIRQOff] != 900 {
+		t.Fatalf("irq-off episode = %v, want 900", eps[CauseIRQOff])
+	}
+	if eps[CauseSoftirq] != 300 {
+		t.Fatalf("softirq episode = %v, want 300", eps[CauseSoftirq])
+	}
 }
 
 // TestAttributeSoftirqAndLock covers bottom-half and spin charging.
@@ -49,7 +84,7 @@ func TestAttributeSoftirqAndLock(t *testing.T) {
 	b.LockAcquire(650, 0, "dcache", 150)
 	b.Wakeup(650, 0, 7, "realfeel", 0)
 	b.Switch(700, 0, 7, "realfeel", 90)
-	got, _ := Attribute(b.Records(), 0, 1000, 0, 7)
+	got, _, _ := Attribute(b.Records(), 0, 1000, 0, 7)
 	want := [NumCauses]sim.Duration{}
 	want[CauseIRQOff] = 200 // [0,100) delivery + [400,500) quiet
 	want[CauseSoftirq] = 300
@@ -67,7 +102,7 @@ func TestAttributePreWindowState(t *testing.T) {
 	b := trace.NewBuffer(64)
 	b.SoftirqEnter(50, 0, 250)
 	b.SoftirqExit(300, 0, 250)
-	got, _ := Attribute(b.Records(), 100, 400, 0, 7)
+	got, _, _ := Attribute(b.Records(), 100, 400, 0, 7)
 	if got[CauseSoftirq] != 200 {
 		t.Fatalf("softirq charge = %v, want 200 (in-flight pass)", got[CauseSoftirq])
 	}
@@ -83,7 +118,7 @@ func TestAttributeMigration(t *testing.T) {
 	b.Migrate(300, 0, 7, "task", 0, -1)
 	b.Wakeup(450, 1, 7, "task", 1)
 	b.Switch(600, 1, 7, "task", 90)
-	got, migrations := Attribute(b.Records(), 0, 1000, 0, 7)
+	got, _, migrations := Attribute(b.Records(), 0, 1000, 0, 7)
 	if migrations != 1 {
 		t.Fatalf("migrations = %d", migrations)
 	}
@@ -115,7 +150,7 @@ func TestAttributePartition(t *testing.T) {
 	for _, win := range []struct{ s, e sim.Time }{
 		{0, at}, {100, 5000}, {3000, 3001}, {at, at.Add(500)},
 	} {
-		got, _ := Attribute(b.Records(), win.s, win.e, 1, 9)
+		got, _, _ := Attribute(b.Records(), win.s, win.e, 1, 9)
 		if sumOf(got) != win.e.Sub(win.s) {
 			t.Fatalf("window [%d,%d]: breakdown sums to %v, want %v",
 				win.s, win.e, sumOf(got), win.e.Sub(win.s))
@@ -132,7 +167,7 @@ func TestSummaryMergeLaw(t *testing.T) {
 		var b [NumCauses]sim.Duration
 		b[CauseRun] = run
 		b[CauseSched] = sched
-		s.add(lat, b, 0)
+		s.add(lat, b, b, 0)
 		return s
 	}
 	a := mk(100, 60, 40)

@@ -42,8 +42,9 @@ func fsSyscall(k *kernel.Kernel, rng *sim.RNG, name string, residency sim.Durati
 	call := &kernel.SyscallCall{
 		Name: name,
 		Segments: []kernel.Segment{
+			//simlint:allow latbound the residency is the caller's heavy-tailed draw — the §6 pathology stock kernels cannot bound; capped kernels bound the hold via splitSegments
 			{Kind: kernel.SegWork, D: rest / 2},
-			{Kind: kernel.SegWork, D: locked, Lock: lock},
+			{Kind: kernel.SegWork, D: locked, Lock: lock}, //simlint:allow latbound the fs-lock hold is a fraction of the heavy-tailed residency; finite only under the critical-section cap
 			{Kind: kernel.SegWork, D: rest - rest/2},
 		},
 	}
