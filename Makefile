@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint analyze sarif bounds bounds-check sanitize perturb test race sharded bench bench-json fuzz figures trace clean
+.PHONY: all build lint fmt vet simlint analyze sarif bounds bounds-check sanitize perturb test race sharded bench bench-json fuzz figures trace snapshot clean
 
 all: lint test build
 
@@ -99,6 +99,7 @@ fuzz:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEngineOps -fuzztime 5s
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzDiffQueue$$' -fuzztime 5s
 	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzShardedSchedule$$' -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz '^FuzzSnapshotResume$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzParseMask$$' -fuzztime 5s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz '^FuzzEffectiveAffinity$$' -fuzztime 5s
 
@@ -113,6 +114,24 @@ trace:
 	mkdir -p artifacts
 	$(GO) run ./cmd/rtsim -trace artifacts/rcim-shielded.json -scale 0.1
 	$(GO) run ./cmd/rtsim -trace artifacts/rcim-shielded.txt -scale 0.1
+
+# snapshot = the CI snapshot job, locally: the resume-equivalence and
+# bisection tests under the race detector, then the two-stage soak —
+# checkpoint the shielded reference machine in one process, restore it
+# in another, and require the restored continuation's hash to equal the
+# uninterrupted run's, byte for byte across the process boundary.
+snapshot:
+	$(GO) test -race -count=1 -run 'TestSnapshot|TestResumeDivergence|TestBisect' ./internal/core/ ./internal/kernel/ ./internal/sim/
+	mkdir -p artifacts
+	$(GO) build -o artifacts/rtsim ./cmd/rtsim
+	artifacts/rtsim -checkpoint artifacts/boot.snap -run-for 0
+	artifacts/rtsim -checkpoint artifacts/final.snap -run-for 0.03 | tee artifacts/final.txt
+	artifacts/rtsim -restore artifacts/boot.snap -run-for 0.03 | tee artifacts/restored.txt
+	@want=$$(grep -o 'hash [0-9a-f]*' artifacts/final.txt | awk '{print $$2}'); \
+	got=$$(grep -o 'hash [0-9a-f]*' artifacts/restored.txt | awk '{print $$2}'); \
+	echo "uninterrupted $$want vs restored $$got"; \
+	test -n "$$want" && test "$$want" = "$$got"
+	$(GO) run ./cmd/reprocheck -scale 0.1 -bisect
 
 clean:
 	rm -rf artifacts

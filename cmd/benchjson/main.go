@@ -26,6 +26,12 @@
 // (>=0.5x serial throughput). CI's multi-core runner regenerates the
 // artifact with the real speedup.
 //
+// Since bench-engine/v3 the document also carries a `snapshot` block:
+// full-machine checkpoint encode/decode throughput on the post-boot
+// shielded reference machine, the image size, and bytes per virtual
+// second — the planning numbers for auto-snapshot cadence in the
+// divergence bisector and for warm-started sweeps.
+//
 // The file is a recorded baseline, not a gate: regenerate it with
 // `make bench-json` when the engine changes, and read the `ratios`
 // block to see what the ladder queue and the event pool buy on the
@@ -43,6 +49,7 @@ import (
 	"testing"
 
 	shieldsim "repro"
+	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -96,6 +103,19 @@ type baseline struct {
 		HotPathAllocsPerOp float64 `json:"hot_path_allocs_per_op"`
 		Pass               bool    `json:"pass"`
 	} `json:"sharded_acceptance"`
+	// Snapshot records the checkpoint/restore codec's throughput on the
+	// shielded reference machine: full-machine encode and decode cost,
+	// the image size, and how many image bytes one virtual second of the
+	// loaded machine costs to checkpoint (the planning number for
+	// auto-snapshot cadence in bisection and for warm-start sweeps).
+	Snapshot struct {
+		ImageBytes            int     `json:"image_bytes"`
+		EncodeNsPerOp         float64 `json:"encode_ns_per_op"`
+		DecodeNsPerOp         float64 `json:"decode_ns_per_op"`
+		EncodeMBPerSec        float64 `json:"encode_mb_per_sec"`
+		DecodeMBPerSec        float64 `json:"decode_mb_per_sec"`
+		BytesPerVirtualSecond float64 `json:"bytes_per_virtual_second"`
+	} `json:"snapshot"`
 }
 
 func main() {
@@ -104,7 +124,7 @@ func main() {
 	flag.Parse()
 
 	b := baseline{
-		Schema:     "bench-engine/v2",
+		Schema:     "bench-engine/v3",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -214,6 +234,26 @@ func main() {
 	b.Acceptance.AllocsPerOpRatio = b.Ratios["churn_new_vs_reference_allocs_per_op"]
 	b.Acceptance.Pass = b.Acceptance.EventsPerSecRatio >= 1.5 || b.Acceptance.AllocsPerOpRatio <= 0.5
 
+	// --- snapshot codec: full-machine encode/decode throughput ---
+	var imgBytes int
+	encR := testing.Benchmark(snapshotEncodeBench(&imgBytes))
+	add(record("snapshot/encode", encR, 1))
+	decR := testing.Benchmark(snapshotDecodeBench())
+	add(record("snapshot/decode", decR, 1))
+	sn := &b.Snapshot
+	sn.ImageBytes = imgBytes
+	sn.EncodeNsPerOp = float64(encR.T.Nanoseconds()) / float64(encR.N)
+	sn.DecodeNsPerOp = float64(decR.T.Nanoseconds()) / float64(decR.N)
+	if sn.EncodeNsPerOp > 0 {
+		sn.EncodeMBPerSec = float64(imgBytes) / sn.EncodeNsPerOp * 1e9 / 1e6
+	}
+	if sn.DecodeNsPerOp > 0 {
+		sn.DecodeMBPerSec = float64(imgBytes) / sn.DecodeNsPerOp * 1e9 / 1e6
+	}
+	// The reference image captures refBootHorizon (40 ms) of virtual
+	// time; bytes per virtual second is the auto-snapshot budget number.
+	sn.BytesPerVirtualSecond = float64(imgBytes) / 0.040
+
 	sa := &b.ShardedAcceptance
 	sa.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	sa.MultiCore = sa.GOMAXPROCS >= 4
@@ -238,6 +278,8 @@ func main() {
 		*out, b.Acceptance.EventsPerSecRatio, b.Acceptance.AllocsPerOpRatio, b.Acceptance.Pass)
 	fmt.Fprintf(os.Stderr, "  sharded: %.2fx events/sec at 4 shards on %d core(s), %.4f hot-path allocs/op, pass=%v\n",
 		sa.EventsPerSecRatio, sa.GOMAXPROCS, sa.HotPathAllocsPerOp, sa.Pass)
+	fmt.Fprintf(os.Stderr, "  snapshot: %d-byte image, encode %.1f MB/s, decode %.1f MB/s, %.0f bytes/virtual-second\n",
+		sn.ImageBytes, sn.EncodeMBPerSec, sn.DecodeMBPerSec, sn.BytesPerVirtualSecond)
 }
 
 func record(name string, r testing.BenchmarkResult, eventsPerOp float64) benchResult {
@@ -331,6 +373,57 @@ func shardTickBench(shards, sliceMs int, eventsPerOp *float64) func(*testing.B) 
 		}
 		b.StopTimer()
 		*eventsPerOp = float64(collect().Events-warmed) / float64(b.N)
+	}
+}
+
+// snapshotEncodeBench serialises the post-boot shielded reference
+// machine (full load mix, 40 ms of virtual time) once per iteration;
+// imgBytes receives the image size.
+func snapshotEncodeBench(imgBytes *int) func(*testing.B) {
+	return func(b *testing.B) {
+		s, err := core.BootReference(core.RefShielded, 1, "", 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img, err := s.K.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		*imgBytes = len(img)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.K.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// snapshotDecodeBench restores the reference image into a standing
+// machine once per iteration — the full decode: drain the queue,
+// overwrite every component, re-push every pending event.
+func snapshotDecodeBench() func(*testing.B) {
+	return func(b *testing.B) {
+		src, err := core.BootReference(core.RefShielded, 1, "", 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img, err := src.K.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst, err := core.BootReference(core.RefShielded, 1, "", 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dst.K.RestoreImage(img); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reprocheck [-scale 1.0] [-seed 1] [-parallel N] [-perturb N] [-checkinv]
-//	           [-bounds lint/bounds.json]
+//	           [-bounds lint/bounds.json] [-bisect]
 //	           [-queue ladder|heap] [-engine serial|sharded -shards N]
 //
 // -parallel caps the worker pool the independent experiment runs fan
@@ -24,6 +24,13 @@
 // latbound-envelope claims: the dynamic attributor's worst observed
 // episode per cause, and the shielded worst response, must fit under
 // the static worst-case envelope composed for the same machine.
+//
+// -bisect additionally demonstrates the time-travel divergence
+// bisector: it records replicas with periodic auto-snapshots, rewinds
+// to the last agreeing checkpoint on divergence, and replays in
+// lockstep to the exact first divergent event. The injected-race
+// fixture must be pinpointed at its collision instant, and the clean
+// fixture and the shielded reference machine must show no divergence.
 //
 // -checkinv arms a periodic machine-state invariant sampler
 // (kernel.CheckInvariants) on every machine the checks build, so state
@@ -55,6 +62,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all cores); never affects results, only wall-clock time")
 	perturb := flag.Int("perturb", 0, "re-run every figure under N tie-break perturbations and fail on divergence (0 = off)")
+	bisect := flag.Bool("bisect", false, "demonstrate time-travel divergence bisection on the built-in race fixtures and the shielded reference machine")
 	checkinv := flag.Bool("checkinv", false, "periodically sample kernel.CheckInvariants on every machine (panic on corruption)")
 	bounds := flag.String("bounds", "", "static bounds report from 'simlint -bounds' to cross-check against dynamic attribution (empty = skip)")
 	queue := flag.String("queue", "", "event-queue implementation: 'ladder' (default) or 'heap' (reference); never changes verdicts")
@@ -158,6 +166,21 @@ func main() {
 			fmt.Printf("[%s] %-13s %s\n", status, fp.ID, fp.Report)
 		}
 		fmt.Printf("\nperturbation sweep done (%.1fs)\n", time.Since(pstart).Seconds())
+	}
+
+	if *bisect {
+		bstart := time.Now()
+		fmt.Println("\ntime-travel divergence bisection:")
+		fmt.Println()
+		for _, d := range core.RunBisectDemo(*seed) {
+			status := "PASS"
+			if !d.Pass {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-13s %s\n", status, d.Name, d.Detail)
+		}
+		fmt.Printf("\nbisection demo done (%.1fs)\n", time.Since(bstart).Seconds())
 	}
 
 	if failed > 0 {

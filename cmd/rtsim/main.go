@@ -6,6 +6,17 @@
 //	rtsim -exp fig5 [-scale 1.0] [-seed 1] [-parallel N]
 //	rtsim -exp all
 //	rtsim -trace trace.json
+//	rtsim -checkpoint boot.snap [-ref shielded] [-run-for 0.03]
+//	rtsim -restore boot.snap [-run-for 0.03] [-warm-salt N]
+//
+// -checkpoint boots a reference machine under the full load mix, runs
+// it -run-for extra virtual seconds and writes its snapshot image.
+// -restore boots a fresh machine, restores the image (exactly, or
+// warm-started under a tie-break salt with -warm-salt), runs -run-for
+// virtual seconds, verifies every machine-state invariant and prints
+// the final state hash — the same (image, salt) pair always prints the
+// same hash, and salt 0 reproduces the uninterrupted run byte for
+// byte, even across processes.
 //
 // -trace captures a shielded RCIM run with every typed tracepoint armed
 // and writes it as a Chrome trace-event file (load it in
@@ -57,6 +68,11 @@ func main() {
 	sweep := flag.String("sweep", "", "run a sensitivity sweep by id, or 'list'")
 	outdir := flag.String("outdir", "", "write every experiment report (and figure CSVs) into this directory")
 	traceOut := flag.String("trace", "", "capture a shielded RCIM trace into this file (.json = Chrome trace-event format for Perfetto, anything else = dmesg-style text)")
+	checkpoint := flag.String("checkpoint", "", "boot a reference machine (see -ref), run -run-for extra virtual seconds, and write its snapshot image to this file")
+	restore := flag.String("restore", "", "boot a fresh reference machine, restore this snapshot image into it, run -run-for extra virtual seconds, verify invariants, and print the final state hash")
+	ref := flag.String("ref", "shielded", "reference machine for -checkpoint/-restore: 'stock' or 'shielded'")
+	runFor := flag.Float64("run-for", 0.03, "virtual seconds to run past the checkpoint/restore point for -checkpoint/-restore")
+	warmSalt := flag.Uint64("warm-salt", 0, "warm-start tie-break salt for -restore (0 = exact cold resume); same (image, salt) always reproduces the same bytes")
 	queue := flag.String("queue", "", "event-queue implementation: 'ladder' (default) or 'heap' (reference); A/B knob — results are bit-identical either way, only speed differs")
 	engine := flag.String("engine", "serial", "execution engine: 'serial' (default) or 'sharded' (per-CPU ladder shards merged under the identical dispatch order; see -shards); results are bit-identical either way")
 	shards := flag.Int("shards", 4, "shard count for -engine=sharded (must be >= 1; one per simulated CPU is the natural grain)")
@@ -102,6 +118,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtsim: -scale must be > 0, got %v\n", *scale)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *checkpoint != "" || *restore != "" {
+		if *checkpoint != "" && *restore != "" {
+			fmt.Fprintln(os.Stderr, "rtsim: -checkpoint and -restore are mutually exclusive")
+			os.Exit(2)
+		}
+		if !(*runFor >= 0) {
+			fmt.Fprintf(os.Stderr, "rtsim: -run-for must be >= 0, got %v\n", *runFor)
+			os.Exit(2)
+		}
+		var err error
+		if *checkpoint != "" {
+			err = writeCheckpoint(*checkpoint, core.ReferenceMachine(*ref), *seed, *runFor)
+		} else {
+			err = restoreCheckpoint(*restore, core.ReferenceMachine(*ref), *seed, *runFor, *warmSalt)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *traceOut != "" {
@@ -183,6 +221,65 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// writeCheckpoint boots a reference machine under the full load mix,
+// runs it runFor virtual seconds past the post-boot instant and writes
+// its snapshot image. The image is the warm-start seed for -restore,
+// the CI two-stage soak, and warm-started placement sweeps.
+func writeCheckpoint(path string, ref core.ReferenceMachine, seed uint64, runFor float64) error {
+	s, err := core.BootReference(ref, seed, "", 0, 0)
+	if err != nil {
+		return err
+	}
+	if runFor > 0 {
+		s.K.Eng.Run(s.K.Now().Add(sim.DurationOf(runFor)))
+	}
+	img, err := s.K.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes, t=%v, hash %s)\n", path, len(img), s.K.Now(), core.ImageHash(img))
+	return nil
+}
+
+// restoreCheckpoint boots a fresh reference machine, restores the image
+// into it (warm-started when salt != 0), runs runFor virtual seconds,
+// verifies every machine-state invariant and prints the final state
+// hash. Restoring the same (image, salt) always prints the same hash;
+// salt 0 continues exactly like the run the image was taken from.
+func restoreCheckpoint(path string, ref core.ReferenceMachine, seed uint64, runFor float64, salt uint64) error {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := core.BootReference(ref, seed, "", 0, 0)
+	if err != nil {
+		return err
+	}
+	if salt != 0 {
+		err = s.K.RestoreImageWarm(img, salt)
+	} else {
+		err = s.K.RestoreImage(img)
+	}
+	if err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	if runFor > 0 {
+		s.K.Eng.Run(s.K.Now().Add(sim.DurationOf(runFor)))
+	}
+	if err := s.K.CheckInvariants(); err != nil {
+		return fmt.Errorf("restored machine failed invariants: %w", err)
+	}
+	img2, err := s.K.Snapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %s, ran to t=%v, final hash %s (invariants ok)\n", path, s.K.Now(), core.ImageHash(img2))
+	return nil
 }
 
 // writeTrace captures a shielded RCIM run with all tracepoints armed

@@ -167,22 +167,8 @@ func determinismPass(cfg DeterminismConfig, runs int, loaded bool) []sim.Duratio
 		affinity = kernel.MaskOf(cfg.ShieldCPU)
 	}
 
-	elapsed := make([]sim.Duration, 0, runs)
-	var started sim.Time
-	done := 0
-	behavior := kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
-		if done >= runs {
-			return kernel.Exit()
-		}
-		started = k.Now() // first TSC read
-		act := kernel.Compute(cfg.LoopWork)
-		act.OnComplete = func(now sim.Time) { // second TSC read
-			elapsed = append(elapsed, now.Sub(started))
-			done++
-		}
-		return act
-	})
-	mt := k.NewTask("determinism-test", kernel.SchedFIFO, 90, affinity, behavior)
+	loop := &detLoop{k: k, work: cfg.LoopWork, runs: runs, elapsed: make([]sim.Duration, 0, runs)}
+	mt := k.NewTask("determinism-test", kernel.SchedFIFO, 90, affinity, loop)
 	mt.MemLocked = true
 
 	s.Start()
@@ -194,5 +180,5 @@ func determinismPass(cfg DeterminismConfig, runs int, loaded bool) []sim.Duratio
 	// Generous horizon: runs × loop × worst-case slowdown.
 	horizon := sim.Time(cfg.LoopWork) * sim.Time(runs+2) * 2
 	k.Eng.Run(horizon)
-	return elapsed
+	return loop.elapsed
 }

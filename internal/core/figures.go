@@ -29,6 +29,8 @@ const (
 	streamChecksResp
 	streamAttrib
 	streamTraceCap
+	streamSnapshot
+	streamBisect
 )
 
 // figureReplications is the fixed replication count the sharded figures

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// evDrip identifies the background broadcast-frame drip's events; A0 is
+// the drip component's id.
+var evDrip = sim.RegisterEventKind("core.drip")
+
+// broadcastDrip delivers the light background broadcast traffic
+// (SystemOptions.BroadcastTraffic) as a registered, snapshot-restorable
+// component instead of a self-rescheduling closure.
+type broadcastDrip struct {
+	s   *System
+	rng *sim.RNG
+	id  uint64
+}
+
+func newBroadcastDrip(s *System) *broadcastDrip {
+	k := s.K
+	d := &broadcastDrip{s: s, rng: k.Eng.RNG().Fork()}
+	d.id = k.RegisterComponent(d)
+	k.Eng.AfterTagged(d.rng.Uniform(0, 50*sim.Millisecond), evDrip.Tag(d.id, 0, 0), d.fire)
+	return d
+}
+
+func (d *broadcastDrip) fire() {
+	d.s.NIC.Receive(200 + d.rng.Intn(400))
+	d.s.K.Eng.AfterTagged(d.rng.Uniform(20*sim.Millisecond, 120*sim.Millisecond),
+		evDrip.Tag(d.id, 0, 0), d.fire)
+}
+
+// SnapName implements kernel.SnapComponent.
+func (d *broadcastDrip) SnapName() string { return "core.drip" }
+
+// Snapshot implements kernel.SnapComponent.
+func (d *broadcastDrip) Snapshot(w *snapshot.Writer) error {
+	w.Begin(d.SnapName())
+	w.U64(1, d.rng.State())
+	w.End()
+	return nil
+}
+
+// Restore implements kernel.SnapComponent.
+func (d *broadcastDrip) Restore(r *snapshot.Reader, rc *kernel.RestoreContext) error {
+	r.Section(d.SnapName())
+	d.rng.SetState(r.U64(1))
+	r.EndSection()
+	return r.Err()
+}
+
+// detLoop is the §5.1 determinism measurement behavior: the mlocked
+// SCHED_FIFO sine loop timed with the TSC. All measurement state crosses
+// snapshots in the behavior words, so a determinism pass can checkpoint
+// mid-run and resume to the identical elapsed-time series.
+type detLoop struct {
+	k    *kernel.Kernel
+	work sim.Duration
+	runs int
+
+	started sim.Time
+	done    int
+	elapsed []sim.Duration
+}
+
+func (b *detLoop) Next(t *kernel.Task) kernel.Action {
+	if b.done >= b.runs {
+		return kernel.Exit()
+	}
+	b.started = b.k.Now() // first TSC read
+	return kernel.Compute(b.work)
+}
+
+// ActionDone is the second TSC read, at the same completion instant the
+// former OnComplete closure ran.
+func (b *detLoop) ActionDone(t *kernel.Task, kind kernel.ActionKind, now sim.Time) {
+	if kind != kernel.ActCompute {
+		return
+	}
+	b.elapsed = append(b.elapsed, now.Sub(b.started))
+	b.done++
+}
+
+func (b *detLoop) BehaviorName() string { return "core.det-loop" }
+
+func (b *detLoop) BehaviorState() []uint64 {
+	words := make([]uint64, 0, 2+len(b.elapsed))
+	words = append(words, uint64(b.done), uint64(b.started))
+	for _, d := range b.elapsed {
+		words = append(words, uint64(d))
+	}
+	return words
+}
+
+func (b *detLoop) SetBehaviorState(words []uint64) {
+	b.done = int(words[0])
+	b.started = sim.Time(words[1])
+	b.elapsed = b.elapsed[:0]
+	for _, w := range words[2:] {
+		b.elapsed = append(b.elapsed, sim.Duration(w))
+	}
+}
+
+func init() {
+	kernel.RegisterEventRebuild("core.drip", func(rc *kernel.RestoreContext, a0, a1, a2 uint64) (func(), error) {
+		comp := rc.K.Component(a0)
+		d, ok := comp.(*broadcastDrip)
+		if !ok {
+			return nil, fmt.Errorf("core: event core.drip names component %d, which is a %T", a0, comp)
+		}
+		return d.fire, nil
+	})
+	snapshot.RegisterState(broadcastDrip{}, snapshot.Manifest{
+		"s":   "skip: construction back-pointer",
+		"rng": "codec",
+		"id":  "skip: registration-order identity",
+	})
+	snapshot.RegisterState(detLoop{}, snapshot.Manifest{
+		"k":       "skip: construction back-pointer",
+		"work":    "skip: construction-fixed measurement parameter",
+		"runs":    "skip: construction-fixed measurement parameter",
+		"started": "codec", // behavior word 1
+		"done":    "codec", // behavior word 0
+		"elapsed": "codec", // behavior words 2..n
+	})
+}
+
+// ReferenceMachine selects one of the snapshot reference machines:
+// "stock" (kernel.org 2.4.18) or "shielded" (RedHawk 1.4 with the last
+// CPU fully shielded). Both boot under the full load mix.
+type ReferenceMachine string
+
+// The snapshot reference machines.
+const (
+	RefStock    ReferenceMachine = "stock"
+	RefShielded ReferenceMachine = "shielded"
+)
+
+// refBootHorizon is how much virtual time the reference machines run
+// before the post-boot snapshot: long enough for every load to be in
+// flight (transfers, writeback, timer cascades), short enough for the
+// claim to be cheap.
+const refBootHorizon = 40 * sim.Millisecond
+
+// BootReference builds a reference machine under the full load mix and
+// runs it to the post-boot instant. queue/shards pick the engine
+// implementation ("" = process default); salt installs a tie-break
+// perturbation at construction.
+func BootReference(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shards int, salt uint64) (*System, error) {
+	var cfg kernel.Config
+	switch ref {
+	case RefStock:
+		cfg = kernel.StandardLinux24(2, 2.0, false)
+	case RefShielded:
+		cfg = kernel.RedHawk14(2, 2.0)
+	default:
+		return nil, fmt.Errorf("core: unknown reference machine %q", ref)
+	}
+	cfg.EventQueue = queue
+	cfg.EngineShards = shards
+	cfg.TiebreakSalt = salt
+	s := NewSystem(cfg, sim.DeriveSeed(seed, streamSnapshot), SystemOptions{
+		RTCHz:            2048,
+		RCIMPeriod:       sim.Millisecond,
+		WithGPU:          true,
+		Loads:            []string{LoadStressKernel, LoadScpFlood, LoadDiskNoise, LoadX11Perf, LoadTTCPNet},
+		BroadcastTraffic: true,
+	})
+	s.Start()
+	if ref == RefShielded {
+		if err := s.ShieldCPU(cfg.NumCPUs() - 1); err != nil {
+			return nil, err
+		}
+	}
+	s.K.Eng.Run(sim.Time(refBootHorizon))
+	return s, nil
+}
+
+// BootImage is BootReference plus the snapshot: the post-boot image of
+// the reference machine. This is the shared image warm-started sweeps
+// and the two-stage CI soak restore from.
+func BootImage(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shards int) ([]byte, error) {
+	s, err := BootReference(ref, seed, queue, shards, 0)
+	if err != nil {
+		return nil, err
+	}
+	return s.K.Snapshot()
+}
+
+// ImageHash is the FNV-1a fingerprint of a snapshot image, the unit the
+// golden snapshot claims compare.
+func ImageHash(img []byte) string {
+	h := fnv.New64a()
+	h.Write(img)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// resumeHorizon is how far past the checkpoint the resume-equivalence
+// probes run both sides.
+const resumeHorizon = 30 * sim.Millisecond
+
+// resumeEquivalent checks the tentpole oracle on a reference machine
+// under one engine mode: run to T, snapshot, continue to T2 and snapshot
+// again (the uninterrupted result); then rebuild a fresh machine,
+// restore the T image into it, continue it to T2 and snapshot. The two
+// T2 images must be byte-identical.
+func resumeEquivalent(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shards int) (string, error) {
+	a, err := BootReference(ref, seed, queue, shards, 0)
+	if err != nil {
+		return "", err
+	}
+	imgT, err := a.K.Snapshot()
+	if err != nil {
+		return "", fmt.Errorf("snapshot at T: %w", err)
+	}
+	a.K.Eng.Run(a.K.Now().Add(resumeHorizon))
+	imgA, err := a.K.Snapshot()
+	if err != nil {
+		return "", fmt.Errorf("snapshot at T2: %w", err)
+	}
+
+	b, err := BootReference(ref, seed, queue, shards, 0)
+	if err != nil {
+		return "", err
+	}
+	if err := b.K.RestoreImage(imgT); err != nil {
+		return "", fmt.Errorf("restore: %w", err)
+	}
+	b.K.Eng.Run(b.K.Now().Add(resumeHorizon))
+	imgB, err := b.K.Snapshot()
+	if err != nil {
+		return "", fmt.Errorf("snapshot after resume: %w", err)
+	}
+	if !bytes.Equal(imgA, imgB) {
+		return "", fmt.Errorf("resumed run diverged: uninterrupted %s vs resumed %s",
+			ImageHash(imgA), ImageHash(imgB))
+	}
+	return ImageHash(imgA), nil
+}
+
+// warmContinuationHash restores the shared post-boot image with a warm
+// tie-break salt and runs the continuation window; the returned hash
+// fingerprints the continued machine. The same (image, salt) pair always
+// continues to the identical bytes — that is the warm-start
+// reproducibility contract — while distinct salts explore different
+// same-instant dispatch orders (the point of warm-started placement
+// sweeps). The continued machine must pass every state invariant.
+func warmContinuationHash(ref ReferenceMachine, seed uint64, img []byte, salt uint64) (string, error) {
+	s, err := BootReference(ref, seed, "", 0, 0)
+	if err != nil {
+		return "", err
+	}
+	if err := s.K.RestoreImageWarm(img, salt); err != nil {
+		return "", fmt.Errorf("warm restore (salt %#x): %w", salt, err)
+	}
+	s.K.Eng.Run(s.K.Now().Add(resumeHorizon))
+	if err := s.K.CheckInvariants(); err != nil {
+		return "", fmt.Errorf("warm continuation (salt %#x): %w", salt, err)
+	}
+	img2, err := s.K.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	return ImageHash(img2), nil
+}
+
+// SnapshotChecks runs the snapshot claim set: resume equivalence per
+// engine mode, golden image-hash stability across engine modes, and
+// warm-start salt invariance. Appended to the reprocheck claim list.
+func SnapshotChecks(seed uint64) []CheckResult {
+	var out []CheckResult
+	add := func(id, claim string, pass bool, detail string, args ...interface{}) {
+		out = append(out, CheckResult{ID: id, Claim: claim, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	type mode struct {
+		name   string
+		queue  sim.QueueKind
+		shards int
+	}
+	modes := []mode{
+		{"serial/ladder", sim.QueueLadder, 0},
+		{"serial/heap", sim.QueueHeap, 0},
+		{"sharded/2", sim.QueueSharded, 2},
+		{"sharded/4", sim.QueueSharded, 4},
+	}
+
+	for _, ref := range []ReferenceMachine{RefStock, RefShielded} {
+		// Resume equivalence, per engine mode — and since every mode must
+		// realise the identical dispatch order, the T2 hashes must also
+		// agree across modes.
+		hashes := make([]string, 0, len(modes))
+		var firstErr error
+		for _, m := range modes {
+			h, err := resumeEquivalent(ref, seed, m.queue, m.shards)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", m.name, err)
+			}
+			hashes = append(hashes, h)
+		}
+		same := firstErr == nil
+		for _, h := range hashes[1:] {
+			if h != hashes[0] {
+				same = false
+			}
+		}
+		detail := fmt.Sprintf("T2 hash %s across %d engine modes", hashes[0], len(modes))
+		if firstErr != nil {
+			detail = firstErr.Error()
+		}
+		add("snap-resume-"+string(ref),
+			fmt.Sprintf("snapshot/restore resumes the %s reference machine byte-identically in every engine mode", ref),
+			same, "%s", detail)
+
+		// Golden post-boot image hash: identical for every engine mode
+		// (the image is canonical — queue internals never serialise).
+		imgs := make([]string, 0, len(modes))
+		var imgErr error
+		var sharedImg []byte
+		for _, m := range modes {
+			img, err := BootImage(ref, seed, m.queue, m.shards)
+			if err != nil && imgErr == nil {
+				imgErr = fmt.Errorf("%s: %w", m.name, err)
+			}
+			if sharedImg == nil {
+				sharedImg = img
+			}
+			imgs = append(imgs, ImageHash(img))
+		}
+		stable := imgErr == nil
+		for _, h := range imgs[1:] {
+			if h != imgs[0] {
+				stable = false
+			}
+		}
+		detail = fmt.Sprintf("post-boot image %s across %d engine modes", imgs[0], len(modes))
+		if imgErr != nil {
+			detail = imgErr.Error()
+		}
+		add("snap-golden-"+string(ref),
+			fmt.Sprintf("the %s reference machine's post-boot snapshot hash is engine-mode invariant", ref),
+			stable, "%s", detail)
+
+		// Warm start: restoring the shared image is reproducible — the
+		// same (image, salt) pair continues to identical bytes, salt 0
+		// continues exactly like the uninterrupted run, and every salted
+		// continuation is a valid machine (invariants hold). Distinct
+		// salts are allowed — meant — to realise different same-instant
+		// dispatch orders; that schedule diversity without re-booting is
+		// what warm-started placement sweeps buy.
+		if firstErr == nil && imgErr == nil {
+			const salt = 0x9e3779b97f4a7c15
+			h0, err0 := warmContinuationHash(ref, seed, sharedImg, 0)
+			h1a, err1 := warmContinuationHash(ref, seed, sharedImg, salt)
+			h1b, err2 := warmContinuationHash(ref, seed, sharedImg, salt)
+			pass := err0 == nil && err1 == nil && err2 == nil &&
+				h0 == hashes[0] && h1a == h1b
+			detail := fmt.Sprintf("salt 0 -> %s (= uninterrupted), salt %#x -> %s twice", h0, uint64(salt), h1a)
+			for _, err := range []error{err0, err1, err2} {
+				if err != nil {
+					detail = err.Error()
+					break
+				}
+			}
+			add("snap-warm-"+string(ref),
+				fmt.Sprintf("warm-starting the %s post-boot image is reproducible per salt and exact at salt 0", ref),
+				pass, "%s", detail)
+		}
+	}
+	return out
+}

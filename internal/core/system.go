@@ -102,13 +102,7 @@ func NewSystem(cfg kernel.Config, seed uint64, opts SystemOptions) *System {
 		}
 	}
 	if opts.BroadcastTraffic {
-		rng := k.Eng.RNG().Fork()
-		var drip func()
-		drip = func() {
-			s.NIC.Receive(200 + rng.Intn(400))
-			k.Eng.After(rng.Uniform(20*sim.Millisecond, 120*sim.Millisecond), drip)
-		}
-		k.Eng.After(rng.Uniform(0, 50*sim.Millisecond), drip)
+		newBroadcastDrip(s)
 	}
 	return s
 }

@@ -11,9 +11,11 @@ import (
 // submitting task (synchronous I/O). The disknoise script and the FS
 // stress test drive this device.
 type Disk struct {
-	k   *kernel.Kernel
-	irq *kernel.IRQLine
-	rng *sim.RNG
+	k    *kernel.Kernel
+	irq  *kernel.IRQLine
+	rng  *sim.RNG
+	name string
+	id   uint64
 
 	// seekMin/seekMax bound the per-request positioning latency.
 	seekMin, seekMax sim.Duration
@@ -37,10 +39,12 @@ func NewDisk(k *kernel.Kernel, name string) *Disk {
 	d := &Disk{
 		k:           k,
 		rng:         k.Eng.RNG().Fork(),
+		name:        name,
 		seekMin:     2 * sim.Millisecond,
 		seekMax:     9 * sim.Millisecond,
 		bytesPerSec: 40e6, // 40 MB/s, a 2002-era SCSI drive
 	}
+	d.id = k.RegisterComponent(d)
 	handler := func(rng *sim.RNG) sim.Duration {
 		return rng.Jitter(7*sim.Microsecond, 0.4)
 	}
@@ -75,12 +79,31 @@ func (d *Disk) Submit(bytes int, wake *kernel.WaitQueue) {
 		sim.Duration(float64(bytes)/d.bytesPerSec*1e9)
 	done := start.Add(service)
 	d.busyUntil = done
-	d.k.Eng.Schedule(done, func() {
+	if wake == nil || wake.ID() != 0 {
+		var wqID uint64
 		if wake != nil {
-			d.completions = append(d.completions, wake)
+			wqID = wake.ID()
 		}
+		d.k.Eng.ScheduleTagged(done, evDiskComplete.Tag(d.id, wqID, 0),
+			func() { d.complete(wqID) })
+		return
+	}
+	// Unregistered wake queue: the completion must capture the pointer,
+	// so a snapshot with this request in flight fails loudly (untagged
+	// event) instead of dropping the wakeup.
+	d.k.Eng.Schedule(done, func() {
+		d.completions = append(d.completions, wake)
 		d.k.Raise(d.irq)
 	})
+}
+
+// complete is the tagged completion body: queue the wakeup for the
+// interrupt handler and raise the line.
+func (d *Disk) complete(wqID uint64) {
+	if wqID != 0 {
+		d.completions = append(d.completions, d.k.WaitQueueByID(wqID))
+	}
+	d.k.Raise(d.irq)
 }
 
 // QueueDepthTime reports how far in the future the device will drain.

@@ -10,8 +10,10 @@ import (
 // FIFO; the card raises an interrupt when the FIFO drains or at vblank,
 // and the handler runs a tasklet to kick the next batch.
 type GPU struct {
-	k   *kernel.Kernel
-	irq *kernel.IRQLine
+	k    *kernel.Kernel
+	irq  *kernel.IRQLine
+	name string
+	id   uint64
 
 	// Statistics.
 	Batches uint64
@@ -19,7 +21,8 @@ type GPU struct {
 
 // NewGPU creates the controller and registers its interrupt line.
 func NewGPU(k *kernel.Kernel, name string) *GPU {
-	g := &GPU{k: k}
+	g := &GPU{k: k, name: name}
+	g.id = k.RegisterComponent(g)
 	handler := func(rng *sim.RNG) sim.Duration {
 		return rng.Jitter(4*sim.Microsecond, 0.4)
 	}
@@ -38,5 +41,8 @@ func (g *GPU) IRQ() *kernel.IRQLine { return g.irq }
 // through it.
 func (g *GPU) SubmitBatch(renderTime sim.Duration) {
 	g.Batches++
-	g.k.Eng.After(renderTime, func() { g.k.Raise(g.irq) })
+	g.k.Eng.AfterTagged(renderTime, evGPUIRQ.Tag(g.id, 0, 0), g.raiseIRQ)
 }
+
+// raiseIRQ is the FIFO-drain interrupt event body.
+func (g *GPU) raiseIRQ() { g.k.Raise(g.irq) }

@@ -12,8 +12,10 @@ import (
 // in the paper's determinism tests. Transmits symmetrically raise NET_TX
 // work and a completion interrupt.
 type NIC struct {
-	k   *kernel.Kernel
-	irq *kernel.IRQLine
+	k    *kernel.Kernel
+	irq  *kernel.IRQLine
+	name string
+	id   uint64
 
 	perKB sim.Duration
 
@@ -28,7 +30,8 @@ type NIC struct {
 
 // NewNIC creates the controller and registers its interrupt line.
 func NewNIC(k *kernel.Kernel, name string) *NIC {
-	n := &NIC{k: k, perKB: k.Cfg.Timing.SoftirqNetPerKB}
+	n := &NIC{k: k, name: name, perKB: k.Cfg.Timing.SoftirqNetPerKB}
+	n.id = k.RegisterComponent(n)
 	handler := func(rng *sim.RNG) sim.Duration {
 		// Ring buffer service: acknowledge, refill descriptors.
 		return rng.Jitter(5*sim.Microsecond, 0.4)

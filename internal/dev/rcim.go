@@ -24,6 +24,9 @@ type RCIM struct {
 	k   *kernel.Kernel
 	irq *kernel.IRQLine
 	wq  *kernel.WaitQueue
+	id  uint64
+	// exts are the attached external inputs, in creation order.
+	exts []*ExternalInput
 
 	period   sim.Duration
 	running  bool
@@ -87,7 +90,8 @@ func NewRCIM(k *kernel.Kernel, period sim.Duration) *RCIM {
 	if period <= 0 {
 		panic("dev: RCIM period must be positive")
 	}
-	r := &RCIM{k: k, wq: kernel.NewWaitQueue("rcim"), period: period}
+	r := &RCIM{k: k, wq: k.NewWaitQueue("rcim"), period: period}
+	r.id = k.RegisterComponent(r)
 	handler := func(rng *sim.RNG) sim.Duration {
 		// The handler reads the card's status and acknowledges the
 		// interrupt: several PCI transactions at ~1-2µs each. PCI bus
@@ -115,8 +119,9 @@ func (r *RCIM) NewExternalInput(name string) *ExternalInput {
 	e := &ExternalInput{
 		Name: name,
 		k:    r.k,
-		wq:   kernel.NewWaitQueue("rcim-ext-" + name),
+		wq:   r.k.NewWaitQueue("rcim-ext-" + name),
 	}
+	r.exts = append(r.exts, e)
 	handler := func(rng *sim.RNG) sim.Duration {
 		return rng.Jitter(4*sim.Microsecond, 0.2) +
 			rng.Pareto(500*sim.Nanosecond, 1.3, 8*sim.Microsecond)
@@ -154,17 +159,19 @@ func (r *RCIM) Start() {
 		return
 	}
 	r.running = true
-	var fire func()
-	fire = func() {
-		if !r.running {
-			return
-		}
-		r.lastFire = r.k.Now()
-		r.fires++
-		r.k.Raise(r.irq)
-		r.k.Eng.After(r.period, fire)
+	r.k.Eng.AfterTagged(r.period, evRCIMFire.Tag(r.id, 0, 0), r.fire)
+}
+
+// fire is the count-register-zero event body: raise the edge-triggered
+// interrupt and reload the count (re-arm).
+func (r *RCIM) fire() {
+	if !r.running {
+		return
 	}
-	r.k.Eng.After(r.period, fire)
+	r.lastFire = r.k.Now()
+	r.fires++
+	r.k.Raise(r.irq)
+	r.k.Eng.AfterTagged(r.period, evRCIMFire.Tag(r.id, 0, 0), r.fire)
 }
 
 // Stop halts the periodic timer.

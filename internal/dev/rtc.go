@@ -25,6 +25,7 @@ type RTC struct {
 	wq  *kernel.WaitQueue
 	// fsLock is the contended generic-fs lock on the read exit path.
 	fsLock *kernel.SpinLock
+	id     uint64
 
 	period  sim.Duration
 	running bool
@@ -41,10 +42,11 @@ func NewRTC(k *kernel.Kernel, hz int) *RTC {
 	}
 	r := &RTC{
 		k:      k,
-		wq:     kernel.NewWaitQueue("rtc"),
+		wq:     k.NewWaitQueue("rtc"),
 		fsLock: k.NamedLock("dcache"),
 		period: sim.Duration(int64(sim.Second) / int64(hz)),
 	}
+	r.id = k.RegisterComponent(r)
 	handler := func(rng *sim.RNG) sim.Duration {
 		// rtc_interrupt: read the status register, update the counter.
 		return rng.Jitter(2*sim.Microsecond, 0.3)
@@ -75,17 +77,18 @@ func (r *RTC) Start() {
 		return
 	}
 	r.running = true
-	var fire func()
-	fire = func() {
-		if !r.running {
-			return
-		}
-		r.lastFire = r.k.Now()
-		r.fires++
-		r.k.Raise(r.irq)
-		r.k.Eng.After(r.period, fire)
+	r.k.Eng.AfterTagged(r.period, evRTCFire.Tag(r.id, 0, 0), r.fire)
+}
+
+// fire is the periodic interrupt event body: raise the line and re-arm.
+func (r *RTC) fire() {
+	if !r.running {
+		return
 	}
-	r.k.Eng.After(r.period, fire)
+	r.lastFire = r.k.Now()
+	r.fires++
+	r.k.Raise(r.irq)
+	r.k.Eng.AfterTagged(r.period, evRTCFire.Tag(r.id, 0, 0), r.fire)
 }
 
 // Stop halts interrupt generation (pending wakeups still happen).

@@ -18,6 +18,45 @@ type BehaviorFunc func(t *Task) Action
 // Next implements Behavior.
 func (f BehaviorFunc) Next(t *Task) Action { return f(t) }
 
+// ActionCompleter is the snapshot-safe alternative to Action.OnComplete:
+// when an action finishes and its OnComplete is nil, the kernel calls
+// ActionDone on the task's behavior (if implemented) with the completed
+// action's kind. Because the hook lives on the behavior — whose state is
+// serialised through SnapBehavior — instead of in a captured closure, an
+// action can complete on the far side of a snapshot/restore boundary.
+type ActionCompleter interface {
+	ActionDone(t *Task, kind ActionKind, now sim.Time)
+}
+
+// SnapBehavior is implemented by behaviors that can cross a snapshot
+// boundary. The kernel serialises the behavior by name plus an opaque
+// word list; on restore the freshly constructed machine's behavior (same
+// construction order, hence same name) gets the words back. Behaviors
+// that keep state in closures cannot implement this — a snapshot of a
+// machine running one fails loudly, naming the task.
+type SnapBehavior interface {
+	Behavior
+	// BehaviorName identifies the behavior for cross-checking that the
+	// restoring machine reconstructed the same task structure.
+	BehaviorName() string
+	// BehaviorState returns the behavior's mutable state as words.
+	BehaviorState() []uint64
+	// SetBehaviorState overwrites the state from a snapshot's words.
+	SetBehaviorState(words []uint64)
+}
+
+// actionDone dispatches an action completion: the explicit OnComplete
+// closure when one was given, else the behavior's ActionCompleter hook.
+func actionDone(t *Task, kind ActionKind, onComplete func(sim.Time), now sim.Time) {
+	if onComplete != nil {
+		onComplete(now)
+		return
+	}
+	if bc, ok := t.behavior.(ActionCompleter); ok {
+		bc.ActionDone(t, kind, now)
+	}
+}
+
 // ActionKind discriminates Action.
 type ActionKind uint8
 
@@ -100,6 +139,11 @@ type Segment struct {
 	// OnDone, if non-nil, runs when this segment completes. Devices use
 	// it to implement handler side effects.
 	OnDone func()
+	// DoneTag is the serialisable identity of OnDone for snapshots: a
+	// registered event-kind tag whose rebuilder reconstructs the closure
+	// on restore. A segment with OnDone set but a zero DoneTag cannot
+	// cross a snapshot boundary (the snapshot fails loudly).
+	DoneTag sim.EventTag
 }
 
 // SyscallCall describes one invocation of a system call as the list of

@@ -60,10 +60,29 @@ type frame struct {
 	acquired  bool      // frameSpin: lock granted, convert when on top
 	spinSince sim.Time  // frameSpin: when the spin began
 	suspended bool      // frameSpin: buried under interrupt frames
+	// spinWhy records which syscall-engine continuation a spin frame's
+	// onDone is (spinForBKL or spinForSeg), so restore can rebuild it.
+	spinWhy uint8
+
+	// began is when a softirq pass started (frameSoftirq), for the
+	// completion-time statistics. Serialisable, unlike a captured local.
+	began sim.Time
+
+	// complete is the action's OnComplete for user-mode compute frames
+	// (frameTask, seg == nil). Kept on the frame instead of captured in
+	// onDone so snapshots can verify it is nil (ActionCompleter behaviors
+	// need no closure; anything else fails the snapshot loudly).
+	complete func(now sim.Time)
 
 	// onDone runs when the frame's work completes (after it is popped).
 	onDone func()
 }
+
+// Spin-frame continuation discriminators (frame.spinWhy).
+const (
+	spinForBKL = 1 // acquiring the BKL at syscall entry/resume
+	spinForSeg = 2 // acquiring a segment's lock before pushing its frame
+)
 
 // CPU is one logical processor.
 type CPU struct {
@@ -183,12 +202,19 @@ func (c *CPU) armTop() {
 		d++ // ceil so work is never under-charged
 	}
 	f.lastAccrue = c.kern.Now()
-	f.done = c.kern.Eng.After(d, func() {
+	f.done = c.kern.Eng.AfterTagged(d, evFrameDone.Tag(uint64(c.ID), 0, 0), c.frameDoneFn(f))
+}
+
+// frameDoneFn is the completion callback of an armed frame. The armed
+// frame is always the top of its CPU's stack, which is how restore finds
+// the frame a snapshotted "k.frame-done" event belongs to.
+func (c *CPU) frameDoneFn(f *frame) func() {
+	return func() {
 		f.done = sim.Event{}
 		f.workLeft = 0
 		c.account(f, c.kern.Now().Sub(f.lastAccrue))
 		c.finishTop(f)
-	})
+	}
 }
 
 // suspendTop pauses the top frame: accrue progress, cancel its event.
@@ -425,7 +451,16 @@ func (c *CPU) pushISR(l *IRQLine) {
 	work := overhead + l.HandlerWork(l.rng)              //simlint:region irq-off isr-dispatch
 	c.kern.Trace.IRQEnter(c.kern.Now(), c.ID, l.Num, l.Name)
 	f := &frame{kind: frameISR, irq: l, workLeft: float64(work)}
-	f.onDone = func() {
+	f.onDone = c.isrOnDone(f)
+	c.push(f)
+}
+
+// isrOnDone is an ISR frame's completion: handler bookkeeping, device
+// side effects, and the cache penalty charged to the interrupted
+// context. Rebuildable from the frame alone (restore re-attaches it).
+func (c *CPU) isrOnDone(f *frame) func() {
+	l := f.irq
+	return func() {
 		l.Handled++
 		if c.ID < len(l.PerCPU) {
 			l.PerCPU[c.ID]++
@@ -437,12 +472,11 @@ func (c *CPU) pushISR(l *IRQLine) {
 		// Cache pollution: the interrupted context re-fetches lines the
 		// handler evicted.
 		if b := c.top(); b != nil {
-			penalty := l.rng.Jitter(c.kern.Cfg.scale(t.ISRCachePenalty), 0.5) //simlint:region overhead isr-cache-penalty
+			penalty := l.rng.Jitter(c.kern.Cfg.scale(c.kern.Cfg.Timing.ISRCachePenalty), 0.5) //simlint:region overhead isr-cache-penalty
 			b.workLeft += float64(penalty)
 		}
 		c.kern.Trace.IRQExit(c.kern.Now(), c.ID, l.Num, l.Name)
 	}
-	c.push(f)
 }
 
 // --- softirqs (bottom halves) ---
@@ -525,11 +559,20 @@ func (c *CPU) maybeRunSoftirq() bool {
 	}
 	start := c.kern.Now()
 	c.kern.Trace.SoftirqEnter(start, c.ID, take)
-	f := &frame{kind: frameSoftirq, workLeft: float64(take)}
-	f.onDone = func() {
+	f := &frame{kind: frameSoftirq, workLeft: float64(take), began: start}
+	f.onDone = c.softirqOnDone(f)
+	c.push(f)
+	return true
+}
+
+// softirqOnDone is a softirq frame's completion: pass statistics and the
+// SoftirqDaemon handoff of leftover work to ksoftirqd. The pass start
+// time lives on the frame (began), so restore can rebuild this closure.
+func (c *CPU) softirqOnDone(f *frame) func() {
+	return func() {
 		c.SoftirqRuns++
-		c.SoftirqTime += c.kern.Now().Sub(start)
-		c.kern.Trace.SoftirqExit(c.kern.Now(), c.ID, c.kern.Now().Sub(start))
+		c.SoftirqTime += c.kern.Now().Sub(f.began)
+		c.kern.Trace.SoftirqExit(c.kern.Now(), c.ID, c.kern.Now().Sub(f.began))
 		// Budget exhausted with work left over: stock kernels retry in
 		// interrupt context (the next settle runs another pass);
 		// SoftirqDaemon kernels hand the REMAINDER to ksoftirqd, which
@@ -548,41 +591,72 @@ func (c *CPU) maybeRunSoftirq() bool {
 			}
 		}
 	}
-	c.push(f)
-	return true
 }
 
 // ksoftirqdBehavior drains this CPU's deferred softirq backlog in task
 // context in bounded, preemptible chunks, then sleeps until the next
-// overflow.
-func (c *CPU) ksoftirqdBehavior() Behavior {
-	return BehaviorFunc(func(t *Task) Action {
-		if c.daemonBacklog <= 0 {
-			c.daemonBacklog = 0
-			return Syscall(&SyscallCall{
-				Name:     "ksoftirqd-wait",
-				Segments: []Segment{{Kind: SegBlock, Wait: c.softirqWq}},
-			})
-		}
-		chunk := sim.Duration(c.daemonBacklog)
-		max := c.kern.Cfg.scale(500 * sim.Microsecond) //simlint:region run ksoftirqd-chunk
-		if chunk > max {
-			chunk = max
-		}
-		// Consume the work up front; the segment performs it.
-		c.daemonBacklog -= float64(chunk)
-		start := c.kern.Now()
-		call := &SyscallCall{
-			Name:     "ksoftirqd-run",
-			Segments: []Segment{{Kind: SegWork, D: chunk}},
-		}
-		act := Syscall(call)
-		act.OnComplete = func(now sim.Time) {
-			c.SoftirqRuns++
-			c.SoftirqTime += now.Sub(start)
-		}
-		return act
+// overflow. It is a named struct (not a closure) so its two words of
+// state — whether a run chunk is in flight and when it started — survive
+// snapshots, and the completion statistics go through ActionDone instead
+// of a captured OnComplete.
+type ksoftirqdBehavior struct {
+	c        *CPU
+	running  bool
+	runStart sim.Time
+}
+
+// Next implements Behavior.
+func (b *ksoftirqdBehavior) Next(t *Task) Action {
+	c := b.c
+	if c.daemonBacklog <= 0 {
+		c.daemonBacklog = 0
+		return Syscall(&SyscallCall{
+			Name:     "ksoftirqd-wait",
+			Segments: []Segment{{Kind: SegBlock, Wait: c.softirqWq}},
+		})
+	}
+	chunk := sim.Duration(c.daemonBacklog)
+	max := c.kern.Cfg.scale(500 * sim.Microsecond) //simlint:region run ksoftirqd-chunk
+	if chunk > max {
+		chunk = max
+	}
+	// Consume the work up front; the segment performs it.
+	c.daemonBacklog -= float64(chunk)
+	b.running = true
+	b.runStart = c.kern.Now()
+	return Syscall(&SyscallCall{
+		Name:     "ksoftirqd-run",
+		Segments: []Segment{{Kind: SegWork, D: chunk}},
 	})
+}
+
+// ActionDone implements ActionCompleter: account a finished run chunk.
+// The wait syscall's completion also lands here, filtered by running.
+func (b *ksoftirqdBehavior) ActionDone(t *Task, kind ActionKind, now sim.Time) {
+	if kind != ActSyscall || !b.running {
+		return
+	}
+	b.running = false
+	b.c.SoftirqRuns++
+	b.c.SoftirqTime += now.Sub(b.runStart)
+}
+
+// BehaviorName implements SnapBehavior.
+func (b *ksoftirqdBehavior) BehaviorName() string { return fmt.Sprintf("k.ksoftirqd/%d", b.c.ID) }
+
+// BehaviorState implements SnapBehavior.
+func (b *ksoftirqdBehavior) BehaviorState() []uint64 {
+	running := uint64(0)
+	if b.running {
+		running = 1
+	}
+	return []uint64{running, uint64(b.runStart)}
+}
+
+// SetBehaviorState implements SnapBehavior.
+func (b *ksoftirqdBehavior) SetBehaviorState(words []uint64) {
+	b.running = words[0] != 0
+	b.runStart = sim.Time(words[1])
 }
 
 // --- preemption and dispatch ---
@@ -716,10 +790,7 @@ func (c *CPU) kick(t *Task) {
 			prev := c.kern.Eng.ShardHint()
 			c.kern.Eng.SetShardHint(c.ID)
 			delay := c.kern.Cfg.scale(c.kern.Cfg.Timing.IdleExit) //simlint:region sched idle-exit
-			c.dispatchEv = c.kern.Eng.AfterPinned(delay, func() {
-				c.dispatchEv = sim.Event{}
-				c.settle()
-			})
+			c.dispatchEv = c.kern.Eng.AfterPinnedTagged(delay, evIdleDispatch.Tag(uint64(c.ID), 0, 0), c.idleDispatch)
 			c.kern.Eng.SetShardHint(prev)
 		}
 		return
@@ -731,6 +802,13 @@ func (c *CPU) kick(t *Task) {
 		c.suspendTop()
 		c.settle()
 	}
+}
+
+// idleDispatch is the idle-exit event body: the CPU wakes from idle and
+// settles into the scheduler.
+func (c *CPU) idleDispatch() {
+	c.dispatchEv = sim.Event{}
+	c.settle()
 }
 
 // dispatch picks the next task when the CPU has nothing stacked.
@@ -761,9 +839,15 @@ func (c *CPU) dispatch() {
 	next.Switches++
 	c.cur = next
 	c.kern.Trace.Switch(c.kern.Now(), c.ID, next.PID, next.Name, next.rtEffective())
-	f := &frame{kind: frameSwitch, workLeft: float64(cost)}
-	f.onDone = func() { c.beginTask(next) }
+	f := &frame{kind: frameSwitch, task: next, workLeft: float64(cost)}
+	f.onDone = c.switchOnDone(f)
 	c.push(f)
+}
+
+// switchOnDone completes a context-switch frame: begin the task the
+// switch was into (recorded on the frame, so restore can rebuild this).
+func (c *CPU) switchOnDone(f *frame) func() {
+	return func() { c.beginTask(f.task) }
 }
 
 // beginTask resumes or starts the current task's execution.
@@ -800,16 +884,8 @@ func (c *CPU) nextAction(t *Task) {
 			// compute time, exponentially distributed.
 			work += t.rng.Exp(work.Scale(0.003))
 		}
-		f := &frame{kind: frameTask, task: t, workLeft: float64(work)}
-		f.onDone = func() {
-			// The frame may have been preempted and resumed on another
-			// CPU; continue on wherever the task is NOW.
-			cur := t.cpu
-			if act.OnComplete != nil {
-				act.OnComplete(cur.kern.Now())
-			}
-			cur.nextAction(t)
-		}
+		f := &frame{kind: frameTask, task: t, workLeft: float64(work), complete: act.OnComplete}
+		f.onDone = c.computeOnDone(f)
 		c.push(f)
 	case ActSyscall:
 		if act.Call == nil {
@@ -823,18 +899,23 @@ func (c *CPU) nextAction(t *Task) {
 		c.cur = nil
 		c.lastRan = t
 		k := c.kern
-		wake := func() {
-			if act.OnComplete != nil {
-				act.OnComplete(k.Now())
-			}
-			k.WakeTask(t, nil)
-		}
+		wake := k.sleepWakeFn(t, act.OnComplete)
 		if k.Cfg.HighResTimers {
-			// POSIX timers patch: nanosecond-precision expiry.
-			k.Eng.After(act.D, wake)
+			// POSIX timers patch: nanosecond-precision expiry. Tagged only
+			// when no OnComplete closure is captured (the snapshot layer
+			// rejects untagged events, making a non-restorable sleep loud).
+			if act.OnComplete == nil {
+				k.Eng.AfterTagged(act.D, evSleepWake.Tag(uint64(t.PID), 0, 0), wake)
+			} else {
+				k.Eng.After(act.D, wake)
+			}
 		} else {
 			// Stock 2.4: through the jiffy timer wheel.
-			k.AddTimer(act.D, wake)
+			if act.OnComplete == nil {
+				k.AddTimerTagged(act.D, evSleepWake.Tag(uint64(t.PID), 0, 0), wake)
+			} else {
+				k.AddTimer(act.D, wake)
+			}
 		}
 		c.dispatch()
 	case ActYield:
@@ -843,20 +924,36 @@ func (c *CPU) nextAction(t *Task) {
 		c.cur = nil
 		c.lastRan = t
 		c.kern.sched.Enqueue(t, c)
-		if act.OnComplete != nil {
-			act.OnComplete(c.kern.Now())
-		}
+		actionDone(t, ActYield, act.OnComplete, c.kern.Now())
 		c.dispatch()
 	case ActExit:
 		t.state = TaskExited
 		c.cur = nil
 		c.lastRan = t
-		if act.OnComplete != nil {
-			act.OnComplete(c.kern.Now())
-		}
+		actionDone(t, ActExit, act.OnComplete, c.kern.Now())
 		c.dispatch()
 	default:
 		panic(fmt.Sprintf("kernel: unknown action kind %d", act.Kind))
+	}
+}
+
+// computeOnDone completes a user-mode compute frame: the action's
+// completion hook, then the behavior's next step — on whatever CPU the
+// task is on NOW (a preempted frame can resume elsewhere).
+func (c *CPU) computeOnDone(f *frame) func() {
+	t := f.task
+	return func() {
+		cur := t.cpu
+		actionDone(t, ActCompute, f.complete, cur.kern.Now())
+		cur.nextAction(t)
+	}
+}
+
+// sleepWakeFn is an ActSleep expiry: action completion, then wake.
+func (k *Kernel) sleepWakeFn(t *Task, onComplete func(sim.Time)) func() {
+	return func() {
+		actionDone(t, ActSleep, onComplete, k.Now())
+		k.WakeTask(t, nil)
 	}
 }
 
@@ -892,6 +989,7 @@ func splitSegments(segs []Segment, max sim.Duration) []Segment {
 				chunk.D = max
 				chunk.SchedPoint = true
 				chunk.OnDone = nil
+				chunk.DoneTag = sim.EventTag{}
 			} else {
 				chunk.D = remaining
 			}
@@ -910,10 +1008,7 @@ func (c *CPU) execSyscall(t *Task) {
 	// Acquire (or reacquire after a block) the Big Kernel Lock if this
 	// call's path needs it (§6.3).
 	if call.needsBKL(cfg) && !call.heldBKL {
-		c.acquireLock(t, c.kern.BKL, false, func() {
-			call.heldBKL = true
-			c.execSyscall(t)
-		})
+		c.acquireLock(t, c.kern.BKL, false, spinForBKL, c.bklAcquiredFn(t, call))
 		return
 	}
 
@@ -926,9 +1021,7 @@ func (c *CPU) execSyscall(t *Task) {
 		onComplete := call.onComplete
 		t.call = nil
 		c.kern.Trace.SyscallExit(c.kern.Now(), c.ID, t.PID, t.Name, call.def.Name)
-		if onComplete != nil {
-			onComplete(c.kern.Now())
-		}
+		actionDone(t, ActSyscall, onComplete, c.kern.Now())
 		// Kernel exit is a preemption point on every kernel.
 		c.nextAction(t)
 		return
@@ -955,21 +1048,41 @@ func (c *CPU) execSyscall(t *Task) {
 		return
 	}
 
-	start := func() {
+	if seg.Lock != nil {
+		c.acquireLock(t, seg.Lock, seg.IRQsOff, spinForSeg, c.segStartFn(t, call, seg))
+		return
+	}
+	c.segStartFn(t, call, seg)()
+}
+
+// bklAcquiredFn is the continuation of a BKL acquire at syscall entry or
+// resume: mark the lock held and advance the call.
+func (c *CPU) bklAcquiredFn(t *Task, call *syscallCall) func() {
+	return func() {
+		call.heldBKL = true
+		c.execSyscall(t)
+	}
+}
+
+// segStartFn pushes the execution frame for the call's current work
+// segment (after its lock, if any, was acquired).
+func (c *CPU) segStartFn(t *Task, call *syscallCall, seg *Segment) func() {
+	return func() {
 		f := &frame{kind: frameTask, task: t, seg: seg, workLeft: float64(seg.D), irqsOff: seg.IRQsOff}
 		if seg.Lock != nil {
 			f.locks = append(f.locks, seg.Lock)
 		}
 		// Resolve the CPU at completion time: a preemptible-kernel frame
 		// can be preempted and resumed on a different CPU.
-		f.onDone = func() { t.cpu.segDone(t, call, seg, f) }
+		f.onDone = segDoneFn(t, call, seg, f)
 		c.push(f)
 	}
-	if seg.Lock != nil {
-		c.acquireLock(t, seg.Lock, seg.IRQsOff, start)
-		return
-	}
-	start()
+}
+
+// segDoneFn is a segment frame's completion, resolved against wherever
+// the task is running when the work finishes.
+func segDoneFn(t *Task, call *syscallCall, seg *Segment, f *frame) func() {
+	return func() { t.cpu.segDone(t, call, seg, f) }
 }
 
 // segDone completes a kernel work region: releases its locks, runs its
@@ -1005,18 +1118,33 @@ func (c *CPU) segDone(t *Task, call *syscallCall, seg *Segment, f *frame) {
 }
 
 // acquireLock takes l for the task's context, spinning if contended.
-// then runs once the lock is held.
-func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, then func()) {
+// then runs once the lock is held; why records which syscall-engine
+// continuation then is, so a snapshotted spin frame can be rebuilt.
+func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, why uint8, then func()) {
 	now := c.kern.Now()
 	if l.tryAcquire(c, now) {
 		then()
 		return
 	}
 	c.kern.Trace.LockContend(now, c.ID, l.Name, l.holder.ID)
-	f := &frame{kind: frameSpin, task: t, spin: l, irqsOff: irqsOff, spinSince: now, onDone: then}
-	l.addWaiter(c, now, func() bool { return c.top() == f }, func() {
+	f := &frame{kind: frameSpin, task: t, spin: l, irqsOff: irqsOff, spinSince: now, spinWhy: why, onDone: then}
+	l.addWaiter(c, now, c.spinActiveFn(f), c.spinGrantedFn(f))
+	c.push(f)
+}
+
+// spinActiveFn reports whether the spin frame is actively spinning (on
+// top of its CPU's stack) — a preempted spinner cannot take a handover.
+func (c *CPU) spinActiveFn(f *frame) func() bool {
+	return func() bool { return c.top() == f }
+}
+
+// spinGrantedFn runs on the waiter's CPU when a released lock is handed
+// to its spin frame: convert the spin to execution if it is on top, or
+// mark it acquired for settle to convert when it surfaces.
+func (c *CPU) spinGrantedFn(f *frame) func() {
+	return func() {
 		f.acquired = true
-		c.kern.Trace.LockAcquire(c.kern.Now(), c.ID, l.Name, c.kern.Now().Sub(f.spinSince))
+		c.kern.Trace.LockAcquire(c.kern.Now(), c.ID, f.spin.Name, c.kern.Now().Sub(f.spinSince))
 		if c.top() == f {
 			c.pop(f)
 			if f.onDone != nil {
@@ -1026,8 +1154,7 @@ func (c *CPU) acquireLock(t *Task, l *SpinLock, irqsOff bool, then func()) {
 		}
 		// Otherwise the spin frame is buried under interrupt frames;
 		// settle converts it when it surfaces.
-	})
-	c.push(f)
+	}
 }
 
 // --- local timer ---
@@ -1041,7 +1168,7 @@ func (c *CPU) startLocalTimer() {
 	// (both fire at exact multiples of the tick period), and the model
 	// resolves that simultaneity as local-APIC-before-PIT, in schedule
 	// order. See "Tie-break determinism" in DESIGN.md §8.
-	c.tickEv = c.kern.Eng.AfterPinned(offset, c.tick)
+	c.tickEv = c.kern.Eng.AfterPinnedTagged(offset, evCPUTick.Tag(uint64(c.ID), 0, 0), c.tick)
 }
 
 func (c *CPU) tickPeriod() sim.Duration {
@@ -1058,7 +1185,7 @@ func (c *CPU) tick() {
 	}
 	// Pinned for the same reason as startLocalTimer: the re-armed tick
 	// stays ordered before the phase-locked global timer interrupt.
-	c.tickEv = c.kern.Eng.AfterPinned(c.tickPeriod(), c.tick)
+	c.tickEv = c.kern.Eng.AfterPinnedTagged(c.tickPeriod(), evCPUTick.Tag(uint64(c.ID), 0, 0), c.tick)
 	c.raiseIRQ(c.localTimer)
 }
 
@@ -1090,12 +1217,17 @@ func (c *CPU) startBusSampling() {
 	if period <= 0 || c.kern.Cfg.Timing.BusContention <= 0 {
 		return
 	}
-	var resample func()
-	resample = func() {
-		c.kern.Eng.After(c.kern.rng.Jitter(period, 0.2), resample)
-		c.resampleBus()
-	}
-	c.kern.Eng.After(sim.Duration(int64(period)*int64(c.ID)/int64(len(c.kern.cpus))), resample)
+	offset := sim.Duration(int64(period) * int64(c.ID) / int64(len(c.kern.cpus)))
+	c.kern.Eng.AfterTagged(offset, evBusResample.Tag(uint64(c.ID), 0, 0), c.busResample)
+}
+
+// busResample is the periodic bus-sampling event body: re-arm first,
+// then resample — the schedule-before-sample order fixes which sequence
+// numbers (and so which RNG draws) each step consumes.
+func (c *CPU) busResample() {
+	period := c.kern.Cfg.Timing.BusResample
+	c.kern.Eng.AfterTagged(c.kern.rng.Jitter(period, 0.2), evBusResample.Tag(uint64(c.ID), 0, 0), c.busResample)
+	c.resampleBus()
 }
 
 func (c *CPU) resampleBus() {

@@ -124,7 +124,10 @@ func (k *Kernel) SampleInvariants(period sim.Duration, fail func(error)) {
 		panic("kernel: SampleInvariants needs a positive period")
 	}
 	if fail == nil {
-		fail = func(err error) { panic(fmt.Sprintf("kernel: invariant violated at %v: %v", k.Now(), err)) }
+		// The default (panic) sampler captures nothing, so it is tagged
+		// with its period and survives snapshots.
+		k.Eng.AfterTagged(period, evInvSample.Tag(uint64(period), 0, 0), func() { k.invSample(period) })
+		return
 	}
 	var sample func()
 	sample = func() {
@@ -135,6 +138,15 @@ func (k *Kernel) SampleInvariants(period sim.Duration, fail func(error)) {
 		k.Eng.After(period, sample)
 	}
 	k.Eng.After(period, sample)
+}
+
+// invSample is the default invariant sampler's event body: check, panic
+// on violation, re-arm.
+func (k *Kernel) invSample(period sim.Duration) {
+	if err := k.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("kernel: invariant violated at %v: %v", k.Now(), err))
+	}
+	k.Eng.AfterTagged(period, evInvSample.Tag(uint64(period), 0, 0), func() { k.invSample(period) })
 }
 
 // ProcTasks renders a ps-style listing for /proc/tasks.

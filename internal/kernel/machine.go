@@ -45,6 +45,14 @@ type Kernel struct {
 	wheel    *timerWheel
 	timerIRQ *IRQLine
 	load     loadavg
+
+	// waitqs are the registered (snapshot-visible) wait queues, in
+	// registration order; a queue's id is its index + 1 (0 = none).
+	waitqs []*WaitQueue
+	// comps are the registered snapshot components (devices, workloads),
+	// in registration order; construction order is deterministic, so ids
+	// agree between a snapshotting and a restoring process.
+	comps []SnapComponent
 }
 
 // New builds a machine for the given config. seed makes the run
@@ -124,9 +132,9 @@ func New(cfg Config, seed uint64) *Kernel {
 	// bottom-half overflow.
 	if cfg.SoftirqDaemon {
 		for _, c := range k.cpus {
-			c.softirqWq = NewWaitQueue(fmt.Sprintf("ksoftirqd-wq-%d", c.ID))
+			c.softirqWq = k.NewWaitQueue(fmt.Sprintf("ksoftirqd-wq-%d", c.ID))
 			c.ksoftirqd = k.NewTask(fmt.Sprintf("ksoftirqd/%d", c.ID),
-				SchedOther, 0, MaskOf(c.ID), c.ksoftirqdBehavior())
+				SchedOther, 0, MaskOf(c.ID), &ksoftirqdBehavior{c: c})
 		}
 	}
 	// IRQ0: the global timer interrupt that advances jiffies and runs
@@ -167,6 +175,43 @@ func (k *Kernel) NamedLock(name string) *SpinLock {
 	l := NewSpinLock(name)
 	k.namedLocks[name] = l
 	return l
+}
+
+// NewWaitQueue creates a wait queue registered with the kernel, which
+// gives it a stable numeric identity for snapshots. All production wait
+// queues must be created through this; the package-level NewWaitQueue
+// remains for tests and for machines that never snapshot.
+func (k *Kernel) NewWaitQueue(name string) *WaitQueue {
+	wq := &WaitQueue{Name: name}
+	k.waitqs = append(k.waitqs, wq)
+	wq.id = uint64(len(k.waitqs))
+	return wq
+}
+
+// WaitQueueByID returns the registered wait queue with the given id
+// (1-based), or nil.
+func (k *Kernel) WaitQueueByID(id uint64) *WaitQueue {
+	if id == 0 || id > uint64(len(k.waitqs)) {
+		return nil
+	}
+	return k.waitqs[id-1]
+}
+
+// RegisterComponent adds a snapshot component (a device or workload with
+// serialisable state) and returns its ordered id. Components register
+// during construction, which both the snapshotting and the restoring
+// process perform identically, so ids agree by construction order.
+func (k *Kernel) RegisterComponent(c SnapComponent) uint64 {
+	k.comps = append(k.comps, c)
+	return uint64(len(k.comps) - 1)
+}
+
+// Component returns the registered component with the given id.
+func (k *Kernel) Component(id uint64) SnapComponent {
+	if id >= uint64(len(k.comps)) {
+		panic(fmt.Sprintf("kernel: no snapshot component %d (have %d)", id, len(k.comps)))
+	}
+	return k.comps[id]
 }
 
 // Tasks returns all tasks ever created (including exited).
@@ -245,13 +290,7 @@ func (k *Kernel) Start() {
 	// (both at exact multiples of the period), so the simultaneity is
 	// pinned: the local APIC tick is dispatched before the PIT's IRQ0,
 	// in schedule order. See "Tie-break determinism" in DESIGN.md §8.
-	period := sim.Duration(int64(sim.Second) / int64(k.Cfg.LocalTimerHz))
-	var globalTick func()
-	globalTick = func() {
-		k.Raise(k.timerIRQ)
-		k.Eng.AfterPinned(period, globalTick)
-	}
-	k.Eng.AfterPinned(period, globalTick)
+	k.Eng.AfterPinnedTagged(k.tickPeriod(), evGlobalTick.Tag(0, 0, 0), k.globalTick)
 	if k.Cfg.InvariantPeriod > 0 {
 		k.SampleInvariants(k.Cfg.InvariantPeriod, nil)
 	}
@@ -261,6 +300,19 @@ func (k *Kernel) Start() {
 			k.makeRunnable(t, nil)
 		}
 	}
+}
+
+// tickPeriod is the machine tick period (the global timer fires at the
+// same HZ as the per-CPU local timers, phase-locked with CPU 0's).
+func (k *Kernel) tickPeriod() sim.Duration {
+	return sim.Duration(int64(sim.Second) / int64(k.Cfg.LocalTimerHz))
+}
+
+// globalTick is the PIT interrupt (IRQ0) event body: raise the timer
+// line and re-arm for the next period.
+func (k *Kernel) globalTick() {
+	k.Raise(k.timerIRQ)
+	k.Eng.AfterPinnedTagged(k.tickPeriod(), evGlobalTick.Tag(0, 0, 0), k.globalTick)
 }
 
 // makeRunnable enqueues t and kicks the chosen CPU. preferred, when

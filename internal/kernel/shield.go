@@ -97,7 +97,7 @@ func (k *Kernel) SetShieldLTimer(m CPUMask) error {
 			k.Eng.Cancel(c.tickEv)
 			c.tickEv = sim.Event{}
 		case !m.Has(c.ID) && old.Has(c.ID) && !c.tickEv.Valid() && k.started:
-			c.tickEv = k.Eng.After(c.tickPeriod(), c.tick)
+			c.tickEv = k.Eng.AfterTagged(c.tickPeriod(), evCPUTick.Tag(uint64(c.ID), 0, 0), c.tick)
 		}
 	}
 	return nil

@@ -158,10 +158,18 @@ func (t *Task) String() string {
 type WaitQueue struct {
 	Name    string
 	waiters []*Task
+	// id is the queue's kernel-registered snapshot identity (1-based;
+	// 0 for unregistered queues, which cannot cross a snapshot).
+	id uint64
 }
 
-// NewWaitQueue returns an empty wait queue.
+// NewWaitQueue returns an empty, unregistered wait queue. Production
+// queues should use Kernel.NewWaitQueue so they survive snapshots.
 func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{Name: name} }
+
+// ID returns the queue's kernel-registered snapshot identity (0 when
+// the queue was created outside Kernel.NewWaitQueue).
+func (wq *WaitQueue) ID() uint64 { return wq.id }
 
 // Len returns the number of blocked tasks.
 func (wq *WaitQueue) Len() int { return len(wq.waiters) }

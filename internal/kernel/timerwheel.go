@@ -39,6 +39,9 @@ type KTimer struct {
 	fn func()
 	// active is cleared on expiry or deletion.
 	active bool
+	// tag is the serialisable identity of fn for snapshots (zero for
+	// timers armed through the untagged path, which cannot cross one).
+	tag sim.EventTag
 }
 
 // Active reports whether the timer is pending.
@@ -51,10 +54,14 @@ func newTimerWheel(k *Kernel) *timerWheel {
 // AddTimer schedules fn to run `ticks` jiffies from now (minimum 1, as
 // in the kernel: a timeout of 0 still waits for the next tick).
 func (w *timerWheel) AddTimer(ticks uint64, fn func()) *KTimer {
+	return w.addTimer(ticks, fn, sim.EventTag{})
+}
+
+func (w *timerWheel) addTimer(ticks uint64, fn func(), tag sim.EventTag) *KTimer {
 	if ticks == 0 {
 		ticks = 1
 	}
-	t := &KTimer{expires: w.jiffies + ticks, fn: fn, active: true}
+	t := &KTimer{expires: w.jiffies + ticks, fn: fn, active: true, tag: tag}
 	w.Added++
 	w.insert(t)
 	return t
@@ -164,13 +171,20 @@ func (w *timerWheel) Jiffies() uint64 { return w.jiffies }
 // the base CPU after `d` of virtual time, rounded up to jiffies. This is
 // what legacy (non-HighResTimers) sleeps use.
 func (k *Kernel) AddTimer(d sim.Duration, fn func()) *KTimer {
+	return k.AddTimerTagged(d, sim.EventTag{}, fn)
+}
+
+// AddTimerTagged is AddTimer with a serialisable callback identity: tag
+// names the registered rebuilder that reconstructs fn on restore, which
+// lets the timer survive a snapshot while still queued in the wheel.
+func (k *Kernel) AddTimerTagged(d sim.Duration, tag sim.EventTag, fn func()) *KTimer {
 	jiffy := int64(sim.Second) / int64(k.Cfg.LocalTimerHz)
 	ticks := uint64(int64(d) / jiffy)
 	if int64(d)%jiffy != 0 {
 		ticks++
 	}
 	// +1 as in the kernel: you always wait out the current partial tick.
-	return k.wheel.AddTimer(ticks+1, fn)
+	return k.wheel.addTimer(ticks+1, fn, tag)
 }
 
 // DelTimer cancels a wheel timer.

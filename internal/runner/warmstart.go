@@ -1,0 +1,37 @@
+package runner
+
+import "repro/internal/sim"
+
+// MapSnapshot is the warm-start fan-out: n replications that all begin
+// from one shared snapshot image instead of each replaying the boot
+// sequence. Replication i receives the image plus a distinct non-zero
+// tie-break salt derived from base, and runs on up to workers
+// goroutines with results returned in index order.
+//
+// The intended shape of fn is: build the scenario's machine, restore
+// the image warm (kernel.Kernel.RestoreImageWarm with the given salt),
+// run the measurement window, return the result. This replaces the
+// per-replication boot replay of MapSeeded — the placement diversity
+// the boot phase used to buy by re-dispatching the whole prefix under a
+// different seed is bought instead by the salt, which re-draws every
+// same-instant dispatch order from the restore point on.
+//
+// The determinism contract is unchanged: the output depends only on
+// (base, n, img, fn), never on the worker count. Each (img, salt) pair
+// continues to bit-identical bytes every time (the snap-warm
+// reprocheck claims pin exactly that), so the whole sweep is
+// reproducible even though its replications intentionally realise
+// different schedules.
+//
+// Salts are derived with sim.DeriveSeed(base, 1+i); a derived salt of 0
+// (which would mean "cold resume, identical to every other salt-0
+// replication") is remapped the same way Perturb remaps it.
+func MapSnapshot[T any](workers int, base uint64, n int, img []byte, fn func(i int, salt uint64, img []byte) T) []T {
+	return Map(workers, n, func(i int) T {
+		salt := sim.DeriveSeed(base, uint64(1+i))
+		if salt == 0 {
+			salt = sim.DeriveSeed(base+1, uint64(1+i))
+		}
+		return fn(i, salt, img)
+	})
+}

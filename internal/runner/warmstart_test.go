@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMapSnapshotContract: results in index order, the shared image
+// delivered to every replication, all salts non-zero and distinct, and
+// the output identical for workers=1 and workers=8.
+func TestMapSnapshotContract(t *testing.T) {
+	img := []byte{0xca, 0xfe}
+	run := func(workers int) []string {
+		return MapSnapshot(workers, 99, 32, img, func(i int, salt uint64, got []byte) string {
+			if &got[0] != &img[0] {
+				t.Error("image not shared")
+			}
+			if salt == 0 {
+				t.Errorf("replication %d got salt 0", i)
+			}
+			return fmt.Sprintf("%d:%x", i, salt)
+		})
+	}
+	serial := run(1)
+	pooled := run(8)
+	seen := make(map[string]bool)
+	for i, s := range serial {
+		if s != pooled[i] {
+			t.Fatalf("slot %d differs across worker counts: %s vs %s", i, s, pooled[i])
+		}
+		salt := s[strings.IndexByte(s, ':')+1:]
+		if seen[salt] {
+			t.Fatalf("duplicate salt at slot %d", i)
+		}
+		seen[salt] = true
+	}
+}

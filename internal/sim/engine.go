@@ -174,7 +174,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // same-instant ordering is semantically meaningful (it models a concrete
 // hardware arbitration) must use SchedulePinned instead.
 func (e *Engine) Schedule(at Time, fn func()) Event {
-	return e.schedule(at, fn, false)
+	return e.schedule(at, fn, false, EventTag{})
+}
+
+// ScheduleTagged is Schedule with a registered event kind and its
+// constructor arguments attached. Tagged events survive
+// snapshot/restore: SnapshotTo serialises (kind name, args) and the
+// restore side rebuilds the callback through the kind's registered
+// constructor. Production schedule sites that can be live at a
+// checkpoint must use the tagged variants; anonymous closures are for
+// tests and run-to-completion tooling only.
+func (e *Engine) ScheduleTagged(at Time, tag EventTag, fn func()) Event {
+	return e.schedule(at, fn, false, tag)
 }
 
 // SchedulePinned is Schedule for events whose same-instant FIFO
@@ -184,7 +195,13 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 // the FIFO order stands in for — pinned sites are exactly the schedule
 // points the tie-break race detector cannot check.
 func (e *Engine) SchedulePinned(at Time, fn func()) Event {
-	return e.schedule(at, fn, true)
+	return e.schedule(at, fn, true, EventTag{})
+}
+
+// SchedulePinnedTagged is SchedulePinned with a snapshot tag; see
+// ScheduleTagged.
+func (e *Engine) SchedulePinnedTagged(at Time, tag EventTag, fn func()) Event {
+	return e.schedule(at, fn, true, tag)
 }
 
 // schedule is the common push path behind Schedule/After and their
@@ -193,7 +210,7 @@ func (e *Engine) SchedulePinned(at Time, fn func()) Event {
 // here must be allocation-free in steady state.
 //
 //simlint:hotpath
-func (e *Engine) schedule(at Time, fn func(), pinned bool) Event {
+func (e *Engine) schedule(at Time, fn func(), pinned bool, tag EventTag) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
@@ -206,6 +223,7 @@ func (e *Engine) schedule(at Time, fn func(), pinned bool) Event {
 	n.fn = fn
 	n.pinned = pinned
 	n.shard = e.shardHint
+	n.tag = tag
 	e.nextSeq++
 	e.q.push(n)
 	e.live++
@@ -221,6 +239,14 @@ func (e *Engine) After(d Duration, fn func()) Event {
 	return e.Schedule(e.now.Add(d), fn)
 }
 
+// AfterTagged is After with a snapshot tag; see ScheduleTagged.
+func (e *Engine) AfterTagged(d Duration, tag EventTag, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleTagged(e.now.Add(d), tag, fn)
+}
+
 // AfterPinned is After with pinned same-instant arbitration; see
 // SchedulePinned.
 func (e *Engine) AfterPinned(d Duration, fn func()) Event {
@@ -228,6 +254,15 @@ func (e *Engine) AfterPinned(d Duration, fn func()) Event {
 		d = 0
 	}
 	return e.SchedulePinned(e.now.Add(d), fn)
+}
+
+// AfterPinnedTagged is AfterPinned with a snapshot tag; see
+// ScheduleTagged.
+func (e *Engine) AfterPinnedTagged(d Duration, tag EventTag, fn func()) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.SchedulePinnedTagged(e.now.Add(d), tag, fn)
 }
 
 // checkGen panics if a handle claims a generation its node has not
@@ -265,18 +300,18 @@ func (e *Engine) Cancel(ev Event) {
 	e.sanOnCancel(ev.n)
 }
 
-// Reschedule moves a pending event to a new time, preserving its callback
-// and its pinned/unpinned arbitration class. If the event already fired or
-// was cancelled it returns the zero Event; otherwise it returns the new
-// handle.
+// Reschedule moves a pending event to a new time, preserving its
+// callback, its pinned/unpinned arbitration class and its snapshot tag.
+// If the event already fired or was cancelled it returns the zero
+// Event; otherwise it returns the new handle.
 func (e *Engine) Reschedule(ev Event, at Time) Event {
 	checkGen(ev)
 	if !ev.Pending() {
 		return Event{}
 	}
-	fn, pinned := ev.n.fn, ev.n.pinned
+	fn, pinned, tag := ev.n.fn, ev.n.pinned, ev.n.tag
 	e.Cancel(ev)
-	return e.schedule(at, fn, pinned)
+	return e.schedule(at, fn, pinned, tag)
 }
 
 // peekLive returns the next pending node without removing it, draining
@@ -383,6 +418,11 @@ func (e *Engine) RunAll() Time {
 
 // Stop makes the current Run/RunAll return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop interrupted the last Run/RunAll (and the
+// stop has not been cleared by a subsequent Run). The bisection replayer
+// uses it to tell "budget exhausted" from "queue drained".
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending returns the number of queued events that are still pending
 // (cancelled-but-not-yet-drained events are not counted).

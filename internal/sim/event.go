@@ -99,6 +99,12 @@ type eventNode struct {
 	// never part of eventOrder, so placement can never change dispatch
 	// order.
 	shard int32
+	// tag is the event's registered kind plus its constructor arguments
+	// (ScheduleTagged and friends). A tagged event can be serialised and
+	// rebuilt across a snapshot/restore boundary; an untagged one (zero
+	// tag) cannot, and Engine.SnapshotTo refuses it loudly. The tag is
+	// never part of eventOrder.
+	tag EventTag
 }
 
 // eventOrder is the total dispatch order every queue implementation

@@ -96,6 +96,7 @@ func (p *EventPool) put(nd *eventNode) {
 	nd.state = nodeFree
 	nd.pinned = false
 	nd.shard = 0
+	nd.tag = EventTag{}
 	p.puts++
 	if !p.disabled {
 		//simlint:allow hotalloc free-list growth is amortized; put reuses capacity at steady state

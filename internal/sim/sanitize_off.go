@@ -16,6 +16,8 @@ func (e *Engine) sanOnAdvance(at Time) {}
 
 func (e *Engine) sanOnPop(n *eventNode) {}
 
+func (e *Engine) sanOnRestore() {}
+
 // SanitizerEnabled reports whether this binary was built with the
 // simsan shadow checker (-tags simsan).
 func SanitizerEnabled() bool { return false }

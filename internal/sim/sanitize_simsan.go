@@ -115,6 +115,17 @@ func (e *Engine) sanOnPop(n *eventNode) {
 	e.sanCountPop()
 }
 
+// sanOnRestore resets the pop-order watermark after a snapshot restore:
+// restore drains the freshly-constructed machine's boot events (whose
+// pops can push the (At, key) watermark arbitrarily far ahead) and then
+// re-seeds the queue with the checkpoint's pending events, which may
+// legitimately fire earlier than the drained boot tail.
+func (e *Engine) sanOnRestore() {
+	e.san.popped = false
+	e.san.lastAt = 0
+	e.san.lastKey = 0
+}
+
 // sanCountPop ticks the pop counter and runs the periodic full audit.
 func (e *Engine) sanCountPop() {
 	e.san.pops++

@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// snapHarness is a miniature restorable simulation: a counter mutated
+// by registered event kinds, some of which draw the engine RNG and
+// schedule children. It exists to prove the engine's snapshot contract
+// end to end without the kernel on top.
+type snapHarness struct {
+	eng     *Engine
+	counter uint64
+	log     []string
+}
+
+var (
+	kindCount = RegisterEventKind("test.count")
+	kindSpawn = RegisterEventKind("test.spawn")
+	kindTick  = RegisterEventKind("test.tick")
+)
+
+func newSnapHarness(eng *Engine) *snapHarness { return &snapHarness{eng: eng} }
+
+// fire implements every test kind; restore rebuilds callbacks by
+// binding the same method to the restored tag.
+func (h *snapHarness) fire(tag EventTag) func() {
+	return func() {
+		switch tag.Kind {
+		case kindCount:
+			h.counter += tag.A0 + h.eng.RNG().Uint64()%97
+			h.log = append(h.log, fmt.Sprintf("count@%d a0=%d c=%d", h.eng.Now(), tag.A0, h.counter))
+		case kindSpawn:
+			h.log = append(h.log, fmt.Sprintf("spawn@%d budget=%d", h.eng.Now(), tag.A0))
+			if tag.A0 > 0 {
+				d := Duration(1 + h.eng.RNG().Uint64()%1000)
+				h.eng.AfterTagged(d, kindSpawn.Tag(tag.A0-1, uint64(d), 0), h.fire(kindSpawn.Tag(tag.A0-1, uint64(d), 0)))
+				h.eng.AfterTagged(d/2, kindCount.Tag(tag.A0, 0, 0), h.fire(kindCount.Tag(tag.A0, 0, 0)))
+			}
+		case kindTick:
+			h.counter++
+			h.log = append(h.log, fmt.Sprintf("tick@%d c=%d", h.eng.Now(), h.counter))
+			h.eng.AfterPinnedTagged(Duration(tag.A0), tag, h.fire(tag))
+		}
+	}
+}
+
+func (h *snapHarness) schedule(at Time, tag EventTag, pinned bool) {
+	if pinned {
+		h.eng.SchedulePinnedTagged(at, tag, h.fire(tag))
+	} else {
+		h.eng.ScheduleTagged(at, tag, h.fire(tag))
+	}
+}
+
+const harnessSection = "test.harness"
+
+func (h *snapHarness) snapshot() []byte {
+	w := snapshot.NewWriter()
+	w.Begin(harnessSection)
+	w.U64(1, h.counter)
+	w.End()
+	if err := h.eng.SnapshotTo(w); err != nil {
+		panic(err)
+	}
+	return w.Finish()
+}
+
+// restoreHarness rebuilds a harness from img on a fresh engine created
+// by mkEngine (which may pre-schedule boot noise that restore must
+// drain).
+func restoreHarness(t *testing.T, img []byte, mkEngine func() *Engine) *snapHarness {
+	t.Helper()
+	eng := mkEngine()
+	h := newSnapHarness(eng)
+	r, err := snapshot.OpenReader(img)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	r.Section(harnessSection)
+	h.counter = r.U64(1)
+	r.EndSection()
+	evs, err := eng.RestoreState(r)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	for _, rev := range evs {
+		tag := EventTag{Kind: RegisterEventKind(rev.Kind), A0: rev.A0, A1: rev.A1, A2: rev.A2}
+		eng.RestoreEvent(rev, h.fire(tag))
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	return h
+}
+
+// seedHarness installs a deterministic mixed workload: recurring pinned
+// ticks, a spawn cascade, and same-instant unpinned counts.
+func seedHarness(h *snapHarness) {
+	h.schedule(10, kindTick.Tag(500, 0, 0), true)
+	h.schedule(25, kindSpawn.Tag(6, 0, 0), false)
+	for i := uint64(0); i < 5; i++ {
+		h.schedule(300, kindCount.Tag(i, 0, 0), false) // same-instant ties
+	}
+	h.schedule(100_000, kindCount.Tag(99, 0, 0), false)
+}
+
+func runSnapshotResume(t *testing.T, opts EngineOptions, salt uint64, stopAt Time) {
+	t.Helper()
+	// Uninterrupted reference run.
+	ref := newSnapHarness(NewEngineOpts(1234, opts))
+	ref.eng.PerturbTiebreaks(salt)
+	seedHarness(ref)
+	ref.eng.Run(200_000)
+
+	// Interrupted run: stop at stopAt, snapshot, restore, continue.
+	a := newSnapHarness(NewEngineOpts(1234, opts))
+	a.eng.PerturbTiebreaks(salt)
+	seedHarness(a)
+	a.eng.Run(stopAt)
+	img := a.snapshot()
+
+	b := restoreHarness(t, img, func() *Engine {
+		eng := NewEngineOpts(999, opts) // seed overwritten by restore
+		// Boot noise the restore must drain, including a far-future event
+		// that drags the ladder window forward so the restored pushes
+		// exercise the rewind path.
+		eng.ScheduleTagged(3, kindCount.Tag(0, 0, 0), func() {})
+		eng.ScheduleTagged(10_000_000, kindCount.Tag(0, 0, 0), func() {})
+		return eng
+	})
+	b.log = append([]string{}, a.log...)
+	b.eng.Run(200_000)
+
+	if b.eng.Now() != ref.eng.Now() {
+		t.Errorf("final clock: resumed %v, reference %v", b.eng.Now(), ref.eng.Now())
+	}
+	if b.eng.Fired() != ref.eng.Fired() {
+		t.Errorf("fired: resumed %d, reference %d", b.eng.Fired(), ref.eng.Fired())
+	}
+	if b.counter != ref.counter {
+		t.Errorf("counter: resumed %d, reference %d", b.counter, ref.counter)
+	}
+	if b.eng.RNG().State() != ref.eng.RNG().State() {
+		t.Errorf("rng state diverged")
+	}
+	if !reflect.DeepEqual(b.log, ref.log) {
+		t.Errorf("dispatch log diverged:\nresumed  %d entries\nreference %d entries", len(b.log), len(ref.log))
+		for i := range ref.log {
+			if i >= len(b.log) || b.log[i] != ref.log[i] {
+				t.Errorf("first divergence at %d: resumed %q, reference %q", i, at(b.log, i), ref.log[i])
+				break
+			}
+		}
+	}
+}
+
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<missing>"
+}
+
+func TestSnapshotResume(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts EngineOptions
+		salt uint64
+	}{
+		{"ladder", EngineOptions{Queue: QueueLadder}, 0},
+		{"heap", EngineOptions{Queue: QueueHeap}, 0},
+		{"sharded", EngineOptions{Queue: QueueSharded, Shards: 4}, 0},
+		{"ladder-salted", EngineOptions{Queue: QueueLadder}, 0xfeed},
+		{"sharded-salted", EngineOptions{Queue: QueueSharded, Shards: 2}, 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, stop := range []Time{0, 26, 300, 1500} {
+				runSnapshotResume(t, tc.opts, tc.salt, stop)
+			}
+		})
+	}
+}
+
+// TestSnapshotBytesQueueKindInvariant pins the canonical-bytes claim:
+// the engine section depends only on simulation state, never on which
+// queue implementation holds it.
+func TestSnapshotBytesQueueKindInvariant(t *testing.T) {
+	build := func(opts EngineOptions) []byte {
+		h := newSnapHarness(NewEngineOpts(42, opts))
+		seedHarness(h)
+		h.eng.Run(400)
+		return h.snapshot()
+	}
+	ladder := build(EngineOptions{Queue: QueueLadder})
+	for _, opts := range []EngineOptions{
+		{Queue: QueueHeap},
+		{Queue: QueueSharded, Shards: 2},
+		{Queue: QueueSharded, Shards: 8},
+		{Queue: QueueLadder, NoPool: true},
+	} {
+		if got := build(opts); !reflect.DeepEqual(got, ladder) {
+			t.Errorf("snapshot bytes differ for %+v (hash %016x vs ladder %016x)",
+				opts, snapshot.Hash(got), snapshot.Hash(ladder))
+		}
+	}
+}
+
+func TestSnapshotUntaggedEventErrors(t *testing.T) {
+	eng := NewEngine(1)
+	eng.Schedule(10, func() {})
+	w := snapshot.NewWriter()
+	if err := eng.SnapshotTo(w); err == nil {
+		t.Fatalf("snapshot of untagged event succeeded")
+	}
+}
+
+// TestSnapshotSkipsCancelled: lazily-cancelled nodes must not appear in
+// the image (they have no observable future), and snapshots taken
+// before/after draining them are byte-identical.
+func TestSnapshotSkipsCancelled(t *testing.T) {
+	h := newSnapHarness(NewEngine(7))
+	tag := kindCount.Tag(1, 0, 0)
+	keep := h.eng.ScheduleTagged(50, tag, h.fire(tag))
+	drop := h.eng.Schedule(20, func() {}) // untagged, but cancelled: must not error either
+	h.eng.Cancel(drop)
+	_ = keep
+	img := h.snapshot()
+	b := restoreHarness(t, img, func() *Engine { return NewEngine(0) })
+	if got := b.eng.Pending(); got != 1 {
+		t.Fatalf("restored %d pending events, want 1", got)
+	}
+	b.eng.RunAll()
+	if len(b.log) != 1 {
+		t.Fatalf("restored run dispatched %d events, want 1", len(b.log))
+	}
+}
+
+// TestRestoreLadderOverflowRewind drives the two hardest ladder restore
+// paths at once: the snapshot carries far-future events (they land in
+// the overflow heap) and the restoring engine's drained boot noise has
+// already slid the ladder window past the checkpoint clock, so the
+// restored near-future pushes must rewind the window.
+func TestRestoreLadderOverflowRewind(t *testing.T) {
+	h := newSnapHarness(NewEngine(3))
+	// Near-future cluster plus deep far-future events (>> one ladder
+	// window of 256 * 65536ns).
+	for i := uint64(0); i < 8; i++ {
+		h.schedule(Time(1000+i*10), kindCount.Tag(i, 0, 0), false)
+	}
+	h.schedule(40_000_000, kindCount.Tag(100, 0, 0), false) // overflow heap
+	h.schedule(90_000_000, kindTick.Tag(1000, 0, 0), true)  // overflow heap, pinned
+	h.eng.Run(500)                                          // fires nothing; clock at 500
+	img := h.snapshot()
+
+	ref := restoreHarness(t, img, func() *Engine { return NewEngine(0) })
+	ref.eng.Run(100_000_000)
+
+	rewound := restoreHarness(t, img, func() *Engine {
+		eng := NewEngine(0)
+		// Boot event far past every checkpoint event: draining it forces
+		// the ladder window deep into the future, so every restored push
+		// lands before the window start.
+		eng.Schedule(500_000_000, func() {})
+		return eng
+	})
+	rewound.eng.Run(100_000_000)
+
+	if !reflect.DeepEqual(ref.log, rewound.log) {
+		t.Fatalf("rewind-path restore diverged:\nref    %v\nrewound %v", ref.log, rewound.log)
+	}
+	if len(ref.log) < 10 {
+		t.Fatalf("fixture too small: %d dispatches", len(ref.log))
+	}
+}
+
+// TestRestoreWarmSaltOverride proves the warm-start identity at the
+// engine level: restoring a checkpoint and then installing a different
+// tie-break salt dispatches the same-instant unpinned ties exactly as a
+// cold run under that salt would.
+func TestRestoreWarmSaltOverride(t *testing.T) {
+	const salt = 0xabcdef
+	seed := func(h *snapHarness) {
+		for i := uint64(0); i < 6; i++ {
+			h.schedule(777, kindCount.Tag(i, 0, 0), false)
+		}
+		h.schedule(777, kindTick.Tag(100_000, 0, 0), true)
+	}
+
+	cold := newSnapHarness(NewEngine(11))
+	cold.eng.PerturbTiebreaks(salt)
+	seed(cold)
+	cold.eng.Run(800)
+
+	base := newSnapHarness(NewEngine(11)) // salt 0
+	seed(base)
+	img := base.snapshot()
+
+	// Restore by hand so the salt can be swapped in the legal window:
+	// after RestoreState (queue empty) and before the first RestoreEvent.
+	warm := newSnapHarness(NewEngine(0))
+	r, err := snapshot.OpenReader(img)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	r.Section(harnessSection)
+	warm.counter = r.U64(1)
+	r.EndSection()
+	evs, err := warm.eng.RestoreState(r)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	warm.eng.PerturbTiebreaks(salt)
+	for _, rev := range evs {
+		tag := EventTag{Kind: RegisterEventKind(rev.Kind), A0: rev.A0, A1: rev.A1, A2: rev.A2}
+		warm.eng.RestoreEvent(rev, warm.fire(tag))
+	}
+	warm.eng.Run(800)
+
+	if !reflect.DeepEqual(warm.log, cold.log) {
+		t.Fatalf("warm start under salt %#x diverged from cold run:\ncold %v\nwarm %v", salt, cold.log, warm.log)
+	}
+	if warm.counter != cold.counter {
+		t.Fatalf("warm counter %d, cold %d", warm.counter, cold.counter)
+	}
+}
+
+// TestRestoreEventValidation: the restore push rejects impossible
+// occurrences loudly instead of corrupting the order.
+func TestRestoreEventValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	h := newSnapHarness(NewEngine(5))
+	h.schedule(100, kindCount.Tag(0, 0, 0), false)
+	img := h.snapshot()
+	b := restoreHarness(t, img, func() *Engine { return NewEngine(0) })
+	mustPanic("seq >= nextSeq", func() {
+		b.eng.RestoreEvent(RestoredEvent{At: 200, Seq: 1 << 40, Kind: "test.count"}, func() {})
+	})
+	mustPanic("at < now", func() {
+		b.eng.Run(150)
+		b.eng.RestoreEvent(RestoredEvent{At: 10, Seq: 0, Kind: "test.count"}, func() {})
+	})
+}
+
+// TestRestoredHandleLifecycle: handles returned by RestoreEvent are
+// first-class — Cancel and Reschedule keep their contracts (and
+// Reschedule preserves the tag, so a moved event still snapshots).
+func TestRestoredHandleLifecycle(t *testing.T) {
+	h := newSnapHarness(NewEngine(5))
+	h.schedule(100, kindCount.Tag(0, 0, 0), false)
+	h.schedule(120, kindCount.Tag(1, 0, 0), false)
+	img := h.snapshot()
+
+	eng := NewEngine(0)
+	h2 := newSnapHarness(eng)
+	r, err := snapshot.OpenReader(img)
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	r.Section(harnessSection)
+	h2.counter = r.U64(1)
+	r.EndSection()
+	evs, err := eng.RestoreState(r)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	var handles []Event
+	for _, rev := range evs {
+		tag := EventTag{Kind: RegisterEventKind(rev.Kind), A0: rev.A0, A1: rev.A1, A2: rev.A2}
+		handles = append(handles, eng.RestoreEvent(rev, h2.fire(tag)))
+	}
+	eng.Cancel(handles[0])
+	moved := eng.Reschedule(handles[1], 500)
+	if !moved.Pending() {
+		t.Fatalf("rescheduled restored event not pending")
+	}
+	// The moved event kept its tag: snapshotting again must succeed.
+	w := snapshot.NewWriter()
+	if err := eng.SnapshotTo(w); err != nil {
+		t.Fatalf("snapshot after reschedule: %v", err)
+	}
+	eng.RunAll()
+	if len(h2.log) != 1 {
+		t.Fatalf("dispatched %d events, want 1 (one cancelled)", len(h2.log))
+	}
+}
+
+// FuzzSnapshotResume is the differential harness of the resume
+// contract, in the style of FuzzDiffQueue: a fuzzed op stream seeds a
+// restorable workload, one engine runs it uninterrupted, a second is
+// snapshotted at a fuzzed point, restored into a third (possibly on a
+// different queue implementation), and the two futures must be
+// identical — dispatch log, clock, fired count, counter and RNG stream.
+func FuzzSnapshotResume(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 4, 5, 6}, uint8(2), uint8(0), uint8(1))
+	f.Add(uint64(42), []byte{0xff, 0x01, 0x80, 0x7f, 0x33, 0x9a, 0x00, 0x10}, uint8(7), uint8(1), uint8(2))
+	f.Add(uint64(0xdead), []byte{9, 9, 9, 9}, uint8(0), uint8(2), uint8(0))
+	f.Add(uint64(7), []byte{5, 0, 5, 0, 5, 0, 200, 200, 200}, uint8(31), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte, stopByte, qa, qb uint8) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		kinds := []QueueKind{QueueLadder, QueueHeap, QueueSharded}
+		optsA := EngineOptions{Queue: kinds[int(qa)%len(kinds)], Shards: 3}
+		optsB := EngineOptions{Queue: kinds[int(qb)%len(kinds)], Shards: 2}
+		salt := seed % 3 // exercise salted and unsalted orders
+
+		seedOps := func(h *snapHarness) {
+			for i, b := range ops {
+				at := Time(uint64(b) * 17)
+				switch b % 3 {
+				case 0:
+					h.schedule(at, kindCount.Tag(uint64(i), 0, 0), false)
+				case 1:
+					h.schedule(at, kindSpawn.Tag(uint64(b%5), 0, 0), false)
+				case 2:
+					h.schedule(at, kindTick.Tag(uint64(b)*13+1, 0, 0), true)
+				}
+			}
+		}
+		const horizon = 50_000
+
+		ref := newSnapHarness(NewEngineOpts(seed, optsA))
+		ref.eng.PerturbTiebreaks(salt)
+		seedOps(ref)
+		ref.eng.Run(horizon)
+
+		a := newSnapHarness(NewEngineOpts(seed, optsA))
+		a.eng.PerturbTiebreaks(salt)
+		seedOps(a)
+		a.eng.Run(Time(stopByte) * 100)
+		img := a.snapshot()
+
+		b := restoreHarness(t, img, func() *Engine {
+			eng := NewEngineOpts(seed^0x55, optsB)
+			eng.Schedule(1, func() {})
+			eng.Schedule(10_000_000, func() {})
+			return eng
+		})
+		b.log = append([]string{}, a.log...)
+		b.eng.Run(horizon)
+
+		if b.eng.Now() != ref.eng.Now() || b.eng.Fired() != ref.eng.Fired() ||
+			b.counter != ref.counter || b.eng.RNG().State() != ref.eng.RNG().State() {
+			t.Fatalf("resume state diverged: now %v/%v fired %d/%d counter %d/%d",
+				b.eng.Now(), ref.eng.Now(), b.eng.Fired(), ref.eng.Fired(), b.counter, ref.counter)
+		}
+		if !reflect.DeepEqual(b.log, ref.log) {
+			for i := range ref.log {
+				if i >= len(b.log) || b.log[i] != ref.log[i] {
+					t.Fatalf("dispatch log diverged at %d: resumed %q, reference %q", i, at(b.log, i), ref.log[i])
+				}
+			}
+			t.Fatalf("dispatch log diverged in length: %d vs %d", len(b.log), len(ref.log))
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package snapshot
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Every struct whose state a snapshot captures registers a field
+// manifest here: for each struct field, either "codec" (the field is
+// written/restored by the type's Snapshot/Restore pair) or
+// "skip: <why the field provably does not need restoring>". The
+// exhaustiveness test (statecheck_test.go) reflects over the registered
+// types and fails when a field is added without a manifest entry — so
+// growing a snapshotted struct without deciding what restore does with
+// the new field is a compile-adjacent error, not silent drift.
+//
+// The manifest is documentation with teeth: skips must justify
+// themselves, and stale entries (naming fields that no longer exist)
+// fail the same test.
+
+// Manifest maps a struct's field names to their snapshot policy:
+// "codec", or "skip: <justification>".
+type Manifest map[string]string
+
+// RegisteredState is one (type, manifest) pair for the statecheck test.
+type RegisteredState struct {
+	Type     reflect.Type
+	Manifest Manifest
+}
+
+var (
+	statesMu sync.Mutex
+	states   []RegisteredState
+	stateSet map[reflect.Type]bool
+)
+
+// RegisterState records the snapshot field manifest for the struct
+// behind v (a value or pointer of the type). Each type registers once,
+// normally from the owning package's init; double registration and
+// non-struct types panic.
+func RegisterState(v interface{}, m Manifest) {
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("snapshot: RegisterState of non-struct %v", t))
+	}
+	statesMu.Lock()
+	defer statesMu.Unlock()
+	if stateSet == nil {
+		stateSet = make(map[reflect.Type]bool)
+	}
+	if stateSet[t] {
+		panic(fmt.Sprintf("snapshot: duplicate RegisterState for %v", t))
+	}
+	stateSet[t] = true
+	states = append(states, RegisteredState{Type: t, Manifest: m})
+}
+
+// States returns the registered manifests sorted by type name, for the
+// exhaustiveness test.
+func States() []RegisteredState {
+	statesMu.Lock()
+	defer statesMu.Unlock()
+	out := make([]RegisteredState, len(states))
+	copy(out, states)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Type.String() < out[j].Type.String()
+	})
+	return out
+}

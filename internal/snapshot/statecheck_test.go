@@ -1,0 +1,60 @@
+package snapshot_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+
+	// Imported for their RegisterState side effects: every package that
+	// snapshots state registers its field manifests from init. Adding a
+	// new snapshotting package without listing it here leaves its types
+	// invisible to this test, so the companion minimum-count assertion
+	// below also pins how many types the build is expected to register.
+	_ "repro/internal/core"
+	_ "repro/internal/dev"
+	_ "repro/internal/kernel"
+	_ "repro/internal/sim"
+	_ "repro/internal/trace"
+	_ "repro/internal/workload"
+)
+
+// TestManifestsExhaustive reflects over every registered snapshot state
+// and enforces the manifest contract: each struct field is either
+// "codec" (serialised by the type's Snapshot/Restore pair) or
+// "skip: <non-empty justification>", no field is missing an entry, and
+// no entry names a field that no longer exists. Growing a snapshotted
+// struct without deciding what restore does with the new field fails
+// here, not in a divergent resume three experiments later.
+func TestManifestsExhaustive(t *testing.T) {
+	states := snapshot.States()
+	// Engine, kernel, devices, trace, workloads, core — far more than
+	// this floor; the floor only guards against an import being dropped
+	// and silently de-registering a whole package's manifests.
+	if len(states) < 40 {
+		t.Fatalf("only %d snapshot manifests registered; a registering package is missing from this test's imports", len(states))
+	}
+	for _, s := range states {
+		fields := make(map[string]bool, s.Type.NumField())
+		for i := 0; i < s.Type.NumField(); i++ {
+			f := s.Type.Field(i)
+			fields[f.Name] = true
+			policy, ok := s.Manifest[f.Name]
+			if !ok {
+				t.Errorf("%v: field %s has no manifest entry (add \"codec\" or \"skip: <why>\")", s.Type, f.Name)
+				continue
+			}
+			switch {
+			case policy == "codec":
+			case strings.HasPrefix(policy, "skip: ") && strings.TrimSpace(strings.TrimPrefix(policy, "skip: ")) != "":
+			default:
+				t.Errorf("%v: field %s has malformed policy %q (want \"codec\" or \"skip: <justification>\")", s.Type, f.Name, policy)
+			}
+		}
+		for name := range s.Manifest {
+			if !fields[name] {
+				t.Errorf("%v: manifest names field %s, which no longer exists", s.Type, name)
+			}
+		}
+	}
+}

@@ -26,6 +26,16 @@ type ScpFlood struct {
 	nic  *dev.NIC
 	disk *dev.Disk
 
+	k       *kernel.Kernel
+	rng     *sim.RNG
+	sshWake *kernel.WaitQueue
+	id      uint64
+
+	// pendingBytes is delivered-but-not-yet-decrypted data waiting for
+	// sshd; remaining is what is left of the in-flight transfer.
+	pendingBytes int
+	remaining    int
+
 	Transfers uint64
 }
 
@@ -47,69 +57,84 @@ func NewScpFlood(nic *dev.NIC, disk *dev.Disk) *ScpFlood {
 // Name implements Workload.
 func (s *ScpFlood) Name() string { return "scp-flood" }
 
+// scpSshd is the sshd task's behavior: woken as data arrives, it
+// decrypts (CPU) and the transfer driver writes the file out through
+// writeback disk traffic. All mutable state lives on the ScpFlood
+// component, so the behavior itself serialises as zero words.
+type scpSshd struct {
+	s *ScpFlood
+}
+
+func (b *scpSshd) Next(t *kernel.Task) kernel.Action {
+	s := b.s
+	if s.pendingBytes <= 0 {
+		return kernel.Syscall(&kernel.SyscallCall{
+			Name:     "read(ssh-sock)",
+			Segments: []kernel.Segment{{Kind: kernel.SegBlock, Wait: s.sshWake}},
+		})
+	}
+	chunk := s.pendingBytes
+	if chunk > 128<<10 {
+		chunk = 128 << 10
+	}
+	s.pendingBytes -= chunk
+	// Blowfish-era ssh decryption: ~40 ns/byte at 1 GHz (scp was
+	// nearly CPU-bound on 2002 hardware).
+	decrypt := sim.Duration(chunk) * 40 * sim.Nanosecond
+	return kernel.Compute(s.rng.Jitter(decrypt, 0.2))
+}
+
+func (b *scpSshd) BehaviorName() string            { return "wl.scp-sshd" }
+func (b *scpSshd) BehaviorState() []uint64         { return nil }
+func (b *scpSshd) SetBehaviorState(words []uint64) {}
+
 // Start implements Workload.
 func (s *ScpFlood) Start(k *kernel.Kernel) {
-	rng := k.Eng.RNG().Fork()
-	sshWake := kernel.NewWaitQueue("sshd-data")
+	s.k = k
+	s.rng = k.Eng.RNG().Fork()
+	s.sshWake = k.NewWaitQueue("sshd-data")
+	s.id = k.RegisterComponent(s)
 
-	// sshd: woken as data arrives; decrypts (CPU) and writes the file
-	// out through the fs layers, with writeback disk traffic.
-	var pendingBytes int
-	k.NewTask("sshd", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
-		if pendingBytes <= 0 {
-			return kernel.Syscall(&kernel.SyscallCall{
-				Name:     "read(ssh-sock)",
-				Segments: []kernel.Segment{{Kind: kernel.SegBlock, Wait: sshWake}},
-			})
-		}
-		chunk := pendingBytes
-		if chunk > 128<<10 {
-			chunk = 128 << 10
-		}
-		pendingBytes -= chunk
-		// Blowfish-era ssh decryption: ~40 ns/byte at 1 GHz (scp was
-		// nearly CPU-bound on 2002 hardware).
-		decrypt := sim.Duration(chunk) * 40 * sim.Nanosecond
-		act := kernel.Compute(rng.Jitter(decrypt, 0.2))
-		act.OnComplete = func(sim.Time) {}
-		return act
-	}))
-
-	// The write-out side: sshd calls write(2) after each decrypted
-	// chunk. Interleave by scheduling the fs call from the burst driver
-	// below (keeps the behavior state machine simple): writeback goes
-	// to the disk asynchronously.
-	writeOut := func(bytes int) {
-		if s.disk != nil && bytes > 0 {
-			s.disk.Submit(bytes, nil)
-		}
-	}
+	k.NewTask("sshd", kernel.SchedOther, 0, 0, &scpSshd{s: s})
 
 	// The wire: one transfer = ImageBytes delivered in BatchBytes
 	// interrupts at RateBytesPerSec, then a gap, forever.
-	var startTransfer func()
-	batchInterval := sim.Duration(float64(s.BatchBytes) / s.RateBytesPerSec * 1e9)
-	startTransfer = func() {
-		s.Transfers++
-		remaining := s.ImageBytes
-		var deliver func()
-		deliver = func() {
-			if remaining <= 0 {
-				writeOut(s.ImageBytes)
-				k.Eng.After(rng.Jitter(s.Gap, 0.4), startTransfer)
-				return
-			}
-			n := s.BatchBytes
-			if n > remaining {
-				n = remaining
-			}
-			remaining -= n
-			s.nic.Receive(n)
-			pendingBytes += n
-			k.WakeAll(sshWake, nil)
-			k.Eng.After(rng.Jitter(batchInterval, 0.3), deliver)
+	k.Eng.AfterTagged(s.rng.Uniform(0, 20*sim.Millisecond),
+		evScpStart.Tag(s.id, 0, 0), s.startTransfer)
+}
+
+// startTransfer begins one scp copy.
+func (s *ScpFlood) startTransfer() {
+	s.Transfers++
+	s.remaining = s.ImageBytes
+	s.deliver()
+}
+
+// batchInterval is the wire time for one coalesced interrupt's bytes.
+func (s *ScpFlood) batchInterval() sim.Duration {
+	return sim.Duration(float64(s.BatchBytes) / s.RateBytesPerSec * 1e9)
+}
+
+// deliver is one receive-interrupt batch of the in-flight transfer;
+// the copy ends with the file written out and a gap before the next.
+func (s *ScpFlood) deliver() {
+	if s.remaining <= 0 {
+		// sshd's write(2) path drains to disk as writeback.
+		if s.disk != nil && s.ImageBytes > 0 {
+			s.disk.Submit(s.ImageBytes, nil)
 		}
-		deliver()
+		s.k.Eng.AfterTagged(s.rng.Jitter(s.Gap, 0.4),
+			evScpStart.Tag(s.id, 0, 0), s.startTransfer)
+		return
 	}
-	k.Eng.After(rng.Uniform(0, 20*sim.Millisecond), startTransfer)
+	n := s.BatchBytes
+	if n > s.remaining {
+		n = s.remaining
+	}
+	s.remaining -= n
+	s.nic.Receive(n)
+	s.pendingBytes += n
+	s.k.WakeAll(s.sshWake, nil)
+	s.k.Eng.AfterTagged(s.rng.Jitter(s.batchInterval(), 0.3),
+		evScpDeliver.Tag(s.id, 0, 0), s.deliver)
 }

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// Serialisable identities for the events and segment callbacks the
+// workloads schedule; A0 is always the owning component's id.
+var (
+	// wl.scp-start: begin the next scp transfer.
+	evScpStart = sim.RegisterEventKind("wl.scp-start")
+	// wl.scp-deliver: the next coalesced receive batch.
+	evScpDeliver = sim.RegisterEventKind("wl.scp-deliver")
+	// wl.disknoise-flush: writeback submit OnDone; A1 = flush bytes.
+	evDiskNoiseFlush = sim.RegisterEventKind("wl.disknoise-flush")
+	// wl.ttcp-pump: the next wire batch of the ttcp-net load.
+	evTTCPPump = sim.RegisterEventKind("wl.ttcp-pump")
+)
+
+// wlComponent fetches a registered component and checks its type.
+func wlComponent[T kernel.SnapComponent](rc *kernel.RestoreContext, id uint64, kind string) (T, error) {
+	comp := rc.K.Component(id)
+	c, ok := comp.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("workload: event %s names component %d, which is a %T", kind, id, comp)
+	}
+	return c, nil
+}
+
+func init() {
+	kernel.RegisterEventRebuild("wl.scp-start", func(rc *kernel.RestoreContext, a0, a1, a2 uint64) (func(), error) {
+		s, err := wlComponent[*ScpFlood](rc, a0, "wl.scp-start")
+		if err != nil {
+			return nil, err
+		}
+		return s.startTransfer, nil
+	})
+	kernel.RegisterEventRebuild("wl.scp-deliver", func(rc *kernel.RestoreContext, a0, a1, a2 uint64) (func(), error) {
+		s, err := wlComponent[*ScpFlood](rc, a0, "wl.scp-deliver")
+		if err != nil {
+			return nil, err
+		}
+		return s.deliver, nil
+	})
+	kernel.RegisterEventRebuild("wl.disknoise-flush", func(rc *kernel.RestoreContext, a0, a1, a2 uint64) (func(), error) {
+		d, err := wlComponent[*DiskNoise](rc, a0, "wl.disknoise-flush")
+		if err != nil {
+			return nil, err
+		}
+		bytes := int(a1)
+		return func() { d.flush(bytes) }, nil
+	})
+	kernel.RegisterEventRebuild("wl.ttcp-pump", func(rc *kernel.RestoreContext, a0, a1, a2 uint64) (func(), error) {
+		t, err := wlComponent[*TTCPNet](rc, a0, "wl.ttcp-pump")
+		if err != nil {
+			return nil, err
+		}
+		return t.pump, nil
+	})
+}
+
+// --- ScpFlood ---
+
+// SnapName implements kernel.SnapComponent.
+func (s *ScpFlood) SnapName() string { return "wl.scp-flood" }
+
+// Snapshot implements kernel.SnapComponent.
+func (s *ScpFlood) Snapshot(w *snapshot.Writer) error {
+	w.Begin(s.SnapName())
+	w.U64(1, s.rng.State())
+	w.I64(2, int64(s.pendingBytes))
+	w.I64(3, int64(s.remaining))
+	w.U64(4, s.Transfers)
+	w.End()
+	return nil
+}
+
+// Restore implements kernel.SnapComponent.
+func (s *ScpFlood) Restore(r *snapshot.Reader, rc *kernel.RestoreContext) error {
+	r.Section(s.SnapName())
+	s.rng.SetState(r.U64(1))
+	s.pendingBytes = int(r.I64(2))
+	s.remaining = int(r.I64(3))
+	s.Transfers = r.U64(4)
+	r.EndSection()
+	return r.Err()
+}
+
+// --- DiskNoise ---
+
+// SnapName implements kernel.SnapComponent.
+func (d *DiskNoise) SnapName() string { return "wl.disknoise" }
+
+// Snapshot implements kernel.SnapComponent.
+func (d *DiskNoise) Snapshot(w *snapshot.Writer) error {
+	w.Begin(d.SnapName())
+	w.I64(1, int64(d.size))
+	w.I64(2, int64(d.step))
+	w.I64(3, int64(d.dirty))
+	w.U64(4, d.Iterations)
+	w.End()
+	return nil
+}
+
+// Restore implements kernel.SnapComponent.
+func (d *DiskNoise) Restore(r *snapshot.Reader, rc *kernel.RestoreContext) error {
+	r.Section(d.SnapName())
+	d.size = int(r.I64(1))
+	d.step = int(r.I64(2))
+	d.dirty = int(r.I64(3))
+	d.Iterations = r.U64(4)
+	r.EndSection()
+	return r.Err()
+}
+
+func init() {
+	snapshot.RegisterState(ScpFlood{}, snapshot.Manifest{
+		"ImageBytes":      "skip: construction-fixed load parameter",
+		"RateBytesPerSec": "skip: construction-fixed load parameter",
+		"Gap":             "skip: construction-fixed load parameter",
+		"BatchBytes":      "skip: construction-fixed load parameter",
+		"nic":             "skip: construction back-pointer",
+		"disk":            "skip: construction back-pointer",
+		"k":               "skip: construction back-pointer",
+		"rng":             "codec",
+		"sshWake":         "skip: registered wait queue, serialised in kernel.waitqs",
+		"id":              "skip: registration-order identity",
+		"pendingBytes":    "codec",
+		"remaining":       "codec",
+		"Transfers":       "codec",
+	})
+	snapshot.RegisterState(DiskNoise{}, snapshot.Manifest{
+		"disk":       "skip: construction back-pointer",
+		"k":          "skip: construction back-pointer",
+		"ioDone":     "skip: registered wait queue, serialised in kernel.waitqs",
+		"id":         "skip: registration-order identity",
+		"size":       "codec",
+		"step":       "codec",
+		"dirty":      "codec",
+		"Iterations": "codec",
+	})
+	snapshot.RegisterState(StressKernel{}, snapshot.Manifest{
+		"disk":         "skip: construction back-pointer",
+		"ResidencyCap": "skip: construction-fixed load parameter",
+		"Compilers":    "skip: construction-fixed load parameter",
+	})
+	snapshot.RegisterState(X11Perf{}, snapshot.Manifest{
+		"gpu":     "skip: construction back-pointer",
+		"Batches": "codec", // rides in the Xserver task's behavior words
+	})
+	snapshot.RegisterState(TTCPNet{}, snapshot.Manifest{
+		"nic":             "skip: construction back-pointer",
+		"RateBytesPerSec": "skip: construction-fixed load parameter",
+		"BatchBytes":      "skip: construction-fixed load parameter",
+		"k":               "skip: construction back-pointer",
+		"rng":             "codec",
+		"id":              "skip: registration-order identity",
+		"dir":             "codec",
+	})
+	snapshot.RegisterState(phaseBehavior{}, snapshot.Manifest{
+		"phase": "codec", // behavior state word 0
+	})
+	snapshot.RegisterState(scpSshd{}, snapshot.Manifest{
+		"s": "skip: component back-pointer; mutable state in the wl.scp-flood section",
+	})
+	snapshot.RegisterState(diskNoiseBehavior{}, snapshot.Manifest{
+		"d": "skip: component back-pointer; mutable state in the wl.disknoise section",
+	})
+	snapshot.RegisterState(nfsCompile{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"s":             "skip: component back-pointer, immutable parameters only",
+	})
+	snapshot.RegisterState(ttcpTx{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"dataReady":     "skip: registered wait queue, serialised in kernel.waitqs",
+	})
+	snapshot.RegisterState(ttcpRx{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"dataReady":     "skip: registered wait queue, serialised in kernel.waitqs",
+	})
+	snapshot.RegisterState(fifosA{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"fifo":          "skip: registered wait queue, serialised in kernel.waitqs",
+	})
+	snapshot.RegisterState(fifosB{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"fifo":          "skip: registered wait queue, serialised in kernel.waitqs",
+	})
+	snapshot.RegisterState(p3fpu{}, snapshot.Manifest{})
+	snapshot.RegisterState(fsStress{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"s":             "skip: component back-pointer, immutable parameters only",
+	})
+	snapshot.RegisterState(crashme{}, snapshot.Manifest{
+		"s": "skip: component back-pointer, immutable parameters only",
+	})
+	snapshot.RegisterState(xserver{}, snapshot.Manifest{
+		"phaseBehavior": "codec",
+		"x":             "skip: component back-pointer; Batches rides in the behavior words",
+	})
+	snapshot.RegisterState(ttcpNetProc{}, snapshot.Manifest{})
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 // X11Perf reproduces the graphics load of the final experiment (§6.3):
@@ -26,34 +27,53 @@ func NewX11Perf(gpu *dev.GPU) *X11Perf {
 // Name implements Workload.
 func (x *X11Perf) Name() string { return "x11perf" }
 
+// xserver drives the batch loop; the submit happens in ActionDone so a
+// snapshot mid-ioctl still submits exactly once on the restored side.
+type xserver struct {
+	phaseBehavior
+	x *X11Perf
+}
+
+func (b *xserver) Next(t *kernel.Task) kernel.Action {
+	rng := t.RNG()
+	b.phase++
+	switch b.phase % 3 {
+	case 0: // build the rendering batch
+		return kernel.Compute(rng.Uniform(500*sim.Microsecond, 3*sim.Millisecond))
+	case 1: // submit via the DRM-ish ioctl; legacy driver wants the BKL
+		return kernel.Syscall(&kernel.SyscallCall{
+			Name:     "ioctl(gfx)",
+			TakesBKL: true,
+			Segments: []kernel.Segment{
+				{Kind: kernel.SegWork, D: rng.Uniform(10*sim.Microsecond, 80*sim.Microsecond)},
+			},
+		})
+	default: // handle client requests
+		return kernel.Syscall(fsSyscall(t.Kernel(), rng, "x11-sock",
+			rng.Uniform(10*sim.Microsecond, 100*sim.Microsecond)))
+	}
+}
+
+func (b *xserver) ActionDone(t *kernel.Task, kind kernel.ActionKind, now sim.Time) {
+	if kind == kernel.ActSyscall && b.phase%3 == 1 {
+		b.x.Batches++
+		b.x.gpu.SubmitBatch(t.RNG().Uniform(sim.Millisecond, 4*sim.Millisecond))
+	}
+}
+
+func (b *xserver) BehaviorName() string { return "wl.x11perf-xserver" }
+
+// The batch count lives on the X11Perf load but is driven only by this
+// task, so it rides in the behavior's state words.
+func (b *xserver) BehaviorState() []uint64 { return []uint64{b.phase, b.x.Batches} }
+func (b *xserver) SetBehaviorState(words []uint64) {
+	b.phase = words[0]
+	b.x.Batches = words[1]
+}
+
 // Start implements Workload.
 func (x *X11Perf) Start(k *kernel.Kernel) {
-	phase := 0
-	k.NewTask("Xserver", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(t *kernel.Task) kernel.Action {
-		rng := t.RNG()
-		phase++
-		switch phase % 3 {
-		case 0: // build the rendering batch
-			return kernel.Compute(rng.Uniform(500*sim.Microsecond, 3*sim.Millisecond))
-		case 1: // submit via the DRM-ish ioctl; legacy driver wants the BKL
-			call := &kernel.SyscallCall{
-				Name:     "ioctl(gfx)",
-				TakesBKL: true,
-				Segments: []kernel.Segment{
-					{Kind: kernel.SegWork, D: rng.Uniform(10*sim.Microsecond, 80*sim.Microsecond)},
-				},
-			}
-			act := kernel.Syscall(call)
-			act.OnComplete = func(sim.Time) {
-				x.Batches++
-				x.gpu.SubmitBatch(rng.Uniform(sim.Millisecond, 4*sim.Millisecond))
-			}
-			return act
-		default: // handle client requests
-			return kernel.Syscall(fsSyscall(k, rng, "x11-sock",
-				rng.Uniform(10*sim.Microsecond, 100*sim.Microsecond)))
-		}
-	}))
+	k.NewTask("Xserver", kernel.SchedOther, 0, 0, &xserver{x: x})
 }
 
 // TTCPNet reproduces the network load of the final experiment: the ttcp
@@ -65,6 +85,12 @@ type TTCPNet struct {
 	// RateBytesPerSec is the wire rate (10BaseT ≈ 1.1 MB/s).
 	RateBytesPerSec float64
 	BatchBytes      int
+
+	k   *kernel.Kernel
+	rng *sim.RNG
+	id  uint64
+	// dir alternates the wire between rx and tx batches.
+	dir uint64
 }
 
 // NewTTCPNet returns the load at 10BaseT defaults.
@@ -75,37 +101,70 @@ func NewTTCPNet(nic *dev.NIC) *TTCPNet {
 // Name implements Workload.
 func (t *TTCPNet) Name() string { return "ttcp-net" }
 
+// ttcpNetProc is the ttcp process: copies between socket and user
+// buffers.
+type ttcpNetProc struct{}
+
+func (ttcpNetProc) Next(task *kernel.Task) kernel.Action {
+	r := task.RNG()
+	if r.Bool(0.5) {
+		return kernel.Syscall(&kernel.SyscallCall{
+			Name: "rw(sock)",
+			Segments: []kernel.Segment{
+				{Kind: kernel.SegWork, D: r.Uniform(10*sim.Microsecond, 60*sim.Microsecond),
+					Lock: task.Kernel().NamedLock("net")},
+			},
+		})
+	}
+	return kernel.Sleep(r.Uniform(200*sim.Microsecond, 2*sim.Millisecond))
+}
+
+func (ttcpNetProc) BehaviorName() string            { return "wl.ttcp-net-proc" }
+func (ttcpNetProc) BehaviorState() []uint64         { return nil }
+func (ttcpNetProc) SetBehaviorState(words []uint64) {}
+
 // Start implements Workload.
 func (t *TTCPNet) Start(k *kernel.Kernel) {
-	rng := k.Eng.RNG().Fork()
-	interval := sim.Duration(float64(t.BatchBytes) / t.RateBytesPerSec * 1e9)
+	t.k = k
+	t.rng = k.Eng.RNG().Fork()
+	t.id = k.RegisterComponent(t)
+	interval := t.interval()
+	k.Eng.AfterTagged(t.rng.Uniform(0, interval), evTTCPPump.Tag(t.id, 0, 0), t.pump)
+	k.NewTask("ttcp", kernel.SchedOther, 0, 0, ttcpNetProc{})
+}
 
-	// The wire: alternating rx/tx batches.
-	dir := 0
-	var pump func()
-	pump = func() {
-		dir++
-		if dir%2 == 0 {
-			t.nic.Receive(t.BatchBytes)
-		} else {
-			t.nic.Transmit(t.BatchBytes)
-		}
-		k.Eng.After(rng.Jitter(interval, 0.3), pump)
+func (t *TTCPNet) interval() sim.Duration {
+	return sim.Duration(float64(t.BatchBytes) / t.RateBytesPerSec * 1e9)
+}
+
+// pump is the wire event: alternating rx/tx batches.
+func (t *TTCPNet) pump() {
+	t.dir++
+	if t.dir%2 == 0 {
+		t.nic.Receive(t.BatchBytes)
+	} else {
+		t.nic.Transmit(t.BatchBytes)
 	}
-	k.Eng.After(rng.Uniform(0, interval), pump)
+	t.k.Eng.AfterTagged(t.rng.Jitter(t.interval(), 0.3), evTTCPPump.Tag(t.id, 0, 0), t.pump)
+}
 
-	// The ttcp process: copies between socket and user buffers.
-	k.NewTask("ttcp", kernel.SchedOther, 0, 0, kernel.BehaviorFunc(func(task *kernel.Task) kernel.Action {
-		r := task.RNG()
-		if r.Bool(0.5) {
-			return kernel.Syscall(&kernel.SyscallCall{
-				Name: "rw(sock)",
-				Segments: []kernel.Segment{
-					{Kind: kernel.SegWork, D: r.Uniform(10*sim.Microsecond, 60*sim.Microsecond),
-						Lock: k.NamedLock("net")},
-				},
-			})
-		}
-		return kernel.Sleep(r.Uniform(200*sim.Microsecond, 2*sim.Millisecond))
-	}))
+// SnapName implements kernel.SnapComponent.
+func (t *TTCPNet) SnapName() string { return "wl.ttcp-net" }
+
+// Snapshot implements kernel.SnapComponent.
+func (t *TTCPNet) Snapshot(w *snapshot.Writer) error {
+	w.Begin(t.SnapName())
+	w.U64(1, t.rng.State())
+	w.U64(2, t.dir)
+	w.End()
+	return nil
+}
+
+// Restore implements kernel.SnapComponent.
+func (t *TTCPNet) Restore(r *snapshot.Reader, rc *kernel.RestoreContext) error {
+	r.Section(t.SnapName())
+	t.rng.SetState(r.U64(1))
+	t.dir = r.U64(2)
+	r.EndSection()
+	return r.Err()
 }
