@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint fmt vet simlint analyze sarif bounds bounds-check sanitize perturb test race sharded bench bench-json fuzz figures trace snapshot clean
+.PHONY: all build lint fmt vet simlint analyze sarif bounds bounds-check sanitize perturb test race sharded bench bench-json fuzz figures trace snapshot simd soak clean
 
 all: lint test build
 
@@ -132,6 +132,22 @@ snapshot:
 	echo "uninterrupted $$want vs restored $$got"; \
 	test -n "$$want" && test "$$want" = "$$got"
 	$(GO) run ./cmd/reprocheck -scale 0.1 -bisect
+
+# simd builds and runs the simulation service on :8080 (override with
+# ADDR). POST scenarios at /v1/scenarios; see README "Serving mode".
+ADDR ?= :8080
+simd:
+	$(GO) run ./cmd/simd -addr $(ADDR)
+
+# soak = the CI soak job, locally: the simd service under the race
+# detector — >1000 concurrent scenario requests, every response
+# byte-identical to the serial oracle, duplicates served from the
+# content-addressed cache, warm starts hash-equal to cold — then the
+# e2e suite against the real binary (random port, disk cache across a
+# restart, SIGTERM drain).
+soak:
+	$(GO) test -race -count=1 -timeout 15m ./internal/simd/
+	$(GO) test -count=1 -timeout 10m ./cmd/simd/
 
 clean:
 	rm -rf artifacts

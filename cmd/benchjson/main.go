@@ -32,6 +32,14 @@
 // second — the planning numbers for auto-snapshot cadence in the
 // divergence bisector and for warm-started sweeps.
 //
+// Since bench-engine/v4 a `service` block records the simd serving
+// layer's end-to-end request latency over an in-process HTTP server:
+// cached-hit requests per second (admission + content-addressed store
+// lookup, no simulation), the cold-miss cost of a full continuation
+// boot + run, the warm-miss cost of a fresh window restored from a
+// cached boot image, and the hit-vs-cold ratio — what the cache buys
+// per duplicate request.
+//
 // The file is a recorded baseline, not a gate: regenerate it with
 // `make bench-json` when the engine changes, and read the `ratios`
 // block to see what the ladder queue and the event pool buy on the
@@ -103,6 +111,20 @@ type baseline struct {
 		HotPathAllocsPerOp float64 `json:"hot_path_allocs_per_op"`
 		Pass               bool    `json:"pass"`
 	} `json:"sharded_acceptance"`
+	// Service records the simd serving layer's end-to-end request
+	// latency (bench-engine/v4): a cache hit (admission + store lookup,
+	// no simulation), a cold miss (full continuation boot + run) and a
+	// warm miss (fresh window restored from a cached boot image). The
+	// hit/miss gap is what content-addressing buys per duplicate
+	// request; warm-vs-cold is what image reuse buys per fresh window.
+	Service struct {
+		HitNsPerOp        float64 `json:"hit_ns_per_op"`
+		HitRequestsPerSec float64 `json:"hit_requests_per_sec"`
+		ColdMissNsPerOp   float64 `json:"cold_miss_ns_per_op"`
+		WarmMissNsPerOp   float64 `json:"warm_miss_ns_per_op"`
+		HitVsColdRatio    float64 `json:"hit_vs_cold_ratio"`
+		WarmVsColdRatio   float64 `json:"warm_vs_cold_ratio"`
+	} `json:"service"`
 	// Snapshot records the checkpoint/restore codec's throughput on the
 	// shielded reference machine: full-machine encode and decode cost,
 	// the image size, and how many image bytes one virtual second of the
@@ -124,7 +146,7 @@ func main() {
 	flag.Parse()
 
 	b := baseline{
-		Schema:     "bench-engine/v3",
+		Schema:     "bench-engine/v4",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -254,6 +276,25 @@ func main() {
 	// time; bytes per virtual second is the auto-snapshot budget number.
 	sn.BytesPerVirtualSecond = float64(imgBytes) / 0.040
 
+	// --- simd serving layer: request latency by cache disposition ---
+	hitR := testing.Benchmark(serviceHitBench())
+	add(record("service/cache_hit", hitR, 1))
+	coldR := testing.Benchmark(serviceColdMissBench())
+	add(record("service/cold_miss", coldR, 1))
+	warmR := testing.Benchmark(serviceWarmMissBench())
+	add(record("service/warm_miss", warmR, 1))
+	sv := &b.Service
+	sv.HitNsPerOp = float64(hitR.T.Nanoseconds()) / float64(hitR.N)
+	sv.ColdMissNsPerOp = float64(coldR.T.Nanoseconds()) / float64(coldR.N)
+	sv.WarmMissNsPerOp = float64(warmR.T.Nanoseconds()) / float64(warmR.N)
+	if sv.HitNsPerOp > 0 {
+		sv.HitRequestsPerSec = 1e9 / sv.HitNsPerOp
+		sv.HitVsColdRatio = sv.ColdMissNsPerOp / sv.HitNsPerOp
+	}
+	if sv.WarmMissNsPerOp > 0 {
+		sv.WarmVsColdRatio = sv.ColdMissNsPerOp / sv.WarmMissNsPerOp
+	}
+
 	sa := &b.ShardedAcceptance
 	sa.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	sa.MultiCore = sa.GOMAXPROCS >= 4
@@ -280,6 +321,8 @@ func main() {
 		sa.EventsPerSecRatio, sa.GOMAXPROCS, sa.HotPathAllocsPerOp, sa.Pass)
 	fmt.Fprintf(os.Stderr, "  snapshot: %d-byte image, encode %.1f MB/s, decode %.1f MB/s, %.0f bytes/virtual-second\n",
 		sn.ImageBytes, sn.EncodeMBPerSec, sn.DecodeMBPerSec, sn.BytesPerVirtualSecond)
+	fmt.Fprintf(os.Stderr, "  service: %.0f cached requests/sec, hit %.0fx and warm start %.1fx cheaper than cold miss (cold %.2f ms, warm %.2f ms)\n",
+		sv.HitRequestsPerSec, sv.HitVsColdRatio, sv.WarmVsColdRatio, sv.ColdMissNsPerOp/1e6, sv.WarmMissNsPerOp/1e6)
 }
 
 func record(name string, r testing.BenchmarkResult, eventsPerOp float64) benchResult {

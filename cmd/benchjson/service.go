@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// Service benchmarks (bench-engine/v4): end-to-end request latency of
+// the simd serving layer over an in-process HTTP server — the cache-hit
+// fast path (admission + content-addressed store lookup, no simulation),
+// the cold-miss path (full continuation boot + run), and the warm-miss
+// path (distinct windows warm-started from one cached boot image).
+// Hit ns/op is dominated by HTTP + JSON overhead; the hit-vs-miss gap
+// is what the content-addressed cache buys per duplicate request.
+
+// servicePost issues one synchronous scenario request and fails the
+// benchmark on anything but 200.
+func servicePost(b *testing.B, url, body string) {
+	resp, err := http.Post(url+"/v1/scenarios?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("POST status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// newServiceBench builds a fresh in-process server per benchmark so
+// cache state never leaks between measurements.
+func newServiceBench(b *testing.B) (*simd.Server, *httptest.Server) {
+	srv, err := simd.New(simd.Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() { ts.Close(); srv.Drain() })
+	return srv, ts
+}
+
+// serviceHitBench measures the cache-hit path: the scenario is run once
+// before the timer, then every iteration is a duplicate request served
+// from the content-addressed store.
+func serviceHitBench() func(*testing.B) {
+	return func(b *testing.B) {
+		_, ts := newServiceBench(b)
+		const body = `{"figure": "ref-shielded", "seed": 1, "run_for_ms": 10}`
+		servicePost(b, ts.URL, body)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			servicePost(b, ts.URL, body)
+		}
+	}
+}
+
+// serviceColdMissBench measures the cold-miss path: every iteration is
+// a continuation over a fresh seed, so each request boots its reference
+// machine from scratch — no result or image reuse.
+func serviceColdMissBench() func(*testing.B) {
+	return func(b *testing.B) {
+		_, ts := newServiceBench(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			servicePost(b, ts.URL, fmt.Sprintf(`{"figure": "ref-stock", "seed": %d, "run_for_ms": 5}`, 1000+i))
+		}
+	}
+}
+
+// serviceWarmMissBench measures the warm-start path at the same virtual
+// work as the cold-miss benchmark: the setup loop boots one image per
+// seed (untimed), then every timed iteration requests a different
+// window over an already-imaged boot — a result-cache miss that
+// restores the snapshot instead of replaying the 40 ms boot. The
+// warm-vs-cold gap is therefore exactly the boot replay the image
+// saves.
+func serviceWarmMissBench() func(*testing.B) {
+	return func(b *testing.B) {
+		_, ts := newServiceBench(b)
+		for i := 0; i < b.N; i++ {
+			servicePost(b, ts.URL, fmt.Sprintf(`{"figure": "ref-stock", "seed": %d, "run_for_ms": 1}`, 1000+i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			servicePost(b, ts.URL, fmt.Sprintf(`{"figure": "ref-stock", "seed": %d, "run_for_ms": 5}`, 1000+i))
+		}
+	}
+}

@@ -149,23 +149,50 @@ const (
 // claim to be cheap.
 const refBootHorizon = 40 * sim.Millisecond
 
+// refKernelConfig returns the kernel configuration behind a reference
+// machine — the canonical-config unit the simd service hashes snapshot
+// image keys from.
+func refKernelConfig(ref ReferenceMachine) (kernel.Config, error) {
+	switch ref {
+	case RefStock:
+		return kernel.StandardLinux24(2, 2.0, false), nil
+	case RefShielded:
+		return kernel.RedHawk14(2, 2.0), nil
+	default:
+		return kernel.Config{}, fmt.Errorf("core: unknown reference machine %q", ref)
+	}
+}
+
 // BootReference builds a reference machine under the full load mix and
 // runs it to the post-boot instant. queue/shards pick the engine
 // implementation ("" = process default); salt installs a tie-break
 // perturbation at construction.
 func BootReference(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shards int, salt uint64) (*System, error) {
-	var cfg kernel.Config
-	switch ref {
-	case RefStock:
-		cfg = kernel.StandardLinux24(2, 2.0, false)
-	case RefShielded:
-		cfg = kernel.RedHawk14(2, 2.0)
-	default:
-		return nil, fmt.Errorf("core: unknown reference machine %q", ref)
+	return buildReference(ref, seed, queue, shards, salt, nil, true)
+}
+
+// BuildReference is BootReference without the boot run: the machine is
+// constructed, started and shielded exactly like BootReference's, but
+// its clock still sits at 0 — the shape the restore protocol's
+// reconstruct-then-overwrite contract needs. Warm starts restore a
+// post-boot image into it instead of replaying the boot horizon.
+func BuildReference(ref ReferenceMachine, seed uint64, pool *sim.EventPool) (*System, error) {
+	return buildReference(ref, seed, "", 0, 0, pool, false)
+}
+
+// buildReference constructs (and optionally boots) a reference machine.
+// pool, when non-nil, supplies the engine's event-node free list — the
+// per-worker pool discipline of runner.MapSeededPooled carried into the
+// simd service's long-lived workers.
+func buildReference(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shards int, salt uint64, pool *sim.EventPool, boot bool) (*System, error) {
+	cfg, err := refKernelConfig(ref)
+	if err != nil {
+		return nil, err
 	}
 	cfg.EventQueue = queue
 	cfg.EngineShards = shards
 	cfg.TiebreakSalt = salt
+	cfg.EventPool = pool
 	s := NewSystem(cfg, sim.DeriveSeed(seed, streamSnapshot), SystemOptions{
 		RTCHz:            2048,
 		RCIMPeriod:       sim.Millisecond,
@@ -179,7 +206,9 @@ func BootReference(ref ReferenceMachine, seed uint64, queue sim.QueueKind, shard
 			return nil, err
 		}
 	}
-	s.K.Eng.Run(sim.Time(refBootHorizon))
+	if boot {
+		s.K.Eng.Run(sim.Time(refBootHorizon))
+	}
 	return s, nil
 }
 

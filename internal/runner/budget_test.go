@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestMapSeededPooledCtxEquivalence: with a never-cancelled context the
+// budgeted/cancellable variant must produce byte-identical output to
+// MapSeededPooled for every worker count — same derived seeds, same
+// index order.
+func TestMapSeededPooledCtxEquivalence(t *testing.T) {
+	fn := func(i int, seed uint64, pool *sim.EventPool) [2]uint64 {
+		if pool == nil {
+			t.Error("nil pool handed to replication")
+		}
+		return [2]uint64{uint64(i), seed}
+	}
+	want := MapSeededPooled(1, 99, 23, fn)
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, err := MapSeededPooledCtx(context.Background(), workers, 99, 23, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results diverge from MapSeededPooled", workers)
+		}
+	}
+}
+
+// TestMapSeededPooledCtxCancel: cancelling mid-run returns ctx.Err()
+// promptly (no hang) and no partial result slice; replications already
+// in flight finish, unstarted ones never run.
+func TestMapSeededPooledCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = MapSeededPooledCtx(ctx, 2, 1, 64, func(i int, seed uint64, pool *sim.EventPool) int {
+			if started.Add(1) == 2 {
+				cancel() // cancel while replications are in flight
+			}
+			<-release
+			return i
+		})
+	}()
+	// Unblock the two in-flight replications after the cancel landed.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled map did not return (hang)")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled map returned a partial result slice (%d entries)", len(out))
+	}
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d replications ran despite cancellation", n)
+	}
+}
+
+// TestMapSeededPooledCtxCancelledBeforeStart: a context that is already
+// done never runs fn, on both the serial and the pooled path.
+func TestMapSeededPooledCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		out, err := MapSeededPooledCtx(ctx, workers, 1, 8, func(i int, seed uint64, pool *sim.EventPool) int {
+			ran = true
+			return i
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil || ran {
+			t.Fatalf("workers=%d: fn ran under a dead context", workers)
+		}
+	}
+}
+
+// TestMapSeededPooledBudget: a request over budget returns the typed
+// *BudgetError immediately — fn never runs, nothing blocks — while a
+// request within budget (or with an unlimited budget) runs normally.
+func TestMapSeededPooledBudget(t *testing.T) {
+	ran := false
+	out, err := MapSeededPooledBudget(context.Background(), 2, 1, 10, 4, func(i int, seed uint64, pool *sim.EventPool) int {
+		ran = true
+		return i
+	})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Requested != 10 || be.Budget != 4 || be.Unit != "replications" {
+		t.Fatalf("BudgetError = %+v, want {10 4 replications}", *be)
+	}
+	if out != nil || ran {
+		t.Fatal("over-budget request ran anyway")
+	}
+
+	for _, budget := range []int{10, 0, -1} { // exactly at budget, and unlimited
+		got, err := MapSeededPooledBudget(context.Background(), 2, 1, 10, budget, func(i int, seed uint64, pool *sim.EventPool) int {
+			return i * i
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: unexpected error %v", budget, err)
+		}
+		if len(got) != 10 || got[3] != 9 {
+			t.Fatalf("budget=%d: wrong results %v", budget, got)
+		}
+	}
+}
+
+// TestCheckBudget pins the helper's contract for non-map cost models.
+func TestCheckBudget(t *testing.T) {
+	if err := CheckBudget(100, 0, "virtual-ms"); err != nil {
+		t.Fatalf("unlimited budget refused: %v", err)
+	}
+	if err := CheckBudget(100, 100, "virtual-ms"); err != nil {
+		t.Fatalf("at-budget request refused: %v", err)
+	}
+	err := CheckBudget(101, 100, "virtual-ms")
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Unit != "virtual-ms" {
+		t.Fatalf("err = %v, want *BudgetError with unit virtual-ms", err)
+	}
+}

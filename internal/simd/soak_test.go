@@ -1,0 +1,164 @@
+package simd
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// soakScenario is one distinct scenario in the soak mix.
+type soakScenario struct {
+	req    ScenarioRequest
+	oracle []byte // serial in-process result, computed up front
+}
+
+// TestSoakConcurrentServing is the fleet-scale stress pin, run under
+// -race in the CI soak job: well over a thousand concurrent scenario
+// requests with heavy duplication hammer one server, and every single
+// response must be byte-identical to the serial single-threaded oracle
+// for its scenario. Duplicates must be served from the cache or
+// coalesced onto in-flight work — each distinct scenario executes
+// exactly once — and warm-started continuations must hash equal to
+// cold runs.
+func TestSoakConcurrentServing(t *testing.T) {
+	// The scenario mix: every figure family at tiny scale, plus
+	// reference continuations whose windows deliberately overlap on
+	// (machine, seed) so boot images get shared.
+	var scenarios []soakScenario
+	for _, fig := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "attrib-causes"} {
+		scenarios = append(scenarios, soakScenario{req: ScenarioRequest{Figure: fig, Scale: 0.01, Seed: 7}})
+	}
+	scenarios = append(scenarios,
+		soakScenario{req: ScenarioRequest{Figure: "fig5", Scale: 0.01, Seed: 8}},
+		soakScenario{req: ScenarioRequest{Figure: "fig7", Scale: 0.01, Seed: 8}},
+	)
+	for _, fig := range []string{core.ScenarioRefStock, core.ScenarioRefShielded} {
+		for _, seed := range []uint64{1, 2} {
+			for _, runFor := range []int{10, 20} {
+				scenarios = append(scenarios, soakScenario{req: ScenarioRequest{Figure: fig, Seed: seed, RunForMS: runFor}})
+			}
+		}
+	}
+	if len(scenarios) != 18 {
+		t.Fatalf("scenario mix has %d entries, want 18", len(scenarios))
+	}
+
+	// Serial oracle pass: the single-threaded ground truth every
+	// concurrent response is compared against.
+	for i := range scenarios {
+		r := scenarios[i].req
+		sc, err := core.ResolveScenario(r.Figure, r.Scale, r.Seed, r.RunForMS)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Figure, err)
+		}
+		out, err := core.RunScenario(sc, 1)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", r.Figure, err)
+		}
+		scenarios[i].oracle = out
+	}
+
+	srv, ts := testServer(t, Config{Workers: 4, QueueDepth: 64}, nil)
+
+	const (
+		clients     = 40
+		perClient   = 30 // 1200 requests total, ≥1000 required
+		totalReqs   = clients * perClient
+		distinctCnt = 18
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, totalReqs)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				// Stride the mix differently per client so duplicates
+				// overlap both in flight and after completion.
+				s := scenarios[(g*7+i)%len(scenarios)]
+				resp := post(t, ts, "/v1/scenarios?wait=1", s.req)
+				body := readAll(t, resp)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d req %d (%s): status %d: %s", g, i, s.req.Figure, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, s.oracle) {
+					errs <- fmt.Errorf("client %d req %d (%s seed %d run_for %d): served bytes diverge from serial oracle",
+						g, i, s.req.Figure, s.req.Seed, s.req.RunForMS)
+					return
+				}
+				if h := resp.Header.Get("X-Simd-Result-Hash"); h != core.HashBytes(s.oracle) {
+					errs <- fmt.Errorf("client %d req %d (%s): result hash header %s != oracle %s", g, i, s.req.Figure, h, core.HashBytes(s.oracle))
+					return
+				}
+				switch resp.Header.Get("X-Simd-Cache") {
+				case CacheHit, CacheMiss, CacheJoin:
+				default:
+					errs <- fmt.Errorf("client %d req %d: missing cache disposition header", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	stats := srv.Stats()
+	// Exactly-once execution: each distinct scenario missed once; every
+	// other request was a hit or an in-flight join.
+	if stats.Misses != distinctCnt || stats.Completed != distinctCnt {
+		t.Fatalf("misses=%d completed=%d, want %d each (exactly-once execution)", stats.Misses, stats.Completed, distinctCnt)
+	}
+	if stats.Hits+stats.Joins != totalReqs-distinctCnt {
+		t.Fatalf("hits=%d joins=%d, want %d duplicates served without re-running", stats.Hits, stats.Joins, totalReqs-distinctCnt)
+	}
+	if stats.Hits == 0 {
+		t.Fatal("cache hit-rate was zero across the soak")
+	}
+	if stats.Failed != 0 || stats.RejectedQueue != 0 || stats.RejectedBudget != 0 {
+		t.Fatalf("unexpected failures/rejections: %+v", stats)
+	}
+	if stats.ResidentBlobs != distinctCnt {
+		t.Fatalf("resident result blobs %d, want %d", stats.ResidentBlobs, distinctCnt)
+	}
+	// 8 continuation scenarios over 4 distinct (machine, seed) boots:
+	// every one either booted cold or warm-started from a shared image.
+	if stats.ColdBoots+stats.WarmStarts != 8 {
+		t.Fatalf("cold=%d warm=%d, want 8 continuation executions", stats.ColdBoots, stats.WarmStarts)
+	}
+	if stats.ResidentImages != 4 {
+		t.Fatalf("resident boot images %d, want 4", stats.ResidentImages)
+	}
+
+	// Warm-start hash equality through the serving path: a fresh window
+	// over an already-imaged boot is guaranteed to warm-start now, and
+	// its bytes must equal the cold serial oracle.
+	preWarm := srv.Stats().WarmStarts
+	req := ScenarioRequest{Figure: core.ScenarioRefStock, Seed: 1, RunForMS: 30}
+	sc, _ := core.ResolveScenario(req.Figure, 0, req.Seed, req.RunForMS)
+	oracle, err := core.RunScenario(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts, "/v1/scenarios?wait=1", req)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm continuation status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, oracle) {
+		t.Fatal("warm-started continuation diverges from cold serial oracle")
+	}
+	if srv.Stats().WarmStarts != preWarm+1 {
+		t.Fatal("fresh window over an imaged boot did not warm-start")
+	}
+}

@@ -1,0 +1,171 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a content-addressed blob store for simulation artifacts:
+// figure result bytes and post-boot snapshot images, keyed by the
+// FNV-1a content address of the inputs that produced them (the simd
+// cache-key scheme, DESIGN.md §11). It is an in-memory map with an
+// optional write-through directory, safe for concurrent use.
+//
+// Content addressing makes the store append-only in spirit: a key
+// either misses or returns the one immutable blob that inputs hash to,
+// so there is no invalidation protocol and a Put that races a Get can
+// only ever install the same bytes. Disk writes are atomic
+// (temp file + rename) so a crashed or killed process never leaves a
+// torn blob for the next one to trust.
+type Store struct {
+	mu  sync.RWMutex
+	mem map[string][]byte
+	dir string
+}
+
+// NewStore opens a store. dir == "" keeps blobs in memory only;
+// otherwise blobs write through to dir (created if missing) and later
+// stores over the same directory see them.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("snapshot: store dir: %w", err)
+		}
+	}
+	return &Store{mem: make(map[string][]byte), dir: dir}, nil
+}
+
+// validKey enforces the content-address alphabet (lower-case hex, as
+// produced by the FNV-1a "%016x" hashes used throughout the repo) so a
+// key can never traverse outside the store directory.
+func validKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("snapshot: invalid store key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("snapshot: invalid store key %q (want lower-case hex)", key)
+		}
+	}
+	return nil
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".blob")
+}
+
+// Get returns the blob addressed by key. The returned slice is the
+// caller's to keep: it is never aliased by later Puts or other Gets. A
+// disk hit is promoted into memory.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if validKey(key) != nil {
+		return nil, false
+	}
+	s.mu.RLock()
+	blob, ok := s.mem[key]
+	s.mu.RUnlock()
+	if !ok && s.dir != "" {
+		disk, err := os.ReadFile(s.path(key))
+		if err != nil {
+			return nil, false
+		}
+		s.mu.Lock()
+		// A concurrent Put may have landed; same key means same bytes,
+		// so either copy is fine — keep the resident one.
+		if resident, raced := s.mem[key]; raced {
+			disk = resident
+		} else {
+			s.mem[key] = disk
+		}
+		s.mu.Unlock()
+		blob, ok = disk, true
+	}
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	return out, true
+}
+
+// Put installs blob under key, copying it so the caller's slice stays
+// theirs. With a directory configured the blob is written to a
+// temporary file and renamed into place, so readers (including other
+// processes) only ever observe complete blobs.
+func (s *Store) Put(key string, blob []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	own := make([]byte, len(blob))
+	copy(own, blob)
+	s.mu.Lock()
+	_, existed := s.mem[key]
+	if !existed {
+		s.mem[key] = own
+	}
+	s.mu.Unlock()
+	if existed || s.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("snapshot: store put: %w", err)
+	}
+	if _, err := tmp.Write(own); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: store put: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of blobs resident in memory (not the on-disk
+// population, which may be larger until Gets promote it).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Keys returns the resident content addresses in sorted order, for
+// stats endpoints and tests.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// cleanupTemp removes leftover temp files from a previous crashed
+// writer. Called lazily by tests; blobs never depend on it because a
+// rename either happened or the temp file is garbage.
+func (s *Store) cleanupTemp() {
+	if s.dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "put-") && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
